@@ -1,0 +1,134 @@
+// Ablation bench for the design choices DESIGN.md calls out:
+//
+//  1. DP lookahead depth (10 / 50 / 250 / unbounded) — quantifies why the
+//     experiment defaults use 250 instead of Shmueli's 50: under saturation
+//     the waiting queue outgrows 50 and the LOS family loses to EASY on
+//     information, not policy.
+//  2. Skip-count mechanism on/off — Delayed-LOS with C_s=0 (start head
+//     immediately, i.e. LOS-like) vs tuned C_s vs effectively infinite
+//     patience.
+//  3. Runtime-estimate quality — exact estimates vs 2x over-estimation
+//     (the classic backfilling observation reproduced on our stack).
+#include "bench_common.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+void lookahead_ablation(const es::bench::BenchOptions& options) {
+  es::workload::GeneratorConfig config = es::bench::base_workload(options);
+  config.p_small = 0.2;
+  config.target_load = 0.9;
+
+  es::util::AsciiTable table(
+      "Ablation 1 — DP lookahead depth (P_S=0.2, load 0.9)");
+  table.set_columns({"algorithm", "lookahead", "util %", "wait s"});
+  // EASY reference (scans the whole queue by construction).
+  es::exp::RunSpec easy;
+  easy.workload = config;
+  easy.algorithm = "EASY";
+  const auto easy_result =
+      es::exp::run_replicated(easy, options.replications);
+  table.cell("EASY").cell("whole queue").cell(
+      100 * easy_result.utilization, 2);
+  table.cell(easy_result.mean_wait, 0);
+  table.end_row();
+  for (int lookahead : {10, 50, 250, 1000000}) {
+    for (const char* algorithm : {"LOS", "Delayed-LOS"}) {
+      es::exp::RunSpec spec;
+      spec.workload = config;
+      spec.algorithm = algorithm;
+      spec.options.lookahead = lookahead;
+      const auto result =
+          es::exp::run_replicated(spec, options.replications);
+      table.cell(algorithm)
+          .cell(lookahead >= 1000000 ? "unbounded" : std::to_string(lookahead))
+          .cell(100 * result.utilization, 2)
+          .cell(result.mean_wait, 0);
+      table.end_row();
+    }
+  }
+  table.render(std::cout);
+  std::cout << '\n';
+}
+
+void skip_count_ablation(const es::bench::BenchOptions& options) {
+  es::workload::GeneratorConfig config = es::bench::base_workload(options);
+  config.p_small = 0.5;
+  config.target_load = 0.9;
+
+  es::util::AsciiTable table(
+      "Ablation 2 — skip-count mechanism (P_S=0.5, load 0.9)");
+  table.set_columns({"policy", "util %", "wait s", "slowdown"});
+  struct Case {
+    const char* label;
+    const char* algorithm;
+    int cs;
+  };
+  for (const Case& c :
+       {Case{"LOS (no skipping)", "LOS", 0},
+        Case{"Delayed-LOS C_s=0", "Delayed-LOS", 0},
+        Case{"Delayed-LOS C_s=7 (tuned)", "Delayed-LOS", 7},
+        Case{"Delayed-LOS C_s=10^6 (pure packing)", "Delayed-LOS", 1000000}}) {
+    es::exp::RunSpec spec;
+    spec.workload = config;
+    spec.algorithm = c.algorithm;
+    spec.options = es::bench::algo_options(options, c.cs);
+    const auto result = es::exp::run_replicated(spec, options.replications);
+    table.cell(c.label)
+        .cell(100 * result.utilization, 2)
+        .cell(result.mean_wait, 0)
+        .cell(result.slowdown, 3);
+    table.end_row();
+  }
+  table.render(std::cout);
+  std::cout << '\n';
+}
+
+void estimate_quality_ablation(const es::bench::BenchOptions& options) {
+  es::util::AsciiTable table(
+      "Ablation 3 — runtime estimate quality (P_S=0.5, load 0.9)");
+  table.set_columns({"algorithm", "estimates", "util %", "wait s"});
+  struct EstimateCase {
+    const char* label;
+    double factor;       ///< fixed multiplier; 0 = use uniform model
+    double uniform_max;  ///< f-model upper bound
+  };
+  for (const EstimateCase& c :
+       {EstimateCase{"exact", 1.0, 0.0},
+        EstimateCase{"2x over-estimated", 2.0, 0.0},
+        EstimateCase{"f-model U(1,3)", 1.0, 3.0},
+        EstimateCase{"f-model U(1,10)", 1.0, 10.0}}) {
+    es::workload::GeneratorConfig config = es::bench::base_workload(options);
+    config.p_small = 0.5;
+    config.target_load = 0.9;
+    config.estimate_factor = c.factor;
+    config.estimate_uniform_max = c.uniform_max;
+    for (const char* algorithm : {"EASY", "Delayed-LOS"}) {
+      es::exp::RunSpec spec;
+      spec.workload = config;
+      spec.algorithm = algorithm;
+      spec.options = es::bench::algo_options(options);
+      const auto result = es::exp::run_replicated(spec, options.replications);
+      table.cell(algorithm)
+          .cell(c.label)
+          .cell(100 * result.utilization, 2)
+          .cell(result.mean_wait, 0);
+      table.end_row();
+    }
+  }
+  table.render(std::cout);
+  std::cout << '\n';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  es::bench::BenchOptions options;
+  if (!es::bench::parse_bench_options(argc, argv,
+                                      "Design-choice ablations", options))
+    return 0;
+  lookahead_ablation(options);
+  skip_count_ablation(options);
+  estimate_quality_ablation(options);
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Dynamic algorithm selection (paper section V-A's closing observation):
+// "a dynamic, algorithm selection policy that selects the best performing
+// algorithm among Delayed-LOS and EASY, for different proportions of small
+// and large sized jobs."
+//
+// Two panels:
+//   1. stationary mixes — Adaptive vs its two delegates across P_S;
+//   2. a regime-switching trace (large-job phase then small-job phase),
+//      where a fixed choice is wrong half the time.
+#include "bench_common.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "workload/compose.hpp"
+#include "workload/load.hpp"
+
+namespace {
+
+es::workload::Workload phased(std::uint64_t seed, int jobs_per_phase) {
+  es::workload::GeneratorConfig phase1;
+  phase1.num_jobs = static_cast<std::size_t>(jobs_per_phase);
+  phase1.seed = seed;
+  phase1.p_small = 0.1;
+  phase1.target_load = 0.9;
+  es::workload::GeneratorConfig phase2 = phase1;
+  phase2.seed = seed + 1;
+  phase2.p_small = 0.95;
+  return es::workload::concatenate(es::workload::generate(phase1),
+                                   es::workload::generate(phase2));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  es::bench::BenchOptions options;
+  if (!es::bench::parse_bench_options(
+          argc, argv, "Dynamic algorithm selection (section V-A)", options))
+    return 0;
+
+  // Panel 1: stationary size mixes.
+  es::util::AsciiTable stationary(
+      "Adaptive vs fixed policies — stationary mixes, load 0.9 (mean wait s)");
+  stationary.set_columns({"P_S", "EASY", "Delayed-LOS", "Adaptive"});
+  for (double ps : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    es::workload::GeneratorConfig config = es::bench::base_workload(options);
+    config.p_small = ps;
+    config.target_load = 0.9;
+    stationary.cell(ps, 1);
+    for (const char* algorithm : {"EASY", "Delayed-LOS", "Adaptive"}) {
+      es::exp::RunSpec spec;
+      spec.workload = config;
+      spec.algorithm = algorithm;
+      spec.options = es::bench::algo_options(options);
+      stationary.cell(
+          es::exp::run_replicated(spec, options.replications).mean_wait, 0);
+    }
+    stationary.end_row();
+  }
+  stationary.render(std::cout);
+  std::cout << '\n';
+
+  // Panel 2: regime switching.
+  es::util::AsciiTable switching(
+      "Regime-switching trace (large-job phase, then small-job phase)");
+  switching.set_columns({"algorithm", "util %", "wait s", "slowdown"});
+  for (const char* algorithm : {"EASY", "LOS", "Delayed-LOS", "Adaptive"}) {
+    es::util::RunningStats util_stats, wait_stats, slowdown_stats;
+    for (int i = 0; i < options.replications; ++i) {
+      const auto workload =
+          phased(options.seed + 10 * static_cast<unsigned>(i),
+                 options.jobs / 2);
+      const auto result = es::exp::run_workload(
+          workload, algorithm, es::bench::algo_options(options));
+      util_stats.add(result.utilization);
+      wait_stats.add(result.mean_wait);
+      slowdown_stats.add(result.slowdown);
+    }
+    switching.cell(algorithm)
+        .cell(100.0 * util_stats.mean(), 2)
+        .cell(wait_stats.mean(), 0)
+        .cell(slowdown_stats.mean(), 3);
+    switching.end_row();
+  }
+  switching.render(std::cout);
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Shared configuration for the figure/table reproduction benches.
+//
+// Every bench prints the paper-style series as aligned tables and writes a
+// tidy CSV next to the binary (results/<bench>.csv) for plotting.  The
+// defaults reproduce the paper's setup: M = 320 processors in 32-proc node
+// cards, N_J = 500 jobs per point, mean over several seeds.
+//
+// One deliberate deviation, documented in EXPERIMENTS.md: the DP lookahead
+// is 250 jobs (not Shmueli's 50).  At the paper's offered loads the waiting
+// queue regularly exceeds 50 jobs, and EASY scans the whole queue, so a
+// 50-job lookahead handicaps the LOS family on information rather than on
+// policy; 250 covers the queue at every load evaluated while keeping the DP
+// sub-millisecond.  The ablation bench quantifies this choice.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <sys/stat.h>
+
+#include "exp/report.hpp"
+#include "exp/sweep.hpp"
+#include "util/cli.hpp"
+
+namespace es::bench {
+
+struct BenchOptions {
+  int jobs = 500;          ///< N_J per simulation point
+  int replications = 5;    ///< seeds averaged per point
+  unsigned long long seed = 1;
+  int lookahead = 250;
+  std::string csv_dir = "results";
+  bool quick = false;      ///< CI mode: fewer points/seeds
+};
+
+/// Standard CLI for every bench binary.  Returns false if the program
+/// should exit (e.g. --help).
+inline bool parse_bench_options(int argc, const char* const* argv,
+                                const std::string& description,
+                                BenchOptions& options) {
+  util::CliParser cli(description);
+  cli.add_option("jobs", "jobs per simulation point (default 500)",
+                 &options.jobs);
+  cli.add_option("replications", "seeds averaged per point (default 5)",
+                 &options.replications);
+  cli.add_option("seed", "base RNG seed", &options.seed);
+  cli.add_option("lookahead", "DP lookahead depth (default 250)",
+                 &options.lookahead);
+  cli.add_option("csv-dir", "directory for CSV output (default results/)",
+                 &options.csv_dir);
+  cli.add_flag("quick", "fast mode: fewer points and seeds", &options.quick);
+  if (!cli.parse(argc, argv)) return false;
+  if (options.quick) {
+    options.jobs = 200;
+    options.replications = 2;
+  }
+  return true;
+}
+
+inline workload::GeneratorConfig base_workload(const BenchOptions& options) {
+  workload::GeneratorConfig config;
+  config.machine_procs = 320;
+  config.num_jobs = static_cast<std::size_t>(options.jobs);
+  config.seed = options.seed;
+  return config;
+}
+
+inline core::AlgorithmOptions algo_options(const BenchOptions& options,
+                                           int max_skip_count = 7) {
+  core::AlgorithmOptions algorithm_options;
+  algorithm_options.lookahead = options.lookahead;
+  algorithm_options.max_skip_count = max_skip_count;
+  return algorithm_options;
+}
+
+/// Writes the sweep CSV plus a matching gnuplot script under
+/// options.csv_dir (best-effort).
+inline void save_csv(const BenchOptions& options, const std::string& name,
+                     const exp::Sweep& sweep) {
+  ::mkdir(options.csv_dir.c_str(), 0755);
+  const std::string path = options.csv_dir + "/" + name + ".csv";
+  if (exp::write_sweep_csv(path, sweep)) {
+    std::printf("[csv] %s\n", path.c_str());
+  } else {
+    std::printf("[csv] could not write %s\n", path.c_str());
+    return;
+  }
+  // Algorithms present at the first point, in map order.
+  std::vector<std::string> algorithms;
+  if (!sweep.points.empty())
+    for (const auto& [algorithm, aggregate] : sweep.points.front().by_algorithm)
+      algorithms.push_back(algorithm);
+  const std::string gp_path = options.csv_dir + "/" + name + ".gp";
+  if (exp::write_sweep_gnuplot(gp_path, name + ".csv", name, sweep,
+                               algorithms))
+    std::printf("[gnuplot] %s\n", gp_path.c_str());
+}
+
+/// The paper's load grid for Figs 7-11.
+inline std::vector<double> load_grid(const BenchOptions& options) {
+  if (options.quick) return {0.6, 0.9};
+  return {0.5, 0.6, 0.7, 0.8, 0.9, 1.0};
+}
+
+}  // namespace es::bench

@@ -1,0 +1,75 @@
+// Fairness study: who pays for Delayed-LOS's packing gains?
+//
+// The skip-count mechanism defers large head jobs in favour of
+// utilization-maximizing sets; the paper reports only means.  This bench
+// breaks waiting times down by job size class (small = the paper's
+// {32, 64, 96}-proc jobs) and by distribution tail, across C_s settings,
+// against EASY (whose single reservation protects the head) and LOS.
+//
+// Expected: larger C_s shifts wait from small jobs to large jobs; the C_s
+// bound is precisely what keeps the large-job tail from growing unboundedly.
+#include "bench_common.hpp"
+#include "exp/analysis.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  es::bench::BenchOptions options;
+  if (!es::bench::parse_bench_options(
+          argc, argv, "Size-class fairness under Delayed-LOS", options))
+    return 0;
+
+  es::workload::GeneratorConfig config = es::bench::base_workload(options);
+  config.p_small = 0.5;
+  config.target_load = 0.9;
+
+  struct Case {
+    std::string label;
+    std::string algorithm;
+    int cs;
+  };
+  std::vector<Case> cases{{"EASY", "EASY", 0},
+                          {"LOS", "LOS", 0},
+                          {"Delayed-LOS C_s=2", "Delayed-LOS", 2},
+                          {"Delayed-LOS C_s=7", "Delayed-LOS", 7},
+                          {"Delayed-LOS C_s=20", "Delayed-LOS", 20},
+                          {"Delayed-LOS C_s=10^6", "Delayed-LOS", 1000000}};
+
+  es::util::AsciiTable table(
+      "Fairness by size class — P_S=0.5, load 0.9 (wait in hours)");
+  table.set_columns({"policy", "small mean", "small p95", "large mean",
+                     "large p95", "large max", "L/S ratio"});
+  for (const Case& c : cases) {
+    es::util::RunningStats small_mean, small_p95, large_mean, large_p95,
+        large_max, ratio;
+    for (int i = 0; i < options.replications; ++i) {
+      es::exp::RunSpec spec;
+      spec.workload = config;
+      spec.workload.seed = options.seed + static_cast<unsigned>(i);
+      spec.algorithm = c.algorithm;
+      spec.options = es::bench::algo_options(options, c.cs);
+      const auto result = es::exp::run_once(spec);
+      const auto breakdown = es::exp::fairness_by_size(result, 96);
+      small_mean.add(breakdown.small.mean);
+      small_p95.add(breakdown.small.p95);
+      large_mean.add(breakdown.large.mean);
+      large_p95.add(breakdown.large.p95);
+      large_max.add(breakdown.large.max);
+      ratio.add(breakdown.large_to_small_wait_ratio);
+    }
+    const double h = 3600.0;
+    table.cell(c.label)
+        .cell(small_mean.mean() / h, 1)
+        .cell(small_p95.mean() / h, 1)
+        .cell(large_mean.mean() / h, 1)
+        .cell(large_p95.mean() / h, 1)
+        .cell(large_max.mean() / h, 1)
+        .cell(ratio.mean(), 2);
+    table.end_row();
+  }
+  table.render(std::cout);
+  std::printf(
+      "\nL/S ratio = large-job mean wait over small-job mean wait.  The\n"
+      "skip bound C_s caps how much of the packing gain is financed by\n"
+      "deferring large head jobs.\n");
+  return 0;
+}

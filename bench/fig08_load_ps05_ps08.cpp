@@ -1,0 +1,36 @@
+// Figure 8 — mean job waiting time vs load for P_S = 0.5 and P_S = 0.8.
+// Expected shape: with more small jobs, Delayed-LOS and EASY converge while
+// both stay ahead of LOS.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  es::bench::BenchOptions options;
+  if (!es::bench::parse_bench_options(
+          argc, argv, "Fig 8: waiting time vs load (P_S=0.5 and 0.8)",
+          options))
+    return 0;
+
+  const std::vector<std::string> algorithms{"EASY", "LOS", "Delayed-LOS"};
+  for (double ps : {0.5, 0.8}) {
+    es::workload::GeneratorConfig config = es::bench::base_workload(options);
+    config.p_small = ps;
+
+    es::workload::GeneratorConfig tuning = config;
+    tuning.target_load = 0.9;
+    const int cs = es::exp::optimal_skip_count(
+        tuning, 1, options.quick ? 4 : 12, options.replications);
+    std::printf("Tuned C_s for P_S=%.1f: %d\n\n", ps, cs);
+
+    const es::exp::Sweep sweep =
+        es::exp::load_sweep(config, es::bench::load_grid(options), algorithms,
+                            es::bench::algo_options(options, cs),
+                            options.replications);
+    char title[64];
+    std::snprintf(title, sizeof title, "Fig 8 — P_S=%.1f", ps);
+    es::exp::print_sweep(std::cout, title, sweep, algorithms);
+    char csv_name[64];
+    std::snprintf(csv_name, sizeof csv_name, "fig08_load_ps%02.0f", ps * 10);
+    es::bench::save_csv(options, csv_name, sweep);
+  }
+  return 0;
+}

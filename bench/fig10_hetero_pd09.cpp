@@ -1,0 +1,37 @@
+// Figure 10 — heterogeneous workload dominated by dedicated jobs
+// (P_D = 0.9, P_S = 0.5): metrics vs load.  The paper's point: Hybrid-LOS
+// keeps its lead even when batch jobs are scarce.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  es::bench::BenchOptions options;
+  if (!es::bench::parse_bench_options(
+          argc, argv, "Fig 10: heterogeneous workload (P_D=0.9, P_S=0.5)",
+          options))
+    return 0;
+
+  es::workload::GeneratorConfig config = es::bench::base_workload(options);
+  config.p_small = 0.5;
+  config.p_dedicated = 0.9;
+
+  es::workload::GeneratorConfig tuning = config;
+  tuning.p_dedicated = 0.0;
+  tuning.target_load = 0.9;
+  const int cs = es::exp::optimal_skip_count(tuning, 1, options.quick ? 4 : 12,
+                                             options.replications);
+  std::printf("Tuned C_s for P_S=0.5: %d\n\n", cs);
+
+  const std::vector<std::string> algorithms{"EASY-D", "LOS-D", "Hybrid-LOS"};
+  const es::exp::Sweep sweep =
+      es::exp::load_sweep(config, es::bench::load_grid(options), algorithms,
+                          es::bench::algo_options(options, cs),
+                          options.replications);
+
+  es::exp::print_sweep(std::cout, "Fig 10 — P_D=0.9, P_S=0.5", sweep,
+                       algorithms);
+  es::exp::print_improvements(std::cout,
+                              "Max % improvement of Hybrid-LOS (Fig 10)",
+                              sweep, "Hybrid-LOS", {"LOS-D", "EASY-D"});
+  es::bench::save_csv(options, "fig10_hetero_pd09", sweep);
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Figure 11 + Tables VI & VII — runtime elasticity: workloads injected with
+// Elastic Control Commands (P_E = 0.2 extensions, P_R = 0.1 reductions).
+//
+// Panel A (batch, P_S = 0.5):        EASY-E vs LOS-E vs Delayed-LOS-E
+// Panel B (heterogeneous, P_D = .5): EASY-DE vs LOS-DE vs Hybrid-LOS-E
+//
+// The paper's observation: the elastic variants keep the Delayed/Hybrid
+// advantage, with somewhat smaller margins than the rigid cases because
+// on-the-fly changes disturb packing.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  es::bench::BenchOptions options;
+  if (!es::bench::parse_bench_options(
+          argc, argv, "Fig 11 / Tables VI-VII: elastic workloads", options))
+    return 0;
+
+  es::workload::GeneratorConfig config = es::bench::base_workload(options);
+  config.p_small = 0.5;
+  config.p_extend = 0.2;
+  config.p_reduce = 0.1;
+
+  es::workload::GeneratorConfig tuning = config;
+  tuning.p_extend = 0;
+  tuning.p_reduce = 0;
+  tuning.target_load = 0.9;
+  const int cs = es::exp::optimal_skip_count(tuning, 1, options.quick ? 4 : 12,
+                                             options.replications);
+  std::printf("Tuned C_s for P_S=0.5: %d\n\n", cs);
+
+  // Panel A: elastic batch.
+  const std::vector<std::string> batch_algorithms{"EASY-E", "LOS-E",
+                                                  "Delayed-LOS-E"};
+  const es::exp::Sweep batch_sweep = es::exp::load_sweep(
+      config, es::bench::load_grid(options), batch_algorithms,
+      es::bench::algo_options(options, cs), options.replications);
+  es::exp::print_sweep(std::cout,
+                       "Fig 11a — elastic batch (P_S=0.5, P_E=.2, P_R=.1)",
+                       batch_sweep, batch_algorithms);
+  es::exp::print_improvements(
+      std::cout,
+      "Table VI — max % improvement of Delayed-LOS-E (paper: util 4.93/1.78, "
+      "wait 18.94/12.19, slowdown 18.39/11.79)",
+      batch_sweep, "Delayed-LOS-E", {"LOS-E", "EASY-E"});
+  es::bench::save_csv(options, "fig11a_elastic_batch", batch_sweep);
+
+  // Panel B: elastic heterogeneous.
+  es::workload::GeneratorConfig hetero = config;
+  hetero.p_dedicated = 0.5;
+  const std::vector<std::string> hetero_algorithms{"EASY-DE", "LOS-DE",
+                                                   "Hybrid-LOS-E"};
+  const es::exp::Sweep hetero_sweep = es::exp::load_sweep(
+      hetero, es::bench::load_grid(options), hetero_algorithms,
+      es::bench::algo_options(options, cs), options.replications);
+  es::exp::print_sweep(
+      std::cout,
+      "Fig 11b — elastic heterogeneous (P_S=0.5, P_D=0.5, P_E=.2, P_R=.1)",
+      hetero_sweep, hetero_algorithms);
+  es::exp::print_improvements(
+      std::cout,
+      "Table VII — max % improvement of Hybrid-LOS-E (paper: util 1.88/3.02, "
+      "wait 20.76/10.18, slowdown 19.81/14.6)",
+      hetero_sweep, "Hybrid-LOS-E", {"LOS-DE", "EASY-DE"});
+  es::bench::save_csv(options, "fig11b_elastic_hetero", hetero_sweep);
+  return 0;
+}

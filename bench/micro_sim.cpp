@@ -1,0 +1,120 @@
+// Microbenchmarks for the simulation substrate: event-queue throughput,
+// machine ledger operations and workload-generator speed.
+#include <benchmark/benchmark.h>
+
+#include "cluster/contiguous.hpp"
+#include "cluster/machine.hpp"
+#include "sim/event_queue.hpp"
+#include "util/rng.hpp"
+#include "workload/generator.hpp"
+
+namespace {
+
+void BM_EventQueueScheduleAndRun(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  es::util::Rng rng(1);
+  std::vector<double> times;
+  times.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) times.push_back(rng.uniform(0, 1e6));
+  for (auto _ : state) {
+    es::sim::EventQueue queue;
+    std::uint64_t sum = 0;
+    for (double t : times)
+      queue.schedule(t, es::sim::EventClass::kOther,
+                     [&sum](es::sim::Time) { ++sum; });
+    while (!queue.empty()) queue.pop_and_run();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EventQueueScheduleAndRun)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_EventQueueCancellationHeavy(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  es::util::Rng rng(2);
+  for (auto _ : state) {
+    es::sim::EventQueue queue;
+    std::vector<es::sim::EventHandle> handles;
+    handles.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+      handles.push_back(queue.schedule(rng.uniform(0, 1e6),
+                                       es::sim::EventClass::kOther,
+                                       [](es::sim::Time) {}));
+    // Cancel half — the elastic-workload pattern.
+    for (std::size_t i = 0; i < n; i += 2) queue.cancel(handles[i]);
+    while (!queue.empty()) queue.pop_and_run();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EventQueueCancellationHeavy)->Arg(1000)->Arg(10000);
+
+void BM_MachineAllocateRelease(benchmark::State& state) {
+  es::cluster::Machine machine(320, 32);
+  std::int64_t id = 0;
+  for (auto _ : state) {
+    machine.allocate(++id, 128);
+    machine.allocate(++id, 160);
+    machine.release(id - 1);
+    machine.release(id);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 4);
+}
+BENCHMARK(BM_MachineAllocateRelease);
+
+void BM_WorkloadGeneration(benchmark::State& state) {
+  const auto jobs = static_cast<std::size_t>(state.range(0));
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    es::workload::GeneratorConfig config;
+    config.num_jobs = jobs;
+    config.seed = ++seed;
+    config.p_dedicated = 0.3;
+    config.p_extend = 0.2;
+    config.p_reduce = 0.1;
+    benchmark::DoNotOptimize(es::workload::generate(config));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(jobs));
+}
+BENCHMARK(BM_WorkloadGeneration)->Arg(500)->Arg(5000);
+
+void BM_WorkloadCalibration(benchmark::State& state) {
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    es::workload::GeneratorConfig config;
+    config.num_jobs = 500;
+    config.seed = ++seed;
+    config.target_load = 0.9;
+    benchmark::DoNotOptimize(es::workload::generate(config));
+  }
+}
+BENCHMARK(BM_WorkloadCalibration);
+
+
+void BM_ContiguousAllocateReleaseCompact(benchmark::State& state) {
+  es::util::Rng rng(7);
+  for (auto _ : state) {
+    es::cluster::ContiguousMachine machine(128);
+    std::vector<std::int64_t> active;
+    std::int64_t id = 0;
+    for (int step = 0; step < 200; ++step) {
+      const int units = static_cast<int>(rng.uniform_int(1, 32));
+      if (machine.fits(units)) {
+        machine.allocate(++id, units);
+        active.push_back(id);
+      } else if (!active.empty()) {
+        machine.release(active.back());
+        active.pop_back();
+        machine.compact();
+      }
+    }
+    benchmark::DoNotOptimize(machine.fragmentation());
+  }
+}
+BENCHMARK(BM_ContiguousAllocateReleaseCompact);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,49 @@
+// Related-work baseline comparison (paper section II-B): SJF, smallest-
+// job-first and largest-job-first against FCFS, EASY, conservative
+// backfill and the LOS family.
+//
+// Expected shape per the studies the paper cites (Krueger et al., Majumdar
+// et al.): the sorted-queue heuristics do not reliably beat plain FCFS —
+// smallest-first fragments the machine, large jobs are not short — while
+// backfilling and DP packing do.  One caveat when reading the SJF row: the
+// synthetic generator gives *perfect* runtime estimates, the regime where
+// SJF shines (it provably minimizes mean wait on one processor); the cited
+// studies' pessimism stems from real-world estimate quality, which
+// `--estimate-factor`-style noise (see ablation 3) degrades.
+#include "bench_common.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  es::bench::BenchOptions options;
+  if (!es::bench::parse_bench_options(
+          argc, argv, "Related-work baselines (section II-B)", options))
+    return 0;
+
+  for (double ps : {0.2, 0.5, 0.8}) {
+    es::workload::GeneratorConfig config = es::bench::base_workload(options);
+    config.p_small = ps;
+    config.target_load = 0.9;
+    char title[96];
+    std::snprintf(title, sizeof title,
+                  "Baselines — P_S=%.1f, load 0.9 (N=%d, %d seeds)", ps,
+                  options.jobs, options.replications);
+    es::util::AsciiTable table(title);
+    table.set_columns({"algorithm", "util %", "wait s", "slowdown"});
+    for (const char* algorithm : {"FCFS", "SJF", "SMALLEST", "LJF", "CONS",
+                                  "EASY", "LOS", "Delayed-LOS"}) {
+      es::exp::RunSpec spec;
+      spec.workload = config;
+      spec.algorithm = algorithm;
+      spec.options = es::bench::algo_options(options);
+      const auto result = es::exp::run_replicated(spec, options.replications);
+      table.cell(algorithm)
+          .cell(100.0 * result.utilization, 2)
+          .cell(result.mean_wait, 0)
+          .cell(result.slowdown, 3);
+      table.end_row();
+    }
+    table.render(std::cout);
+    std::cout << '\n';
+  }
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Capacity planning: "how large must the machine be so that the p95 job
+// wait stays under two hours for this demand?" — answered by driving the
+// simulator in a search loop, the way an operator would actually use a
+// scheduling model.
+//
+// The demand (jobs, sizes, runtimes, arrival pattern) is held fixed; the
+// machine size M is varied in node-card steps and each candidate is
+// simulated under Delayed-LOS.  Because the search preserves the absolute
+// arrival times, this answers the planning question for *this* demand
+// curve, not for a normalized load.
+//
+//   $ ./examples/capacity_planning
+#include <cstdio>
+#include <iostream>
+
+#include "exp/analysis.hpp"
+#include "exp/experiment.hpp"
+#include "util/table.hpp"
+#include "workload/generator.hpp"
+#include "workload/load.hpp"
+
+namespace {
+
+constexpr int kNodeCard = 32;
+constexpr double kTargetP95 = 8 * 3600.0;  // one working day turnaround
+
+/// Fixed demand: what a 320-proc machine would see at offered load 1.05 —
+/// i.e. the site has outgrown its current system.
+es::workload::Workload demand() {
+  es::workload::GeneratorConfig config;
+  config.machine_procs = 320;
+  config.num_jobs = 500;
+  config.seed = 31;
+  config.p_small = 0.5;
+  config.target_load = 1.05;
+  return es::workload::generate(config);
+}
+
+double p95_wait(const es::workload::Workload& fixed_demand, int procs) {
+  es::workload::Workload sized = fixed_demand;
+  sized.machine_procs = procs;
+  const auto result = es::exp::run_workload(sized, "Delayed-LOS");
+  return es::exp::wait_distribution(result).p95;
+}
+
+}  // namespace
+
+int main() {
+  const es::workload::Workload fixed_demand = demand();
+  std::printf(
+      "Demand: %zu jobs, %.0f proc-hours; target: p95 wait <= %s under "
+      "Delayed-LOS\n\n",
+      fixed_demand.jobs.size(),
+      es::workload::offered_load(fixed_demand, 320) * 320 *
+          fixed_demand.duration() / 3600.0,
+      es::util::format_duration(kTargetP95).c_str());
+
+  es::util::AsciiTable table("Machine sizing sweep (node cards of 32)");
+  table.set_columns({"procs", "offered load", "util %", "mean wait", "p95 wait",
+                     "meets target"});
+  int best = 0;
+  for (int procs = 320; procs <= 640; procs += 2 * kNodeCard) {
+    es::workload::Workload sized = fixed_demand;
+    sized.machine_procs = procs;
+    const auto result = es::exp::run_workload(sized, "Delayed-LOS");
+    const double p95 = es::exp::wait_distribution(result).p95;
+    const bool ok = p95 <= kTargetP95;
+    if (ok && best == 0) best = procs;
+    table.cell(procs)
+        .cell(es::workload::offered_load(sized, procs), 3)
+        .cell(100.0 * result.utilization, 1)
+        .cell(es::util::format_duration(result.mean_wait))
+        .cell(es::util::format_duration(p95))
+        .cell(ok ? "yes" : "no");
+    table.end_row();
+  }
+  table.render(std::cout);
+
+  if (best > 0) {
+    // Refine to the node card with a binary search inside the last step.
+    int lo = best - 2 * kNodeCard;
+    int hi = best;
+    while (hi - lo > kNodeCard) {
+      const int mid = lo + (hi - lo) / (2 * kNodeCard) * kNodeCard;
+      const int candidate = mid == lo ? lo + kNodeCard : mid;
+      (p95_wait(fixed_demand, candidate) <= kTargetP95 ? hi : lo) = candidate;
+    }
+    std::printf("\nSmallest machine meeting the target: %d processors "
+                "(%d node cards)\n",
+                hi, hi / kNodeCard);
+  } else {
+    std::printf("\nNo machine size up to 640 processors meets the target.\n");
+  }
+  return 0;
+}

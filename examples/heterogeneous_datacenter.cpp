@@ -1,0 +1,103 @@
+// Heterogeneous datacenter scenario (paper section I-B): a BlueGene/P-class
+// machine shared between background batch simulations and rigid,
+// reserved-capacity windows for real-time data processing — e.g. satellite
+// downlink processing every six hours and a nightly traffic-analytics
+// window.
+//
+// Demonstrates: building a mixed workload programmatically, running the
+// three heterogeneous schedulers, and reading the dedicated-job delay
+// metrics that matter for real-time users.
+//
+//   $ ./examples/heterogeneous_datacenter
+#include <cstdio>
+#include <iostream>
+
+#include "exp/experiment.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "workload/generator.hpp"
+
+namespace {
+
+constexpr double kHour = 3600.0;
+
+/// Background batch load: Lublin-model jobs at ~70% offered load.
+es::workload::Workload background_batch(std::uint64_t seed) {
+  es::workload::GeneratorConfig config;
+  config.machine_procs = 320;
+  config.num_jobs = 400;
+  config.seed = seed;
+  config.p_small = 0.6;
+  config.target_load = 0.7;
+  return es::workload::generate(config);
+}
+
+/// Overlay rigid windows: satellite passes (128 procs, 30 min, every 6 h,
+/// booked 2 h ahead) and a nightly analytics window (256 procs, 2 h).
+void add_reserved_windows(es::workload::Workload& workload) {
+  es::workload::JobId next_id = 100000;  // clear of the batch IDs
+  const double span = workload.duration();
+  for (double start = 6 * kHour; start < span; start += 6 * kHour) {
+    es::workload::Job pass;
+    pass.id = next_id++;
+    pass.type = es::workload::JobType::kDedicated;
+    pass.arr = start - 2 * kHour;  // booked two hours ahead
+    pass.start = start;
+    pass.num = 128;
+    pass.dur = 0.5 * kHour;
+    workload.jobs.push_back(pass);
+  }
+  for (double midnight = 24 * kHour; midnight < span;
+       midnight += 24 * kHour) {
+    es::workload::Job nightly;
+    nightly.id = next_id++;
+    nightly.type = es::workload::JobType::kDedicated;
+    nightly.arr = midnight - 12 * kHour;
+    nightly.start = midnight;
+    nightly.num = 256;
+    nightly.dur = 2 * kHour;
+    workload.jobs.push_back(nightly);
+  }
+  workload.normalize();
+}
+
+}  // namespace
+
+int main() {
+  es::workload::Workload workload = background_batch(2026);
+  add_reserved_windows(workload);
+  std::printf(
+      "Mixed workload: %zu batch jobs + %zu reserved windows over %s\n\n",
+      workload.batch_count(), workload.dedicated_count(),
+      es::util::format_duration(workload.duration()).c_str());
+
+  es::util::AsciiTable table("Heterogeneous datacenter (M=320)");
+  table.set_columns({"algorithm", "util %", "batch wait", "window delay",
+                     "windows on time"});
+  for (const char* algorithm : {"EASY-D", "LOS-D", "Hybrid-LOS"}) {
+    const auto result = es::exp::run_workload(workload, algorithm);
+    double batch_wait_sum = 0;
+    std::size_t batch_jobs = 0;
+    for (const auto& job : result.jobs) {
+      if (!job.dedicated) {
+        batch_wait_sum += job.wait;
+        ++batch_jobs;
+      }
+    }
+    table.cell(algorithm)
+        .cell(100.0 * result.utilization, 2)
+        .cell(es::util::format_duration(batch_wait_sum /
+                                        static_cast<double>(batch_jobs)))
+        .cell(es::util::format_duration(result.mean_dedicated_delay))
+        .cell(static_cast<long long>(result.dedicated_on_time));
+    table.end_row();
+  }
+  table.render(std::cout);
+  std::printf(
+      "\nAll three policies pack batch jobs around the reserved windows.\n"
+      "Hybrid-LOS additionally bounds batch waiting times via the skip\n"
+      "count (Algorithm 2 lines 35-37 start a C_s-saturated batch head\n"
+      "unconditionally) — note its batch-wait advantage, bought with some\n"
+      "window punctuality; EASY-D/LOS-D never bypass a reservation.\n");
+  return 0;
+}

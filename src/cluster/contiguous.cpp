@@ -1,0 +1,104 @@
+#include "cluster/contiguous.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace es::cluster {
+namespace {
+
+/// Sorted occupied extents -> list of free holes [begin, units].
+std::vector<Extent> holes_of(const std::map<std::int64_t, Extent>& extents,
+                             int total) {
+  std::vector<Extent> occupied;
+  occupied.reserve(extents.size());
+  for (const auto& [id, extent] : extents) occupied.push_back(extent);
+  std::sort(occupied.begin(), occupied.end(),
+            [](const Extent& a, const Extent& b) { return a.begin < b.begin; });
+  std::vector<Extent> holes;
+  int cursor = 0;
+  for (const Extent& extent : occupied) {
+    if (extent.begin > cursor)
+      holes.push_back({cursor, extent.begin - cursor});
+    cursor = extent.end();
+  }
+  if (cursor < total) holes.push_back({cursor, total - cursor});
+  return holes;
+}
+
+}  // namespace
+
+ContiguousMachine::ContiguousMachine(int total_units, Placement placement)
+    : total_(total_units), free_(total_units), placement_(placement) {
+  ES_EXPECTS(total_units > 0);
+}
+
+int ContiguousMachine::largest_hole() const {
+  int largest = 0;
+  for (const Extent& hole : holes_of(extents_, total_))
+    largest = std::max(largest, hole.units);
+  return largest;
+}
+
+Extent ContiguousMachine::allocate(std::int64_t job, int units) {
+  ES_EXPECTS(units > 0);
+  ES_EXPECTS(!extents_.contains(job));
+  const auto holes = holes_of(extents_, total_);
+  const Extent* chosen = nullptr;
+  for (const Extent& hole : holes) {
+    if (hole.units < units) continue;
+    if (placement_ == Placement::kFirstFit) {
+      chosen = &hole;
+      break;
+    }
+    if (chosen == nullptr || hole.units < chosen->units) chosen = &hole;
+  }
+  ES_EXPECTS(chosen != nullptr);  // caller must check fits()
+  const Extent extent{chosen->begin, units};
+  extents_.emplace(job, extent);
+  free_ -= units;
+  ES_ENSURES(free_ >= 0);
+  return extent;
+}
+
+void ContiguousMachine::release(std::int64_t job) {
+  const auto it = extents_.find(job);
+  ES_EXPECTS(it != extents_.end());
+  free_ += it->second.units;
+  extents_.erase(it);
+  ES_ENSURES(free_ <= total_);
+}
+
+std::vector<std::int64_t> ContiguousMachine::compact() {
+  // Order jobs by current position and slide left.
+  std::vector<std::pair<std::int64_t, Extent>> by_position(extents_.begin(),
+                                                           extents_.end());
+  std::sort(by_position.begin(), by_position.end(),
+            [](const auto& a, const auto& b) {
+              return a.second.begin < b.second.begin;
+            });
+  std::vector<std::int64_t> moved;
+  int cursor = 0;
+  for (auto& [id, extent] : by_position) {
+    if (extent.begin != cursor) {
+      moved.push_back(id);
+      extents_[id].begin = cursor;
+    }
+    cursor += extent.units;
+  }
+  return moved;
+}
+
+double ContiguousMachine::fragmentation() const {
+  if (free_ == 0) return 0.0;
+  return 1.0 - static_cast<double>(largest_hole()) / free_;
+}
+
+Extent ContiguousMachine::extent_of(std::int64_t job) const {
+  const auto it = extents_.find(job);
+  ES_EXPECTS(it != extents_.end());
+  return it->second;
+}
+
+}  // namespace es::cluster

@@ -1,0 +1,72 @@
+// Contiguous-allocation machine model (paper section II: Krevat et al.,
+// BlueGene/L).
+//
+// Toroidal machines like BlueGene/L require partitions to be contiguous
+// (we model the 1-D line of allocation units — midplanes / node cards).
+// Contiguity introduces *external fragmentation*: a job may not fit even
+// though enough total units are free.  Migration ("on-the-fly
+// de-fragmentation") slides running jobs together to recreate one large
+// hole, at the cost of interrupting the moved jobs.
+//
+// This substrate backs the contiguity/migration study bench
+// (`bench/contiguity_migration`), reproducing Krevat's qualitative result
+// on our stack: contiguity costs utilization, migration wins most of it
+// back.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace es::cluster {
+
+/// One allocated contiguous interval [begin, begin + units).
+struct Extent {
+  int begin = 0;
+  int units = 0;
+  int end() const { return begin + units; }
+};
+
+/// 1-D contiguous allocator over `total_units` allocation units.
+class ContiguousMachine {
+ public:
+  enum class Placement { kFirstFit, kBestFit };
+
+  explicit ContiguousMachine(int total_units,
+                             Placement placement = Placement::kFirstFit);
+
+  /// Largest contiguous free hole, in units.
+  int largest_hole() const;
+  /// Total free units (may be spread across holes).
+  int free_units() const { return free_; }
+  int total_units() const { return total_; }
+
+  /// True when a `units`-sized job can be placed contiguously right now.
+  bool fits(int units) const { return units <= largest_hole(); }
+
+  /// Allocates a contiguous extent; aborts if !fits(units) or duplicate id.
+  Extent allocate(std::int64_t job, int units);
+
+  /// Releases a job's extent; aborts on unknown id.
+  void release(std::int64_t job);
+
+  /// Migration pass: compacts all allocations to the left, preserving
+  /// their relative order, so all free units coalesce into one hole on the
+  /// right.  Returns the jobs that moved (the migration cost driver).
+  std::vector<std::int64_t> compact();
+
+  /// External fragmentation in [0, 1]: 1 - largest_hole / free_units
+  /// (0 when free space is one hole or the machine is full).
+  double fragmentation() const;
+
+  std::size_t active_jobs() const { return extents_.size(); }
+  Extent extent_of(std::int64_t job) const;
+
+ private:
+  int total_;
+  int free_;
+  Placement placement_;
+  std::map<std::int64_t, Extent> extents_;  ///< by job id
+};
+
+}  // namespace es::cluster

@@ -1,0 +1,57 @@
+#include "cluster/utilization.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace es::cluster {
+
+UtilizationTracker::UtilizationTracker(int capacity) : capacity_(capacity) {
+  ES_EXPECTS(capacity > 0);
+}
+
+void UtilizationTracker::record(sim::Time at, int busy) {
+  ES_EXPECTS(busy >= 0 && busy <= capacity_);
+  if (!started_) {
+    started_ = true;
+    first_ = last_ = at;
+    busy_ = busy;
+    steps_.push_back({at, busy});
+    return;
+  }
+  ES_EXPECTS(at >= last_);
+  integral_ += static_cast<double>(busy_) * (at - last_);
+  last_ = at;
+  busy_ = busy;
+  if (!steps_.empty() && steps_.back().time == at) {
+    steps_.back().busy = busy;  // coalesce same-instant updates
+  } else {
+    steps_.push_back({at, busy});
+  }
+}
+
+double UtilizationTracker::busy_proc_seconds(sim::Time from,
+                                             sim::Time to) const {
+  ES_EXPECTS(from <= to);
+  if (!started_ || steps_.empty() || to <= steps_.front().time) return 0.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < steps_.size(); ++i) {
+    const sim::Time seg_start = steps_[i].time;
+    const sim::Time seg_end =
+        (i + 1 < steps_.size()) ? steps_[i + 1].time : std::max(to, last_);
+    const sim::Time lo = std::max(from, seg_start);
+    const sim::Time hi = std::min(to, seg_end);
+    if (hi > lo) sum += static_cast<double>(steps_[i].busy) * (hi - lo);
+  }
+  return sum;
+}
+
+double UtilizationTracker::mean_utilization(sim::Time from,
+                                            sim::Time to) const {
+  if (to <= from) return 0.0;
+  return busy_proc_seconds(from, to) /
+         (static_cast<double>(capacity_) * (to - from));
+}
+
+}  // namespace es::cluster

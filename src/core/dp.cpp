@@ -1,0 +1,118 @@
+#include "core/dp.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace es::core {
+namespace {
+
+/// Secondary-objective encoding: value = weight * kPriorityBase + (n - i),
+/// so any extra grain of utilization dominates, and among equal-utilization
+/// sets the one containing earlier (and more) jobs wins.  kPriorityBase must
+/// exceed the largest possible secondary sum.
+std::int64_t priority_base(std::size_t n) {
+  return static_cast<std::int64_t>(n) * static_cast<std::int64_t>(n) + 1;
+}
+
+std::int64_t item_value(int weight, std::size_t index, std::size_t n,
+                        std::int64_t base) {
+  return static_cast<std::int64_t>(weight) * base +
+         static_cast<std::int64_t>(n - index);
+}
+
+}  // namespace
+
+std::vector<int> basic_dp(std::span<const int> weights, int capacity,
+                          DpWorkspace& ws) {
+  ES_EXPECTS(capacity >= 0);
+  const std::size_t n = weights.size();
+  if (n == 0 || capacity == 0) return {};
+  const std::int64_t base = priority_base(n);
+  const std::size_t cols = static_cast<std::size_t>(capacity) + 1;
+
+  ws.value.assign(cols, 0);
+  ws.keep.assign(n * cols, 0);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const int w = weights[i];
+    ES_EXPECTS(w >= 0);
+    if (w == 0 || w > capacity) continue;
+    const std::int64_t v = item_value(w, i, n, base);
+    for (std::size_t c = cols - 1; c >= static_cast<std::size_t>(w); --c) {
+      const std::int64_t candidate = ws.value[c - static_cast<std::size_t>(w)] + v;
+      if (candidate > ws.value[c]) {
+        ws.value[c] = candidate;
+        ws.keep[i * cols + c] = 1;
+      }
+    }
+  }
+
+  std::vector<int> selected;
+  std::size_t c = cols - 1;
+  for (std::size_t i = n; i-- > 0;) {
+    if (ws.keep[i * cols + c]) {
+      selected.push_back(static_cast<int>(i));
+      c -= static_cast<std::size_t>(weights[i]);
+    }
+  }
+  std::reverse(selected.begin(), selected.end());
+  return selected;
+}
+
+std::vector<int> reservation_dp(std::span<const int> weights,
+                                std::span<const int> shadow_weights,
+                                int capacity, int shadow_capacity,
+                                DpWorkspace& ws) {
+  ES_EXPECTS(capacity >= 0);
+  ES_EXPECTS(shadow_capacity >= 0);
+  ES_EXPECTS(weights.size() == shadow_weights.size());
+  const std::size_t n = weights.size();
+  if (n == 0 || capacity == 0) return {};
+  const std::int64_t base = priority_base(n);
+  const std::size_t c1 = static_cast<std::size_t>(capacity) + 1;
+  const std::size_t c2 = static_cast<std::size_t>(shadow_capacity) + 1;
+  const std::size_t cells = c1 * c2;
+
+  ws.value.assign(cells, 0);
+  ws.keep.assign(n * cells, 0);
+  auto cell = [c2](std::size_t a, std::size_t b) { return a * c2 + b; };
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const int w = weights[i];
+    const int s = shadow_weights[i];
+    ES_EXPECTS(w >= 0 && s >= 0);
+    ES_EXPECTS(s == 0 || s == w);  // frenum is 0 or the job size
+    if (w == 0 || w > capacity || s > shadow_capacity) continue;
+    const std::int64_t v = item_value(w, i, n, base);
+    for (std::size_t a = c1 - 1; a >= static_cast<std::size_t>(w); --a) {
+      for (std::size_t b = c2 - 1; b >= static_cast<std::size_t>(s); --b) {
+        const std::int64_t candidate =
+            ws.value[cell(a - static_cast<std::size_t>(w),
+                          b - static_cast<std::size_t>(s))] +
+            v;
+        if (candidate > ws.value[cell(a, b)]) {
+          ws.value[cell(a, b)] = candidate;
+          ws.keep[i * cells + cell(a, b)] = 1;
+        }
+        if (b == 0) break;  // avoid size_t underflow
+      }
+      if (a == 0) break;
+    }
+  }
+
+  std::vector<int> selected;
+  std::size_t a = c1 - 1;
+  std::size_t b = c2 - 1;
+  for (std::size_t i = n; i-- > 0;) {
+    if (ws.keep[i * cells + cell(a, b)]) {
+      selected.push_back(static_cast<int>(i));
+      a -= static_cast<std::size_t>(weights[i]);
+      b -= static_cast<std::size_t>(shadow_weights[i]);
+    }
+  }
+  std::reverse(selected.begin(), selected.end());
+  return selected;
+}
+
+}  // namespace es::core

@@ -1,0 +1,47 @@
+// The dynamic programs at the heart of the LOS scheduler family
+// (Shmueli & Feitelson 2005; paper section III).
+//
+// Basic_DP   — pick the subset of waiting jobs that maximizes utilization
+//              right now: 0/1 knapsack with weight = value = processors.
+// Reservation_DP — same objective under an additional *shadow* constraint:
+//              jobs whose estimated completion crosses the freeze end time
+//              `fret` must also fit into the shadow capacity `frec`
+//              (a 2-dimensional knapsack).
+//
+// Ties in achievable utilization are broken toward sets containing
+// earlier-queued jobs (and more of them), which keeps head jobs from being
+// skipped gratuitously and makes results deterministic.
+//
+// Capacities and weights are in *allocation grains* (processors divided by
+// the machine granularity — 32 on BlueGene/P), which keeps the DP tables
+// tiny; callers convert.  A reusable workspace avoids per-cycle allocation.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace es::core {
+
+/// Reusable DP buffers; one per policy instance.
+struct DpWorkspace {
+  std::vector<std::int64_t> value;  ///< dp table, flattened
+  std::vector<std::uint8_t> keep;   ///< per-item take decisions, flattened
+};
+
+/// Basic_DP.  `weights[i]` is the i-th waiting job's size in grains, in
+/// queue order; `capacity` the free grains.  Returns the selected indices,
+/// ascending.  Items with weight 0 are never selected (treat as ineligible).
+std::vector<int> basic_dp(std::span<const int> weights, int capacity,
+                          DpWorkspace& ws);
+
+/// Reservation_DP.  `weights[i]` as above; `shadow_weights[i]` is the
+/// paper's `frenum` in grains: 0 if the job finishes (by estimate) before
+/// the freeze end time, else its size.  Selected sets satisfy
+///   sum weights <= capacity  AND  sum shadow_weights <= shadow_capacity.
+std::vector<int> reservation_dp(std::span<const int> weights,
+                                std::span<const int> shadow_weights,
+                                int capacity, int shadow_capacity,
+                                DpWorkspace& ws);
+
+}  // namespace es::core

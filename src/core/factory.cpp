@@ -1,0 +1,101 @@
+#include "core/factory.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "core/delayed_los.hpp"
+#include "core/hybrid_los.hpp"
+#include "core/los.hpp"
+#include "core/selector.hpp"
+#include "sched/conservative.hpp"
+#include "sched/easy.hpp"
+#include "sched/fcfs.hpp"
+#include "sched/sorted_queue.hpp"
+
+namespace es::core {
+namespace {
+
+std::string lower(const std::string& text) {
+  std::string out = text;
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+}  // namespace
+
+Algorithm make_algorithm(const std::string& name,
+                         const AlgorithmOptions& options) {
+  const std::string key = lower(name);
+  Algorithm algorithm;
+
+  // Strip the ECC suffix so the twelve Table-III names map onto the six
+  // policies: "easy-de" -> "easy-d" + eccs, "delayed-los-e" -> "delayed-los"
+  // + eccs.
+  std::string base = key;
+  if (base.size() > 3 && base.ends_with("-de")) {
+    algorithm.process_eccs = true;
+    base.pop_back();  // drop the 'e', keep the dedicated "-d"
+  } else if (base.size() > 2 && base.ends_with("-e")) {
+    algorithm.process_eccs = true;
+    base = base.substr(0, base.size() - 2);
+  }
+
+  if (base == "easy") {
+    algorithm.policy = std::make_unique<sched::Easy>(false);
+  } else if (base == "easy-d") {
+    algorithm.policy = std::make_unique<sched::Easy>(true);
+  } else if (base == "los") {
+    algorithm.policy = std::make_unique<Los>(false, options.lookahead);
+  } else if (base == "los-d") {
+    algorithm.policy = std::make_unique<Los>(true, options.lookahead);
+  } else if (base == "delayed-los") {
+    algorithm.policy = std::make_unique<DelayedLos>(options.max_skip_count,
+                                                    options.lookahead);
+  } else if (base == "hybrid-los") {
+    algorithm.policy = std::make_unique<HybridLos>(options.max_skip_count,
+                                                   options.lookahead);
+  } else if (base == "fcfs") {
+    algorithm.policy = std::make_unique<sched::Fcfs>();
+  } else if (base == "sjf") {
+    algorithm.policy =
+        std::make_unique<sched::SortedQueue>(sched::QueueOrder::kShortestFirst);
+  } else if (base == "smallest") {
+    algorithm.policy =
+        std::make_unique<sched::SortedQueue>(sched::QueueOrder::kSmallestFirst);
+  } else if (base == "ljf") {
+    algorithm.policy =
+        std::make_unique<sched::SortedQueue>(sched::QueueOrder::kLargestFirst);
+  } else if (base == "cons" || base == "conservative") {
+    algorithm.policy = std::make_unique<sched::Conservative>();
+  } else if (base == "adaptive") {
+    AdaptiveSelector::Options selector_options;
+    selector_options.max_skip_count = options.max_skip_count;
+    selector_options.lookahead = options.lookahead;
+    algorithm.policy = std::make_unique<AdaptiveSelector>(selector_options);
+  }
+
+  if (algorithm.policy != nullptr) {
+    algorithm.allow_running_resize =
+        algorithm.process_eccs && options.allow_running_resize;
+    algorithm.canonical_name = algorithm.policy->name();
+    if (algorithm.process_eccs) {
+      // Dedicated variants end in "-D" and become "-DE" (EASY-DE, LOS-DE);
+      // the rest take a "-E" suffix, matching the paper's Table III.
+      algorithm.canonical_name +=
+          algorithm.canonical_name.ends_with("-D") ? "E" : "-E";
+    }
+  }
+  return algorithm;
+}
+
+std::vector<std::string> algorithm_names() {
+  return {"EASY",        "EASY-D",        "EASY-E",        "EASY-DE",
+          "LOS",         "LOS-D",         "LOS-E",         "LOS-DE",
+          "Delayed-LOS", "Hybrid-LOS",    "Delayed-LOS-E", "Hybrid-LOS-E",
+          "FCFS",        "CONS",          "SJF",           "SMALLEST",
+          "LJF",         "Adaptive"};
+}
+
+}  // namespace es::core

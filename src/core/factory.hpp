@@ -1,0 +1,53 @@
+// Algorithm factory: instantiates every algorithm of the paper's Table III
+// (plus the FCFS / Conservative baselines and the Adaptive extension) from
+// its canonical name.
+//
+//   name            workload        ECC processor
+//   EASY            batch           no          EASY-E          yes
+//   EASY-D          heterogeneous   no          EASY-DE         yes
+//   LOS             batch           no          LOS-E           yes
+//   LOS-D           heterogeneous   no          LOS-DE          yes
+//   Delayed-LOS     batch           no          Delayed-LOS-E   yes
+//   Hybrid-LOS      heterogeneous   no          Hybrid-LOS-E    yes
+//
+// The ECC processor is an engine attachment, so the factory returns the
+// policy together with the `process_eccs` flag for sched::EngineConfig.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sched/scheduler.hpp"
+
+namespace es::core {
+
+/// Tunables shared by the LOS family, plus engine attachments.
+struct AlgorithmOptions {
+  int max_skip_count = 7;  ///< C_s for Delayed-LOS / Hybrid-LOS
+  int lookahead = 50;      ///< DP lookahead depth (Shmueli's 50-job limit)
+  /// Let EP/RP resize running jobs work-conservingly (section-VI
+  /// extension).  Only meaningful for the -E variants; an engine
+  /// attachment, carried here so experiment specs stay one struct.
+  bool allow_running_resize = false;
+  /// Attach a full schedule audit trace to the result (engine attachment).
+  bool record_trace = false;
+};
+
+/// A constructed algorithm: the policy plus its engine attachments.
+struct Algorithm {
+  std::unique_ptr<sched::Scheduler> policy;
+  bool process_eccs = false;
+  bool allow_running_resize = false;
+  std::string canonical_name;
+};
+
+/// Builds an algorithm by name (case-insensitive; both "Delayed-LOS" and
+/// "delayed-los" work).  Returns an empty policy for unknown names.
+Algorithm make_algorithm(const std::string& name,
+                         const AlgorithmOptions& options = {});
+
+/// All Table-III names in the paper's order, plus the extras.
+std::vector<std::string> algorithm_names();
+
+}  // namespace es::core

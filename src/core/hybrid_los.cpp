@@ -1,0 +1,68 @@
+#include "core/hybrid_los.hpp"
+
+#include "core/delayed_los.hpp"
+#include "core/los.hpp"
+#include "sched/reservation.hpp"
+#include "util/check.hpp"
+
+namespace es::core {
+
+bool HybridLos::step(sched::SchedulerContext& ctx,
+                     bool allow_skip_increment) {
+  const int m = ctx.free();  // line 1
+  sched::JobRun* batch_head = ctx.batch_head();
+  sched::JobRun* dedicated_head = ctx.dedicated_head();
+
+  if (m > 0 && batch_head != nullptr) {  // line 2
+    if (dedicated_head == nullptr) {
+      // Line 3-4: pure batch situation — Delayed-LOS.
+      return DelayedLos::step(ctx, max_skip_count_, lookahead_, ws_,
+                              allow_skip_increment);
+    }
+    if (batch_head->scount < max_skip_count_) {  // line 5
+      if (dedicated_head->req_start <= ctx.now) {
+        // Lines 6-7 (Algorithm 3): the dedicated head is due.
+        ctx.move_dedicated_head_to_batch_head();
+        return true;
+      }
+      // Lines 8-33: freeze for the future dedicated group, pack batch jobs
+      // around it.  dedicated_freeze implements both the on-time (16-22)
+      // and the delayed (23-30) branches.
+      const sched::Freeze freeze = sched::dedicated_freeze(ctx);
+      const auto outcome =
+          run_reservation_dp(ctx, freeze, lookahead_, ws_);
+      if (!outcome.head_selected && allow_skip_increment)
+        ++batch_head->scount;  // lines 22 / 30
+      return outcome.started > 0;
+    }
+    // Lines 35-37: batch head out of patience — start it right away if it
+    // fits; otherwise fall back to the Delayed-LOS reservation path so the
+    // head gets a shadow reservation instead of idling (the algorithm as
+    // published assumes the head fits here).
+    if (ctx.alloc_of(*batch_head) <= m) {
+      ctx.start(batch_head);
+      return true;
+    }
+    return DelayedLos::step(ctx, max_skip_count_, lookahead_, ws_,
+                            allow_skip_increment);
+  }
+
+  // Lines 39-42: no startable batch work; still honour a due dedicated job.
+  if (dedicated_head != nullptr && dedicated_head->req_start <= ctx.now) {
+    ctx.move_dedicated_head_to_batch_head();
+    return true;
+  }
+  return false;
+}
+
+void HybridLos::cycle(sched::SchedulerContext& ctx) {
+  // Line 44 ("call again at next event"): iterate to a fixpoint within the
+  // event so moved dedicated jobs start without waiting for an unrelated
+  // future event.  Skip counting stays per-event.
+  bool first = true;
+  while (step(ctx, first)) {
+    first = false;
+  }
+}
+
+}  // namespace es::core

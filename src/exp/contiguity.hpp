@@ -1,0 +1,45 @@
+// Contiguity/migration study (paper section II: Krevat et al., BlueGene/L).
+//
+// A focused simulator over cluster::ContiguousMachine measuring what the
+// contiguous-partition constraint costs and what migration-based
+// de-fragmentation buys back.  Kept separate from the main engine because
+// contiguity changes fit semantics (free capacity is no longer a scalar),
+// which none of the paper's schedulers model.
+#pragma once
+
+#include <cstdint>
+
+#include "cluster/contiguous.hpp"
+#include "workload/job.hpp"
+
+namespace es::exp {
+
+struct ContiguityPolicy {
+  /// Require contiguous placements.  false = scalar capacity (the main
+  /// engine's semantics) for an apples-to-apples reference.
+  bool contiguous = true;
+  /// EASY-style backfilling (with a conservative shadow approximation);
+  /// false = plain FCFS.
+  bool backfill = true;
+  /// Compact running jobs when the queue head is blocked only by
+  /// fragmentation (total free suffices, no hole does).
+  bool migrate = false;
+  cluster::ContiguousMachine::Placement placement =
+      cluster::ContiguousMachine::Placement::kFirstFit;
+};
+
+struct ContiguityResult {
+  double utilization = 0;       ///< busy units over [first arrival, last end]
+  double mean_wait = 0;
+  std::uint64_t migrations = 0;     ///< migration passes performed
+  std::uint64_t jobs_moved = 0;     ///< running jobs relocated in total
+  double mean_fragmentation = 0;    ///< time-weighted external fragmentation
+  std::uint64_t completed = 0;
+};
+
+/// Runs `workload` (batch jobs only; ECCs ignored) on a contiguous machine
+/// of workload.machine_procs processors in units of workload.granularity.
+ContiguityResult run_contiguity_study(const workload::Workload& workload,
+                                      const ContiguityPolicy& policy);
+
+}  // namespace es::exp

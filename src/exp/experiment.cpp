@@ -1,0 +1,81 @@
+#include "exp/experiment.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "exp/analysis.hpp"
+#include "util/check.hpp"
+#include "util/stats.hpp"
+
+namespace es::exp {
+
+sched::SimulationResult run_workload(const workload::Workload& workload,
+                                     const std::string& algorithm,
+                                     const core::AlgorithmOptions& options) {
+  core::Algorithm algo = core::make_algorithm(algorithm, options);
+  ES_EXPECTS(algo.policy != nullptr);
+  sched::EngineConfig config;
+  config.machine_procs = workload.machine_procs;
+  config.granularity = workload.granularity;
+  config.process_eccs = algo.process_eccs;
+  config.allow_running_resize = algo.allow_running_resize;
+  config.record_trace = options.record_trace;
+  return sched::simulate(config, *algo.policy, workload);
+}
+
+sched::SimulationResult run_once(const RunSpec& spec) {
+  const workload::Workload workload = workload::generate(spec.workload);
+  return run_workload(workload, spec.algorithm, spec.options);
+}
+
+Aggregate run_replicated(RunSpec spec, int replications) {
+  ES_EXPECTS(replications > 0);
+  Aggregate aggregate;
+  aggregate.algorithm = spec.algorithm;
+  aggregate.replications = replications;
+
+  util::RunningStats util_stats, wait_stats, slowdown_stats, load_stats;
+  util::RunningStats dedicated_delay_stats;
+  const std::uint64_t base_seed = spec.workload.seed;
+  for (int i = 0; i < replications; ++i) {
+    spec.workload.seed = base_seed + static_cast<std::uint64_t>(i);
+    const sched::SimulationResult result = run_once(spec);
+    util_stats.add(result.utilization);
+    wait_stats.add(result.mean_wait);
+    slowdown_stats.add(result.slowdown);
+    load_stats.add(result.offered_load);
+    dedicated_delay_stats.add(result.mean_dedicated_delay);
+    aggregate.ecc_processed += result.ecc.processed;
+  }
+  aggregate.utilization = util_stats.mean();
+  aggregate.mean_wait = wait_stats.mean();
+  aggregate.slowdown = slowdown_stats.mean();
+  aggregate.utilization_stddev = util_stats.stddev();
+  aggregate.mean_wait_stddev = wait_stats.stddev();
+  aggregate.utilization_ci95 = confidence_half_width_95(util_stats);
+  aggregate.mean_wait_ci95 = confidence_half_width_95(wait_stats);
+  aggregate.offered_load = load_stats.mean();
+  aggregate.mean_dedicated_delay = dedicated_delay_stats.mean();
+  return aggregate;
+}
+
+int optimal_skip_count(const workload::GeneratorConfig& config, int cs_min,
+                       int cs_max, int replications) {
+  ES_EXPECTS(cs_min >= 1 && cs_min <= cs_max);
+  int best_cs = cs_min;
+  double best_wait = std::numeric_limits<double>::infinity();
+  for (int cs = cs_min; cs <= cs_max; ++cs) {
+    RunSpec spec;
+    spec.workload = config;
+    spec.algorithm = "Delayed-LOS";
+    spec.options.max_skip_count = cs;
+    const Aggregate aggregate = run_replicated(spec, replications);
+    if (aggregate.mean_wait < best_wait) {
+      best_wait = aggregate.mean_wait;
+      best_cs = cs;
+    }
+  }
+  return best_cs;
+}
+
+}  // namespace es::exp

@@ -1,0 +1,39 @@
+// Rendering of sweep results: the aligned terminal tables every bench prints
+// (one per metric, mirroring the paper's figure panels) and CSV series for
+// external plotting.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "exp/sweep.hpp"
+
+namespace es::exp {
+
+/// Prints one table per metric (utilization %, mean wait s, slowdown) with a
+/// column per algorithm, plus the achieved offered load.
+void print_sweep(std::ostream& out, const std::string& title,
+                 const Sweep& sweep,
+                 const std::vector<std::string>& algorithms);
+
+/// Prints a paper-style improvement table ("Maximum % improvement of
+/// <candidate> over <baselines...>").
+void print_improvements(std::ostream& out, const std::string& title,
+                        const Sweep& sweep, const std::string& candidate,
+                        const std::vector<std::string>& baselines);
+
+/// Writes the sweep as tidy CSV: x, algorithm, utilization, wait, slowdown,
+/// offered_load, replications, ci95 columns.  Returns false on I/O failure.
+bool write_sweep_csv(const std::string& path, const Sweep& sweep);
+
+/// Writes a self-contained gnuplot script plotting the sweep's utilization
+/// and mean-wait panels from the CSV at `csv_filename` (a path relative to
+/// where gnuplot runs, typically the same directory).  Renders to
+/// <name>.svg when executed:  gnuplot results/fig07.gp
+bool write_sweep_gnuplot(const std::string& path,
+                         const std::string& csv_filename,
+                         const std::string& title, const Sweep& sweep,
+                         const std::vector<std::string>& algorithms);
+
+}  // namespace es::exp

@@ -1,0 +1,93 @@
+#include "exp/sweep.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/stats.hpp"
+
+namespace es::exp {
+
+Sweep load_sweep(const workload::GeneratorConfig& base,
+                 const std::vector<double>& loads,
+                 const std::vector<std::string>& algorithms,
+                 const core::AlgorithmOptions& options, int replications) {
+  Sweep sweep;
+  sweep.x_label = "load";
+  for (double load : loads) {
+    SweepPoint point;
+    point.x = load;
+    for (const std::string& algorithm : algorithms) {
+      RunSpec spec;
+      spec.workload = base;
+      spec.workload.target_load = load;
+      spec.algorithm = algorithm;
+      spec.options = options;
+      point.by_algorithm[algorithm] = run_replicated(spec, replications);
+    }
+    sweep.points.push_back(std::move(point));
+  }
+  return sweep;
+}
+
+Sweep skip_count_sweep(const workload::GeneratorConfig& base, int cs_min,
+                       int cs_max,
+                       const std::vector<std::string>& reference_algorithms,
+                       int lookahead, int replications) {
+  ES_EXPECTS(cs_min >= 1 && cs_min <= cs_max);
+  Sweep sweep;
+  sweep.x_label = "C_s";
+
+  // Reference algorithms do not depend on C_s; evaluate them once and repeat
+  // their aggregates across the x-axis, exactly like the flat lines in the
+  // paper's figures 5-6.
+  std::map<std::string, Aggregate> references;
+  for (const std::string& algorithm : reference_algorithms) {
+    RunSpec spec;
+    spec.workload = base;
+    spec.algorithm = algorithm;
+    spec.options.lookahead = lookahead;
+    references[algorithm] = run_replicated(spec, replications);
+  }
+
+  for (int cs = cs_min; cs <= cs_max; ++cs) {
+    SweepPoint point;
+    point.x = cs;
+    RunSpec spec;
+    spec.workload = base;
+    spec.algorithm = "Delayed-LOS";
+    spec.options.max_skip_count = cs;
+    spec.options.lookahead = lookahead;
+    point.by_algorithm["Delayed-LOS"] = run_replicated(spec, replications);
+    for (const auto& [name, aggregate] : references)
+      point.by_algorithm[name] = aggregate;
+    sweep.points.push_back(std::move(point));
+  }
+  return sweep;
+}
+
+Improvement max_improvement(const Sweep& sweep, const std::string& candidate,
+                            const std::string& baseline) {
+  Improvement improvement;
+  bool any = false;
+  for (const SweepPoint& point : sweep.points) {
+    const auto candidate_it = point.by_algorithm.find(candidate);
+    const auto baseline_it = point.by_algorithm.find(baseline);
+    ES_EXPECTS(candidate_it != point.by_algorithm.end());
+    ES_EXPECTS(baseline_it != point.by_algorithm.end());
+    const Aggregate& c = candidate_it->second;
+    const Aggregate& b = baseline_it->second;
+    improvement.utilization =
+        std::max(improvement.utilization,
+                 util::improvement_higher_better(b.utilization, c.utilization));
+    improvement.wait = std::max(
+        improvement.wait, util::improvement_lower_better(b.mean_wait, c.mean_wait));
+    improvement.slowdown =
+        std::max(improvement.slowdown,
+                 util::improvement_lower_better(b.slowdown, c.slowdown));
+    any = true;
+  }
+  ES_EXPECTS(any);
+  return improvement;
+}
+
+}  // namespace es::exp

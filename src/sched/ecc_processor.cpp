@@ -1,0 +1,116 @@
+#include "sched/ecc_processor.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace es::sched {
+
+EccOutcome EccProcessor::resize(const workload::Ecc& ecc, JobRun& job,
+                                sim::Time now, int free_procs) {
+  const int delta = static_cast<int>(ecc.amount);
+  const int sign = ecc.type == workload::EccType::kExtendProcs ? 1 : -1;
+  const int target = std::clamp(job.num + sign * delta, 1, machine_total_);
+  if (target == job.num) {
+    ++stats_.rejected;
+    return EccOutcome::kRejectedBounds;
+  }
+
+  if (job.status != JobStatus::kRunning) {
+    // Queued job: only the request changes; the user's runtime estimate is
+    // their own business (CWF field 21 carries no time implication).
+    if (sign > 0) {
+      ++stats_.extensions;
+      stats_.procs_added += target - job.num;
+    } else {
+      ++stats_.reductions;
+      stats_.procs_removed += job.num - target;
+    }
+    job.num = target;
+    return EccOutcome::kAppliedQueued;
+  }
+
+  if (!running_resize_) {
+    ++stats_.rejected;
+    return EccOutcome::kRejectedShape;
+  }
+
+  // Running job (section-VI extension): allocations move in whole grains.
+  const int old_alloc = job.alloc;
+  const int new_alloc =
+      ((target + granularity_ - 1) / granularity_) * granularity_;
+  if (new_alloc == old_alloc) {
+    // The request changed within the same grain — bookkeeping only.
+    job.num = target;
+    return EccOutcome::kAppliedRunning;
+  }
+  if (new_alloc > old_alloc && new_alloc - old_alloc > free_procs) {
+    ++stats_.rejected;
+    return EccOutcome::kRejectedBounds;
+  }
+
+  // Work conservation: the remaining processor-seconds are fixed, so the
+  // remaining time scales by old/new allocation.
+  const double elapsed = now - job.start_time;
+  const double scale = static_cast<double>(old_alloc) / new_alloc;
+  const double remaining_req = std::max(0.0, job.req_time - elapsed);
+  const double remaining_actual = std::max(0.0, job.actual_time - elapsed);
+  job.req_time = elapsed + remaining_req * scale;
+  job.actual_time = elapsed + remaining_actual * scale;
+  job.num = target;
+  job.alloc = new_alloc;
+  ++stats_.running_resizes;
+  if (sign > 0) {
+    ++stats_.extensions;
+    stats_.procs_added += new_alloc - old_alloc;
+  } else {
+    ++stats_.reductions;
+    stats_.procs_removed += old_alloc - new_alloc;
+  }
+  return EccOutcome::kResizedRunning;
+}
+
+EccOutcome EccProcessor::apply(const workload::Ecc& ecc, JobRun& job,
+                               sim::Time now, int free_procs) {
+  ++stats_.processed;
+  ES_EXPECTS(ecc.amount >= 0);
+
+  if (job.status == JobStatus::kCompleted || job.status == JobStatus::kKilled) {
+    ++stats_.rejected;
+    return EccOutcome::kRejectedFinished;
+  }
+
+  switch (ecc.type) {
+    case workload::EccType::kExtendTime: {
+      job.req_time += ecc.amount;
+      job.actual_time += ecc.amount;
+      ++stats_.extensions;
+      stats_.time_added += ecc.amount;
+      return job.status == JobStatus::kRunning ? EccOutcome::kAppliedRunning
+                                               : EccOutcome::kAppliedQueued;
+    }
+    case workload::EccType::kReduceTime: {
+      // A reduction below 1 second of remaining estimate is clamped: the job
+      // keeps a minimal slice rather than becoming degenerate.
+      const double new_req = std::max(1.0, job.req_time - ecc.amount);
+      const double removed = job.req_time - new_req;
+      job.req_time = new_req;
+      job.actual_time = std::max(1.0, job.actual_time - removed);
+      ++stats_.reductions;
+      stats_.time_removed += removed;
+      if (job.status == JobStatus::kRunning) {
+        const double elapsed = now - job.start_time;
+        if (elapsed >= job.run_duration()) return EccOutcome::kCompletedJob;
+        return EccOutcome::kAppliedRunning;
+      }
+      return EccOutcome::kAppliedQueued;
+    }
+    case workload::EccType::kExtendProcs:
+    case workload::EccType::kReduceProcs:
+      return resize(ecc, job, now, free_procs);
+  }
+  ES_ASSERT(false);
+  return EccOutcome::kRejectedBounds;
+}
+
+}  // namespace es::sched

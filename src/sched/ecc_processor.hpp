@@ -1,0 +1,83 @@
+// Elastic Control Command processor (paper sections III-C and IV).
+//
+// ECCs arrive on their own 'elastic control queue' and are applied FCFS.
+// An ET/RT command changes the target job's user-estimated execution time —
+// and therefore its kill-by time and true runtime — whether the job is still
+// queued or already running.  EP/RP (the paper's future-work resource
+// dimension, which CWF already encodes) resize *queued* jobs; a running job
+// cannot change shape without migration on a BlueGene-class machine.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sched/job_state.hpp"
+#include "workload/ecc.hpp"
+
+namespace es::sched {
+
+/// Outcome of applying one command, for logging/metrics.
+enum class EccOutcome {
+  kAppliedQueued,     ///< adjusted a waiting job
+  kAppliedRunning,    ///< adjusted a running job (finish event rescheduled)
+  kResizedRunning,    ///< EP/RP resized a running job (engine must resize
+                      ///< the allocation and reschedule completion)
+  kCompletedJob,      ///< RT shrank a running job to/below its elapsed time
+  kRejectedFinished,  ///< target already completed/killed
+  kRejectedShape,     ///< EP/RP on a running job (rigid mode)
+  kRejectedBounds,    ///< would leave the job with no time / invalid size,
+                      ///< or a growth that does not fit the free pool
+};
+
+/// Statistics over all processed commands.
+struct EccStats {
+  std::uint64_t processed = 0;
+  std::uint64_t extensions = 0;
+  std::uint64_t reductions = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t running_resizes = 0;  ///< EP/RP applied to running jobs
+  double time_added = 0;    ///< net seconds added by ET
+  double time_removed = 0;  ///< net seconds removed by RT
+  double procs_added = 0;   ///< net processors added by EP
+  double procs_removed = 0; ///< net processors removed by RP
+};
+
+/// Applies commands to job state.  The engine owns the instance and invokes
+/// it at each command's issue time (the simulation's event order *is* the
+/// FCFS elastic control queue).
+class EccProcessor {
+ public:
+  /// `machine_total`/`granularity` bound EP/RP resizing.
+  EccProcessor(int machine_total, int granularity)
+      : machine_total_(machine_total), granularity_(granularity) {}
+
+  /// Enables EP/RP on *running* jobs (the paper's section-VI extension,
+  /// implemented work-conservingly: remaining work procs x time is
+  /// preserved, so shrinking stretches the remaining runtime and growing
+  /// compresses it).  Off by default — BlueGene-class machines cannot
+  /// reshape a running partition without migration.
+  void set_running_resize(bool enabled) { running_resize_ = enabled; }
+  bool running_resize() const { return running_resize_; }
+
+  /// Applies `ecc` to `job` at time `now`.  `free_procs` is the machine's
+  /// current free pool, needed to admit EP growth of a running job.  Does
+  /// not touch the machine or the event queue: the returned outcome tells
+  /// the engine whether to reschedule the job's finish event
+  /// (kAppliedRunning), resize its allocation and reschedule
+  /// (kResizedRunning), or finish it immediately (kCompletedJob).
+  EccOutcome apply(const workload::Ecc& ecc, JobRun& job, sim::Time now,
+                   int free_procs = 0);
+
+  const EccStats& stats() const { return stats_; }
+
+ private:
+  EccOutcome resize(const workload::Ecc& ecc, JobRun& job, sim::Time now,
+                    int free_procs);
+
+  int machine_total_;
+  int granularity_;
+  bool running_resize_ = false;
+  EccStats stats_;
+};
+
+}  // namespace es::sched

@@ -1,0 +1,375 @@
+#include "sched/engine.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.hpp"
+#include "util/log.hpp"
+#include "workload/load.hpp"
+
+namespace es::sched {
+
+Engine::Engine(const EngineConfig& config, Scheduler& policy)
+    : config_(config),
+      policy_(&policy),
+      machine_(config.machine_procs, config.granularity),
+      utilization_(config.machine_procs),
+      ecc_processor_(config.machine_procs, config.granularity) {
+  ecc_processor_.set_running_resize(config.allow_running_resize);
+  if (config.record_trace) trace_ = std::make_shared<ScheduleTrace>();
+}
+
+void Engine::run_cycle() {
+  ES_ASSERT(!in_cycle_);
+  in_cycle_ = true;
+  ++cycles_;
+
+  SchedulerContext ctx;
+  ctx.now = sim_.now();
+  ctx.machine = &machine_;
+  ctx.batch = &batch_queue_;
+  ctx.dedicated = &dedicated_queue_;
+  ctx.active = active_;
+  std::sort(ctx.active.begin(), ctx.active.end(),
+            [](const JobRun* a, const JobRun* b) {
+              const double ra = a->start_time + a->req_time;
+              const double rb = b->start_time + b->req_time;
+              if (ra != rb) return ra < rb;
+              return a->spec.id < b->spec.id;  // deterministic tie-break
+            });
+  ctx.start = [this, &ctx](JobRun* job) {
+    start_job(job);
+    // Keep the active snapshot coherent for freeze math within the cycle:
+    // insert by planned end.
+    const double end = job->start_time + job->req_time;
+    auto it = std::lower_bound(ctx.active.begin(), ctx.active.end(), end,
+                               [](const JobRun* a, double e) {
+                                 return a->start_time + a->req_time < e;
+                               });
+    ctx.active.insert(it, job);
+  };
+  ctx.move_dedicated_head_to_batch_head = [this] {
+    move_dedicated_head_to_batch_head();
+  };
+
+  policy_->cycle(ctx);
+  in_cycle_ = false;
+  if (config_.paranoid) check_invariants();
+}
+
+void Engine::check_invariants() const {
+  // Ledger: free + sum of active allocations == machine size, and the
+  // machine agrees job-by-job.
+  int active_sum = 0;
+  for (const JobRun* job : active_) {
+    ES_ASSERT(job->status == JobStatus::kRunning);
+    ES_ASSERT(job->alloc == machine_.allocated(job->spec.id));
+    ES_ASSERT(job->start_time >= job->spec.arr);
+    active_sum += job->alloc;
+  }
+  ES_ASSERT(machine_.free() + active_sum == machine_.total());
+  ES_ASSERT(active_.size() == machine_.active_jobs());
+
+  // Batch queue: waiting status; FIFO by arrival once past any
+  // forced-priority (moved dedicated) prefix.
+  bool in_prefix = true;
+  double last_arr = -1;
+  for (const JobRun* job : batch_queue_) {
+    ES_ASSERT(job->status == JobStatus::kWaiting);
+    if (in_prefix && job->forced_priority) continue;
+    in_prefix = false;
+    ES_ASSERT(job->spec.arr >= last_arr);
+    last_arr = job->spec.arr;
+  }
+
+  // Dedicated list: waiting, sorted by requested start.
+  double last_start = -1;
+  for (const JobRun* job : dedicated_queue_) {
+    ES_ASSERT(job->status == JobStatus::kWaiting);
+    ES_ASSERT(job->dedicated());
+    ES_ASSERT(job->req_start >= last_start);
+    last_start = job->req_start;
+  }
+}
+
+void Engine::move_dedicated_head_to_batch_head() {
+  ES_EXPECTS(!dedicated_queue_.empty());
+  JobRun* job = dedicated_queue_.front();
+  dedicated_queue_.erase(dedicated_queue_.begin());
+  // Algorithm 3: the job keeps its arrival time and enters the batch queue
+  // head with a saturated skip count so it is started as soon as it fits.
+  job->forced_priority = true;
+  job->scount = std::numeric_limits<int>::max() / 2;
+  batch_queue_.push_front(job);
+  if (trace_)
+    trace_->record(sim_.now(), TraceEventKind::kDedicatedMove, job->spec.id);
+}
+
+void Engine::on_arrival(JobRun* job) {
+  ES_ASSERT(job->status == JobStatus::kWaiting);
+  if (job->dedicated()) {
+    // Keep W^d sorted by (requested start, arrival).
+    auto it = std::lower_bound(
+        dedicated_queue_.begin(), dedicated_queue_.end(), job,
+        [](const JobRun* a, const JobRun* b) {
+          if (a->req_start != b->req_start) return a->req_start < b->req_start;
+          return a->spec.arr < b->spec.arr;
+        });
+    dedicated_queue_.insert(it, job);
+  } else {
+    batch_queue_.push_back(job);
+  }
+  if (trace_)
+    trace_->record(sim_.now(), TraceEventKind::kArrival, job->spec.id,
+                   job->num);
+  run_cycle();
+}
+
+void Engine::on_dedicated_due(JobRun* job) {
+  // The job may already have been moved/started; the wake-up is only a
+  // trigger for a scheduling cycle at its requested start instant.
+  (void)job;
+  run_cycle();
+}
+
+void Engine::on_ecc(const workload::Ecc& ecc) {
+  const auto it = by_id_.find(ecc.job_id);
+  if (it == by_id_.end()) {
+    ES_LOG_WARN("ECC for unknown job %lld ignored",
+                static_cast<long long>(ecc.job_id));
+    return;
+  }
+  JobRun* job = it->second;
+  const EccOutcome outcome =
+      ecc_processor_.apply(ecc, *job, sim_.now(), machine_.free());
+  if (trace_) {
+    TraceEventKind kind;
+    switch (outcome) {
+      case EccOutcome::kResizedRunning:
+        kind = TraceEventKind::kResize;
+        break;
+      case EccOutcome::kRejectedFinished:
+      case EccOutcome::kRejectedShape:
+      case EccOutcome::kRejectedBounds:
+        kind = TraceEventKind::kEccRejected;
+        break;
+      default:
+        kind = TraceEventKind::kEccApplied;
+        break;
+    }
+    trace_->record(sim_.now(), kind, job->spec.id, job->num, ecc.amount);
+  }
+  switch (outcome) {
+    case EccOutcome::kResizedRunning: {
+      // The processor already scaled the remaining time work-conservingly
+      // and set the new allocation; mirror it in the machine ledger and
+      // move the completion event.
+      machine_.resize(job->spec.id, job->num);
+      ES_ASSERT(machine_.allocated(job->spec.id) == job->alloc);
+      utilization_.record(sim_.now(), machine_.used());
+      const bool cancelled = sim_.cancel(job->finish_event);
+      ES_ASSERT(cancelled);
+      const sim::Time finish =
+          std::max(sim_.now(), job->start_time + job->run_duration());
+      job->finish_event = sim_.at(finish, sim::EventClass::kJobFinish,
+                                  [this, job](sim::Time) { on_finish(job); });
+      break;
+    }
+    case EccOutcome::kAppliedRunning: {
+      // Kill-by (and possibly true runtime) moved: reschedule completion.
+      const bool cancelled = sim_.cancel(job->finish_event);
+      ES_ASSERT(cancelled);
+      const sim::Time finish =
+          std::max(sim_.now(), job->start_time + job->run_duration());
+      job->finish_event = sim_.at(finish, sim::EventClass::kJobFinish,
+                                  [this, job](sim::Time) { on_finish(job); });
+      break;
+    }
+    case EccOutcome::kCompletedJob: {
+      const bool cancelled = sim_.cancel(job->finish_event);
+      ES_ASSERT(cancelled);
+      finish_job(job);
+      break;
+    }
+    case EccOutcome::kAppliedQueued:
+    case EccOutcome::kRejectedFinished:
+    case EccOutcome::kRejectedShape:
+    case EccOutcome::kRejectedBounds:
+      break;
+  }
+  run_cycle();
+}
+
+void Engine::start_job(JobRun* job) {
+  ES_EXPECTS(job->status == JobStatus::kWaiting);
+  // Remove from whichever waiting queue holds it (policies start batch-queue
+  // members only; dedicated jobs are moved to the batch queue first).
+  const auto it = std::find(batch_queue_.begin(), batch_queue_.end(), job);
+  ES_EXPECTS(it != batch_queue_.end());
+  batch_queue_.erase(it);
+
+  job->alloc = machine_.allocate(job->spec.id, job->num);
+  job->status = JobStatus::kRunning;
+  job->start_time = sim_.now();
+  active_.push_back(job);
+  utilization_.record(sim_.now(), machine_.used());
+  if (trace_)
+    trace_->record(sim_.now(), TraceEventKind::kStart, job->spec.id,
+                   job->alloc);
+
+  const sim::Time finish = sim_.now() + job->run_duration();
+  job->finish_event = sim_.at(finish, sim::EventClass::kJobFinish,
+                              [this, job](sim::Time) { on_finish(job); });
+}
+
+void Engine::finish_job(JobRun* job) {
+  ES_EXPECTS(job->status == JobStatus::kRunning);
+  machine_.release(job->spec.id);
+  const auto it = std::find(active_.begin(), active_.end(), job);
+  ES_ASSERT(it != active_.end());
+  active_.erase(it);
+
+  job->status = job->actual_time > job->req_time ? JobStatus::kKilled
+                                                 : JobStatus::kCompleted;
+  job->end_time = sim_.now();
+  last_finish_ = std::max(last_finish_, job->end_time);
+  finished_.push_back(job);
+  utilization_.record(sim_.now(), machine_.used());
+  if (trace_)
+    trace_->record(sim_.now(),
+                   job->status == JobStatus::kKilled
+                       ? TraceEventKind::kKill
+                       : TraceEventKind::kFinish,
+                   job->spec.id, job->alloc);
+}
+
+void Engine::on_finish(JobRun* job) {
+  finish_job(job);
+  run_cycle();
+}
+
+SimulationResult Engine::run(const workload::Workload& workload) {
+  ES_EXPECTS(jobs_.empty());  // one run per engine instance
+  jobs_.reserve(workload.jobs.size());
+  for (const workload::Job& spec : workload.jobs) {
+    ES_EXPECTS(spec.num >= 1);
+    ES_EXPECTS(machine_.allocation_for(spec.num) <= machine_.total());
+    ES_EXPECTS(spec.dur > 0);
+    if (spec.dedicated()) {
+      ES_EXPECTS(policy_->supports_dedicated());
+      ES_EXPECTS(spec.start >= 0);
+    }
+    auto run = std::make_unique<JobRun>();
+    run->spec = spec;
+    run->req_time = spec.dur;
+    run->actual_time = spec.actual_runtime();
+    run->num = spec.num;
+    run->req_start = spec.start;
+    JobRun* ptr = run.get();
+    jobs_.push_back(std::move(run));
+    const auto [pos, inserted] = by_id_.emplace(spec.id, ptr);
+    (void)pos;
+    ES_EXPECTS(inserted);  // duplicate job IDs are a malformed workload
+
+    sim_.at(spec.arr, sim::EventClass::kJobArrival,
+            [this, ptr](sim::Time) { on_arrival(ptr); });
+    if (spec.dedicated() && spec.start > spec.arr) {
+      sim_.at(spec.start, sim::EventClass::kDedicatedDue,
+              [this, ptr](sim::Time) { on_dedicated_due(ptr); });
+    }
+  }
+  if (config_.process_eccs) {
+    for (const workload::Ecc& ecc : workload.eccs) {
+      sim_.at(ecc.issue, sim::EventClass::kEccArrival,
+              [this, ecc](sim::Time) { on_ecc(ecc); });
+    }
+  }
+  first_arrival_ =
+      workload.jobs.empty() ? 0 : workload.jobs.front().arr;
+  utilization_.record(first_arrival_, 0);
+
+  sim_.run();
+
+  // Every job must have completed: the scheduler invariant tests rely on it.
+  ES_ENSURES(batch_queue_.empty());
+  ES_ENSURES(dedicated_queue_.empty());
+  ES_ENSURES(active_.empty());
+  ES_ENSURES(finished_.size() == jobs_.size());
+
+  SimulationResult result = collect(workload);
+  result.trace = trace_;
+  return result;
+}
+
+SimulationResult Engine::collect(const workload::Workload& workload) const {
+  SimulationResult result;
+  result.completed = 0;
+  result.killed = 0;
+  result.first_arrival = first_arrival_;
+  result.last_finish = last_finish_;
+  result.makespan = last_finish_ - first_arrival_;
+  result.cycles = cycles_;
+  result.events = sim_.events_processed();
+  result.offered_load = workload::offered_load(workload, machine_.total());
+  result.ecc = ecc_processor_.stats();
+
+  double wait_sum = 0, run_sum = 0, sd_sum = 0, bsd_sum = 0;
+  double dedicated_delay_sum = 0;
+  std::uint64_t dedicated_count = 0;
+  for (const JobRun* job : finished_) {
+    JobOutcome outcome;
+    outcome.id = job->spec.id;
+    outcome.dedicated = job->dedicated();
+    outcome.killed = job->status == JobStatus::kKilled;
+    outcome.procs = job->alloc;
+    outcome.arrival = job->spec.arr;
+    outcome.started = job->start_time;
+    outcome.finished = job->end_time;
+    outcome.run = job->end_time - job->start_time;
+    if (job->dedicated()) {
+      outcome.wait = std::max(0.0, job->start_time - job->req_start);
+      dedicated_delay_sum += outcome.wait;
+      if (outcome.wait == 0) ++result.dedicated_on_time;
+      ++dedicated_count;
+    } else {
+      outcome.wait = job->start_time - job->spec.arr;
+    }
+    wait_sum += outcome.wait;
+    run_sum += outcome.run;
+    const double run_floor = std::max(outcome.run, 1e-9);
+    sd_sum += (outcome.wait + outcome.run) / run_floor;
+    bsd_sum += (outcome.wait + outcome.run) / std::max(outcome.run, 10.0);
+    result.max_wait = std::max(result.max_wait, outcome.wait);
+    if (outcome.killed) {
+      ++result.killed;
+    } else {
+      ++result.completed;
+    }
+    if (config_.keep_job_outcomes) result.jobs.push_back(outcome);
+  }
+  const double n = static_cast<double>(finished_.size());
+  if (n > 0) {
+    result.mean_wait = wait_sum / n;
+    result.mean_run = run_sum / n;
+    result.mean_per_job_slowdown = sd_sum / n;
+    result.mean_bounded_slowdown = bsd_sum / n;
+    // Paper definition: ratio of averages.
+    result.slowdown = result.mean_run > 0
+                          ? (result.mean_wait + result.mean_run) / result.mean_run
+                          : 0.0;
+  }
+  if (dedicated_count > 0)
+    result.mean_dedicated_delay =
+        dedicated_delay_sum / static_cast<double>(dedicated_count);
+  result.utilization =
+      utilization_.mean_utilization(first_arrival_, last_finish_);
+  return result;
+}
+
+SimulationResult simulate(const EngineConfig& config, Scheduler& policy,
+                          const workload::Workload& workload) {
+  Engine engine(config, policy);
+  return engine.run(workload);
+}
+
+}  // namespace es::sched

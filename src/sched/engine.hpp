@@ -1,0 +1,101 @@
+// Simulation engine: wires a workload, a machine and a scheduling policy
+// over the discrete-event kernel.
+//
+// Event flow (one run):
+//   * every submission schedules a JobArrival at its arrival time;
+//   * every dedicated job additionally schedules a DedicatedDue wake-up at
+//     its requested start time;
+//   * (-E variants) every ECC schedules an EccArrival at its issue time —
+//     simulation order is the FCFS elastic control queue;
+//   * each event updates queues/state and then runs one scheduler cycle;
+//   * policy start() decisions allocate processors and schedule JobFinish at
+//     start + min(actual, kill-by estimate); jobs overrunning their estimate
+//     are killed, per the backfilling literature.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/machine.hpp"
+#include "cluster/utilization.hpp"
+#include "sched/ecc_processor.hpp"
+#include "sched/metrics.hpp"
+#include "sched/scheduler.hpp"
+#include "sched/trace.hpp"
+#include "sim/simulation.hpp"
+#include "workload/job.hpp"
+
+namespace es::sched {
+
+struct EngineConfig {
+  int machine_procs = 320;
+  int granularity = 32;
+  /// Process ECCs (the -E algorithm variants).  When false, ECCs in the
+  /// workload are ignored and jobs keep their submitted requirements.
+  bool process_eccs = false;
+  /// Allow EP/RP to resize *running* jobs work-conservingly (the paper's
+  /// section-VI resource-elasticity extension).  Requires process_eccs.
+  bool allow_running_resize = false;
+  /// Record the busy-processor timeline (needed by utilization metrics and
+  /// capacity-invariant tests; cheap, on by default).
+  bool keep_job_outcomes = true;
+  /// Record a full schedule audit trace (sched/trace.hpp), attached to the
+  /// result.  Off by default — it grows with the event count.
+  bool record_trace = false;
+  /// Re-verify structural invariants (ledger consistency, queue ordering,
+  /// status coherence) after every scheduling cycle.  O(queue) per cycle;
+  /// used by the test suite and for debugging new policies.
+  bool paranoid = false;
+};
+
+/// One engine instance runs one workload with one policy.
+class Engine {
+ public:
+  Engine(const EngineConfig& config, Scheduler& policy);
+
+  /// Runs the whole workload to completion and returns the metrics.
+  SimulationResult run(const workload::Workload& workload);
+
+  /// The machine, exposed for tests that inspect the final state.
+  const cluster::Machine& machine() const { return machine_; }
+
+ private:
+  void on_arrival(JobRun* job);
+  void on_dedicated_due(JobRun* job);
+  void on_ecc(const workload::Ecc& ecc);
+  void on_finish(JobRun* job);
+  void start_job(JobRun* job);
+  void finish_job(JobRun* job);
+  void move_dedicated_head_to_batch_head();
+  void run_cycle();
+  void check_invariants() const;
+  SimulationResult collect(const workload::Workload& workload) const;
+
+  EngineConfig config_;
+  Scheduler* policy_;
+  sim::Simulation sim_;
+  cluster::Machine machine_;
+  cluster::UtilizationTracker utilization_;
+  EccProcessor ecc_processor_;
+  std::shared_ptr<ScheduleTrace> trace_;  ///< null unless record_trace
+
+  std::vector<std::unique_ptr<JobRun>> jobs_;
+  std::unordered_map<workload::JobId, JobRun*> by_id_;
+  std::deque<JobRun*> batch_queue_;
+  std::vector<JobRun*> dedicated_queue_;  ///< sorted by (req_start, arr)
+  std::vector<JobRun*> active_;           ///< running jobs, unordered
+  std::vector<JobRun*> finished_;
+
+  bool in_cycle_ = false;
+  std::uint64_t cycles_ = 0;
+  sim::Time first_arrival_ = 0;
+  sim::Time last_finish_ = 0;
+};
+
+/// Convenience wrapper: one-shot run.
+SimulationResult simulate(const EngineConfig& config, Scheduler& policy,
+                          const workload::Workload& workload);
+
+}  // namespace es::sched

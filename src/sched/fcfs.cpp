@@ -1,0 +1,12 @@
+#include "sched/fcfs.hpp"
+
+namespace es::sched {
+
+void Fcfs::cycle(SchedulerContext& ctx) {
+  while (JobRun* head = ctx.batch_head()) {
+    if (ctx.alloc_of(*head) > ctx.free()) return;
+    ctx.start(head);
+  }
+}
+
+}  // namespace es::sched

@@ -1,0 +1,17 @@
+// First-come-first-served baseline: starts queue-head jobs in order and
+// blocks on the first one that does not fit.  Included as the reference
+// point the backfilling literature (and the paper's related-work section)
+// measures against.
+#pragma once
+
+#include "sched/scheduler.hpp"
+
+namespace es::sched {
+
+class Fcfs : public Scheduler {
+ public:
+  std::string name() const override { return "FCFS"; }
+  void cycle(SchedulerContext& ctx) override;
+};
+
+}  // namespace es::sched

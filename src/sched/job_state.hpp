@@ -1,0 +1,65 @@
+// Mutable runtime state of a job inside the scheduling engine.
+//
+// The immutable submission (workload::Job) is wrapped with the fields the
+// paper's algorithms manipulate: the current (ECC-adjusted) requirements,
+// the skip count `scount` of Delayed-LOS, and bookkeeping for metrics.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+#include "workload/job.hpp"
+
+namespace es::sched {
+
+enum class JobStatus {
+  kWaiting,    ///< in a waiting queue
+  kRunning,    ///< allocated on the machine
+  kCompleted,  ///< ran to its (possibly ECC-adjusted) natural end
+  kKilled,     ///< hit its kill-by time before completing
+};
+
+/// Runtime record; owned by the engine, referenced by schedulers.
+struct JobRun {
+  workload::Job spec;
+
+  // Current requirements — start equal to the submission, drift under ECCs.
+  double req_time = 0;     ///< user-estimated execution time (kill-by basis)
+  double actual_time = 0;  ///< true runtime the job would consume
+  int num = 0;             ///< requested processors
+  int alloc = 0;           ///< processors occupied when running (rounded to
+                           ///< the machine granularity); 0 while waiting
+  sim::Time req_start = -1;  ///< dedicated requested start time (-1 batch)
+
+  // Delayed-LOS state.
+  int scount = 0;          ///< cycles the job was skipped at queue head
+  bool forced_priority = false;  ///< set when a due dedicated job is moved to
+                                 ///< the batch head (Algorithm 3)
+
+  // Lifecycle.
+  JobStatus status = JobStatus::kWaiting;
+  sim::Time start_time = -1;
+  sim::Time end_time = -1;       ///< set when finished/killed
+  sim::EventHandle finish_event{};
+
+  // Scratch used by Reservation_DP (the paper's w.frenum attribute).
+  int frenum = 0;
+
+  bool dedicated() const { return spec.dedicated(); }
+
+  /// Completion bound while running: the job ends at natural completion or
+  /// is killed at its kill-by time, whichever comes first.
+  double run_duration() const {
+    return req_time < actual_time ? req_time : actual_time;
+  }
+
+  /// Residual execution time (`a.res` in the paper) at time `now`.
+  /// Precondition: running.
+  double residual(sim::Time now) const {
+    const double end = start_time + run_duration();
+    return end > now ? end - now : 0.0;
+  }
+};
+
+}  // namespace es::sched

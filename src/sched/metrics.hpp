@@ -1,0 +1,60 @@
+// Per-run result record: the paper's performance metrics plus diagnostics.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sched/ecc_processor.hpp"
+#include "sim/time.hpp"
+#include "workload/job.hpp"
+
+namespace es::sched {
+
+/// Outcome of one job, for detailed analysis.
+struct JobOutcome {
+  workload::JobId id = 0;
+  bool dedicated = false;
+  bool killed = false;
+  int procs = 0;            ///< processors occupied
+  sim::Time arrival = 0;
+  sim::Time started = 0;
+  sim::Time finished = 0;
+  double wait = 0;          ///< batch: start - arrival; dedicated: start delay
+  double run = 0;           ///< finished - started
+};
+
+/// Aggregate metrics of one simulation run.
+struct SimulationResult {
+  // --- the paper's three headline metrics ---
+  double utilization = 0;   ///< mean system utilization in [0,1]
+  double mean_wait = 0;     ///< mean job waiting time, seconds
+  double slowdown = 0;      ///< (avg wait + avg run) / avg run (paper defn)
+
+  // --- additional standard metrics ---
+  double mean_per_job_slowdown = 0;      ///< mean of (wait+run)/run
+  double mean_bounded_slowdown = 0;      ///< runtime floored at 10 s
+  double mean_run = 0;
+  double max_wait = 0;
+  double mean_dedicated_delay = 0;  ///< mean start delay of dedicated jobs
+  std::uint64_t dedicated_on_time = 0;  ///< dedicated jobs started exactly
+                                        ///< at their requested start
+
+  // --- run accounting ---
+  std::uint64_t completed = 0;
+  std::uint64_t killed = 0;
+  sim::Time first_arrival = 0;
+  sim::Time last_finish = 0;
+  double makespan = 0;
+  std::uint64_t cycles = 0;    ///< scheduler invocations
+  std::uint64_t events = 0;    ///< simulation events processed
+  double offered_load = 0;     ///< load of the input workload
+  EccStats ecc;                ///< ECC processor statistics (if enabled)
+
+  std::vector<JobOutcome> jobs;  ///< per-job detail (always filled)
+
+  /// Full audit trace; null unless EngineConfig::record_trace was set.
+  std::shared_ptr<const class ScheduleTrace> trace;
+};
+
+}  // namespace es::sched

@@ -1,0 +1,59 @@
+// Shadow-time / freeze computations shared by the backfilling and LOS-family
+// policies (paper 'Notations' box and Algorithms 1-2).
+//
+// A Freeze is an implicit reservation: "at time `fret` a pending job (batch
+// head or dedicated group) takes its processors; until then at most `frec`
+// processors may remain occupied past `fret` by newly started jobs."
+// Policies test candidates with `respects()` and account started jobs with
+// `consume()`.
+//
+// All planning here uses *user-estimated* times (req_time): the scheduler
+// cannot see true runtimes, only kill-by bounds — exactly the information
+// model of EASY/LOS.
+#pragma once
+
+#include "sched/scheduler.hpp"
+#include "sim/time.hpp"
+
+namespace es::sched {
+
+/// Implicit reservation window.
+struct Freeze {
+  bool active = false;
+  sim::Time fret = 0;  ///< freeze end time ('shadow time')
+  int frec = 0;        ///< processors usable across fret ('shadow capacity')
+};
+
+/// Planned end of a running job by its estimate (start + req_time).
+sim::Time planned_end(const JobRun& job);
+
+/// Planned residual at `now` (the paper's a.res), never negative.
+double planned_residual(const JobRun& job, sim::Time now);
+
+/// Computes the freeze for a pending need of `need_procs` that does NOT fit
+/// in the current free pool (Algorithm 1 lines 13-15): walking the active
+/// list in residual order, find the earliest completion instant s at which
+/// free + released >= need; fret = that instant, frec = the slack beyond the
+/// need at that instant.  Precondition: need_procs > ctx.free() and
+/// need_procs <= machine total.
+Freeze shadow_for_blocked(const SchedulerContext& ctx, int need_procs);
+
+/// Computes the freeze induced by the first *future* dedicated job and all
+/// dedicated jobs sharing its requested start time (Algorithm 2 lines 8-30).
+/// If the machine cannot host the whole group at the requested start, the
+/// freeze shifts to the earliest instant enough capacity frees up (the
+/// "unavoidable delay" branch).  Precondition: the dedicated queue is
+/// non-empty and its head's start time is in the future.
+Freeze dedicated_freeze(const SchedulerContext& ctx);
+
+/// True when starting `job` now cannot violate the freeze: the job either
+/// finishes (by estimate) before fret or fits in the remaining shadow
+/// capacity.  An inactive freeze admits everything.
+bool respects(const Freeze& freeze, sim::Time now, const JobRun& job,
+              int job_alloc);
+
+/// Accounts `job` (just started) against the freeze: jobs whose estimate
+/// crosses fret consume shadow capacity.
+void consume(Freeze& freeze, sim::Time now, const JobRun& job, int job_alloc);
+
+}  // namespace es::sched

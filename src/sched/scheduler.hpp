@@ -1,0 +1,77 @@
+// Scheduler policy interface and the per-cycle view handed to policies.
+//
+// The engine invokes `cycle()` at every event (arrival, completion, ECC,
+// dedicated start due).  A policy inspects the queues and the machine and
+// calls `start(job)` for every waiting job it activates *now*; reservations
+// are implicit (recomputed each cycle), exactly as in EASY/LOS.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cluster/machine.hpp"
+#include "sched/job_state.hpp"
+#include "sim/time.hpp"
+
+namespace es::sched {
+
+/// View of the system at one scheduling cycle.
+//
+// Queue discipline (paper 'Notations' box):
+//  * batch  — FIFO by arrival (W^b)
+//  * dedicated — sorted by requested start time (W^d)
+//  * active — sorted ascending by residual execution time (A)
+class SchedulerContext {
+ public:
+  sim::Time now = 0;
+  const cluster::Machine* machine = nullptr;
+  std::deque<JobRun*>* batch = nullptr;
+  std::vector<JobRun*>* dedicated = nullptr;
+  std::vector<JobRun*> active;  ///< snapshot, sorted by residual
+
+  /// Activates a waiting job now: engine removes it from its queue,
+  /// allocates processors and schedules its completion.  The machine state
+  /// visible through `machine` reflects the allocation immediately.
+  std::function<void(JobRun*)> start;
+
+  /// Moves the dedicated-queue head to the batch-queue head (Algorithm 3).
+  /// The moved job keeps its arrival time and gets scount = C_s so it is
+  /// started as soon as it fits.
+  std::function<void()> move_dedicated_head_to_batch_head;
+
+  /// Free (unreserved) processors right now — the paper's `m`.
+  int free() const { return machine->free(); }
+
+  /// Processors a job occupies on this machine (requested size rounded up
+  /// to the allocation granularity).  All capacity arithmetic in the
+  /// policies uses this effective size.
+  int alloc_of(const JobRun& job) const {
+    return machine->allocation_for(job.num);
+  }
+
+  JobRun* batch_head() const { return batch->empty() ? nullptr : batch->front(); }
+  JobRun* dedicated_head() const {
+    return dedicated->empty() ? nullptr : dedicated->front();
+  }
+};
+
+/// Policy interface.  Implementations are stateless across runs except for
+/// tunables (C_s, lookahead) and reusable DP workspaces.
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Human-readable algorithm name ("Delayed-LOS", "EASY-D", ...).
+  virtual std::string name() const = 0;
+
+  /// One scheduling cycle; may start any number of waiting jobs.
+  virtual void cycle(SchedulerContext& ctx) = 0;
+
+  /// Whether the policy understands the dedicated queue.  The engine rejects
+  /// heterogeneous workloads on policies that do not.
+  virtual bool supports_dedicated() const { return false; }
+};
+
+}  // namespace es::sched

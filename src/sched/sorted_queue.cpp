@@ -1,0 +1,46 @@
+#include "sched/sorted_queue.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace es::sched {
+
+std::string SortedQueue::name() const {
+  switch (order_) {
+    case QueueOrder::kShortestFirst: return "SJF";
+    case QueueOrder::kSmallestFirst: return "SMALLEST";
+    case QueueOrder::kLargestFirst: return "LJF";
+  }
+  return "?";
+}
+
+void SortedQueue::cycle(SchedulerContext& ctx) {
+  std::vector<JobRun*> view(ctx.batch->begin(), ctx.batch->end());
+  // Stable sort keeps arrival order among ties, preserving FIFO fairness
+  // within a priority class.
+  switch (order_) {
+    case QueueOrder::kShortestFirst:
+      std::stable_sort(view.begin(), view.end(),
+                       [](const JobRun* a, const JobRun* b) {
+                         return a->req_time < b->req_time;
+                       });
+      break;
+    case QueueOrder::kSmallestFirst:
+      std::stable_sort(view.begin(), view.end(),
+                       [](const JobRun* a, const JobRun* b) {
+                         return a->num < b->num;
+                       });
+      break;
+    case QueueOrder::kLargestFirst:
+      std::stable_sort(view.begin(), view.end(),
+                       [](const JobRun* a, const JobRun* b) {
+                         return a->num > b->num;
+                       });
+      break;
+  }
+  for (JobRun* job : view) {
+    if (ctx.alloc_of(*job) <= ctx.free()) ctx.start(job);
+  }
+}
+
+}  // namespace es::sched

@@ -1,0 +1,38 @@
+// Sorted-queue baselines from the paper's related-work section (II-B):
+//
+//  * SJF — shortest-job-first (Krakowiak): waiting jobs ordered by
+//    estimated runtime; depends on good estimates.
+//  * SMALLEST — smallest-job-first (Majumdar et al.): ordered by size;
+//    found to perform poorly because small jobs are not necessarily short.
+//  * LJF — largest-job-first (Li & Cheng): ordered by decreasing size,
+//    motivated by first-fit-decreasing bin packing.
+//
+// Each is a greedy dispatcher over a re-sorted view of the waiting queue:
+// scan in priority order, start everything that fits (no reservations).
+// The studies cited in the paper (Krueger et al.) found none of these
+// reliably beats FCFS — `bench/related_work_baselines` reproduces that
+// comparison on our stack.
+#pragma once
+
+#include "sched/scheduler.hpp"
+
+namespace es::sched {
+
+enum class QueueOrder {
+  kShortestFirst,   ///< by estimated runtime, ascending (SJF)
+  kSmallestFirst,   ///< by size, ascending
+  kLargestFirst,    ///< by size, descending (LJF / first-fit-decreasing)
+};
+
+class SortedQueue : public Scheduler {
+ public:
+  explicit SortedQueue(QueueOrder order) : order_(order) {}
+
+  std::string name() const override;
+  void cycle(SchedulerContext& ctx) override;
+
+ private:
+  QueueOrder order_;
+};
+
+}  // namespace es::sched

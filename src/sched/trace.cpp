@@ -1,0 +1,55 @@
+#include "sched/trace.hpp"
+
+#include <ostream>
+
+#include "util/csv.hpp"
+
+namespace es::sched {
+
+const char* to_string(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kArrival: return "arrival";
+    case TraceEventKind::kStart: return "start";
+    case TraceEventKind::kFinish: return "finish";
+    case TraceEventKind::kKill: return "kill";
+    case TraceEventKind::kEccApplied: return "ecc_applied";
+    case TraceEventKind::kEccRejected: return "ecc_rejected";
+    case TraceEventKind::kResize: return "resize";
+    case TraceEventKind::kDedicatedMove: return "dedicated_move";
+  }
+  return "?";
+}
+
+void ScheduleTrace::record(sim::Time time, TraceEventKind kind,
+                           workload::JobId job, int procs, double detail) {
+  events_.push_back({time, kind, job, procs, detail});
+}
+
+std::vector<TraceEvent> ScheduleTrace::of_kind(TraceEventKind kind) const {
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& event : events_)
+    if (event.kind == kind) out.push_back(event);
+  return out;
+}
+
+std::vector<TraceEvent> ScheduleTrace::of_job(workload::JobId job) const {
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& event : events_)
+    if (event.job == job) out.push_back(event);
+  return out;
+}
+
+void ScheduleTrace::write_csv(std::ostream& out) const {
+  util::CsvWriter csv(out);
+  csv.set_header({"time", "kind", "job", "procs", "detail"});
+  for (const TraceEvent& event : events_) {
+    csv.cell(event.time)
+        .cell(to_string(event.kind))
+        .cell(static_cast<long long>(event.job))
+        .cell(event.procs)
+        .cell(event.detail);
+    csv.end_row();
+  }
+}
+
+}  // namespace es::sched

@@ -1,0 +1,60 @@
+// Schedule audit trace: an optional, ordered record of every scheduling
+// event the engine produced.  Used by tests to assert event-level
+// behaviour, by simrun --trace-out for debugging, and as the ground truth
+// for replaying/diffing schedules across algorithm versions.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "workload/job.hpp"
+
+namespace es::sched {
+
+enum class TraceEventKind {
+  kArrival,         ///< job entered a waiting queue
+  kStart,           ///< job allocated and started
+  kFinish,          ///< job completed naturally
+  kKill,            ///< job hit its kill-by time
+  kEccApplied,      ///< an ECC changed the job's requirements
+  kEccRejected,     ///< an ECC was rejected
+  kResize,          ///< a running job's allocation changed (EP/RP)
+  kDedicatedMove,   ///< dedicated job moved to the batch-queue head
+};
+
+const char* to_string(TraceEventKind kind);
+
+struct TraceEvent {
+  sim::Time time = 0;
+  TraceEventKind kind = TraceEventKind::kArrival;
+  workload::JobId job = 0;
+  int procs = 0;        ///< allocation involved (0 where not applicable)
+  double detail = 0;    ///< kind-specific: ECC amount, resize delta, ...
+};
+
+/// Append-only event log.
+class ScheduleTrace {
+ public:
+  void record(sim::Time time, TraceEventKind kind, workload::JobId job,
+              int procs = 0, double detail = 0);
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  std::size_t size() const { return events_.size(); }
+
+  /// Events of one kind, in order.
+  std::vector<TraceEvent> of_kind(TraceEventKind kind) const;
+
+  /// Events touching one job, in order.
+  std::vector<TraceEvent> of_job(workload::JobId job) const;
+
+  /// Writes the trace as CSV (time,kind,job,procs,detail).
+  void write_csv(std::ostream& out) const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace es::sched

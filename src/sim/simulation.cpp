@@ -1,0 +1,43 @@
+#include "sim/simulation.hpp"
+
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace es::sim {
+
+EventHandle Simulation::at(Time when, EventClass cls,
+                           EventQueue::Callback fn) {
+  ES_EXPECTS(when >= now_);
+  return queue_.schedule(when, cls, std::move(fn));
+}
+
+EventHandle Simulation::after(Time delay, EventClass cls,
+                              EventQueue::Callback fn) {
+  ES_EXPECTS(delay >= 0);
+  return queue_.schedule(now_ + delay, cls, std::move(fn));
+}
+
+bool Simulation::step() {
+  if (queue_.empty()) return false;
+  const Time at_time = queue_.next_time();
+  ES_ASSERT(at_time >= now_);
+  now_ = at_time;
+  queue_.pop_and_run();
+  ++processed_;
+  return true;
+}
+
+std::uint64_t Simulation::run() {
+  std::uint64_t count = 0;
+  while (step()) ++count;
+  return count;
+}
+
+std::uint64_t Simulation::run_until(Time horizon) {
+  std::uint64_t count = 0;
+  while (!queue_.empty() && queue_.next_time() <= horizon && step()) ++count;
+  return count;
+}
+
+}  // namespace es::sim

@@ -1,0 +1,47 @@
+// Simulation driver: a monotonically advancing clock over an EventQueue.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+
+namespace es::sim {
+
+/// Owns the clock and the event queue and exposes the scheduling primitives
+/// the engine layers use.  The clock never moves backwards; scheduling an
+/// event in the past is a contract violation.
+class Simulation {
+ public:
+  Time now() const { return now_; }
+
+  /// Schedules an event at absolute time `at` (>= now()).
+  EventHandle at(Time when, EventClass cls, EventQueue::Callback fn);
+
+  /// Schedules an event `delay` seconds from now (delay >= 0).
+  EventHandle after(Time delay, EventClass cls, EventQueue::Callback fn);
+
+  /// Cancels a pending event; see EventQueue::cancel.
+  bool cancel(EventHandle handle) { return queue_.cancel(handle); }
+
+  /// Runs events until the queue is empty.  Returns the number processed.
+  std::uint64_t run();
+
+  /// Runs events with time <= horizon.  The clock is advanced to at most the
+  /// last processed event (it does not jump to the horizon).
+  std::uint64_t run_until(Time horizon);
+
+  /// Processes exactly one event if any is pending.  Returns true if one ran.
+  bool step();
+
+  bool idle() const { return queue_.empty(); }
+  std::uint64_t events_processed() const { return processed_; }
+  const EventQueue& queue() const { return queue_; }
+
+ private:
+  EventQueue queue_;
+  Time now_ = 0.0;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace es::sim

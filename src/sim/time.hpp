@@ -1,0 +1,26 @@
+// Simulation time representation.
+//
+// The simulator measures time in seconds as `double` (SWF traces use integer
+// seconds; the Lublin model produces fractional inter-arrival gaps).  Events
+// at the same instant are ordered by an explicit priority class and then by
+// insertion order, so simulations are fully deterministic.
+#pragma once
+
+namespace es::sim {
+
+using Time = double;
+
+/// Ordering classes for events that share a timestamp.  Lower runs first.
+/// Completions must precede arrivals so a scheduler invoked on the arrival
+/// sees the freed capacity; ECCs precede scheduling so a cycle sees the
+/// adjusted residuals.
+enum class EventClass : int {
+  kJobFinish = 0,
+  kEccArrival = 1,
+  kDedicatedDue = 2,
+  kJobArrival = 3,
+  kSchedule = 4,
+  kOther = 5,
+};
+
+}  // namespace es::sim

@@ -1,0 +1,37 @@
+// Lightweight contract checking (C++ Core Guidelines I.6 / E.12 style).
+//
+// ES_EXPECTS/ES_ENSURES document pre/postconditions and abort with a useful
+// message on violation.  They stay enabled in release builds: the simulator's
+// correctness invariants (capacity never exceeded, time monotonic, ...) are
+// cheap to check relative to the DP work and catching a violated invariant in
+// a benchmark run is worth far more than the branch.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace es::util {
+
+[[noreturn]] inline void contract_violation(const char* kind, const char* expr,
+                                            const char* file, int line) {
+  std::fprintf(stderr, "elastisched: %s violated: `%s` at %s:%d\n", kind, expr,
+               file, line);
+  std::abort();
+}
+
+}  // namespace es::util
+
+#define ES_EXPECTS(cond)                                                 \
+  ((cond) ? static_cast<void>(0)                                         \
+          : ::es::util::contract_violation("precondition", #cond,        \
+                                           __FILE__, __LINE__))
+
+#define ES_ENSURES(cond)                                                 \
+  ((cond) ? static_cast<void>(0)                                         \
+          : ::es::util::contract_violation("postcondition", #cond,       \
+                                           __FILE__, __LINE__))
+
+#define ES_ASSERT(cond)                                                  \
+  ((cond) ? static_cast<void>(0)                                         \
+          : ::es::util::contract_violation("invariant", #cond,           \
+                                           __FILE__, __LINE__))

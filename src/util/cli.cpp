@@ -1,0 +1,150 @@
+#include "util/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace es::util {
+namespace {
+
+template <typename T, typename Fn>
+std::function<bool(std::string_view)> numeric_assign(T* target, Fn convert) {
+  return [target, convert](std::string_view text) {
+    std::string owned(text);
+    char* end = nullptr;
+    const auto value = convert(owned.c_str(), &end);
+    if (end == owned.c_str() || *end != '\0') return false;
+    *target = static_cast<T>(value);
+    return true;
+  };
+}
+
+}  // namespace
+
+void CliParser::add_flag(std::string name, std::string help, bool* target) {
+  Option opt;
+  opt.name = std::move(name);
+  opt.help = std::move(help);
+  opt.is_boolean = true;
+  opt.assign = [target](std::string_view text) {
+    if (text.empty() || text == "true" || text == "1") {
+      *target = true;
+      return true;
+    }
+    if (text == "false" || text == "0") {
+      *target = false;
+      return true;
+    }
+    return false;
+  };
+  options_.push_back(std::move(opt));
+}
+
+void CliParser::add_option(std::string name, std::string help, int* target) {
+  Option opt;
+  opt.name = std::move(name);
+  opt.help = std::move(help);
+  opt.assign = numeric_assign(target, [](const char* s, char** end) {
+    return std::strtol(s, end, 10);
+  });
+  options_.push_back(std::move(opt));
+}
+
+void CliParser::add_option(std::string name, std::string help,
+                           unsigned long long* target) {
+  Option opt;
+  opt.name = std::move(name);
+  opt.help = std::move(help);
+  opt.assign = numeric_assign(target, [](const char* s, char** end) {
+    return std::strtoull(s, end, 10);
+  });
+  options_.push_back(std::move(opt));
+}
+
+void CliParser::add_option(std::string name, std::string help,
+                           double* target) {
+  Option opt;
+  opt.name = std::move(name);
+  opt.help = std::move(help);
+  opt.assign = numeric_assign(
+      target, [](const char* s, char** end) { return std::strtod(s, end); });
+  options_.push_back(std::move(opt));
+}
+
+void CliParser::add_option(std::string name, std::string help,
+                           std::string* target) {
+  Option opt;
+  opt.name = std::move(name);
+  opt.help = std::move(help);
+  opt.assign = [target](std::string_view text) {
+    *target = std::string(text);
+    return true;
+  };
+  options_.push_back(std::move(opt));
+}
+
+const CliParser::Option* CliParser::find(std::string_view name) const {
+  for (const auto& opt : options_)
+    if (opt.name == name) return &opt;
+  return nullptr;
+}
+
+bool CliParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(help(argv[0]).c_str(), stdout);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional_.emplace_back(arg);
+      continue;
+    }
+    arg.remove_prefix(2);
+    std::string_view name = arg;
+    std::optional<std::string_view> inline_value;
+    if (const auto eq = arg.find('='); eq != std::string_view::npos) {
+      name = arg.substr(0, eq);
+      inline_value = arg.substr(eq + 1);
+    }
+    const Option* opt = find(name);
+    if (!opt) {
+      std::fprintf(stderr, "unknown option --%.*s (try --help)\n",
+                   static_cast<int>(name.size()), name.data());
+      return false;
+    }
+    std::string_view value;
+    if (inline_value) {
+      value = *inline_value;
+    } else if (!opt->is_boolean) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "option --%s requires a value\n",
+                     opt->name.c_str());
+        return false;
+      }
+      value = argv[++i];
+    }
+    if (!opt->assign(value)) {
+      std::fprintf(stderr, "invalid value '%.*s' for option --%s\n",
+                   static_cast<int>(value.size()), value.data(),
+                   opt->name.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string CliParser::help(std::string_view program_name) const {
+  std::string text;
+  text += description_;
+  text += "\n\nusage: ";
+  text += program_name;
+  text += " [options]\n\noptions:\n";
+  for (const auto& opt : options_) {
+    text += "  --" + opt.name;
+    if (!opt.is_boolean) text += " <value>";
+    text += "\n      " + opt.help + "\n";
+  }
+  return text;
+}
+
+}  // namespace es::util

@@ -1,0 +1,51 @@
+// Tiny declarative command-line flag parser for the tools, examples and
+// experiment binaries.  Supports `--name value`, `--name=value` and boolean
+// `--name` flags, plus automatic --help text.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace es::util {
+
+/// Declarative flag set.  Register flags bound to variables, then parse().
+class CliParser {
+ public:
+  explicit CliParser(std::string program_description)
+      : description_(std::move(program_description)) {}
+
+  void add_flag(std::string name, std::string help, bool* target);
+  void add_option(std::string name, std::string help, int* target);
+  void add_option(std::string name, std::string help, double* target);
+  void add_option(std::string name, std::string help, std::string* target);
+  void add_option(std::string name, std::string help,
+                  unsigned long long* target);
+
+  /// Parses argv.  Returns false (after printing a message) on error or when
+  /// --help was requested; positional arguments are collected in positional().
+  bool parse(int argc, const char* const* argv);
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Renders the --help text.
+  std::string help(std::string_view program_name) const;
+
+ private:
+  struct Option {
+    std::string name;
+    std::string help;
+    bool is_boolean = false;
+    std::function<bool(std::string_view)> assign;
+  };
+
+  const Option* find(std::string_view name) const;
+
+  std::string description_;
+  std::vector<Option> options_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace es::util

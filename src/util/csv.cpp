@@ -1,0 +1,66 @@
+#include "util/csv.hpp"
+
+#include <cstdio>
+
+#include "util/check.hpp"
+
+namespace es::util {
+
+void CsvWriter::set_header(std::vector<std::string> columns) {
+  ES_EXPECTS(!header_written_ && rows_ == 0);
+  header_ = std::move(columns);
+}
+
+std::string CsvWriter::escape(std::string_view text) {
+  const bool needs_quote =
+      text.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quote) return std::string(text);
+  std::string quoted = "\"";
+  for (char c : text) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+CsvWriter& CsvWriter::cell(std::string_view text) {
+  row_.push_back(escape(text));
+  return *this;
+}
+
+CsvWriter& CsvWriter::cell(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", value);
+  row_.emplace_back(buf);
+  return *this;
+}
+
+CsvWriter& CsvWriter::cell(long long value) {
+  row_.push_back(std::to_string(value));
+  return *this;
+}
+
+void CsvWriter::maybe_write_header() {
+  if (header_written_ || header_.empty()) return;
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    if (i) *out_ << ',';
+    *out_ << escape(header_[i]);
+  }
+  *out_ << '\n';
+  header_written_ = true;
+}
+
+void CsvWriter::end_row() {
+  maybe_write_header();
+  if (!header_.empty()) ES_EXPECTS(row_.size() == header_.size());
+  for (std::size_t i = 0; i < row_.size(); ++i) {
+    if (i) *out_ << ',';
+    *out_ << row_[i];
+  }
+  *out_ << '\n';
+  row_.clear();
+  ++rows_;
+}
+
+}  // namespace es::util

@@ -1,0 +1,46 @@
+// Minimal CSV emission for experiment results.  Values are RFC-4180 quoted
+// when needed so output can be loaded by any plotting tool.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace es::util {
+
+/// Row-oriented CSV writer bound to an output stream.  The header is written
+/// on first row if set.  Not thread-safe (one writer per stream).
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+  /// Sets the header; must be called before the first row.
+  void set_header(std::vector<std::string> columns);
+
+  /// Starts building a row; append cells then call end_row().
+  CsvWriter& cell(std::string_view text);
+  CsvWriter& cell(double value);
+  CsvWriter& cell(long long value);
+  CsvWriter& cell(int value) { return cell(static_cast<long long>(value)); }
+  CsvWriter& cell(std::size_t value) {
+    return cell(static_cast<long long>(value));
+  }
+  void end_row();
+
+  std::size_t rows_written() const { return rows_; }
+
+  /// Quotes a field per RFC 4180 if it contains a comma, quote or newline.
+  static std::string escape(std::string_view text);
+
+ private:
+  void maybe_write_header();
+
+  std::ostream* out_;
+  std::vector<std::string> header_;
+  std::vector<std::string> row_;
+  bool header_written_ = false;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace es::util

@@ -1,0 +1,28 @@
+// Leveled diagnostic logging.  Off by default so benchmark output stays
+// clean; the simulation CLI enables it with --verbose.
+#pragma once
+
+#include <cstdarg>
+#include <string>
+
+namespace es::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global minimum level that is emitted (default kWarn).
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// printf-style log emission; a newline is appended.
+void logf(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+/// Parses "debug"/"info"/"warn"/"error"/"off"; returns kWarn for unknown.
+LogLevel parse_log_level(const std::string& name);
+
+}  // namespace es::util
+
+#define ES_LOG_DEBUG(...) ::es::util::logf(::es::util::LogLevel::kDebug, __VA_ARGS__)
+#define ES_LOG_INFO(...) ::es::util::logf(::es::util::LogLevel::kInfo, __VA_ARGS__)
+#define ES_LOG_WARN(...) ::es::util::logf(::es::util::LogLevel::kWarn, __VA_ARGS__)
+#define ES_LOG_ERROR(...) ::es::util::logf(::es::util::LogLevel::kError, __VA_ARGS__)

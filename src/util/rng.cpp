@@ -1,0 +1,137 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace es::util {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = splitmix64(sm);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform01() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  ES_EXPECTS(lo <= hi);
+  return lo + (hi - lo) * uniform01();
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  ES_EXPECTS(lo <= hi);
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(next_u64());  // full range
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = (~0ULL / span) * span;
+  std::uint64_t draw = next_u64();
+  while (draw >= limit) draw = next_u64();
+  return lo + static_cast<std::int64_t>(draw % span);
+}
+
+bool Rng::bernoulli(double p) { return uniform01() < p; }
+
+double Rng::exponential(double mean) {
+  ES_EXPECTS(mean > 0);
+  // 1 - uniform01() is in (0, 1], so the log is finite.
+  return -mean * std::log(1.0 - uniform01());
+}
+
+double Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u = 0, v = 0, s = 0;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double scale = std::sqrt(-2.0 * std::log(s) / s);
+  cached_normal_ = v * scale;
+  has_cached_normal_ = true;
+  return u * scale;
+}
+
+double Rng::gamma(double alpha, double beta) {
+  ES_EXPECTS(alpha > 0 && beta > 0);
+  // Marsaglia & Tsang (2000).  For alpha < 1, draw Gamma(alpha+1) and apply
+  // the boosting transform.
+  double boost = 1.0;
+  double a = alpha;
+  if (a < 1.0) {
+    boost = std::pow(uniform01(), 1.0 / a);
+    a += 1.0;
+  }
+  const double d = a - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x = 0, v = 0;
+    do {
+      x = normal();
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = uniform01();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return beta * boost * d * v;
+    if (u > 0 && std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v)))
+      return beta * boost * d * v;
+  }
+}
+
+Rng Rng::split() {
+  // Derive the child seed from two fresh draws so sibling splits differ.
+  const std::uint64_t a = next_u64();
+  const std::uint64_t b = next_u64();
+  return Rng(a ^ rotl(b, 31));
+}
+
+double HyperGamma::sample(Rng& rng, double p) const {
+  if (rng.bernoulli(p)) return rng.gamma(a1, b1);
+  return rng.gamma(a2, b2);
+}
+
+int TwoStageUniform::sample(Rng& rng, double p_small) const {
+  const bool small = rng.bernoulli(p_small);
+  const std::int64_t multiplier =
+      small ? rng.uniform_int(lo1, hi1) : rng.uniform_int(lo2, hi2);
+  return static_cast<int>(multiplier) * unit;
+}
+
+double TwoStageUniform::mean(double p_small) const {
+  const double small_mean = 0.5 * (lo1 + hi1) * unit;
+  const double large_mean = 0.5 * (lo2 + hi2) * unit;
+  return p_small * small_mean + (1 - p_small) * large_mean;
+}
+
+}  // namespace es::util

@@ -1,0 +1,74 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace es::util {
+
+void RunningStats::add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double Samples::mean() const {
+  if (xs_.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs_) sum += x;
+  return sum / static_cast<double>(xs_.size());
+}
+
+double Samples::quantile(double q) {
+  ES_EXPECTS(q >= 0.0 && q <= 1.0);
+  if (xs_.empty()) return 0.0;
+  if (!sorted_) {
+    std::sort(xs_.begin(), xs_.end());
+    sorted_ = true;
+  }
+  const double pos = q * static_cast<double>(xs_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, xs_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return xs_[lo] * (1.0 - frac) + xs_[hi] * frac;
+}
+
+double improvement_lower_better(double baseline, double candidate) {
+  if (baseline == 0.0) return 0.0;
+  return 100.0 * (baseline - candidate) / baseline;
+}
+
+double improvement_higher_better(double baseline, double candidate) {
+  if (baseline == 0.0) return 0.0;
+  return 100.0 * (candidate - baseline) / baseline;
+}
+
+}  // namespace es::util

@@ -1,0 +1,68 @@
+// Streaming and batch statistics used by the metrics collectors and the
+// experiment reporters.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace es::util {
+
+/// Numerically-stable streaming mean/variance (Welford's algorithm) with
+/// min/max tracking.  O(1) memory; suitable for per-job metrics over long
+/// simulations.
+class RunningStats {
+ public:
+  void add(double x);
+
+  /// Merges another accumulator into this one (parallel reduction friendly).
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Unbiased sample variance; 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Batch sample set with quantile queries.  Keeps all samples; used by
+/// reporters where the sample count is the job count (small).
+class Samples {
+ public:
+  void add(double x) {
+    xs_.push_back(x);
+    sorted_ = false;
+  }
+  std::size_t count() const { return xs_.size(); }
+  double mean() const;
+  /// Linear-interpolated quantile, q in [0, 1].  Sorts lazily.
+  double quantile(double q);
+  double median() { return quantile(0.5); }
+  const std::vector<double>& values() const { return xs_; }
+
+ private:
+  std::vector<double> xs_;
+  bool sorted_ = false;
+};
+
+/// Percentage improvement of `candidate` over `baseline` for a
+/// smaller-is-better metric (waiting time, slowdown):
+///   100 * (baseline - candidate) / baseline.
+/// Returns 0 when the baseline is 0.
+double improvement_lower_better(double baseline, double candidate);
+
+/// Percentage improvement for a larger-is-better metric (utilization):
+///   100 * (candidate - baseline) / baseline.
+double improvement_higher_better(double baseline, double candidate);
+
+}  // namespace es::util

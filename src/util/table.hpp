@@ -1,0 +1,42 @@
+// Aligned ASCII table rendering for the benchmark harness.  Every figure /
+// table bench prints its series in this format so the paper's rows can be
+// compared side by side in a terminal.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace es::util {
+
+/// Collects rows of string cells and renders them with padded columns, a
+/// title line and a header separator.
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::string title) : title_(std::move(title)) {}
+
+  void set_columns(std::vector<std::string> names);
+
+  AsciiTable& cell(std::string_view text);
+  AsciiTable& cell(double value, int precision = 3);
+  AsciiTable& cell(long long value);
+  AsciiTable& cell(int value) { return cell(static_cast<long long>(value)); }
+  void end_row();
+
+  /// Renders the table.  Columns are right-aligned except the first.
+  void render(std::ostream& out) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::string> pending_;
+};
+
+/// Formats seconds as a compact human-readable duration ("2h14m", "37s").
+std::string format_duration(double seconds);
+
+}  // namespace es::util

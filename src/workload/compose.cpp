@@ -1,0 +1,85 @@
+#include "workload/compose.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/check.hpp"
+
+namespace es::workload {
+namespace {
+
+/// Appends `addition`'s jobs/ECCs into `out` with IDs renumbered starting
+/// at `next_id` and timestamps shifted by `shift`.
+void append_renumbered(Workload& out, const Workload& addition,
+                       JobId next_id, double shift) {
+  std::unordered_map<JobId, JobId> remap;
+  remap.reserve(addition.jobs.size());
+  for (Job job : addition.jobs) {
+    const JobId old_id = job.id;
+    job.id = next_id++;
+    remap.emplace(old_id, job.id);
+    job.arr += shift;
+    if (job.dedicated() && job.start >= 0) job.start += shift;
+    out.jobs.push_back(job);
+  }
+  for (Ecc ecc : addition.eccs) {
+    const auto it = remap.find(ecc.job_id);
+    if (it == remap.end()) continue;  // ECC for a dropped/unknown job
+    ecc.job_id = it->second;
+    ecc.issue += shift;
+    out.eccs.push_back(ecc);
+  }
+}
+
+JobId max_id(const Workload& workload) {
+  JobId top = 0;
+  for (const Job& job : workload.jobs) top = std::max(top, job.id);
+  return top;
+}
+
+}  // namespace
+
+Workload concatenate(const Workload& base, const Workload& tail,
+                     double gap) {
+  ES_EXPECTS(gap >= 0);
+  if (base.machine_procs > 0 && tail.machine_procs > 0)
+    ES_EXPECTS(base.machine_procs == tail.machine_procs);
+  Workload out = base;
+  if (tail.jobs.empty()) return out;
+  const double base_end =
+      base.jobs.empty() ? 0.0 : base.jobs.front().arr + base.duration();
+  const double shift = base_end + gap - tail.jobs.front().arr;
+  append_renumbered(out, tail, max_id(base) + 1, shift);
+  out.normalize();
+  return out;
+}
+
+Workload merge(const Workload& base, const Workload& other) {
+  if (base.machine_procs > 0 && other.machine_procs > 0)
+    ES_EXPECTS(base.machine_procs == other.machine_procs);
+  Workload out = base;
+  append_renumbered(out, other, max_id(base) + 1, 0.0);
+  out.normalize();
+  return out;
+}
+
+Workload slice(const Workload& workload, double from, double to) {
+  ES_EXPECTS(from <= to);
+  Workload out;
+  out.machine_procs = workload.machine_procs;
+  out.granularity = workload.granularity;
+  for (const Job& job : workload.jobs)
+    if (job.arr >= from && job.arr < to) out.jobs.push_back(job);
+  // Keep ECCs whose target survived; their issue time may fall outside the
+  // window (a pre-window amendment still applies).
+  for (const Ecc& ecc : workload.eccs) {
+    const bool target_kept =
+        std::any_of(out.jobs.begin(), out.jobs.end(),
+                    [&](const Job& job) { return job.id == ecc.job_id; });
+    if (target_kept) out.eccs.push_back(ecc);
+  }
+  out.normalize();
+  return out;
+}
+
+}  // namespace es::workload

@@ -1,0 +1,27 @@
+// Workload composition: concatenate phases, interleave streams, and slice
+// windows.  Used to build regime-switching and multi-tenant scenarios from
+// generated or loaded traces while keeping IDs unique and order invariants
+// intact.
+#pragma once
+
+#include "workload/job.hpp"
+
+namespace es::workload {
+
+/// Appends `tail` after `base` in time: every tail timestamp is shifted so
+/// its first arrival lands `gap` seconds after base's last nominal
+/// completion, and tail job IDs are renumbered to continue base's.
+/// Machine geometry is taken from `base` (they must agree if both set).
+Workload concatenate(const Workload& base, const Workload& tail,
+                     double gap = 0.0);
+
+/// Interleaves two workloads on a shared machine (e.g. a batch stream and
+/// an interactive stream): timestamps are kept, IDs of `other` are
+/// renumbered to avoid collisions.  Machine geometry from `base`.
+Workload merge(const Workload& base, const Workload& other);
+
+/// Keeps only jobs arriving in [from, to) (and their ECCs), re-basing
+/// nothing: a window cut for replaying part of a long trace.
+Workload slice(const Workload& workload, double from, double to);
+
+}  // namespace es::workload

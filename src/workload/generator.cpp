@@ -1,0 +1,143 @@
+#include "workload/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+#include "workload/load.hpp"
+
+namespace es::workload {
+
+Workload generate(const GeneratorConfig& config) {
+  ES_EXPECTS(config.num_jobs > 0);
+  ES_EXPECTS(config.machine_procs > 0);
+  ES_EXPECTS(config.p_small >= 0 && config.p_small <= 1);
+  ES_EXPECTS(config.p_dedicated >= 0 && config.p_dedicated <= 1);
+  ES_EXPECTS(config.p_extend >= 0 && config.p_extend <= 1);
+  ES_EXPECTS(config.p_reduce >= 0 && config.p_reduce <= 1);
+  ES_EXPECTS(config.p_extend + config.p_reduce <= 1);
+  ES_EXPECTS(config.estimate_factor >= 1.0);
+
+  util::Rng master(config.seed);
+  // Independent streams per attribute: adding dedicated jobs or ECCs must
+  // not reshuffle sizes/runtimes/arrivals of the underlying trace.
+  util::Rng size_rng = master.split();
+  util::Rng runtime_rng = master.split();
+  util::Rng arrival_rng = master.split();
+  util::Rng type_rng = master.split();
+  util::Rng ecc_rng = master.split();
+  util::Rng estimate_rng = master.split();
+
+  Workload workload;
+  workload.machine_procs = config.machine_procs;
+  workload.granularity = config.size.unit;
+  workload.jobs.reserve(config.num_jobs);
+
+  ArrivalProcess arrivals(config.arrival, arrival_rng);
+
+  for (std::size_t i = 0; i < config.num_jobs; ++i) {
+    Job job;
+    job.id = static_cast<JobId>(i + 1);
+    job.arr = arrivals.next();
+    job.num = std::min(config.size.sample(size_rng, config.p_small),
+                       config.machine_procs);
+    const double actual = config.runtime.sample(runtime_rng, job.num);
+    job.actual = actual;
+    if (config.estimate_uniform_max > 1.0) {
+      job.dur =
+          actual * estimate_rng.uniform(1.0, config.estimate_uniform_max);
+    } else {
+      job.dur = actual * config.estimate_factor;
+    }
+    if (type_rng.bernoulli(config.p_dedicated)) {
+      job.type = JobType::kDedicated;
+      job.start =
+          job.arr + type_rng.exponential(config.dedicated_start_mean);
+    }
+    workload.jobs.push_back(job);
+  }
+
+  // ECC injection: with probability P_E a job gets an ET command, otherwise
+  // with probability P_R an RT command (mutually exclusive per draw, as the
+  // paper treats them as alternative perturbations of a job).  EP/RP
+  // commands (resource dimension) draw independently.
+  ES_EXPECTS(config.p_extend_procs + config.p_reduce_procs <= 1);
+  for (const Job& job : workload.jobs) {
+    for (int k = 0; k < config.max_eccs_per_job; ++k) {
+      const double draw = ecc_rng.uniform01();
+      EccType type;
+      if (draw < config.p_extend) {
+        type = EccType::kExtendTime;
+      } else if (draw < config.p_extend + config.p_reduce) {
+        type = EccType::kReduceTime;
+      } else {
+        continue;
+      }
+      Ecc ecc;
+      ecc.job_id = job.id;
+      ecc.type = type;
+      double amount =
+          ecc_rng.exponential(config.ecc_amount_frac_mean * job.dur);
+      if (type == EccType::kReduceTime) {
+        // Keep at least 10% of the runtime after reduction.
+        amount = std::min(amount, 0.9 * job.dur);
+      }
+      ecc.amount = std::max(1.0, amount);
+      ecc.issue =
+          job.arr + ecc_rng.uniform(0.0, config.issue_window_frac * job.dur);
+      workload.eccs.push_back(ecc);
+    }
+    const double proc_draw = ecc_rng.uniform01();
+    if (proc_draw < config.p_extend_procs + config.p_reduce_procs) {
+      Ecc ecc;
+      ecc.job_id = job.id;
+      ecc.type = proc_draw < config.p_extend_procs
+                     ? EccType::kExtendProcs
+                     : EccType::kReduceProcs;
+      ecc.amount = std::max(
+          1.0, std::round(ecc_rng.exponential(config.ecc_proc_amount_mean)));
+      ecc.issue =
+          job.arr + ecc_rng.uniform(0.0, config.issue_window_frac * job.dur);
+      workload.eccs.push_back(ecc);
+    }
+  }
+
+  workload.normalize();
+  if (config.target_load > 0)
+    calibrate_load(workload, config.machine_procs, config.target_load);
+  return workload;
+}
+
+Workload generate_sdsc_like(std::size_t num_jobs, int procs,
+                            std::uint64_t seed) {
+  ES_EXPECTS(procs >= 2);
+  util::Rng master(seed);
+  util::Rng size_rng = master.split();
+  util::Rng runtime_rng = master.split();
+  util::Rng arrival_rng = master.split();
+
+  LogUniformSize size_model;
+  size_model.hi = std::log2(static_cast<double>(procs));
+
+  RuntimeParams runtime;  // Table I constants fit SP2-class traces too.
+  ArrivalParams arrival;  // default beta_arr mid-range
+
+  Workload workload;
+  workload.machine_procs = procs;
+  workload.granularity = 1;
+  workload.jobs.reserve(num_jobs);
+  ArrivalProcess arrivals(arrival, arrival_rng);
+  for (std::size_t i = 0; i < num_jobs; ++i) {
+    Job job;
+    job.id = static_cast<JobId>(i + 1);
+    job.arr = arrivals.next();
+    job.num = std::min(size_model.sample(size_rng), procs);
+    job.actual = runtime.sample(runtime_rng, job.num);
+    job.dur = job.actual;
+    workload.jobs.push_back(job);
+  }
+  workload.normalize();
+  return workload;
+}
+
+}  // namespace es::workload

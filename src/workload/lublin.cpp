@@ -1,0 +1,114 @@
+#include "workload/lublin.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace es::workload {
+
+double RuntimeParams::mixing_p(int procs) const {
+  const double s = static_cast<double>(procs) / size_unit;
+  return std::clamp(p_a * s + p_b, 0.0, 1.0);
+}
+
+double RuntimeParams::sample(util::Rng& rng, int procs) const {
+  const double p = mixing_p(procs);
+  const util::HyperGamma hg{a1, b1, a2, b2};
+  const double log_runtime = hg.sample(rng, p);
+  return std::clamp(std::exp(log_runtime), min_runtime, max_runtime);
+}
+
+ArrivalProcess::ArrivalProcess(ArrivalParams params, util::Rng rng)
+    : params_(params), rng_(rng) {
+  ES_EXPECTS(params.a_arr > 0 && params.b_arr > 0);
+  ES_EXPECTS(params.a_num > 0 && params.b_num > 0);
+  ES_EXPECTS(params.arar >= 1.0);
+}
+
+bool ArrivalProcess::rush(double at) const {
+  const double hour_of_day = std::fmod(at / 3600.0, 24.0);
+  return hour_of_day >= params_.rush_begin_hour &&
+         hour_of_day < params_.rush_end_hour;
+}
+
+double ArrivalProcess::gap() {
+  // Log-space Gamma gap, per Lublin's fitting of inter-arrival times.
+  double g = std::exp(rng_.gamma(params_.a_arr, params_.b_arr));
+  // ARAR is the rush-to-all arrival-rate ratio: rush-hour arrivals are that
+  // much denser, so off-hour gaps stretch by the ratio.
+  if (!rush(now_)) g *= params_.arar;
+  return g;
+}
+
+void ArrivalProcess::fill_bucket() {
+  // Advance hour by hour until a bucket receives at least one job.
+  for (;;) {
+    if (!first_) bucket_begin_ += 3600.0;
+    first_ = false;
+    double expected = rng_.gamma(params_.a_num, params_.b_num);
+    if (!rush(bucket_begin_)) expected /= params_.arar;
+    const int count = static_cast<int>(std::lround(expected));
+    if (count <= 0) continue;
+    // Intra-hour offsets: gaps shaped by Gamma(a_arr, b_arr), renormalized
+    // so the batch spans the hour ("inter-arrival time for jobs arriving
+    // within a 1-hour interval").
+    std::vector<double> gaps(static_cast<std::size_t>(count) + 1);
+    double total = 0;
+    for (double& g : gaps) {
+      g = rng_.gamma(params_.a_arr, params_.b_arr);
+      total += g;
+    }
+    bucket_.clear();
+    double cursor = 0;
+    for (int i = 0; i < count; ++i) {
+      cursor += gaps[static_cast<std::size_t>(i)];
+      bucket_.push_back(bucket_begin_ + 3600.0 * cursor / total);
+    }
+    // Consumed back-to-front.
+    std::reverse(bucket_.begin(), bucket_.end());
+    return;
+  }
+}
+
+double ArrivalProcess::next() {
+  if (params_.gap_model == GapModel::kHourlyBuckets) {
+    if (bucket_.empty()) fill_bucket();
+    now_ = bucket_.back();
+    bucket_.pop_back();
+    return now_;
+  }
+
+  if (remaining_in_session_ <= 0) {
+    // Start a new session at the next hour boundary (or immediately for the
+    // very first session) holding ~Gamma(a_num, b_num) jobs.
+    remaining_in_session_ = std::max(
+        1, static_cast<int>(std::lround(
+               rng_.gamma(params_.a_num, params_.b_num))));
+    if (now_ > 0.0) {
+      const double next_hour = (std::floor(now_ / 3600.0) + 1.0) * 3600.0;
+      now_ = std::max(now_ + gap(), next_hour);
+    }
+    --remaining_in_session_;
+    return now_;
+  }
+  --remaining_in_session_;
+  now_ += gap();
+  return now_;
+}
+
+int LogUniformSize::sample(util::Rng& rng) const {
+  if (rng.bernoulli(p_serial)) return 1;
+  const bool first = rng.bernoulli(prob_first_stage);
+  const double log_size =
+      first ? rng.uniform(lo, med) : rng.uniform(med, hi);
+  double size = std::pow(2.0, log_size);
+  if (rng.bernoulli(p_pow2)) {
+    // Round to the nearest power of two, a dominant feature of real traces.
+    size = std::pow(2.0, std::round(log_size));
+  }
+  const int max_size = static_cast<int>(std::lround(std::pow(2.0, hi)));
+  return std::clamp(static_cast<int>(std::lround(size)), 1, max_size);
+}
+
+}  // namespace es::workload

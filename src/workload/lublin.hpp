@@ -1,0 +1,131 @@
+// Lublin–Feitelson analytical workload model (JPDC 2003) as instantiated by
+// the paper (section IV-D, Tables I & II).
+//
+// Three attribute models:
+//  * Job size — the paper replaces Lublin's log-uniform parallelism model
+//    with a two-stage uniform over BlueGene/P node cards: small jobs are
+//    {1..3} x 32 processors with probability P_S, large jobs {4..10} x 32
+//    otherwise (util::TwoStageUniform).  For the Fig-1 SDSC-like trace we
+//    also provide Lublin's original log-uniform size model.
+//  * Runtime — hyper-Gamma: Gamma(a1,b1) with probability p, Gamma(a2,b2)
+//    otherwise, where p = p_a * s + p_b couples runtime to job size s (larger
+//    jobs draw from the long-runtime Gamma more often).  Samples are the
+//    natural log of the runtime in seconds, per Lublin's log-space fitting.
+//  * Arrivals — a renewal process whose log-gaps are Gamma(a_arr, b_arr),
+//    organised into hourly sessions of ~Gamma(a_num, b_num) jobs, with the
+//    rush-hour/off-hour rate ratio ARAR.  beta_arr is the load knob.
+//
+// Absolute magnitudes are calibrated per-experiment by arrival scaling
+// (workload/load.hpp), so the unit conventions here only set the starting
+// point; the distribution *shapes* are what the schedulers react to.
+#pragma once
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace es::workload {
+
+/// Table I of the paper: hyper-Gamma runtime parameters and the size
+/// correlation line p = p_a * s + p_b (clamped to [0,1]).
+struct RuntimeParams {
+  double a1 = 4.2;
+  double b1 = 0.94;
+  double a2 = 312;
+  double b2 = 0.03;
+  double p_a = -0.0054;
+  double p_b = 0.78;
+  /// Correlation uses s in units of `size_unit` processors; the paper's
+  /// p_a is fitted for node counts, and the two-stage sizes are multiples of
+  /// 32 procs, so s = procs / size_unit with size_unit = 1 keeps the paper's
+  /// literal formula.  Clamping keeps out-of-range sizes sane.
+  double size_unit = 1.0;
+  double min_runtime = 1.0;          ///< floor, seconds
+  double max_runtime = 7 * 86400.0;  ///< cap, seconds
+
+  /// Mixing probability for a job of `procs` processors.
+  double mixing_p(int procs) const;
+
+  /// Draws a runtime in seconds for a job of `procs` processors.
+  double sample(util::Rng& rng, int procs) const;
+};
+
+/// How inter-arrival gaps are produced from the Table-II Gammas.
+enum class GapModel {
+  /// gaps = exp(Gamma(a_arr, b_arr)) — Lublin's log-space fit.  Very heavy
+  /// tailed: bursts dominate queueing at any load, waits grow with trace
+  /// length.
+  kLogGamma,
+  /// The paper's literal section-IV-D reading: per 1-hour interval,
+  /// ~Gamma(a_num, b_num) jobs arrive, with intra-hour spacing *shaped* by
+  /// Gamma(a_arr, b_arr) but normalized into the hour.  Mildly bursty at
+  /// the hour scale; queues are stable below the utilization ceiling and
+  /// metrics are N-independent (matching the paper's 10,000-job check).
+  kHourlyBuckets,
+};
+
+/// Table II of the paper: arrival-process parameters.
+struct ArrivalParams {
+  double a_arr = 13.2303;
+  double b_arr = 0.5101;   ///< paper varies this in [0.4101, 0.6101]
+  double a_num = 15.1737;
+  double b_num = 0.9631;
+  double arar = 1.0225;    ///< arrive rush-to-all ratio
+  /// Rush window, hours of day [begin, end).  Lublin's daily cycle peaks
+  /// during working hours.
+  int rush_begin_hour = 8;
+  int rush_end_hour = 18;
+  GapModel gap_model = GapModel::kHourlyBuckets;
+};
+
+/// Stateful arrival sequence generator: produces non-decreasing arrival
+/// times (seconds since trace start).
+///
+/// kLogGamma: sessions begin on hour boundaries; each holds
+/// ~Gamma(a_num, b_num) jobs whose log-gaps are Gamma(a_arr, b_arr);
+/// off-hour gaps are stretched by ARAR.
+///
+/// kHourlyBuckets: each 1-hour interval receives ~Gamma(a_num, b_num)
+/// jobs (scaled down by ARAR in off-hours) at offsets whose relative
+/// spacing follows Gamma(a_arr, b_arr) renormalized into the hour.
+class ArrivalProcess {
+ public:
+  ArrivalProcess(ArrivalParams params, util::Rng rng);
+
+  /// Next arrival time; non-decreasing across calls.
+  double next();
+
+  const ArrivalParams& params() const { return params_; }
+
+ private:
+  double gap();
+  bool rush(double at) const;
+  void fill_bucket();
+
+  ArrivalParams params_;
+  util::Rng rng_;
+  double now_ = 0.0;
+  int remaining_in_session_ = 0;
+  // kHourlyBuckets state: pending offsets of the current hour, descending.
+  double bucket_begin_ = 0.0;
+  std::vector<double> bucket_;
+  bool first_ = true;
+};
+
+/// Lublin's original log-uniform parallelism model, used for the SDSC-like
+/// validation trace of Fig 1 (machines without the 32-proc granularity).
+/// With probability `p_serial` a job is serial; otherwise log2(size) is drawn
+/// from a two-stage uniform over [lo, med] / [med, hi] and rounded to a power
+/// of two with probability `p_pow2`.
+struct LogUniformSize {
+  double p_serial = 0.24;
+  double p_pow2 = 0.75;
+  double lo = 0.8;
+  double med = 4.5;
+  double hi = 7.0;  ///< log2 of the machine size (128 procs -> 7)
+  double prob_first_stage = 0.86;
+
+  int sample(util::Rng& rng) const;
+};
+
+}  // namespace es::workload

@@ -1,0 +1,84 @@
+#include "workload/summary.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "util/table.hpp"
+#include "workload/load.hpp"
+
+namespace es::workload {
+
+WorkloadSummary summarize(const Workload& workload, int small_threshold) {
+  WorkloadSummary summary;
+  summary.small_threshold = small_threshold;
+  summary.jobs = workload.jobs.size();
+  summary.dedicated = workload.dedicated_count();
+  summary.eccs = workload.eccs.size();
+  for (const Ecc& ecc : workload.eccs) {
+    if (ecc.time_dimension()) {
+      ++summary.time_eccs;
+    } else {
+      ++summary.proc_eccs;
+    }
+  }
+  if (workload.jobs.empty()) return summary;
+
+  summary.span = workload.duration();
+  if (workload.machine_procs > 0)
+    summary.offered_load = offered_load(workload, workload.machine_procs);
+
+  double size_sum = 0, runtime_sum = 0, estimate_sum = 0;
+  std::size_t small = 0;
+  summary.min_size = workload.jobs.front().num;
+  for (const Job& job : workload.jobs) {
+    size_sum += job.num;
+    runtime_sum += job.actual_runtime();
+    estimate_sum += job.dur;
+    summary.min_size = std::min(summary.min_size, job.num);
+    summary.max_size = std::max(summary.max_size, job.num);
+    summary.max_runtime = std::max(summary.max_runtime, job.actual_runtime());
+    if (job.num <= small_threshold) ++small;
+  }
+  const double n = static_cast<double>(summary.jobs);
+  summary.mean_size = size_sum / n;
+  summary.mean_runtime = runtime_sum / n;
+  summary.mean_estimate = estimate_sum / n;
+  summary.small_fraction = static_cast<double>(small) / n;
+  if (summary.jobs > 1) {
+    summary.mean_interarrival =
+        (workload.jobs.back().arr - workload.jobs.front().arr) / (n - 1);
+  }
+  return summary;
+}
+
+void print_summary(std::ostream& out, const WorkloadSummary& summary) {
+  util::AsciiTable table("Workload summary");
+  table.set_columns({"attribute", "value"});
+  auto row = [&table](const char* name, const std::string& value) {
+    table.cell(name).cell(value);
+    table.end_row();
+  };
+  row("jobs", std::to_string(summary.jobs) + " (" +
+                  std::to_string(summary.dedicated) + " dedicated)");
+  row("ECCs", std::to_string(summary.eccs) + " (" +
+                  std::to_string(summary.time_eccs) + " ET/RT, " +
+                  std::to_string(summary.proc_eccs) + " EP/RP)");
+  row("span", util::format_duration(summary.span));
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.3f", summary.offered_load);
+  row("offered load", buf);
+  std::snprintf(buf, sizeof buf, "%.1f procs [%d, %d]", summary.mean_size,
+                summary.min_size, summary.max_size);
+  row("mean size (n-bar)", buf);
+  row("mean runtime (mu-bar)",
+      util::format_duration(summary.mean_runtime) +
+          " (max " + util::format_duration(summary.max_runtime) + ")");
+  row("mean estimate", util::format_duration(summary.mean_estimate));
+  std::snprintf(buf, sizeof buf, "%.1f%% (<= %d procs)",
+                100.0 * summary.small_fraction, summary.small_threshold);
+  row("small jobs", buf);
+  row("mean inter-arrival", util::format_duration(summary.mean_interarrival));
+  table.render(out);
+}
+
+}  // namespace es::workload

@@ -1,0 +1,42 @@
+// Workload characterization: the descriptive statistics one checks before
+// trusting a trace (the paper's n-bar / mu-bar quantities, size mix, ECC
+// counts), printable as a compact report.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+
+#include "workload/job.hpp"
+
+namespace es::workload {
+
+struct WorkloadSummary {
+  std::size_t jobs = 0;
+  std::size_t dedicated = 0;
+  std::size_t eccs = 0;
+  std::size_t time_eccs = 0;   ///< ET/RT
+  std::size_t proc_eccs = 0;   ///< EP/RP
+
+  double span = 0;             ///< first arrival to last nominal completion
+  double offered_load = 0;     ///< against machine_procs (0 if unknown)
+
+  // The paper's workload descriptors.
+  double mean_size = 0;        ///< n-bar, processors
+  double mean_runtime = 0;     ///< mu-bar (actual runtimes), seconds
+  double mean_estimate = 0;    ///< mean requested time
+  int min_size = 0;
+  int max_size = 0;
+  double max_runtime = 0;
+  double small_fraction = 0;   ///< share of jobs <= small_threshold procs
+  int small_threshold = 96;    ///< the paper's small-job boundary
+
+  double mean_interarrival = 0;
+};
+
+/// Computes the summary; `small_threshold` defaults to the paper's 96.
+WorkloadSummary summarize(const Workload& workload, int small_threshold = 96);
+
+/// Renders a compact multi-line report.
+void print_summary(std::ostream& out, const WorkloadSummary& summary);
+
+}  // namespace es::workload

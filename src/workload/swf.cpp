@@ -1,0 +1,220 @@
+#include "workload/swf.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/log.hpp"
+
+namespace es::workload {
+namespace {
+
+/// Splits a line into whitespace-separated tokens.
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream stream(line);
+  std::string token;
+  while (stream >> token) tokens.push_back(token);
+  return tokens;
+}
+
+bool to_double(const std::string& text, double& out) {
+  char* end = nullptr;
+  out = std::strtod(text.c_str(), &end);
+  return end != text.c_str() && *end == '\0';
+}
+
+bool to_ll(const std::string& text, long long& out) {
+  // SWF integer fields occasionally appear as "12.0" in archive traces;
+  // accept a numeric token and truncate.
+  double value = 0;
+  if (!to_double(text, value)) return false;
+  out = static_cast<long long>(value);
+  return true;
+}
+
+}  // namespace
+
+bool parse_swf_record(const std::string& line, SwfRecord& out,
+                      std::string& message) {
+  const auto tokens = tokenize(line);
+  if (tokens.size() < 18) {
+    message = "expected 18 fields, got " + std::to_string(tokens.size());
+    return false;
+  }
+  SwfRecord r;
+  bool ok = to_ll(tokens[0], r.job_number);
+  ok = ok && to_double(tokens[1], r.submit_time);
+  ok = ok && to_double(tokens[2], r.wait_time);
+  ok = ok && to_double(tokens[3], r.run_time);
+  ok = ok && to_ll(tokens[4], r.used_procs);
+  ok = ok && to_double(tokens[5], r.avg_cpu_time);
+  ok = ok && to_double(tokens[6], r.used_memory);
+  ok = ok && to_ll(tokens[7], r.req_procs);
+  ok = ok && to_double(tokens[8], r.req_time);
+  ok = ok && to_double(tokens[9], r.req_memory);
+  ok = ok && to_ll(tokens[10], r.status);
+  ok = ok && to_ll(tokens[11], r.user_id);
+  ok = ok && to_ll(tokens[12], r.group_id);
+  ok = ok && to_ll(tokens[13], r.app_number);
+  ok = ok && to_ll(tokens[14], r.queue_number);
+  ok = ok && to_ll(tokens[15], r.partition);
+  ok = ok && to_ll(tokens[16], r.preceding_job);
+  ok = ok && to_double(tokens[17], r.think_time);
+  if (!ok) {
+    message = "non-numeric field";
+    return false;
+  }
+  out = r;
+  return true;
+}
+
+SwfMetadata parse_swf_metadata(const std::vector<std::string>& header) {
+  SwfMetadata metadata;
+  auto matches = [](const std::string& line, const char* key,
+                    std::string& value) {
+    const std::size_t key_length = std::strlen(key);
+    if (line.size() <= key_length) return false;
+    for (std::size_t i = 0; i < key_length; ++i) {
+      if (std::tolower(static_cast<unsigned char>(line[i])) !=
+          std::tolower(static_cast<unsigned char>(key[i])))
+        return false;
+    }
+    if (line[key_length] != ':') return false;
+    value = line.substr(key_length + 1);
+    while (!value.empty() && value.front() == ' ') value.erase(0, 1);
+    while (!value.empty() &&
+           (value.back() == ' ' || value.back() == '\t'))
+      value.pop_back();
+    return true;
+  };
+  auto to_count = [](const std::string& text) -> long long {
+    char* end = nullptr;
+    const long long value = std::strtoll(text.c_str(), &end, 10);
+    return end == text.c_str() ? -1 : value;
+  };
+  for (const std::string& line : header) {
+    std::string value;
+    if (matches(line, "MaxProcs", value)) {
+      metadata.max_procs = to_count(value);
+    } else if (matches(line, "MaxNodes", value)) {
+      metadata.max_nodes = to_count(value);
+    } else if (matches(line, "UnixStartTime", value)) {
+      metadata.unix_start_time = to_count(value);
+    } else if (matches(line, "Computer", value)) {
+      metadata.computer = value;
+    } else if (matches(line, "Installation", value)) {
+      metadata.installation = value;
+    }
+  }
+  return metadata;
+}
+
+SwfFile parse_swf(std::istream& in, std::vector<SwfParseError>* errors) {
+  SwfFile file;
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    // Strip trailing CR from CRLF traces.
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    if (line.front() == ';') {
+      std::string comment = line.substr(1);
+      if (!comment.empty() && comment.front() == ' ') comment.erase(0, 1);
+      file.header.push_back(std::move(comment));
+      continue;
+    }
+    SwfRecord record;
+    std::string message;
+    if (parse_swf_record(line, record, message)) {
+      file.records.push_back(record);
+    } else if (errors) {
+      errors->push_back({line_number, message});
+    }
+  }
+  return file;
+}
+
+SwfFile parse_swf_string(const std::string& text,
+                         std::vector<SwfParseError>* errors) {
+  std::istringstream stream(text);
+  return parse_swf(stream, errors);
+}
+
+std::string format_swf_record(const SwfRecord& r) {
+  char buf[512];
+  std::snprintf(buf, sizeof buf,
+                "%lld %.0f %.0f %.0f %lld %.0f %.0f %lld %.0f %.0f %lld %lld "
+                "%lld %lld %lld %lld %lld %.0f",
+                r.job_number, r.submit_time, r.wait_time, r.run_time,
+                r.used_procs, r.avg_cpu_time, r.used_memory, r.req_procs,
+                r.req_time, r.req_memory, r.status, r.user_id, r.group_id,
+                r.app_number, r.queue_number, r.partition, r.preceding_job,
+                r.think_time);
+  return buf;
+}
+
+void write_swf(std::ostream& out, const SwfFile& file) {
+  for (const auto& line : file.header) out << "; " << line << '\n';
+  for (const auto& record : file.records)
+    out << format_swf_record(record) << '\n';
+}
+
+bool to_job(const SwfRecord& record, Job& out) {
+  Job job;
+  job.id = record.job_number;
+  job.arr = record.submit_time < 0 ? 0 : record.submit_time;
+  const long long procs =
+      record.req_procs > 0 ? record.req_procs : record.used_procs;
+  const double requested =
+      record.req_time > 0 ? record.req_time : record.run_time;
+  const double actual =
+      record.run_time > 0 ? record.run_time : requested;
+  if (procs <= 0 || requested <= 0) return false;
+  job.num = static_cast<int>(procs);
+  job.dur = requested;
+  job.actual = actual;
+  job.type = JobType::kBatch;
+  job.start = -1;
+  out = job;
+  return true;
+}
+
+SwfRecord from_job(const Job& job) {
+  SwfRecord record;
+  record.job_number = job.id;
+  record.submit_time = job.arr;
+  record.run_time = job.actual_runtime();
+  record.req_procs = job.num;
+  record.used_procs = job.num;
+  record.req_time = job.dur;
+  record.status = 1;
+  return record;
+}
+
+std::vector<Job> load_swf_jobs(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    ES_LOG_ERROR("cannot open SWF trace '%s'", path.c_str());
+    return {};
+  }
+  std::vector<SwfParseError> errors;
+  const SwfFile file = parse_swf(in, &errors);
+  for (const auto& error : errors)
+    ES_LOG_WARN("%s:%zu: %s", path.c_str(), error.line_number,
+                error.message.c_str());
+  std::vector<Job> jobs;
+  jobs.reserve(file.records.size());
+  for (const auto& record : file.records) {
+    Job job;
+    if (to_job(record, job)) jobs.push_back(job);
+  }
+  return jobs;
+}
+
+}  // namespace es::workload

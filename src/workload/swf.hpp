@@ -1,0 +1,96 @@
+// Standard Workload Format (SWF) reader/writer.
+//
+// SWF (Feitelson et al., the Parallel Workloads Archive interchange format)
+// describes one job per line with 18 whitespace-separated numeric fields;
+// `;`-prefixed lines are header comments.  We parse and emit all 18 fields so
+// real archive traces round-trip, and convert records to the simulator's Job
+// model.  See also cwf.hpp for the paper's elastic extension.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "workload/job.hpp"
+
+namespace es::workload {
+
+/// One SWF line, fields 1-18 in archive order.  Missing/unknown values are
+/// -1 per the SWF convention.
+struct SwfRecord {
+  long long job_number = -1;       ///< 1
+  double submit_time = -1;         ///< 2 (seconds)
+  double wait_time = -1;           ///< 3
+  double run_time = -1;            ///< 4 actual runtime
+  long long used_procs = -1;       ///< 5
+  double avg_cpu_time = -1;        ///< 6
+  double used_memory = -1;         ///< 7
+  long long req_procs = -1;        ///< 8
+  double req_time = -1;            ///< 9 user estimate
+  double req_memory = -1;          ///< 10
+  long long status = -1;           ///< 11 (1 = completed)
+  long long user_id = -1;          ///< 12
+  long long group_id = -1;         ///< 13
+  long long app_number = -1;       ///< 14
+  long long queue_number = -1;     ///< 15
+  long long partition = -1;        ///< 16
+  long long preceding_job = -1;    ///< 17
+  double think_time = -1;          ///< 18
+};
+
+/// Parsed SWF file: header comment lines (without the leading ';') plus
+/// records in file order.
+struct SwfFile {
+  std::vector<std::string> header;
+  std::vector<SwfRecord> records;
+};
+
+/// Structured view of the standard SWF header comments the archive defines
+/// ("; MaxProcs: 128", "; Computer: IBM SP2", ...).  Missing fields are -1
+/// or empty.
+struct SwfMetadata {
+  long long max_procs = -1;
+  long long max_nodes = -1;
+  long long unix_start_time = -1;
+  std::string computer;
+  std::string installation;
+};
+
+/// Extracts metadata from header comment lines (case-insensitive keys).
+SwfMetadata parse_swf_metadata(const std::vector<std::string>& header);
+
+/// Parse failure details.
+struct SwfParseError {
+  std::size_t line_number = 0;
+  std::string message;
+};
+
+/// Parses SWF text.  Malformed lines are reported in `errors` and skipped;
+/// parsing never throws.
+SwfFile parse_swf(std::istream& in, std::vector<SwfParseError>* errors = nullptr);
+SwfFile parse_swf_string(const std::string& text,
+                         std::vector<SwfParseError>* errors = nullptr);
+
+/// Parses a single record line (no comment handling).  Returns false and
+/// fills `message` on malformed input.
+bool parse_swf_record(const std::string& line, SwfRecord& out,
+                      std::string& message);
+
+/// Serializes one record as a canonical SWF line.
+std::string format_swf_record(const SwfRecord& record);
+
+/// Writes header (each line prefixed with "; ") and records.
+void write_swf(std::ostream& out, const SwfFile& file);
+
+/// Converts an SWF record to the simulator Job model.  Requested fields fall
+/// back to used/actual ones when absent (-1), matching common archive usage.
+/// Returns false for records that cannot run (no size or runtime at all).
+bool to_job(const SwfRecord& record, Job& out);
+
+/// Converts a Job back to an SWF record (submission view; wait/run unknown).
+SwfRecord from_job(const Job& job);
+
+/// Loads jobs from an SWF file on disk.  Unusable records are skipped.
+std::vector<Job> load_swf_jobs(const std::string& path);
+
+}  // namespace es::workload

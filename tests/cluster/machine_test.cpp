@@ -1,0 +1,134 @@
+#include "cluster/machine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace es::cluster {
+namespace {
+
+TEST(Machine, StartsFullyFree) {
+  Machine machine(320, 32);
+  EXPECT_EQ(machine.total(), 320);
+  EXPECT_EQ(machine.free(), 320);
+  EXPECT_EQ(machine.used(), 0);
+  EXPECT_EQ(machine.active_jobs(), 0u);
+}
+
+TEST(Machine, AllocationRoundsUpToGranularity) {
+  Machine machine(320, 32);
+  EXPECT_EQ(machine.allocation_for(32), 32);
+  EXPECT_EQ(machine.allocation_for(33), 64);
+  EXPECT_EQ(machine.allocation_for(1), 32);
+  EXPECT_EQ(machine.allocation_for(320), 320);
+}
+
+TEST(Machine, UnitGranularityIsExact) {
+  Machine machine(128, 1);
+  EXPECT_EQ(machine.allocation_for(1), 1);
+  EXPECT_EQ(machine.allocation_for(127), 127);
+}
+
+TEST(Machine, AllocateAndReleaseRoundTrip) {
+  Machine machine(320, 32);
+  EXPECT_EQ(machine.allocate(1, 100), 128);  // rounded to 4 node cards
+  EXPECT_EQ(machine.free(), 192);
+  EXPECT_EQ(machine.used(), 128);
+  EXPECT_TRUE(machine.is_active(1));
+  EXPECT_EQ(machine.allocated(1), 128);
+  EXPECT_EQ(machine.release(1), 128);
+  EXPECT_EQ(machine.free(), 320);
+  EXPECT_FALSE(machine.is_active(1));
+}
+
+TEST(Machine, FitsChecksRoundedSize) {
+  Machine machine(64, 32);
+  machine.allocate(1, 32);
+  EXPECT_TRUE(machine.fits(32));
+  EXPECT_TRUE(machine.fits(1));
+  EXPECT_FALSE(machine.fits(33));  // rounds to 64 > 32 free
+}
+
+TEST(Machine, FillCompletely) {
+  Machine machine(96, 32);
+  machine.allocate(1, 32);
+  machine.allocate(2, 32);
+  machine.allocate(3, 32);
+  EXPECT_EQ(machine.free(), 0);
+  EXPECT_FALSE(machine.fits(1));
+  machine.release(2);
+  EXPECT_TRUE(machine.fits(32));
+}
+
+TEST(Machine, ResizeGrowsAndShrinks) {
+  Machine machine(320, 32);
+  machine.allocate(1, 64);
+  EXPECT_EQ(machine.resize(1, 128), 64);
+  EXPECT_EQ(machine.allocated(1), 128);
+  EXPECT_EQ(machine.free(), 192);
+  EXPECT_EQ(machine.resize(1, 32), -96);
+  EXPECT_EQ(machine.allocated(1), 32);
+  EXPECT_EQ(machine.free(), 288);
+}
+
+TEST(Machine, AllocatedOfUnknownJobIsZero) {
+  Machine machine(320, 32);
+  EXPECT_EQ(machine.allocated(42), 0);
+}
+
+using MachineDeath = Machine;
+
+TEST(MachineDeath, OverAllocationAborts) {
+  Machine machine(64, 32);
+  machine.allocate(1, 64);
+  EXPECT_DEATH(machine.allocate(2, 32), "precondition");
+}
+
+TEST(MachineDeath, DuplicateJobIdAborts) {
+  Machine machine(64, 32);
+  machine.allocate(1, 32);
+  EXPECT_DEATH(machine.allocate(1, 32), "precondition");
+}
+
+TEST(MachineDeath, ReleaseUnknownAborts) {
+  Machine machine(64, 32);
+  EXPECT_DEATH(machine.release(7), "precondition");
+}
+
+TEST(MachineDeath, InvalidGeometryAborts) {
+  EXPECT_DEATH(Machine(100, 32), "precondition");  // not a multiple
+  EXPECT_DEATH(Machine(0, 1), "precondition");
+}
+
+TEST(Machine, PropertyRandomAllocReleaseConservesCapacity) {
+  util::Rng rng(5);
+  Machine machine(320, 32);
+  std::vector<JobId> active;
+  JobId next_id = 1;
+  for (int step = 0; step < 5000; ++step) {
+    const bool try_alloc = active.empty() || rng.bernoulli(0.55);
+    if (try_alloc) {
+      const int procs = static_cast<int>(rng.uniform_int(1, 320));
+      if (machine.fits(procs)) {
+        machine.allocate(next_id, procs);
+        active.push_back(next_id++);
+      }
+    } else {
+      const auto index = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(active.size()) - 1));
+      machine.release(active[index]);
+      active.erase(active.begin() + static_cast<std::ptrdiff_t>(index));
+    }
+    // Invariants: ledger consistent, granularity respected.
+    ASSERT_GE(machine.free(), 0);
+    ASSERT_LE(machine.free(), machine.total());
+    ASSERT_EQ(machine.free() % machine.granularity(), 0);
+    ASSERT_EQ(machine.active_jobs(), active.size());
+    int sum = 0;
+    for (JobId id : active) sum += machine.allocated(id);
+    ASSERT_EQ(sum, machine.used());
+  }
+}
+
+}  // namespace
+}  // namespace es::cluster

@@ -1,0 +1,114 @@
+#include "core/delayed_los.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testing/helpers.hpp"
+
+namespace es::core {
+namespace {
+
+using es::testing::batch_job;
+using es::testing::make_workload;
+using es::testing::run_scenario;
+
+/// The paper's Fig-2 queue (7, 4, 6 on 10 processors) behind a blocker that
+/// drains at t=10.
+workload::Workload figure2_workload() {
+  return make_workload(10, 1,
+                       {batch_job(1, 0, 10, 10), batch_job(2, 1, 7, 1000),
+                        batch_job(3, 2, 4, 1000), batch_job(4, 3, 6, 1000)});
+}
+
+TEST(DelayedLos, Figure2MotivationPacksRearJobs) {
+  const auto scenario = run_scenario(figure2_workload(), "Delayed-LOS");
+  // Basic_DP picks {4, 6} at t=10 -> utilization 10/10; head waits.
+  EXPECT_DOUBLE_EQ(scenario.start_of(3), 10);
+  EXPECT_DOUBLE_EQ(scenario.start_of(4), 10);
+  EXPECT_GE(scenario.start_of(2), 1010);
+}
+
+TEST(DelayedLos, Figure2UtilizationBeatsLos) {
+  const auto delayed = run_scenario(figure2_workload(), "Delayed-LOS");
+  const auto los = run_scenario(figure2_workload(), "LOS");
+  // LOS runs the 7 first: {4,6} wait, machine at 70% for 1000 s.
+  EXPECT_LT(delayed.result.mean_wait, los.result.mean_wait);
+}
+
+TEST(DelayedLos, SkipCountBoundForcesHeadStart) {
+  // C_s = 2.  A stream of {4,6}-style pairs would starve the head forever;
+  // after two skips the head must start as soon as it fits.
+  //
+  // Blocker drains at t=10.  Queue: head 7, then pairs {4,6} arriving over
+  // time.  With C_s=2 the head is skipped at most twice before being
+  // force-started at the next opportunity.
+  const auto workload = make_workload(
+      10, 1,
+      {batch_job(1, 0, 10, 10),
+       batch_job(2, 1, 7, 100),    // head
+       batch_job(3, 2, 4, 100), batch_job(4, 3, 6, 100),
+       batch_job(5, 4, 4, 100), batch_job(6, 5, 6, 100),
+       batch_job(7, 6, 4, 100), batch_job(8, 7, 6, 100)});
+  core::AlgorithmOptions options;
+  options.max_skip_count = 2;
+  const auto scenario = run_scenario(workload, "Delayed-LOS", options);
+  // Cycle at t=10: head skipped (1st), {4,6} start.  t=110: skipped (2nd),
+  // next {4,6} start.  t=210: scount == C_s -> head starts right away.
+  EXPECT_DOUBLE_EQ(scenario.start_of(2), 210);
+  // The last pair runs after/alongside the head: 7+4 > 10 but... free is 3
+  // after the head starts, so they follow at t=310.
+  EXPECT_GE(scenario.start_of(7), 210);
+}
+
+TEST(DelayedLos, LargeSkipCountKeepsPacking) {
+  // Same scenario with C_s = 10: the head keeps losing to the pairs.
+  const auto workload = make_workload(
+      10, 1,
+      {batch_job(1, 0, 10, 10),
+       batch_job(2, 1, 7, 100),
+       batch_job(3, 2, 4, 100), batch_job(4, 3, 6, 100),
+       batch_job(5, 4, 4, 100), batch_job(6, 5, 6, 100),
+       batch_job(7, 6, 4, 100), batch_job(8, 7, 6, 100)});
+  core::AlgorithmOptions options;
+  options.max_skip_count = 10;
+  const auto scenario = run_scenario(workload, "Delayed-LOS", options);
+  EXPECT_DOUBLE_EQ(scenario.start_of(2), 310);  // after all three pairs
+}
+
+TEST(DelayedLos, BlockedHeadFallsBackToReservationPath) {
+  // Head larger than the free pool: identical treatment to LOS (shadow
+  // reservation + Reservation_DP).
+  const auto workload = make_workload(
+      10, 1,
+      {batch_job(1, 0, 6, 100), batch_job(2, 1, 8, 500),
+       batch_job(3, 2, 4, 50), batch_job(4, 3, 2, 1000)});
+  const auto delayed = run_scenario(workload, "Delayed-LOS");
+  const auto los = run_scenario(workload, "LOS");
+  EXPECT_DOUBLE_EQ(delayed.start_of(3), los.start_of(3));
+  EXPECT_DOUBLE_EQ(delayed.start_of(4), los.start_of(4));
+  EXPECT_DOUBLE_EQ(delayed.start_of(2), los.start_of(2));
+}
+
+TEST(DelayedLos, HeadInDpSelectionDoesNotBumpSkipCount) {
+  // When Basic_DP selects the head, no skip is charged: with C_s = 1 and a
+  // perfectly packable queue the head still participates in packing.
+  const auto workload = make_workload(
+      10, 1,
+      {batch_job(1, 0, 4, 100), batch_job(2, 0, 6, 100),
+       batch_job(3, 0, 10, 100)});
+  core::AlgorithmOptions options;
+  options.max_skip_count = 1;
+  const auto scenario = run_scenario(workload, "Delayed-LOS", options);
+  EXPECT_DOUBLE_EQ(scenario.start_of(1), 0);
+  EXPECT_DOUBLE_EQ(scenario.start_of(2), 0);
+  EXPECT_DOUBLE_EQ(scenario.start_of(3), 100);
+}
+
+TEST(DelayedLos, DoesNotSupportDedicated) {
+  DelayedLos scheduler;
+  EXPECT_FALSE(scheduler.supports_dedicated());
+  EXPECT_EQ(scheduler.name(), "Delayed-LOS");
+  EXPECT_EQ(scheduler.max_skip_count(), 7);
+}
+
+}  // namespace
+}  // namespace es::core

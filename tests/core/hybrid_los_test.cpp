@@ -1,0 +1,127 @@
+#include "core/hybrid_los.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testing/helpers.hpp"
+
+namespace es::core {
+namespace {
+
+using es::testing::batch_job;
+using es::testing::dedicated_job;
+using es::testing::make_workload;
+using es::testing::run_scenario;
+
+TEST(HybridLos, DegeneratesToDelayedLosWithoutDedicatedJobs) {
+  const auto workload = make_workload(
+      10, 1,
+      {batch_job(1, 0, 10, 10), batch_job(2, 1, 7, 1000),
+       batch_job(3, 2, 4, 1000), batch_job(4, 3, 6, 1000)});
+  const auto hybrid = run_scenario(workload, "Hybrid-LOS");
+  const auto delayed = run_scenario(workload, "Delayed-LOS");
+  for (const auto& [id, outcome] : hybrid.by_id)
+    EXPECT_DOUBLE_EQ(outcome.started, delayed.job(id).started)
+        << "job " << id;
+}
+
+TEST(HybridLos, DedicatedJobStartsExactlyAtRequestedTime) {
+  const auto workload = make_workload(
+      10, 1, {batch_job(1, 0, 4, 30), dedicated_job(2, 0, 8, 50, 100)});
+  const auto scenario = run_scenario(workload, "Hybrid-LOS");
+  EXPECT_DOUBLE_EQ(scenario.start_of(2), 100);
+  EXPECT_EQ(scenario.result.dedicated_on_time, 1u);
+}
+
+TEST(HybridLos, BatchJobsPackAroundDedicatedReservation) {
+  // Dedicated 8 procs at t=100; frec = 2.  Batch: 6x50 (ends before), 2x500
+  // (fits the shadow), 6x500 (violates) — the DP starts the first two.
+  const auto workload = make_workload(
+      10, 1,
+      {dedicated_job(1, 0, 8, 50, 100), batch_job(2, 1, 6, 50),
+       batch_job(3, 2, 2, 500), batch_job(4, 3, 6, 500)});
+  const auto scenario = run_scenario(workload, "Hybrid-LOS");
+  EXPECT_DOUBLE_EQ(scenario.start_of(2), 1);
+  EXPECT_DOUBLE_EQ(scenario.start_of(3), 2);
+  EXPECT_GE(scenario.start_of(4), 100);
+  EXPECT_DOUBLE_EQ(scenario.start_of(1), 100);
+}
+
+TEST(HybridLos, DedicatedGroupWithSameStartReservedTogether) {
+  // Two dedicated jobs (4 + 4) at t=100: a 6-proc batch job crossing the
+  // start must wait (only 2 procs free across the freeze).
+  const auto workload = make_workload(
+      10, 1,
+      {dedicated_job(1, 0, 4, 50, 100), dedicated_job(2, 0, 4, 50, 100),
+       batch_job(3, 1, 6, 500)});
+  const auto scenario = run_scenario(workload, "Hybrid-LOS");
+  EXPECT_DOUBLE_EQ(scenario.start_of(1), 100);
+  EXPECT_DOUBLE_EQ(scenario.start_of(2), 100);
+  EXPECT_GE(scenario.start_of(3), 150);
+}
+
+TEST(HybridLos, InsufficientCapacityDelaysDedicatedJob) {
+  const auto workload = make_workload(
+      10, 1, {batch_job(1, 0, 10, 200), dedicated_job(2, 0, 10, 50, 100)});
+  const auto scenario = run_scenario(workload, "Hybrid-LOS");
+  EXPECT_DOUBLE_EQ(scenario.start_of(2), 200);
+  EXPECT_DOUBLE_EQ(scenario.job(2).wait, 100);
+}
+
+TEST(HybridLos, BatchHeadSkipBoundHoldsUnderDedicatedStream) {
+  // C_s = 1: the batch head (7 procs) is skipped once for packing, then must
+  // start right away even though more dedicated work is pending.
+  const auto workload = make_workload(
+      10, 1,
+      {batch_job(1, 0, 10, 10),
+       batch_job(2, 1, 7, 100),
+       batch_job(3, 2, 4, 50), batch_job(4, 3, 6, 50),
+       dedicated_job(5, 4, 10, 50, 400)});
+  core::AlgorithmOptions options;
+  options.max_skip_count = 1;
+  const auto scenario = run_scenario(workload, "Hybrid-LOS", options);
+  // t=10: dedicated pending (start 400), head skipped by the DP ({4,6}
+  // packs 10), scount -> 1.  t=60: pairs finish; scount == C_s -> head
+  // starts right away.
+  EXPECT_DOUBLE_EQ(scenario.start_of(3), 10);
+  EXPECT_DOUBLE_EQ(scenario.start_of(4), 10);
+  EXPECT_DOUBLE_EQ(scenario.start_of(2), 60);
+  EXPECT_DOUBLE_EQ(scenario.start_of(5), 400);
+}
+
+TEST(HybridLos, DueDedicatedOverridesFutureFreeze) {
+  // Dedicated j1 due at t=50 (10 procs) and dedicated j2 at t=1000.  When
+  // j1 becomes due it must start even though it crosses nothing -> starts;
+  // the later reservation stays intact.
+  const auto workload = make_workload(
+      10, 1,
+      {dedicated_job(1, 0, 10, 100, 50), dedicated_job(2, 0, 10, 50, 1000)});
+  const auto scenario = run_scenario(workload, "Hybrid-LOS");
+  EXPECT_DOUBLE_EQ(scenario.start_of(1), 50);
+  EXPECT_DOUBLE_EQ(scenario.start_of(2), 1000);
+}
+
+TEST(HybridLos, EmptyBatchQueueStillServesDueDedicated) {
+  const auto workload =
+      make_workload(10, 1, {dedicated_job(1, 0, 4, 10, 77)});
+  const auto scenario = run_scenario(workload, "Hybrid-LOS");
+  EXPECT_DOUBLE_EQ(scenario.start_of(1), 77);
+}
+
+TEST(HybridLos, DedicatedKeepsOriginalArrivalForMetrics) {
+  // Algorithm 3 keeps w.arr; the outcome record must carry the original
+  // arrival, and the wait metric is the start delay.
+  const auto workload =
+      make_workload(10, 1, {dedicated_job(1, 5, 4, 10, 50)});
+  const auto scenario = run_scenario(workload, "Hybrid-LOS");
+  EXPECT_DOUBLE_EQ(scenario.job(1).arrival, 5);
+  EXPECT_DOUBLE_EQ(scenario.job(1).wait, 0);
+}
+
+TEST(HybridLos, SupportsDedicatedAndName) {
+  HybridLos scheduler;
+  EXPECT_TRUE(scheduler.supports_dedicated());
+  EXPECT_EQ(scheduler.name(), "Hybrid-LOS");
+}
+
+}  // namespace
+}  // namespace es::core

@@ -1,0 +1,79 @@
+#include "exp/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+namespace es::exp {
+namespace {
+
+RunSpec small_spec(const std::string& algorithm) {
+  RunSpec spec;
+  spec.workload.num_jobs = 150;
+  spec.workload.seed = 4;
+  spec.workload.target_load = 0.8;
+  spec.algorithm = algorithm;
+  return spec;
+}
+
+TEST(Experiment, RunOnceCompletesAllJobs) {
+  const auto result = run_once(small_spec("EASY"));
+  EXPECT_EQ(result.completed + result.killed, 150u);
+  EXPECT_GT(result.utilization, 0.0);
+  EXPECT_LE(result.utilization, 1.0);
+  EXPECT_GT(result.mean_wait, 0.0);
+  EXPECT_GE(result.slowdown, 1.0);
+}
+
+TEST(Experiment, RunOnceIsDeterministic) {
+  const auto a = run_once(small_spec("Delayed-LOS"));
+  const auto b = run_once(small_spec("Delayed-LOS"));
+  EXPECT_DOUBLE_EQ(a.mean_wait, b.mean_wait);
+  EXPECT_DOUBLE_EQ(a.utilization, b.utilization);
+}
+
+TEST(Experiment, ReplicationAveragesAcrossSeeds) {
+  const auto aggregate = run_replicated(small_spec("EASY"), 3);
+  EXPECT_EQ(aggregate.replications, 3);
+  EXPECT_GT(aggregate.utilization, 0.0);
+  // Different seeds -> nonzero spread (workloads genuinely differ).
+  EXPECT_GT(aggregate.mean_wait_stddev, 0.0);
+  // The mean equals the mean of the three individual runs.
+  double wait_sum = 0;
+  for (int i = 0; i < 3; ++i) {
+    RunSpec spec = small_spec("EASY");
+    spec.workload.seed += static_cast<std::uint64_t>(i);
+    wait_sum += run_once(spec).mean_wait;
+  }
+  EXPECT_NEAR(aggregate.mean_wait, wait_sum / 3.0, 1e-9);
+}
+
+TEST(Experiment, OffereedLoadNearTarget) {
+  const auto aggregate = run_replicated(small_spec("EASY"), 3);
+  EXPECT_NEAR(aggregate.offered_load, 0.8, 0.03);
+}
+
+TEST(Experiment, EccStatsSurfaceThroughAggregate) {
+  RunSpec spec = small_spec("Delayed-LOS-E");
+  spec.workload.p_extend = 0.3;
+  spec.workload.p_reduce = 0.2;
+  const auto aggregate = run_replicated(spec, 2);
+  EXPECT_GT(aggregate.ecc_processed, 0u);
+}
+
+TEST(Experiment, OptimalSkipCountWithinRange) {
+  workload::GeneratorConfig config;
+  config.num_jobs = 120;
+  config.seed = 8;
+  config.target_load = 0.9;
+  const int cs = optimal_skip_count(config, 1, 4, 2);
+  EXPECT_GE(cs, 1);
+  EXPECT_LE(cs, 4);
+}
+
+TEST(Experiment, RunWorkloadRejectsUnknownAlgorithm) {
+  workload::Workload workload;
+  workload.machine_procs = 10;
+  EXPECT_DEATH(run_workload(workload, "NOPE"), "precondition");
+}
+
+}  // namespace
+}  // namespace es::exp

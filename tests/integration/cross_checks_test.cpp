@@ -1,0 +1,117 @@
+// Parameterized cross-algorithm sanity sweeps over (P_S, load): the
+// relationships the paper's narrative depends on must hold across the
+// whole operating region, not only at the benched points.
+#include <gtest/gtest.h>
+
+#include "testing/helpers.hpp"
+#include "workload/generator.hpp"
+
+namespace es {
+namespace {
+
+using es::testing::run_scenario;
+
+struct GridPoint {
+  double p_small;
+  double load;
+};
+
+std::ostream& operator<<(std::ostream& out, const GridPoint& point) {
+  return out << "ps" << point.p_small << "_load" << point.load;
+}
+
+class OperatingGrid : public ::testing::TestWithParam<GridPoint> {
+ protected:
+  workload::Workload make(std::uint64_t seed) const {
+    workload::GeneratorConfig config;
+    config.num_jobs = 300;
+    config.seed = seed;
+    config.p_small = GetParam().p_small;
+    config.target_load = GetParam().load;
+    return workload::generate(config);
+  }
+
+  static core::AlgorithmOptions options() {
+    core::AlgorithmOptions algorithm_options;
+    algorithm_options.lookahead = 250;
+    algorithm_options.max_skip_count = 7;
+    return algorithm_options;
+  }
+};
+
+TEST_P(OperatingGrid, BackfillersBeatFcfs) {
+  const auto workload = make(41);
+  const double fcfs = run_scenario(workload, "FCFS").result.mean_wait;
+  for (const char* algorithm : {"EASY", "CONS", "LOS", "Delayed-LOS"}) {
+    const double wait =
+        run_scenario(workload, algorithm, options()).result.mean_wait;
+    EXPECT_LE(wait, fcfs * 1.02) << algorithm;
+  }
+}
+
+TEST_P(OperatingGrid, DelayedLosAtLeastMatchesLos) {
+  // The paper's headline, as a weak per-seed bound (3 seeds averaged).
+  double los_sum = 0, delayed_sum = 0;
+  for (std::uint64_t seed : {41u, 42u, 43u}) {
+    const auto workload = make(seed);
+    los_sum += run_scenario(workload, "LOS", options()).result.mean_wait;
+    delayed_sum +=
+        run_scenario(workload, "Delayed-LOS", options()).result.mean_wait;
+  }
+  EXPECT_LE(delayed_sum, los_sum * 1.03);
+}
+
+TEST_P(OperatingGrid, UtilizationConsistentWithCompletedWork) {
+  // util * M * makespan must equal the executed processor-seconds exactly.
+  const auto workload = make(44);
+  const auto scenario = run_scenario(workload, "EASY");
+  double proc_seconds = 0;
+  for (const auto& [id, job] : scenario.by_id)
+    proc_seconds += job.procs * (job.finished - job.started);
+  EXPECT_NEAR(
+      scenario.result.utilization * 320 * scenario.result.makespan,
+      proc_seconds, 1e-6 * proc_seconds);
+}
+
+TEST_P(OperatingGrid, SlowdownDefinitionsAgree) {
+  // The paper's ratio-of-means slowdown equals 1 + wait/run exactly.
+  const auto workload = make(45);
+  const auto scenario = run_scenario(workload, "LOS", options());
+  EXPECT_NEAR(scenario.result.slowdown,
+              1.0 + scenario.result.mean_wait / scenario.result.mean_run,
+              1e-9);
+  // And the per-job mean slowdown is bounded below by bounded slowdown.
+  EXPECT_GE(scenario.result.mean_per_job_slowdown + 1e-9,
+            scenario.result.mean_bounded_slowdown);
+}
+
+TEST_P(OperatingGrid, HigherLoadNeverReducesUtilization) {
+  // Within one seed, pushing the same trace to a higher offered load can
+  // only raise mean utilization for a work-conserving policy.
+  workload::GeneratorConfig config;
+  config.num_jobs = 300;
+  config.seed = 46;
+  config.p_small = GetParam().p_small;
+  config.target_load = GetParam().load;
+  const auto base = workload::generate(config);
+  config.target_load = GetParam().load + 0.2;
+  const auto pushed = workload::generate(config);
+  const double u1 = run_scenario(base, "EASY").result.utilization;
+  const double u2 = run_scenario(pushed, "EASY").result.utilization;
+  EXPECT_GE(u2, u1 * 0.97);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PsLoadGrid, OperatingGrid,
+    ::testing::Values(GridPoint{0.2, 0.6}, GridPoint{0.2, 0.9},
+                      GridPoint{0.5, 0.6}, GridPoint{0.5, 0.9},
+                      GridPoint{0.8, 0.6}, GridPoint{0.8, 0.9}),
+    [](const ::testing::TestParamInfo<GridPoint>& param_info) {
+      char name[48];
+      std::snprintf(name, sizeof name, "ps%02.0f_load%02.0f",
+                    param_info.param.p_small * 10, param_info.param.load * 10);
+      return std::string(name);
+    });
+
+}  // namespace
+}  // namespace es

@@ -1,0 +1,159 @@
+// End-to-end runtime-elasticity behaviour: ECCs flowing through the engine
+// into running/queued jobs under the -E algorithms.
+#include <gtest/gtest.h>
+
+#include "testing/helpers.hpp"
+#include "workload/generator.hpp"
+
+namespace es {
+namespace {
+
+using es::testing::batch_job;
+using es::testing::dedicated_job;
+using es::testing::make_workload;
+using es::testing::run_scenario;
+
+workload::Ecc make_ecc(workload::JobId id, double issue,
+                       workload::EccType type, double amount) {
+  workload::Ecc ecc;
+  ecc.job_id = id;
+  ecc.issue = issue;
+  ecc.type = type;
+  ecc.amount = amount;
+  return ecc;
+}
+
+TEST(Elastic, ExtensionDelaysDependentJob) {
+  // Job 1 holds the machine 100 s; an ET at t=50 adds 80 s, so job 2 starts
+  // at 180 instead of 100.
+  const auto workload = make_workload(
+      10, 1, {batch_job(1, 0, 10, 100), batch_job(2, 1, 10, 50)},
+      {make_ecc(1, 50, workload::EccType::kExtendTime, 80)});
+  const auto scenario = run_scenario(workload, "EASY-E");
+  EXPECT_DOUBLE_EQ(scenario.end_of(1), 180);
+  EXPECT_DOUBLE_EQ(scenario.start_of(2), 180);
+}
+
+TEST(Elastic, ReductionAdvancesDependentJob) {
+  const auto workload = make_workload(
+      10, 1, {batch_job(1, 0, 10, 100), batch_job(2, 1, 10, 50)},
+      {make_ecc(1, 20, workload::EccType::kReduceTime, 50)});
+  const auto scenario = run_scenario(workload, "EASY-E");
+  EXPECT_DOUBLE_EQ(scenario.end_of(1), 50);
+  EXPECT_DOUBLE_EQ(scenario.start_of(2), 50);
+}
+
+TEST(Elastic, ReductionBelowElapsedEndsJobImmediately) {
+  const auto workload = make_workload(
+      10, 1, {batch_job(1, 0, 10, 100)},
+      {make_ecc(1, 80, workload::EccType::kReduceTime, 70)});
+  const auto scenario = run_scenario(workload, "EASY-E");
+  EXPECT_DOUBLE_EQ(scenario.end_of(1), 80);
+}
+
+TEST(Elastic, QueuedJobExtensionAffectsPlacement) {
+  // Head blocked until t=100; backfill candidate (4 procs x 50) fits before
+  // the reservation — but an ET at t=3 makes it 4 x 150 which would delay
+  // the head, so EASY-E must not backfill it.
+  const auto without_ecc = make_workload(
+      10, 1,
+      {batch_job(1, 0, 6, 100), batch_job(2, 1, 8, 100),
+       batch_job(3, 2, 4, 50)});
+  const auto with_ecc = make_workload(
+      10, 1,
+      {batch_job(1, 0, 6, 100), batch_job(2, 1, 8, 100),
+       batch_job(3, 2, 4, 50)},
+      {make_ecc(3, 1.5, workload::EccType::kExtendTime, 100)});
+  const auto a = run_scenario(without_ecc, "EASY-E");
+  const auto b = run_scenario(with_ecc, "EASY-E");
+  EXPECT_DOUBLE_EQ(a.start_of(3), 2);
+  EXPECT_GE(b.start_of(3), 100);
+}
+
+TEST(Elastic, QueuedResizeChangesAllocation) {
+  const auto workload = make_workload(
+      320, 32, {batch_job(1, 10, 64, 100)},
+      {make_ecc(1, 5, workload::EccType::kExtendProcs, 64)});
+  const auto scenario = run_scenario(workload, "EASY-E");
+  EXPECT_EQ(scenario.job(1).procs, 128);
+}
+
+TEST(Elastic, ExtensionOnDedicatedJob) {
+  // Dedicated job runs [100, 150); ET at t=120 adds 50 -> ends at 200.
+  const auto workload = make_workload(
+      10, 1, {dedicated_job(1, 0, 8, 50, 100)},
+      {make_ecc(1, 120, workload::EccType::kExtendTime, 50)});
+  const auto scenario = run_scenario(workload, "Hybrid-LOS-E");
+  EXPECT_DOUBLE_EQ(scenario.start_of(1), 100);
+  EXPECT_DOUBLE_EQ(scenario.end_of(1), 200);
+}
+
+TEST(Elastic, ExtendedDedicatedJobDelaysNextReservation) {
+  // First dedicated [100,150) extended by 100 -> holds the full machine
+  // until 250, so the second dedicated (start 200) is delayed.
+  const auto workload = make_workload(
+      10, 1,
+      {dedicated_job(1, 0, 10, 50, 100), dedicated_job(2, 0, 10, 50, 200)},
+      {make_ecc(1, 120, workload::EccType::kExtendTime, 100)});
+  const auto scenario = run_scenario(workload, "Hybrid-LOS-E");
+  EXPECT_DOUBLE_EQ(scenario.end_of(1), 250);
+  EXPECT_DOUBLE_EQ(scenario.start_of(2), 250);
+  EXPECT_DOUBLE_EQ(scenario.job(2).wait, 50);
+}
+
+TEST(Elastic, EccOnFinishedJobIsIgnored) {
+  const auto workload = make_workload(
+      10, 1, {batch_job(1, 0, 10, 50)},
+      {make_ecc(1, 80, workload::EccType::kExtendTime, 100)});
+  const auto scenario = run_scenario(workload, "EASY-E");
+  EXPECT_DOUBLE_EQ(scenario.end_of(1), 50);
+  EXPECT_EQ(scenario.result.ecc.rejected, 1u);
+}
+
+TEST(Elastic, MultipleEccsApplyFcfsOrder) {
+  // +100 at t=10, then -80 at t=20: net end = 100 + 100 - 80 = 120.
+  const auto workload = make_workload(
+      10, 1, {batch_job(1, 0, 10, 100)},
+      {make_ecc(1, 10, workload::EccType::kExtendTime, 100),
+       make_ecc(1, 20, workload::EccType::kReduceTime, 80)});
+  const auto scenario = run_scenario(workload, "LOS-E");
+  EXPECT_DOUBLE_EQ(scenario.end_of(1), 120);
+  EXPECT_EQ(scenario.result.ecc.processed, 2u);
+}
+
+TEST(Elastic, PropertyElasticWorkloadsKeepInvariants) {
+  // Heavier ECC traffic than the paper's defaults across all -E algorithms.
+  workload::GeneratorConfig config;
+  config.num_jobs = 250;
+  config.seed = 31;
+  config.p_dedicated = 0.3;
+  config.p_extend = 0.4;
+  config.p_reduce = 0.3;
+  config.max_eccs_per_job = 3;
+  config.target_load = 0.95;
+  const auto workload = workload::generate(config);
+  for (const char* algorithm : {"EASY-DE", "LOS-DE", "Hybrid-LOS-E"}) {
+    const auto scenario = run_scenario(workload, algorithm);
+    EXPECT_EQ(scenario.result.completed + scenario.result.killed, 250u)
+        << algorithm;
+    EXPECT_LE(es::testing::peak_allocation(scenario.result), 320)
+        << algorithm;
+    EXPECT_GT(scenario.result.ecc.processed, 100u) << algorithm;
+  }
+}
+
+TEST(Elastic, EccsChangeOutcomesRelativeToNonElastic) {
+  workload::GeneratorConfig config;
+  config.num_jobs = 250;
+  config.seed = 33;
+  config.p_extend = 0.2;
+  config.p_reduce = 0.1;
+  config.target_load = 0.9;
+  const auto workload = workload::generate(config);
+  const auto elastic = run_scenario(workload, "Delayed-LOS-E");
+  const auto rigid = run_scenario(workload, "Delayed-LOS");
+  EXPECT_NE(elastic.result.mean_wait, rigid.result.mean_wait);
+}
+
+}  // namespace
+}  // namespace es

@@ -1,0 +1,133 @@
+// Golden schedules for the heterogeneous (-D) and elastic (-E) families on
+// fixed scenarios, pinning exact start times.  Derivations in comments;
+// re-derive by hand before changing expectations.
+#include <gtest/gtest.h>
+
+#include "testing/helpers.hpp"
+
+namespace es {
+namespace {
+
+using es::testing::batch_job;
+using es::testing::dedicated_job;
+using es::testing::make_workload;
+using es::testing::run_scenario;
+
+/// 10-processor machine.  Batch stream plus two dedicated windows:
+///   id 1: batch 6p x 80, arr 0
+///   id 2: batch 5p x 100, arr 1
+///   id 3: dedicated 8p x 40 at t=120 (booked at arr 2)
+///   id 4: batch 4p x 30, arr 3
+///   id 5: batch 3p x 500, arr 4
+///   id 6: dedicated 10p x 20 at t=300 (booked at arr 5)
+workload::Workload hetero_workload() {
+  return make_workload(
+      10, 1,
+      {batch_job(1, 0, 6, 80), batch_job(2, 1, 5, 100),
+       dedicated_job(3, 2, 8, 40, 120), batch_job(4, 3, 4, 30),
+       batch_job(5, 4, 3, 500), dedicated_job(6, 5, 10, 20, 300)});
+}
+
+TEST(GoldenHetero, EasyD) {
+  const auto s = run_scenario(hetero_workload(), "EASY-D");
+  // t=0: 1 starts (free 4).  t=1: 2 (5p) blocked -> head shadow at 80
+  // (frec = 4+6-5 = 5).  t=3: 4 (4p x30) fits, ends 33 < 80, and respects
+  // the dedicated freeze (ends before 120): backfills (free 0).
+  EXPECT_DOUBLE_EQ(s.start_of(1), 0);
+  EXPECT_DOUBLE_EQ(s.start_of(4), 3);
+  // t=33: 4 done (free 4).  5 (3p x500) fits now, crosses the head shadow
+  // (ends 533 > 80) -> needs head frec 5 >= 3 ok; crosses dedicated freeze
+  // at 120 (capacity at 120: jobs running then... 1 ends 80, so at 120
+  // only 5 itself would run: frec_d = 10 - 8 = 2 < 3) -> refused.
+  EXPECT_GT(s.start_of(5), 33);
+  // t=80: 1 done (free 10): head 2 starts (ends 180 -> crosses t=120!
+  // respects ded? 2 is the head: capacity at 120 = 10 - 5(job 2) = 5 < 8
+  // -> violates the freeze -> head blocked by the dedicated reservation.
+  // So 2 waits until the dedicated job finishes: starts at 160.
+  EXPECT_DOUBLE_EQ(s.start_of(3), 120);
+  EXPECT_DOUBLE_EQ(s.start_of(2), 160);
+  EXPECT_DOUBLE_EQ(s.start_of(6), 300);
+  EXPECT_EQ(s.result.dedicated_on_time, 2u);
+}
+
+TEST(GoldenHetero, HybridLos) {
+  core::AlgorithmOptions options;
+  options.max_skip_count = 7;
+  const auto s = run_scenario(hetero_workload(), "Hybrid-LOS", options);
+  // t=0: no dedicated yet -> Delayed-LOS: Basic_DP {1} starts (free 4).
+  // t=1: 2 (5p) doesn't fit -> Delayed path (Wd still empty).
+  // t=2: dedicated 3 arrives (start 120): freeze fret=120; capacity at
+  // 120: job 1 ends 80 -> 10 free -> frec = 10-8 = 2.
+  // t=3: 4 (4p x30) arrives: DP eligible 4 (ends 33 < 120, frenum 0):
+  // starts; 2 skipped (scount 1).
+  EXPECT_DOUBLE_EQ(s.start_of(1), 0);
+  EXPECT_DOUBLE_EQ(s.start_of(4), 3);
+  // t=80: 1 done (free 10... job 4 ended at 33): free = 10.  DP with the
+  // dedicated freeze: 2 (5p, ends 180 crosses 120, frenum 5 > frec 2) is
+  // excluded; 5 (3p, crosses, frenum 3 > 2) excluded -> nothing starts;
+  // 2's scount -> 2.
+  // t=120: dedicated 3 moves to batch head and starts (free 2).
+  EXPECT_DOUBLE_EQ(s.start_of(3), 120);
+  // t=160: 3 done (free 10).  Next dedicated freeze: 6 at t=300, capacity
+  // at 300 = 10 -> frec = 0.  DP: 2 (ends 260 < 300 -> frenum 0) and 5
+  // (crosses, frenum 3 > 0 excluded): {2} starts.
+  EXPECT_DOUBLE_EQ(s.start_of(2), 160);
+  // t=260: 2 done.  5 still excluded by the t=300 freeze (crosses with
+  // frenum 3 > 0); head 5's scount grows but C_s=7 not yet reached.
+  // t=300: 6 moves and starts; t=320: 6 done -> 5 finally starts.
+  EXPECT_DOUBLE_EQ(s.start_of(6), 300);
+  EXPECT_DOUBLE_EQ(s.start_of(5), 320);
+  EXPECT_EQ(s.result.dedicated_on_time, 2u);
+}
+
+/// Elastic scenario: two batch jobs and one ET command re-ordering events.
+///   id 1: 10p x 100, arr 0; ET +50 at t=60
+///   id 2: 10p x 50, arr 1
+///   id 3: 4p x 500, arr 2
+TEST(GoldenElastic, EasyE) {
+  workload::Ecc ecc;
+  ecc.issue = 60;
+  ecc.job_id = 1;
+  ecc.type = workload::EccType::kExtendTime;
+  ecc.amount = 50;
+  const auto workload = make_workload(
+      10, 1,
+      {batch_job(1, 0, 10, 100), batch_job(2, 1, 10, 50),
+       batch_job(3, 2, 4, 500)},
+      {ecc});
+  const auto s = run_scenario(workload, "EASY-E");
+  // 1 runs [0, 150) after the extension.  2 (head) reserved at 150;
+  // 3 (4p x500) would end at 502+ > shadow and needs frec = 10-10 = 0:
+  // never backfilled; FIFO resumes after 2.
+  EXPECT_DOUBLE_EQ(s.end_of(1), 150);
+  EXPECT_DOUBLE_EQ(s.start_of(2), 150);
+  EXPECT_DOUBLE_EQ(s.start_of(3), 200);
+}
+
+TEST(GoldenElastic, ReductionChangesWinnerOfTheNextSlot) {
+  // 1 holds 6p with estimate 200; 2 (6p x100) waits; at t=50 an RT cuts 1
+  // to 80 total -> 2 starts at 80 instead of 200.
+  workload::Ecc ecc;
+  ecc.issue = 50;
+  ecc.job_id = 1;
+  ecc.type = workload::EccType::kReduceTime;
+  ecc.amount = 120;
+  const auto workload = make_workload(
+      10, 1, {batch_job(1, 0, 6, 200), batch_job(2, 1, 6, 100)}, {ecc});
+  const auto s = run_scenario(workload, "LOS-E");
+  EXPECT_DOUBLE_EQ(s.end_of(1), 80);
+  EXPECT_DOUBLE_EQ(s.start_of(2), 80);
+}
+
+TEST(GoldenHetero, LosDMatchesEasyDOnThisScenario) {
+  // On hetero_workload the two baselines happen to coincide except for how
+  // job 5 is admitted; pin both so divergence is caught.
+  const auto easy = run_scenario(hetero_workload(), "EASY-D");
+  const auto los = run_scenario(hetero_workload(), "LOS-D");
+  EXPECT_DOUBLE_EQ(los.start_of(1), easy.start_of(1));
+  EXPECT_DOUBLE_EQ(los.start_of(3), easy.start_of(3));
+  EXPECT_DOUBLE_EQ(los.start_of(6), easy.start_of(6));
+}
+
+}  // namespace
+}  // namespace es

@@ -1,0 +1,128 @@
+// Golden regression tests: a fixed 12-job scenario with hand-verifiable
+// structure, asserting the exact start times every algorithm produces.
+// These pin the precise semantics of each policy so that refactors cannot
+// silently change scheduling behaviour.  If an intentional algorithm change
+// breaks one of these, re-derive the expected schedule by hand first.
+#include <gtest/gtest.h>
+
+#include "testing/helpers.hpp"
+
+namespace es {
+namespace {
+
+using es::testing::batch_job;
+using es::testing::make_workload;
+using es::testing::run_scenario;
+
+/// 10-processor machine.  A blocker pins the machine until t=10; the queue
+/// then holds a mix engineered to separate the policies:
+///   id 2: 7 procs x 100  (large head)
+///   id 3: 4 procs x 100
+///   id 4: 6 procs x 100
+///   id 5: 3 procs x 40   (short filler)
+///   id 6: 9 procs x 50   (very large)
+///   id 7: 2 procs x 400  (small but long)
+workload::Workload golden_workload() {
+  return make_workload(
+      10, 1,
+      {batch_job(1, 0, 10, 10), batch_job(2, 1, 7, 100),
+       batch_job(3, 2, 4, 100), batch_job(4, 3, 6, 100),
+       batch_job(5, 4, 3, 40), batch_job(6, 5, 9, 50),
+       batch_job(7, 6, 2, 400)});
+}
+
+TEST(Golden, Fcfs) {
+  const auto s = run_scenario(golden_workload(), "FCFS");
+  EXPECT_DOUBLE_EQ(s.start_of(2), 10);
+  EXPECT_DOUBLE_EQ(s.start_of(3), 110);   // 7 blocks everything
+  EXPECT_DOUBLE_EQ(s.start_of(4), 110);   // 4+6 = 10 together
+  EXPECT_DOUBLE_EQ(s.start_of(5), 210);
+  EXPECT_DOUBLE_EQ(s.start_of(6), 250);   // after 5 (3 procs) ends
+  EXPECT_DOUBLE_EQ(s.start_of(7), 300);
+}
+
+TEST(Golden, Easy) {
+  const auto s = run_scenario(golden_workload(), "EASY");
+  // t=10: head 2 (7p) starts (free 3); 3 (4p) blocked -> shadow at 110,
+  // extra = 3+7-4 = 6.  Backfill scan: 4 (6p) no; 5 (3p x40) ends 50 < 110
+  // yes (free -> 0); 6, 7 no free capacity left.
+  EXPECT_DOUBLE_EQ(s.start_of(2), 10);
+  EXPECT_DOUBLE_EQ(s.start_of(5), 10);
+  // t=50: 5 ends (free 3): head still blocked, same shadow; 7 (2p x400)
+  // crosses 110 but fits the extra 6 -> backfills.
+  EXPECT_DOUBLE_EQ(s.start_of(7), 50);
+  // t=110: 2 ends (free 8): 3 starts (free 4); 4 (6p) blocked until 3 ends.
+  EXPECT_DOUBLE_EQ(s.start_of(3), 110);
+  EXPECT_DOUBLE_EQ(s.start_of(4), 210);
+  // 6 (9p) needs job 7's processors back: 7 runs [50, 450).
+  EXPECT_DOUBLE_EQ(s.start_of(6), 450);
+}
+
+TEST(Golden, Los) {
+  const auto s = run_scenario(golden_workload(), "LOS");
+  // t=10: head 2 (7p) starts right away (LOS head rule); next head 3 (4p)
+  // does not fit (free 3).  Reservation_DP with shadow at 110 (frec = 6):
+  // eligible <= 3 procs: 5 (3p, ends before 110, frenum 0) and 7 (2p,
+  // frenum 2).  Capacity 3 admits only one: the DP takes 5 (util 3 > 2).
+  EXPECT_DOUBLE_EQ(s.start_of(2), 10);
+  EXPECT_DOUBLE_EQ(s.start_of(5), 10);
+  // t=50: 5 ends, free 3; head 3 (4p) still blocked; eligible 7 (2p),
+  // frenum 2 <= frec 6 -> starts.
+  EXPECT_DOUBLE_EQ(s.start_of(7), 50);
+  // t=110: 2 ends, free 8: head 3 (4p) starts right away; head 4 (6p)
+  // blocked (free 4) until 3 ends at 210; 6 (9p) waits for 7 (ends 450).
+  EXPECT_DOUBLE_EQ(s.start_of(3), 110);
+  EXPECT_DOUBLE_EQ(s.start_of(4), 210);
+  EXPECT_DOUBLE_EQ(s.start_of(6), 450);
+}
+
+TEST(Golden, DelayedLos) {
+  core::AlgorithmOptions options;
+  options.max_skip_count = 7;
+  const auto s = run_scenario(golden_workload(), "Delayed-LOS", options);
+  // t=10: Basic_DP over {7,4,6,3,9,2} cap 10.  Two sets reach util 10 with
+  // equal tie-break score ({2,5} = {7p,3p} and {3,4} = {4p,6p}); the DP's
+  // deterministic resolution picks {3,4}, skipping the head (scount -> 1).
+  EXPECT_DOUBLE_EQ(s.start_of(3), 10);
+  EXPECT_DOUBLE_EQ(s.start_of(4), 10);
+  // t=110: 3 and 4 finish.  After the first release (free 4) the head (7p)
+  // is blocked: Reservation_DP (shadow = now, frec 3) starts 5 (3p).
+  // After the second release (free 7) Basic_DP picks the head itself.
+  EXPECT_DOUBLE_EQ(s.start_of(5), 110);
+  EXPECT_DOUBLE_EQ(s.start_of(2), 110);
+  // t=210: 2 ends (free 10): Basic_DP over {9,2}: {9} wins -> 6 starts;
+  // 7 follows when 6 releases at 260.
+  EXPECT_DOUBLE_EQ(s.start_of(6), 210);
+  EXPECT_DOUBLE_EQ(s.start_of(7), 260);
+}
+
+TEST(Golden, Conservative) {
+  const auto s = run_scenario(golden_workload(), "CONS");
+  // Profile-based reservations: 2 @ 10 (7p); 3 @ 110; 4 @ 110 (4+6 = 10);
+  // 5: earliest hole with 3 procs for 40 s -> beside 2 at t=10 (3 free).
+  // 6 (9p x50): after 3 and 4 end at 210, and 5's... 5 ends 50 -> at 210
+  // free is 10 -> reserve 210; 7 (2p x400): fits beside 2+5? 7+3+2 > 10.
+  // After 5 ends at 50: free 3 -> 7 fits at 50 for [50,450)?  That window
+  // would hold 2 procs through 110-210 where 3+4 use 10... 4+6+2 > 10, so
+  // no; earliest is... check monotone reservations: 7 reserved after its
+  // predecessors: profile after booking 2,3,4,5,6: free at [50,110)=3,
+  // [110,210)=0, [210,260)=1, [260,...)=10 -> 7 starts 260.
+  EXPECT_DOUBLE_EQ(s.start_of(2), 10);
+  EXPECT_DOUBLE_EQ(s.start_of(5), 10);
+  EXPECT_DOUBLE_EQ(s.start_of(3), 110);
+  EXPECT_DOUBLE_EQ(s.start_of(4), 110);
+  EXPECT_DOUBLE_EQ(s.start_of(6), 210);
+  EXPECT_DOUBLE_EQ(s.start_of(7), 260);
+}
+
+TEST(Golden, MeanWaitsRankAsExpected) {
+  // The headline ordering on this crafted queue.
+  const auto fcfs = run_scenario(golden_workload(), "FCFS");
+  const auto easy = run_scenario(golden_workload(), "EASY");
+  const auto delayed = run_scenario(golden_workload(), "Delayed-LOS");
+  EXPECT_LT(easy.result.mean_wait, fcfs.result.mean_wait);
+  EXPECT_LE(delayed.result.mean_wait, fcfs.result.mean_wait);
+}
+
+}  // namespace
+}  // namespace es

@@ -1,0 +1,151 @@
+// Cross-algorithm property tests: every algorithm of Table III must uphold
+// the fundamental invariants on randomized workloads — capacity never
+// exceeded, every job completes exactly once, dedicated jobs never start
+// before their requested time, waits are non-negative, and runs are
+// bit-deterministic.
+#include <gtest/gtest.h>
+
+#include "testing/helpers.hpp"
+#include "workload/generator.hpp"
+
+namespace es {
+namespace {
+
+using es::testing::peak_allocation;
+using es::testing::run_scenario;
+
+struct AlgorithmCase {
+  const char* name;
+  bool dedicated;
+  bool elastic;
+};
+
+std::ostream& operator<<(std::ostream& out, const AlgorithmCase& c) {
+  return out << c.name;
+}
+
+class AllAlgorithms : public ::testing::TestWithParam<AlgorithmCase> {
+ protected:
+  workload::Workload make(std::uint64_t seed) const {
+    const AlgorithmCase& param = GetParam();
+    workload::GeneratorConfig config;
+    config.num_jobs = 250;
+    config.seed = seed;
+    config.p_small = 0.5;
+    config.target_load = 0.95;
+    if (param.dedicated) config.p_dedicated = 0.4;
+    if (param.elastic) {
+      config.p_extend = 0.2;
+      config.p_reduce = 0.1;
+    }
+    return workload::generate(config);
+  }
+};
+
+TEST_P(AllAlgorithms, CapacityNeverExceeded) {
+  const auto scenario = run_scenario(make(1), GetParam().name);
+  EXPECT_LE(peak_allocation(scenario.result), 320);
+}
+
+TEST_P(AllAlgorithms, EveryJobRunsExactlyOnce) {
+  const auto scenario = run_scenario(make(2), GetParam().name);
+  EXPECT_EQ(scenario.result.jobs.size(), 250u);
+  EXPECT_EQ(scenario.by_id.size(), 250u);  // unique ids
+  EXPECT_EQ(scenario.result.completed + scenario.result.killed, 250u);
+}
+
+TEST_P(AllAlgorithms, StartsAfterArrivalAndDedicatedStartsAfterRequest) {
+  const auto scenario = run_scenario(make(3), GetParam().name);
+  for (const auto& [id, job] : scenario.by_id) {
+    EXPECT_GE(job.started, job.arrival) << "job " << id;
+    EXPECT_GE(job.finished, job.started) << "job " << id;
+    EXPECT_GE(job.wait, 0.0) << "job " << id;
+  }
+}
+
+TEST_P(AllAlgorithms, AllocationsHonourGranularity) {
+  const auto scenario = run_scenario(make(4), GetParam().name);
+  for (const auto& [id, job] : scenario.by_id) {
+    EXPECT_EQ(job.procs % 32, 0) << "job " << id;
+    EXPECT_GE(job.procs, 32) << "job " << id;
+    EXPECT_LE(job.procs, 320) << "job " << id;
+  }
+}
+
+TEST_P(AllAlgorithms, DeterministicAcrossIdenticalRuns) {
+  const auto workload = make(5);
+  const auto a = run_scenario(workload, GetParam().name);
+  const auto b = run_scenario(workload, GetParam().name);
+  EXPECT_DOUBLE_EQ(a.result.mean_wait, b.result.mean_wait);
+  EXPECT_DOUBLE_EQ(a.result.utilization, b.result.utilization);
+  EXPECT_DOUBLE_EQ(a.result.slowdown, b.result.slowdown);
+  for (const auto& [id, job] : a.by_id) {
+    EXPECT_DOUBLE_EQ(job.started, b.job(id).started) << "job " << id;
+    EXPECT_DOUBLE_EQ(job.finished, b.job(id).finished) << "job " << id;
+  }
+}
+
+TEST_P(AllAlgorithms, UtilizationWithinPhysicalBounds) {
+  const auto scenario = run_scenario(make(6), GetParam().name);
+  EXPECT_GT(scenario.result.utilization, 0.0);
+  EXPECT_LE(scenario.result.utilization, 1.0);
+  EXPECT_GE(scenario.result.slowdown, 1.0);
+}
+
+TEST_P(AllAlgorithms, ParanoidModeFindsNoViolations) {
+  // The engine re-verifies ledger/queue/status invariants after every
+  // scheduling cycle; any violation aborts the run.
+  const auto workload = make(7);
+  core::Algorithm algorithm = core::make_algorithm(GetParam().name);
+  ASSERT_NE(algorithm.policy, nullptr);
+  sched::EngineConfig config;
+  config.machine_procs = workload.machine_procs;
+  config.granularity = workload.granularity;
+  config.process_eccs = algorithm.process_eccs;
+  config.paranoid = true;
+  const auto result = sched::simulate(config, *algorithm.policy, workload);
+  EXPECT_EQ(result.completed + result.killed, 250u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TableThree, AllAlgorithms,
+    ::testing::Values(AlgorithmCase{"FCFS", false, false},
+                      AlgorithmCase{"CONS", false, false},
+                      AlgorithmCase{"EASY", false, false},
+                      AlgorithmCase{"EASY-D", true, false},
+                      AlgorithmCase{"EASY-E", false, true},
+                      AlgorithmCase{"EASY-DE", true, true},
+                      AlgorithmCase{"LOS", false, false},
+                      AlgorithmCase{"LOS-D", true, false},
+                      AlgorithmCase{"LOS-E", false, true},
+                      AlgorithmCase{"LOS-DE", true, true},
+                      AlgorithmCase{"Delayed-LOS", false, false},
+                      AlgorithmCase{"Delayed-LOS-E", false, true},
+                      AlgorithmCase{"Hybrid-LOS", true, false},
+                      AlgorithmCase{"Hybrid-LOS-E", true, true},
+                      AlgorithmCase{"Adaptive", false, false}),
+    [](const ::testing::TestParamInfo<AlgorithmCase>& param_info) {
+      std::string name = param_info.param.name;
+      for (char& c : name)
+        if (c == '-') c = '_';
+      return name;
+    });
+
+TEST(Fairness, DelayedLosHeadSkipBoundedByCs) {
+  // Starvation bound: with C_s = k, once a head job fits it cannot be
+  // overtaken indefinitely — its wait beyond the first fitting instant is
+  // bounded by k packing rounds.  We verify the weaker observable: under
+  // Delayed-LOS no job waits more than (C_s + queue drains) vs LOS's
+  // reservation guarantee; concretely here, the max wait stays finite and
+  // all jobs run (no starvation).
+  workload::GeneratorConfig config;
+  config.num_jobs = 300;
+  config.seed = 17;
+  config.target_load = 1.2;  // heavy overload
+  const auto workload = workload::generate(config);
+  const auto scenario = run_scenario(workload, "Delayed-LOS");
+  EXPECT_EQ(scenario.result.completed + scenario.result.killed, 300u);
+}
+
+}  // namespace
+}  // namespace es

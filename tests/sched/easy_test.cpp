@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "testing/helpers.hpp"
+
+namespace es::sched {
+namespace {
+
+using es::testing::batch_job;
+using es::testing::dedicated_job;
+using es::testing::make_workload;
+using es::testing::run_scenario;
+
+TEST(Easy, BackfillsShortJobThatCannotDelayHead) {
+  // 6 procs run until t=100.  Head needs 8 (reserved at t=100).  A size-4
+  // job of length 50 fits now and ends before the reservation: backfill.
+  const auto workload = make_workload(
+      10, 1,
+      {batch_job(1, 0, 6, 100), batch_job(2, 1, 8, 100),
+       batch_job(3, 2, 4, 50)});
+  const auto scenario = run_scenario(workload, "EASY");
+  EXPECT_DOUBLE_EQ(scenario.start_of(3), 2);    // backfilled immediately
+  EXPECT_DOUBLE_EQ(scenario.start_of(2), 100);  // reservation honoured
+}
+
+TEST(Easy, RefusesBackfillThatWouldDelayHead) {
+  // Same setup, but the size-4 job runs 500 s: it would hold 4 procs past
+  // t=100, leaving only 6+4-4=6 < 8 for the head -> no backfill.
+  const auto workload = make_workload(
+      10, 1,
+      {batch_job(1, 0, 6, 100), batch_job(2, 1, 8, 100),
+       batch_job(3, 2, 4, 500)});
+  const auto scenario = run_scenario(workload, "EASY");
+  EXPECT_DOUBLE_EQ(scenario.start_of(2), 100);
+  EXPECT_GE(scenario.start_of(3), 100);
+}
+
+TEST(Easy, BackfillUsingShadowExtraCapacity) {
+  // 6 procs until t=100; head needs 7 -> at t=100 there are 10 free, extra
+  // = 10-7 = 3.  A long size-3 job can run across the reservation.
+  const auto workload = make_workload(
+      10, 1,
+      {batch_job(1, 0, 6, 100), batch_job(2, 1, 7, 100),
+       batch_job(3, 2, 3, 1000)});
+  const auto scenario = run_scenario(workload, "EASY");
+  EXPECT_DOUBLE_EQ(scenario.start_of(3), 2);
+  EXPECT_DOUBLE_EQ(scenario.start_of(2), 100);
+}
+
+TEST(Easy, ShadowExtraCapacityIsDecremented) {
+  // Extra = 3; two long size-2 jobs: only the first fits the extra.
+  const auto workload = make_workload(
+      10, 1,
+      {batch_job(1, 0, 6, 100), batch_job(2, 1, 7, 100),
+       batch_job(3, 2, 2, 1000), batch_job(4, 3, 2, 1000)});
+  const auto scenario = run_scenario(workload, "EASY");
+  EXPECT_DOUBLE_EQ(scenario.start_of(3), 2);
+  EXPECT_GE(scenario.start_of(4), 100);
+}
+
+TEST(Easy, DrainsHeadsWhileTheyFit) {
+  const auto workload = make_workload(
+      10, 1,
+      {batch_job(1, 0, 3, 100), batch_job(2, 0, 3, 100),
+       batch_job(3, 0, 3, 100)});
+  const auto scenario = run_scenario(workload, "EASY");
+  EXPECT_DOUBLE_EQ(scenario.start_of(1), 0);
+  EXPECT_DOUBLE_EQ(scenario.start_of(2), 0);
+  EXPECT_DOUBLE_EQ(scenario.start_of(3), 0);
+}
+
+TEST(Easy, BeatsFcfsOnFragmentedQueue) {
+  const auto workload = make_workload(
+      10, 1,
+      {batch_job(1, 0, 6, 100), batch_job(2, 1, 8, 100),
+       batch_job(3, 2, 4, 50), batch_job(4, 3, 4, 50)});
+  const auto easy = run_scenario(workload, "EASY");
+  const auto fcfs = run_scenario(workload, "FCFS");
+  EXPECT_LT(easy.result.mean_wait, fcfs.result.mean_wait);
+}
+
+TEST(EasyD, DueDedicatedJobStartsAtRequestedTime) {
+  const auto workload = make_workload(
+      10, 1,
+      {batch_job(1, 0, 4, 30), dedicated_job(2, 0, 8, 50, /*start=*/100)});
+  const auto scenario = run_scenario(workload, "EASY-D");
+  EXPECT_DOUBLE_EQ(scenario.start_of(2), 100);
+  EXPECT_DOUBLE_EQ(scenario.job(2).wait, 0);  // on time -> zero delay
+}
+
+TEST(EasyD, BatchJobsPackAroundDedicatedReservation) {
+  // Dedicated 8 procs at t=100.  A batch job of 6 procs x 200 s would
+  // overlap the reservation (6+8 > 10) -> must wait; a 6 x 50 fits before.
+  const auto ok = make_workload(
+      10, 1, {dedicated_job(1, 0, 8, 50, 100), batch_job(2, 1, 6, 50)});
+  const auto scenario_ok = run_scenario(ok, "EASY-D");
+  EXPECT_DOUBLE_EQ(scenario_ok.start_of(2), 1);
+
+  const auto blocked = make_workload(
+      10, 1, {dedicated_job(1, 0, 8, 50, 100), batch_job(2, 1, 6, 200)});
+  const auto scenario_blocked = run_scenario(blocked, "EASY-D");
+  EXPECT_GE(scenario_blocked.start_of(2), 100);
+  EXPECT_DOUBLE_EQ(scenario_blocked.start_of(1), 100);
+}
+
+TEST(EasyD, LongSmallBatchJobUsesDedicatedShadowCapacity) {
+  // Dedicated needs 8 at t=100 -> frec = 2.  A 2-proc long job may cross.
+  const auto workload = make_workload(
+      10, 1, {dedicated_job(1, 0, 8, 50, 100), batch_job(2, 1, 2, 1000)});
+  const auto scenario = run_scenario(workload, "EASY-D");
+  EXPECT_DOUBLE_EQ(scenario.start_of(2), 1);
+  EXPECT_DOUBLE_EQ(scenario.start_of(1), 100);
+}
+
+TEST(EasyD, DedicatedDelayedByInsufficientCapacityIsReported) {
+  // A batch job occupies the full machine until t=200, but the dedicated
+  // job wants to start at t=100: unavoidable delay of 100.
+  const auto workload = make_workload(
+      10, 1, {batch_job(1, 0, 10, 200), dedicated_job(2, 0, 10, 50, 100)});
+  const auto scenario = run_scenario(workload, "EASY-D");
+  EXPECT_DOUBLE_EQ(scenario.start_of(2), 200);
+  EXPECT_DOUBLE_EQ(scenario.job(2).wait, 100);
+  EXPECT_EQ(scenario.result.dedicated_on_time, 0u);
+  EXPECT_DOUBLE_EQ(scenario.result.mean_dedicated_delay, 100);
+}
+
+TEST(EasyD, TwoDedicatedGroupsHonoured) {
+  const auto workload = make_workload(
+      10, 1,
+      {dedicated_job(1, 0, 5, 50, 100), dedicated_job(2, 0, 5, 50, 100),
+       batch_job(3, 1, 10, 2000)});
+  const auto scenario = run_scenario(workload, "EASY-D");
+  EXPECT_DOUBLE_EQ(scenario.start_of(1), 100);
+  EXPECT_DOUBLE_EQ(scenario.start_of(2), 100);
+  // The big batch job cannot run before the reservations complete.
+  EXPECT_GE(scenario.start_of(3), 150);
+}
+
+TEST(EasyD, PlainEasyRejectsDedicatedJobs) {
+  const auto workload =
+      make_workload(10, 1, {dedicated_job(1, 0, 4, 10, 5)});
+  EXPECT_DEATH(run_scenario(workload, "EASY"), "precondition");
+}
+
+}  // namespace
+}  // namespace es::sched

@@ -1,0 +1,145 @@
+#include "sched/ecc_processor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace es::sched {
+namespace {
+
+JobRun waiting_job(double req_time = 100, int num = 8) {
+  JobRun job;
+  job.spec.id = 1;
+  job.req_time = req_time;
+  job.actual_time = req_time;
+  job.num = num;
+  job.status = JobStatus::kWaiting;
+  return job;
+}
+
+JobRun running_job(double started, double req_time = 100, int num = 8) {
+  JobRun job = waiting_job(req_time, num);
+  job.status = JobStatus::kRunning;
+  job.start_time = started;
+  job.alloc = num;
+  return job;
+}
+
+workload::Ecc ecc(workload::EccType type, double amount) {
+  workload::Ecc command;
+  command.job_id = 1;
+  command.type = type;
+  command.amount = amount;
+  return command;
+}
+
+TEST(EccProcessor, ExtendQueuedJob) {
+  EccProcessor processor(320, 32);
+  JobRun job = waiting_job(100);
+  const auto outcome =
+      processor.apply(ecc(workload::EccType::kExtendTime, 60), job, 10);
+  EXPECT_EQ(outcome, EccOutcome::kAppliedQueued);
+  EXPECT_DOUBLE_EQ(job.req_time, 160);
+  EXPECT_DOUBLE_EQ(job.actual_time, 160);
+}
+
+TEST(EccProcessor, ExtendRunningJobRequestsReschedule) {
+  EccProcessor processor(320, 32);
+  JobRun job = running_job(0, 100);
+  const auto outcome =
+      processor.apply(ecc(workload::EccType::kExtendTime, 50), job, 40);
+  EXPECT_EQ(outcome, EccOutcome::kAppliedRunning);
+  EXPECT_DOUBLE_EQ(job.req_time, 150);
+}
+
+TEST(EccProcessor, ReduceQueuedJob) {
+  EccProcessor processor(320, 32);
+  JobRun job = waiting_job(100);
+  const auto outcome =
+      processor.apply(ecc(workload::EccType::kReduceTime, 30), job, 10);
+  EXPECT_EQ(outcome, EccOutcome::kAppliedQueued);
+  EXPECT_DOUBLE_EQ(job.req_time, 70);
+  EXPECT_DOUBLE_EQ(job.actual_time, 70);
+}
+
+TEST(EccProcessor, ReductionClampsToMinimumRuntime) {
+  EccProcessor processor(320, 32);
+  JobRun job = waiting_job(100);
+  processor.apply(ecc(workload::EccType::kReduceTime, 1000), job, 10);
+  EXPECT_DOUBLE_EQ(job.req_time, 1.0);
+  EXPECT_GE(job.actual_time, 1.0);
+}
+
+TEST(EccProcessor, ReduceRunningJobStillViable) {
+  EccProcessor processor(320, 32);
+  JobRun job = running_job(0, 100);
+  // At t=40, reduce to 70: elapsed 40 < 70 -> keep running.
+  const auto outcome =
+      processor.apply(ecc(workload::EccType::kReduceTime, 30), job, 40);
+  EXPECT_EQ(outcome, EccOutcome::kAppliedRunning);
+}
+
+TEST(EccProcessor, ReduceRunningJobBelowElapsedCompletesIt) {
+  EccProcessor processor(320, 32);
+  JobRun job = running_job(0, 100);
+  // At t=80, reduce by 30 -> new duration 70 < elapsed 80 -> complete now.
+  const auto outcome =
+      processor.apply(ecc(workload::EccType::kReduceTime, 30), job, 80);
+  EXPECT_EQ(outcome, EccOutcome::kCompletedJob);
+}
+
+TEST(EccProcessor, RejectsFinishedJob) {
+  EccProcessor processor(320, 32);
+  JobRun job = waiting_job();
+  job.status = JobStatus::kCompleted;
+  EXPECT_EQ(processor.apply(ecc(workload::EccType::kExtendTime, 10), job, 0),
+            EccOutcome::kRejectedFinished);
+  job.status = JobStatus::kKilled;
+  EXPECT_EQ(processor.apply(ecc(workload::EccType::kReduceTime, 10), job, 0),
+            EccOutcome::kRejectedFinished);
+}
+
+TEST(EccProcessor, ResizesQueuedJobOnly) {
+  EccProcessor processor(320, 32);
+  JobRun queued = waiting_job(100, 64);
+  EXPECT_EQ(processor.apply(ecc(workload::EccType::kExtendProcs, 32), queued, 0),
+            EccOutcome::kAppliedQueued);
+  EXPECT_EQ(queued.num, 96);
+  EXPECT_EQ(processor.apply(ecc(workload::EccType::kReduceProcs, 64), queued, 0),
+            EccOutcome::kAppliedQueued);
+  EXPECT_EQ(queued.num, 32);
+
+  JobRun running = running_job(0, 100, 64);
+  EXPECT_EQ(
+      processor.apply(ecc(workload::EccType::kExtendProcs, 32), running, 0),
+      EccOutcome::kRejectedShape);
+  EXPECT_EQ(running.num, 64);
+}
+
+TEST(EccProcessor, ResizeClampsToMachine) {
+  EccProcessor processor(320, 32);
+  JobRun job = waiting_job(100, 300);
+  processor.apply(ecc(workload::EccType::kExtendProcs, 500), job, 0);
+  EXPECT_EQ(job.num, 320);
+  // Another extension is a no-op -> rejected by bounds.
+  EXPECT_EQ(processor.apply(ecc(workload::EccType::kExtendProcs, 5), job, 0),
+            EccOutcome::kRejectedBounds);
+}
+
+TEST(EccProcessor, StatsAccumulate) {
+  EccProcessor processor(320, 32);
+  JobRun job = waiting_job(100);
+  processor.apply(ecc(workload::EccType::kExtendTime, 60), job, 0);
+  processor.apply(ecc(workload::EccType::kReduceTime, 40), job, 0);
+  JobRun done = waiting_job();
+  done.status = JobStatus::kCompleted;
+  processor.apply(ecc(workload::EccType::kExtendTime, 5), done, 0);
+  const EccStats& stats = processor.stats();
+  EXPECT_EQ(stats.processed, 3u);
+  EXPECT_EQ(stats.extensions, 1u);
+  EXPECT_EQ(stats.reductions, 1u);
+  EXPECT_EQ(stats.rejected, 1u);
+  EXPECT_DOUBLE_EQ(stats.time_added, 60);
+  EXPECT_DOUBLE_EQ(stats.time_removed, 40);
+}
+
+}  // namespace
+}  // namespace es::sched

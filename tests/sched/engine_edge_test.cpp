@@ -1,0 +1,124 @@
+// Engine edge cases: event-ordering corners, bulk arrivals, pre-arrival
+// ECCs, and interactions between ECCs and dedicated reservations.
+#include <gtest/gtest.h>
+
+#include "testing/helpers.hpp"
+
+namespace es::sched {
+namespace {
+
+using es::testing::batch_job;
+using es::testing::dedicated_job;
+using es::testing::make_workload;
+using es::testing::run_scenario;
+
+workload::Ecc make_ecc(workload::JobId id, double issue,
+                       workload::EccType type, double amount) {
+  workload::Ecc ecc;
+  ecc.job_id = id;
+  ecc.issue = issue;
+  ecc.type = type;
+  ecc.amount = amount;
+  return ecc;
+}
+
+TEST(EngineEdge, BulkSimultaneousArrivalsAllStart) {
+  std::vector<workload::Job> jobs;
+  for (int i = 1; i <= 10; ++i) jobs.push_back(batch_job(i, 0, 1, 50));
+  const auto scenario = run_scenario(make_workload(10, 1, jobs), "EASY");
+  for (int i = 1; i <= 10; ++i) EXPECT_DOUBLE_EQ(scenario.start_of(i), 0);
+}
+
+TEST(EngineEdge, FullMachineJobRunsAlone) {
+  const auto workload = make_workload(
+      320, 32, {batch_job(1, 0, 320, 100), batch_job(2, 1, 32, 10)});
+  const auto scenario = run_scenario(workload, "Delayed-LOS");
+  EXPECT_DOUBLE_EQ(scenario.start_of(1), 0);
+  EXPECT_DOUBLE_EQ(scenario.start_of(2), 100);
+}
+
+TEST(EngineEdge, EccIssuedBeforeArrivalAdjustsSubmission) {
+  // A user amends the request before the job even enters the system: the
+  // command applies to the (pre-arrival) record, so the job runs with the
+  // extended duration from the start.
+  const auto workload = make_workload(
+      10, 1, {batch_job(1, 100, 4, 50)},
+      {make_ecc(1, 10, workload::EccType::kExtendTime, 25)});
+  const auto scenario = run_scenario(workload, "EASY-E");
+  EXPECT_DOUBLE_EQ(scenario.start_of(1), 100);
+  EXPECT_DOUBLE_EQ(scenario.end_of(1), 175);
+}
+
+TEST(EngineEdge, EccOnQueuedDedicatedShortensItsReservation) {
+  // Dedicated job [100, 180) initially blocks a 200 s batch job (crosses
+  // the freeze); after an RT at t=5 cuts it to 30 s the batch job still
+  // must respect the freeze, but the dedicated job releases earlier, so
+  // the batch job starts at 130 instead of 180.
+  const auto workload = make_workload(
+      10, 1,
+      {dedicated_job(1, 0, 8, 80, 100), batch_job(2, 1, 6, 200)},
+      {make_ecc(1, 5, workload::EccType::kReduceTime, 50)});
+  const auto scenario = run_scenario(workload, "Hybrid-LOS-E");
+  EXPECT_DOUBLE_EQ(scenario.start_of(1), 100);
+  EXPECT_DOUBLE_EQ(scenario.end_of(1), 130);
+  EXPECT_DOUBLE_EQ(scenario.start_of(2), 130);
+}
+
+TEST(EngineEdge, KilledJobFreesCapacityAtKillBy) {
+  // Job 1 lies about its runtime (actual 500 vs estimate 100): killed at
+  // 100, so job 2 starts then rather than at 500.
+  const auto workload = make_workload(
+      10, 1,
+      {batch_job(1, 0, 10, 100, /*actual=*/500), batch_job(2, 1, 10, 10)});
+  const auto scenario = run_scenario(workload, "EASY");
+  EXPECT_TRUE(scenario.job(1).killed);
+  EXPECT_DOUBLE_EQ(scenario.start_of(2), 100);
+}
+
+TEST(EngineEdge, ExtensionMovesKillByButKeepsOverrunGap) {
+  // Estimate 100 / actual 150: killed at 100 without elasticity.  An ET
+  // +60 at t=50 moves *both* the kill-by and the true requirement (the
+  // user asked for more time because the computation needs it), so the
+  // job now dies at 160 with the same 50 s overrun gap — an ET changes
+  // the deadline, not the estimate's accuracy.
+  const auto rigid = run_scenario(
+      make_workload(10, 1, {batch_job(1, 0, 4, 100, /*actual=*/150)}),
+      "EASY-E");
+  EXPECT_TRUE(rigid.job(1).killed);
+  EXPECT_DOUBLE_EQ(rigid.end_of(1), 100);
+
+  const auto extended = run_scenario(
+      make_workload(10, 1, {batch_job(1, 0, 4, 100, /*actual=*/150)},
+                    {make_ecc(1, 50, workload::EccType::kExtendTime, 60)}),
+      "EASY-E");
+  EXPECT_TRUE(extended.job(1).killed);
+  EXPECT_DOUBLE_EQ(extended.end_of(1), 160);
+}
+
+TEST(EngineEdge, DedicatedJobsWithIdenticalStartShareTheInstant) {
+  const auto workload = make_workload(
+      10, 1,
+      {dedicated_job(1, 0, 5, 20, 50), dedicated_job(2, 0, 5, 20, 50)});
+  const auto scenario = run_scenario(workload, "Hybrid-LOS");
+  EXPECT_DOUBLE_EQ(scenario.start_of(1), 50);
+  EXPECT_DOUBLE_EQ(scenario.start_of(2), 50);
+}
+
+TEST(EngineEdge, ManySmallJobsDrainInFifoUnderFcfs) {
+  std::vector<workload::Job> jobs;
+  for (int i = 1; i <= 50; ++i) jobs.push_back(batch_job(i, i, 10, 10));
+  const auto scenario = run_scenario(make_workload(10, 1, jobs), "FCFS");
+  for (int i = 2; i <= 50; ++i)
+    EXPECT_GE(scenario.start_of(i), scenario.start_of(i - 1));
+}
+
+TEST(EngineEdge, ZeroWaitWorkloadHasSlowdownOne) {
+  const auto workload = make_workload(
+      320, 32, {batch_job(1, 0, 32, 100), batch_job(2, 200, 32, 100)});
+  const auto scenario = run_scenario(workload, "LOS");
+  EXPECT_DOUBLE_EQ(scenario.result.mean_wait, 0);
+  EXPECT_DOUBLE_EQ(scenario.result.slowdown, 1.0);
+}
+
+}  // namespace
+}  // namespace es::sched

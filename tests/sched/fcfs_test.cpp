@@ -1,0 +1,59 @@
+#include <gtest/gtest.h>
+
+#include "testing/helpers.hpp"
+
+namespace es::sched {
+namespace {
+
+using es::testing::batch_job;
+using es::testing::make_workload;
+using es::testing::run_scenario;
+
+TEST(Fcfs, RunsJobsInArrivalOrder) {
+  const auto workload = make_workload(
+      10, 1,
+      {batch_job(1, 0, 10, 100), batch_job(2, 1, 10, 100),
+       batch_job(3, 2, 10, 100)});
+  const auto scenario = run_scenario(workload, "FCFS");
+  EXPECT_DOUBLE_EQ(scenario.start_of(1), 0);
+  EXPECT_DOUBLE_EQ(scenario.start_of(2), 100);
+  EXPECT_DOUBLE_EQ(scenario.start_of(3), 200);
+}
+
+TEST(Fcfs, BlocksOnHeadEvenWhenLaterJobsFit) {
+  // 6 running until 100; head needs 8; a size-3 job behind it fits the
+  // remaining 4 procs right now, but FCFS never backfills.
+  const auto workload = make_workload(
+      10, 1,
+      {batch_job(1, 0, 6, 100), batch_job(2, 1, 8, 10),
+       batch_job(3, 2, 3, 10)});
+  const auto scenario = run_scenario(workload, "FCFS");
+  EXPECT_DOUBLE_EQ(scenario.start_of(2), 100);
+  EXPECT_DOUBLE_EQ(scenario.start_of(3), 110);  // waits for the head
+}
+
+TEST(Fcfs, StartsMultipleHeadsWhenTheyFit) {
+  const auto workload = make_workload(
+      10, 1,
+      {batch_job(1, 0, 4, 100), batch_job(2, 0, 3, 100),
+       batch_job(3, 0, 3, 100), batch_job(4, 0, 1, 100)});
+  const auto scenario = run_scenario(workload, "FCFS");
+  EXPECT_DOUBLE_EQ(scenario.start_of(1), 0);
+  EXPECT_DOUBLE_EQ(scenario.start_of(2), 0);
+  EXPECT_DOUBLE_EQ(scenario.start_of(3), 0);
+  EXPECT_DOUBLE_EQ(scenario.start_of(4), 100);  // 10 full, waits
+}
+
+TEST(Fcfs, WaitTimesFeedMetrics) {
+  const auto workload = make_workload(
+      10, 1, {batch_job(1, 0, 10, 100), batch_job(2, 0, 10, 100)});
+  const auto scenario = run_scenario(workload, "FCFS");
+  EXPECT_DOUBLE_EQ(scenario.job(1).wait, 0);
+  EXPECT_DOUBLE_EQ(scenario.job(2).wait, 100);
+  EXPECT_DOUBLE_EQ(scenario.result.mean_wait, 50);
+  // Paper slowdown: (50 + 100) / 100.
+  EXPECT_DOUBLE_EQ(scenario.result.slowdown, 1.5);
+}
+
+}  // namespace
+}  // namespace es::sched

@@ -1,0 +1,207 @@
+#include "sched/reservation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cluster/machine.hpp"
+
+namespace es::sched {
+namespace {
+
+/// Fixture building a SchedulerContext by hand: a machine with running jobs
+/// and explicit queues, no engine.
+class ReservationTest : public ::testing::Test {
+ protected:
+  ReservationTest() : machine_(100, 1) {}
+
+  JobRun* add_active(workload::JobId id, int procs, double started,
+                     double req_time, double now) {
+    auto job = std::make_unique<JobRun>();
+    job->spec.id = id;
+    job->num = procs;
+    job->req_time = req_time;
+    job->actual_time = req_time;
+    job->status = JobStatus::kRunning;
+    job->start_time = started;
+    job->alloc = machine_.allocate(id, procs);
+    (void)now;
+    active_.push_back(job.get());
+    owned_.push_back(std::move(job));
+    return active_.back();
+  }
+
+  JobRun* add_waiting(workload::JobId id, int procs, double req_time,
+                      bool dedicated = false, double start = -1) {
+    auto job = std::make_unique<JobRun>();
+    job->spec.id = id;
+    job->num = procs;
+    job->req_time = req_time;
+    job->actual_time = req_time;
+    job->req_start = start;
+    if (dedicated) {
+      job->spec.type = workload::JobType::kDedicated;
+      job->spec.start = start;
+      dedicated_.push_back(job.get());
+    } else {
+      batch_.push_back(job.get());
+    }
+    owned_.push_back(std::move(job));
+    return owned_.back().get();
+  }
+
+  SchedulerContext context(double now) {
+    // Active list must be sorted by residual (planned end).
+    std::sort(active_.begin(), active_.end(),
+              [](const JobRun* a, const JobRun* b) {
+                return a->start_time + a->req_time <
+                       b->start_time + b->req_time;
+              });
+    SchedulerContext ctx;
+    ctx.now = now;
+    ctx.machine = &machine_;
+    ctx.batch = &batch_;
+    ctx.dedicated = &dedicated_;
+    ctx.active = active_;
+    return ctx;
+  }
+
+  cluster::Machine machine_;
+  std::vector<std::unique_ptr<JobRun>> owned_;
+  std::vector<JobRun*> active_;
+  std::deque<JobRun*> batch_;
+  std::vector<JobRun*> dedicated_;
+};
+
+TEST_F(ReservationTest, PlannedEndAndResidual) {
+  JobRun* job = add_active(1, 10, 100, 50, 0);
+  EXPECT_DOUBLE_EQ(planned_end(*job), 150);
+  EXPECT_DOUBLE_EQ(planned_residual(*job, 120), 30);
+  EXPECT_DOUBLE_EQ(planned_residual(*job, 200), 0);  // never negative
+}
+
+TEST_F(ReservationTest, ShadowFromSingleRunningJob) {
+  // 60 busy until t=150, 40 free; head needs 70.
+  add_active(1, 60, 100, 50, 0);
+  const auto ctx = context(120);
+  const Freeze freeze = shadow_for_blocked(ctx, 70);
+  ASSERT_TRUE(freeze.active);
+  EXPECT_DOUBLE_EQ(freeze.fret, 150);            // the job's planned end
+  EXPECT_EQ(freeze.frec, 40 + 60 - 70);          // slack beyond the need
+}
+
+TEST_F(ReservationTest, ShadowWalksActiveListInResidualOrder) {
+  // free = 100 - 90 = 10.  Ends: j1 @ 110 (30 procs), j2 @ 140 (40), j3 @
+  // 200 (20).  Need 75: after j1 -> 40, after j2 -> 80 >= 75.
+  add_active(1, 30, 10, 100, 0);
+  add_active(2, 40, 40, 100, 0);
+  add_active(3, 20, 100, 100, 0);
+  const auto ctx = context(100);
+  const Freeze freeze = shadow_for_blocked(ctx, 75);
+  EXPECT_DOUBLE_EQ(freeze.fret, 140);
+  EXPECT_EQ(freeze.frec, 10 + 30 + 40 - 75);
+}
+
+TEST_F(ReservationTest, ShadowForFullMachineNeed) {
+  add_active(1, 100, 0, 100, 0);
+  const auto ctx = context(50);
+  const Freeze freeze = shadow_for_blocked(ctx, 100);
+  EXPECT_DOUBLE_EQ(freeze.fret, 100);
+  EXPECT_EQ(freeze.frec, 0);
+}
+
+TEST_F(ReservationTest, RespectsAdmitsJobsEndingBeforeFreeze) {
+  Freeze freeze{true, 100.0, 5};
+  JobRun* short_job = add_waiting(1, 50, 40);
+  JobRun* long_small = add_waiting(2, 5, 500);
+  JobRun* long_big = add_waiting(3, 50, 500);
+  // now = 10: short job ends at 50 < 100 -> fine regardless of size.
+  EXPECT_TRUE(respects(freeze, 10, *short_job, 50));
+  // long small job crosses the freeze but fits the shadow capacity.
+  EXPECT_TRUE(respects(freeze, 10, *long_small, 5));
+  // long big job crosses and exceeds shadow capacity.
+  EXPECT_FALSE(respects(freeze, 10, *long_big, 50));
+  // Inactive freeze admits everything.
+  EXPECT_TRUE(respects(Freeze{}, 10, *long_big, 50));
+}
+
+TEST_F(ReservationTest, RespectsBoundaryExactEndAtFreeze) {
+  Freeze freeze{true, 100.0, 0};
+  JobRun* boundary = add_waiting(1, 10, 90);
+  // now + req == fret: NOT strictly before, so it needs shadow capacity.
+  EXPECT_FALSE(respects(freeze, 10, *boundary, 10));
+  EXPECT_TRUE(respects(freeze, 9.999, *boundary, 10));
+}
+
+TEST_F(ReservationTest, ConsumeOnlyChargesCrossingJobs) {
+  Freeze freeze{true, 100.0, 20};
+  JobRun* before = add_waiting(1, 10, 50);
+  JobRun* crossing = add_waiting(2, 15, 500);
+  consume(freeze, 10, *before, 10);
+  EXPECT_EQ(freeze.frec, 20);
+  consume(freeze, 10, *crossing, 15);
+  EXPECT_EQ(freeze.frec, 5);
+}
+
+TEST_F(ReservationTest, ConsumeClampsAtZero) {
+  Freeze freeze{true, 100.0, 10};
+  JobRun* big = add_waiting(1, 50, 500);
+  consume(freeze, 10, *big, 50);
+  EXPECT_EQ(freeze.frec, 0);
+}
+
+TEST_F(ReservationTest, DedicatedFreezeWithAmpleCapacity) {
+  // One running job ends at 150; dedicated job (30 procs) starts at 200.
+  add_active(1, 60, 100, 50, 0);
+  add_waiting(2, 30, 100, /*dedicated=*/true, /*start=*/200);
+  const auto ctx = context(120);
+  const Freeze freeze = dedicated_freeze(ctx);
+  ASSERT_TRUE(freeze.active);
+  EXPECT_DOUBLE_EQ(freeze.fret, 200);
+  // At t=200 the machine is empty: capacity 100 minus the group 30.
+  EXPECT_EQ(freeze.frec, 70);
+}
+
+TEST_F(ReservationTest, DedicatedFreezeSubtractsStillRunningJobs) {
+  // Job runs until 300 (>= start 200): capacity at start = 100 - 60.
+  add_active(1, 60, 100, 200, 0);
+  add_waiting(2, 30, 100, true, 200);
+  const auto ctx = context(120);
+  const Freeze freeze = dedicated_freeze(ctx);
+  EXPECT_DOUBLE_EQ(freeze.fret, 200);
+  EXPECT_EQ(freeze.frec, 100 - 60 - 30);
+}
+
+TEST_F(ReservationTest, DedicatedFreezeGroupsIdenticalStartTimes) {
+  add_waiting(1, 30, 100, true, 200);
+  add_waiting(2, 40, 100, true, 200);
+  add_waiting(3, 10, 100, true, 300);  // later start: not in the group
+  const auto ctx = context(100);
+  const Freeze freeze = dedicated_freeze(ctx);
+  EXPECT_DOUBLE_EQ(freeze.fret, 200);
+  EXPECT_EQ(freeze.frec, 100 - 70);
+}
+
+TEST_F(ReservationTest, DedicatedFreezeDelayedWhenGroupCannotFit) {
+  // 80 procs busy until t=400; dedicated group of 90 requested at t=200:
+  // only 20 free then, so the freeze shifts to t=400 where 100 free up.
+  add_active(1, 80, 0, 400, 0);
+  add_waiting(2, 90, 100, true, 200);
+  const auto ctx = context(100);
+  const Freeze freeze = dedicated_freeze(ctx);
+  EXPECT_DOUBLE_EQ(freeze.fret, 400);
+  EXPECT_EQ(freeze.frec, 20 + 80 - 90);
+}
+
+TEST_F(ReservationTest, DedicatedFreezeJobEndingExactlyAtStartCounts) {
+  // Paper line 11 uses <=: a job ending exactly at the requested start is
+  // conservatively treated as still occupying.
+  add_active(1, 60, 100, 100, 0);  // ends exactly at 200
+  add_waiting(2, 30, 100, true, 200);
+  const auto ctx = context(150);
+  const Freeze freeze = dedicated_freeze(ctx);
+  EXPECT_EQ(freeze.frec, 100 - 60 - 30);
+}
+
+}  // namespace
+}  // namespace es::sched

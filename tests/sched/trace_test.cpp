@@ -1,0 +1,125 @@
+#include "sched/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "testing/helpers.hpp"
+
+namespace es::sched {
+namespace {
+
+using es::testing::batch_job;
+using es::testing::dedicated_job;
+using es::testing::make_workload;
+
+core::AlgorithmOptions with_trace() {
+  core::AlgorithmOptions options;
+  options.record_trace = true;
+  return options;
+}
+
+TEST(ScheduleTrace, RecordsLifecycleInOrder) {
+  const auto workload = make_workload(10, 1, {batch_job(1, 5, 4, 100)});
+  const auto result = exp::run_workload(workload, "FCFS", with_trace());
+  ASSERT_NE(result.trace, nullptr);
+  const auto events = result.trace->of_job(1);
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].kind, TraceEventKind::kArrival);
+  EXPECT_DOUBLE_EQ(events[0].time, 5);
+  EXPECT_EQ(events[1].kind, TraceEventKind::kStart);
+  EXPECT_EQ(events[1].procs, 4);
+  EXPECT_EQ(events[2].kind, TraceEventKind::kFinish);
+  EXPECT_DOUBLE_EQ(events[2].time, 105);
+}
+
+TEST(ScheduleTrace, NullWithoutFlag) {
+  const auto workload = make_workload(10, 1, {batch_job(1, 0, 4, 10)});
+  const auto result = exp::run_workload(workload, "FCFS");
+  EXPECT_EQ(result.trace, nullptr);
+}
+
+TEST(ScheduleTrace, RecordsKillForOverrunningJob) {
+  const auto workload =
+      make_workload(10, 1, {batch_job(1, 0, 4, 50, /*actual=*/80)});
+  const auto result = exp::run_workload(workload, "FCFS", with_trace());
+  ASSERT_NE(result.trace, nullptr);
+  EXPECT_EQ(result.trace->of_kind(TraceEventKind::kKill).size(), 1u);
+  EXPECT_TRUE(result.trace->of_kind(TraceEventKind::kFinish).empty());
+}
+
+TEST(ScheduleTrace, RecordsDedicatedMoveAndEcc) {
+  workload::Ecc ecc;
+  ecc.issue = 20;
+  ecc.job_id = 1;
+  ecc.type = workload::EccType::kExtendTime;
+  ecc.amount = 30;
+  const auto workload = make_workload(
+      10, 1, {dedicated_job(1, 0, 4, 50, 10)}, {ecc});
+  const auto result =
+      exp::run_workload(workload, "Hybrid-LOS-E", with_trace());
+  ASSERT_NE(result.trace, nullptr);
+  EXPECT_EQ(result.trace->of_kind(TraceEventKind::kDedicatedMove).size(), 1u);
+  const auto applied = result.trace->of_kind(TraceEventKind::kEccApplied);
+  ASSERT_EQ(applied.size(), 1u);
+  EXPECT_DOUBLE_EQ(applied[0].detail, 30);
+}
+
+TEST(ScheduleTrace, RecordsRejectedEcc) {
+  workload::Ecc late;
+  late.issue = 80;  // after the job finished
+  late.job_id = 1;
+  late.type = workload::EccType::kExtendTime;
+  late.amount = 5;
+  const auto workload =
+      make_workload(10, 1, {batch_job(1, 0, 4, 50)}, {late});
+  const auto result = exp::run_workload(workload, "EASY-E", with_trace());
+  EXPECT_EQ(result.trace->of_kind(TraceEventKind::kEccRejected).size(), 1u);
+}
+
+TEST(ScheduleTrace, StartCountMatchesJobCount) {
+  workload::GeneratorConfig config;
+  config.num_jobs = 150;
+  config.seed = 12;
+  config.target_load = 0.9;
+  const auto workload = workload::generate(config);
+  const auto result =
+      exp::run_workload(workload, "Delayed-LOS", with_trace());
+  EXPECT_EQ(result.trace->of_kind(TraceEventKind::kStart).size(), 150u);
+  EXPECT_EQ(result.trace->of_kind(TraceEventKind::kArrival).size(), 150u);
+  EXPECT_EQ(result.trace->of_kind(TraceEventKind::kFinish).size() +
+                result.trace->of_kind(TraceEventKind::kKill).size(),
+            150u);
+}
+
+TEST(ScheduleTrace, TimesNonDecreasing) {
+  workload::GeneratorConfig config;
+  config.num_jobs = 100;
+  config.seed = 13;
+  const auto workload = workload::generate(config);
+  const auto result = exp::run_workload(workload, "EASY", with_trace());
+  const auto& events = result.trace->events();
+  for (std::size_t i = 1; i < events.size(); ++i)
+    EXPECT_GE(events[i].time, events[i - 1].time);
+}
+
+TEST(ScheduleTrace, CsvOutputShape) {
+  ScheduleTrace trace;
+  trace.record(1.5, TraceEventKind::kArrival, 7, 32);
+  trace.record(2.0, TraceEventKind::kStart, 7, 32);
+  std::ostringstream out;
+  trace.write_csv(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("time,kind,job,procs,detail"), std::string::npos);
+  EXPECT_NE(text.find("arrival"), std::string::npos);
+  EXPECT_NE(text.find("start"), std::string::npos);
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 3);
+}
+
+TEST(ScheduleTrace, KindNames) {
+  EXPECT_STREQ(to_string(TraceEventKind::kResize), "resize");
+  EXPECT_STREQ(to_string(TraceEventKind::kEccRejected), "ecc_rejected");
+}
+
+}  // namespace
+}  // namespace es::sched

@@ -1,0 +1,165 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace es::sim {
+namespace {
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.schedule(3.0, EventClass::kOther, [&](Time) { order.push_back(3); });
+  queue.schedule(1.0, EventClass::kOther, [&](Time) { order.push_back(1); });
+  queue.schedule(2.0, EventClass::kOther, [&](Time) { order.push_back(2); });
+  while (!queue.empty()) queue.pop_and_run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, ClassOrderingAtSameInstant) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.schedule(5.0, EventClass::kJobArrival, [&](Time) { order.push_back(2); });
+  queue.schedule(5.0, EventClass::kJobFinish, [&](Time) { order.push_back(0); });
+  queue.schedule(5.0, EventClass::kEccArrival, [&](Time) { order.push_back(1); });
+  queue.schedule(5.0, EventClass::kSchedule, [&](Time) { order.push_back(3); });
+  while (!queue.empty()) queue.pop_and_run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(EventQueue, FifoWithinSameTimeAndClass) {
+  EventQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i)
+    queue.schedule(1.0, EventClass::kOther, [&, i](Time) { order.push_back(i); });
+  while (!queue.empty()) queue.pop_and_run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, CallbackReceivesEventTime) {
+  EventQueue queue;
+  Time seen = -1;
+  queue.schedule(7.5, EventClass::kOther, [&](Time t) { seen = t; });
+  queue.pop_and_run();
+  EXPECT_DOUBLE_EQ(seen, 7.5);
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue queue;
+  int fired = 0;
+  const EventHandle handle =
+      queue.schedule(1.0, EventClass::kOther, [&](Time) { ++fired; });
+  queue.schedule(2.0, EventClass::kOther, [&](Time) { ++fired; });
+  EXPECT_TRUE(queue.cancel(handle));
+  while (!queue.empty()) queue.pop_and_run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, CancelUpdatesSizeAndEmpty) {
+  EventQueue queue;
+  const EventHandle handle =
+      queue.schedule(1.0, EventClass::kOther, [](Time) {});
+  EXPECT_EQ(queue.size(), 1u);
+  EXPECT_TRUE(queue.cancel(handle));
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueue, DoubleCancelFails) {
+  EventQueue queue;
+  const EventHandle handle =
+      queue.schedule(1.0, EventClass::kOther, [](Time) {});
+  queue.schedule(2.0, EventClass::kOther, [](Time) {});
+  EXPECT_TRUE(queue.cancel(handle));
+  EXPECT_FALSE(queue.cancel(handle));
+}
+
+TEST(EventQueue, InvalidHandleCancelFails) {
+  EventQueue queue;
+  queue.schedule(1.0, EventClass::kOther, [](Time) {});
+  EXPECT_FALSE(queue.cancel(EventHandle{}));
+  EXPECT_FALSE(queue.cancel(EventHandle{9999}));
+}
+
+TEST(EventQueue, CancelledHeadSkippedByNextTime) {
+  EventQueue queue;
+  const EventHandle first =
+      queue.schedule(1.0, EventClass::kOther, [](Time) {});
+  queue.schedule(2.0, EventClass::kOther, [](Time) {});
+  queue.cancel(first);
+  EXPECT_DOUBLE_EQ(queue.next_time(), 2.0);
+}
+
+TEST(EventQueue, RescheduleViaCancelAndInsert) {
+  // The elastic pattern: cancel a pending finish, insert the adjusted one.
+  EventQueue queue;
+  std::vector<double> fired;
+  const EventHandle finish =
+      queue.schedule(10.0, EventClass::kJobFinish,
+                     [&](Time t) { fired.push_back(t); });
+  EXPECT_TRUE(queue.cancel(finish));
+  queue.schedule(15.0, EventClass::kJobFinish,
+                 [&](Time t) { fired.push_back(t); });
+  while (!queue.empty()) queue.pop_and_run();
+  EXPECT_EQ(fired, (std::vector<double>{15.0}));
+}
+
+TEST(EventQueue, EventsScheduledDuringExecutionRun) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.schedule(1.0, EventClass::kOther, [&](Time) {
+    order.push_back(1);
+    queue.schedule(2.0, EventClass::kOther, [&](Time) { order.push_back(2); });
+  });
+  while (!queue.empty()) queue.pop_and_run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueue, PropertyRandomInsertionPopsSorted) {
+  // Property sweep: random times/classes always pop in (time, class, seq)
+  // order.
+  util::Rng rng(2024);
+  for (int round = 0; round < 20; ++round) {
+    EventQueue queue;
+    std::vector<std::pair<double, int>> popped;
+    const int n = 200;
+    for (int i = 0; i < n; ++i) {
+      const double t = rng.uniform(0, 50);
+      const auto cls = static_cast<EventClass>(rng.uniform_int(0, 5));
+      queue.schedule(t, cls, [&popped, t, cls](Time) {
+        popped.emplace_back(t, static_cast<int>(cls));
+      });
+    }
+    while (!queue.empty()) queue.pop_and_run();
+    ASSERT_EQ(popped.size(), static_cast<std::size_t>(n));
+    for (std::size_t i = 1; i < popped.size(); ++i) {
+      ASSERT_LE(popped[i - 1].first, popped[i].first);
+      if (popped[i - 1].first == popped[i].first) {
+        ASSERT_LE(popped[i - 1].second, popped[i].second);
+      }
+    }
+  }
+}
+
+TEST(EventQueue, PropertyRandomCancellationsNeverFire) {
+  util::Rng rng(77);
+  for (int round = 0; round < 10; ++round) {
+    EventQueue queue;
+    std::vector<EventHandle> handles;
+    int fired = 0;
+    const int n = 100;
+    for (int i = 0; i < n; ++i)
+      handles.push_back(queue.schedule(rng.uniform(0, 10), EventClass::kOther,
+                                       [&](Time) { ++fired; }));
+    int cancelled = 0;
+    for (const EventHandle& handle : handles)
+      if (rng.bernoulli(0.5) && queue.cancel(handle)) ++cancelled;
+    while (!queue.empty()) queue.pop_and_run();
+    EXPECT_EQ(fired, n - cancelled);
+  }
+}
+
+}  // namespace
+}  // namespace es::sim

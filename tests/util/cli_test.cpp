@@ -1,0 +1,89 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace es::util {
+namespace {
+
+TEST(Cli, ParsesSeparatedAndInlineValues) {
+  int count = 0;
+  double rate = 0;
+  std::string name;
+  CliParser cli("test");
+  cli.add_option("count", "", &count);
+  cli.add_option("rate", "", &rate);
+  cli.add_option("name", "", &name);
+  const char* argv[] = {"prog", "--count", "5", "--rate=0.25", "--name", "x"};
+  ASSERT_TRUE(cli.parse(6, argv));
+  EXPECT_EQ(count, 5);
+  EXPECT_DOUBLE_EQ(rate, 0.25);
+  EXPECT_EQ(name, "x");
+}
+
+TEST(Cli, BooleanFlagForms) {
+  bool flag = false;
+  CliParser cli("test");
+  cli.add_flag("verbose", "", &flag);
+  const char* argv[] = {"prog", "--verbose"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  EXPECT_TRUE(flag);
+
+  bool flag2 = true;
+  CliParser cli2("test");
+  cli2.add_flag("verbose", "", &flag2);
+  const char* argv2[] = {"prog", "--verbose=false"};
+  ASSERT_TRUE(cli2.parse(2, argv2));
+  EXPECT_FALSE(flag2);
+}
+
+TEST(Cli, UnknownOptionFails) {
+  CliParser cli("test");
+  const char* argv[] = {"prog", "--nope"};
+  EXPECT_FALSE(cli.parse(2, argv));
+}
+
+TEST(Cli, MissingValueFails) {
+  int count = 0;
+  CliParser cli("test");
+  cli.add_option("count", "", &count);
+  const char* argv[] = {"prog", "--count"};
+  EXPECT_FALSE(cli.parse(2, argv));
+}
+
+TEST(Cli, MalformedNumberFails) {
+  int count = 0;
+  CliParser cli("test");
+  cli.add_option("count", "", &count);
+  const char* argv[] = {"prog", "--count", "12abc"};
+  EXPECT_FALSE(cli.parse(3, argv));
+}
+
+TEST(Cli, PositionalArgumentsCollected) {
+  CliParser cli("test");
+  const char* argv[] = {"prog", "input.swf", "more"};
+  ASSERT_TRUE(cli.parse(3, argv));
+  ASSERT_EQ(cli.positional().size(), 2u);
+  EXPECT_EQ(cli.positional()[0], "input.swf");
+}
+
+TEST(Cli, HelpListsOptions) {
+  int count = 0;
+  CliParser cli("my tool");
+  cli.add_option("count", "number of things", &count);
+  const std::string text = cli.help("prog");
+  EXPECT_NE(text.find("my tool"), std::string::npos);
+  EXPECT_NE(text.find("--count"), std::string::npos);
+  EXPECT_NE(text.find("number of things"), std::string::npos);
+}
+
+TEST(Cli, UnsignedLongLongOption) {
+  unsigned long long seed = 0;
+  CliParser cli("test");
+  cli.add_option("seed", "", &seed);
+  const char* argv[] = {"prog", "--seed", "18446744073709551615"};
+  ASSERT_TRUE(cli.parse(3, argv));
+  EXPECT_EQ(seed, 18446744073709551615ull);
+}
+
+}  // namespace
+}  // namespace es::util

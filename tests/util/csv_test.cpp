@@ -1,0 +1,57 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace es::util {
+namespace {
+
+TEST(Csv, WritesHeaderOnceBeforeFirstRow) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.set_header({"a", "b"});
+  csv.cell(1).cell(2).end_row();
+  csv.cell(3).cell(4).end_row();
+  EXPECT_EQ(out.str(), "a,b\n1,2\n3,4\n");
+}
+
+TEST(Csv, NoHeaderMode) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.cell("x").cell(1.5).end_row();
+  EXPECT_EQ(out.str(), "x,1.5\n");
+}
+
+TEST(Csv, EscapesCommasQuotesNewlines) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::escape("two\nlines"), "\"two\nlines\"");
+}
+
+TEST(Csv, EscapedCellsRoundTripStructure) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.cell("a,b").cell("c").end_row();
+  EXPECT_EQ(out.str(), "\"a,b\",c\n");
+}
+
+TEST(Csv, NumericFormatting) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.cell(3.14159).cell(static_cast<long long>(-7)).cell(0.0).end_row();
+  EXPECT_EQ(out.str(), "3.14159,-7,0\n");
+}
+
+TEST(Csv, CountsRows) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  EXPECT_EQ(csv.rows_written(), 0u);
+  csv.cell(1).end_row();
+  csv.cell(2).end_row();
+  EXPECT_EQ(csv.rows_written(), 2u);
+}
+
+}  // namespace
+}  // namespace es::util

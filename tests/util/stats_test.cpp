@@ -1,0 +1,128 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace es::util {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_EQ(stats.mean(), 0.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+  EXPECT_EQ(stats.sum(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats stats;
+  stats.add(5.0);
+  EXPECT_EQ(stats.count(), 1u);
+  EXPECT_EQ(stats.mean(), 5.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+  EXPECT_EQ(stats.min(), 5.0);
+  EXPECT_EQ(stats.max(), 5.0);
+}
+
+TEST(RunningStats, KnownSequence) {
+  RunningStats stats;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.add(x);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  // Sample variance of this classic sequence is 32/7.
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(stats.min(), 2.0);
+  EXPECT_EQ(stats.max(), 9.0);
+  EXPECT_DOUBLE_EQ(stats.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  RunningStats all, left, right;
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-5, 20);
+    all.add(x);
+    (i < 400 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(left.min(), all.min());
+  EXPECT_EQ(left.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmptySides) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.add(3.0);
+  RunningStats a_copy = a;
+  a.merge(b);  // empty rhs: no-op
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  b.merge(a_copy);  // empty lhs adopts rhs
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(RunningStats, NumericallyStableAroundLargeOffset) {
+  RunningStats stats;
+  const double offset = 1e9;
+  for (double x : {offset + 1, offset + 2, offset + 3}) stats.add(x);
+  EXPECT_NEAR(stats.mean(), offset + 2, 1e-3);
+  EXPECT_NEAR(stats.variance(), 1.0, 1e-6);
+}
+
+TEST(Samples, QuantilesOnKnownData) {
+  Samples samples;
+  for (double x : {1.0, 2.0, 3.0, 4.0, 5.0}) samples.add(x);
+  EXPECT_DOUBLE_EQ(samples.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(samples.quantile(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(samples.median(), 3.0);
+  EXPECT_DOUBLE_EQ(samples.quantile(0.25), 2.0);
+  EXPECT_DOUBLE_EQ(samples.mean(), 3.0);
+}
+
+TEST(Samples, QuantileInterpolates) {
+  Samples samples;
+  samples.add(0.0);
+  samples.add(10.0);
+  EXPECT_DOUBLE_EQ(samples.quantile(0.35), 3.5);
+}
+
+TEST(Samples, EmptyReturnsZero) {
+  Samples samples;
+  EXPECT_EQ(samples.mean(), 0.0);
+  EXPECT_EQ(samples.quantile(0.5), 0.0);
+}
+
+TEST(Samples, AddAfterQuantileStillCorrect) {
+  Samples samples;
+  samples.add(3.0);
+  samples.add(1.0);
+  EXPECT_DOUBLE_EQ(samples.median(), 2.0);
+  samples.add(2.0);
+  EXPECT_DOUBLE_EQ(samples.median(), 2.0);
+  samples.add(100.0);
+  EXPECT_DOUBLE_EQ(samples.quantile(1.0), 100.0);
+}
+
+TEST(Improvement, LowerBetterMatchesPaperConvention) {
+  // Paper Table IV style: candidate wait 68.12 vs baseline 100 -> 31.88%.
+  EXPECT_NEAR(improvement_lower_better(100.0, 68.12), 31.88, 1e-9);
+  EXPECT_DOUBLE_EQ(improvement_lower_better(100.0, 100.0), 0.0);
+  EXPECT_LT(improvement_lower_better(100.0, 120.0), 0.0);
+  EXPECT_DOUBLE_EQ(improvement_lower_better(0.0, 5.0), 0.0);
+}
+
+TEST(Improvement, HigherBetterMatchesPaperConvention) {
+  // Utilization 0.78 vs 0.75 -> 4%.
+  EXPECT_NEAR(improvement_higher_better(0.75, 0.78), 4.0, 1e-9);
+  EXPECT_LT(improvement_higher_better(0.80, 0.75), 0.0);
+  EXPECT_DOUBLE_EQ(improvement_higher_better(0.0, 0.5), 0.0);
+}
+
+}  // namespace
+}  // namespace es::util

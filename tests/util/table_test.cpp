@@ -1,0 +1,70 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace es::util {
+namespace {
+
+TEST(AsciiTable, RendersTitleHeaderAndRows) {
+  AsciiTable table("Demo");
+  table.set_columns({"name", "value"});
+  table.cell("alpha").cell(1.5, 1).end_row();
+  table.cell("b").cell(22.0, 1).end_row();
+  std::ostringstream out;
+  table.render(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("== Demo =="), std::string::npos);
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("22.0"), std::string::npos);
+  // Header separator line present.
+  EXPECT_NE(text.find("----"), std::string::npos);
+}
+
+TEST(AsciiTable, ColumnsAlignAcrossRows) {
+  AsciiTable table("T");
+  table.set_columns({"x", "metric"});
+  table.cell("a").cell(1.0, 2).end_row();
+  table.cell("bbbb").cell(100.25, 2).end_row();
+  std::ostringstream out;
+  table.render(out);
+  std::istringstream lines(out.str());
+  std::string line;
+  std::getline(lines, line);  // title
+  std::getline(lines, line);  // header
+  const std::size_t header_len = line.size();
+  std::getline(lines, line);  // separator
+  std::getline(lines, line);  // row 1
+  EXPECT_EQ(line.size(), header_len);
+  std::getline(lines, line);  // row 2
+  EXPECT_EQ(line.size(), header_len);
+}
+
+TEST(AsciiTable, NumericPrecision) {
+  AsciiTable table("P");
+  table.cell(3.14159, 3).cell(static_cast<long long>(42)).end_row();
+  std::ostringstream out;
+  table.render(out);
+  EXPECT_NE(out.str().find("3.142"), std::string::npos);
+  EXPECT_NE(out.str().find("42"), std::string::npos);
+}
+
+TEST(AsciiTable, RowCount) {
+  AsciiTable table("C");
+  EXPECT_EQ(table.row_count(), 0u);
+  table.cell("r").end_row();
+  EXPECT_EQ(table.row_count(), 1u);
+}
+
+TEST(FormatDuration, HumanReadableBuckets) {
+  EXPECT_EQ(format_duration(42), "42s");
+  EXPECT_EQ(format_duration(90), "1m30s");
+  EXPECT_EQ(format_duration(3600), "1h00m");
+  EXPECT_EQ(format_duration(7260), "2h01m");
+  EXPECT_EQ(format_duration(-90), "-1m30s");
+}
+
+}  // namespace
+}  // namespace es::util

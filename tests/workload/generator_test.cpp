@@ -1,0 +1,233 @@
+#include "workload/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/load.hpp"
+
+namespace es::workload {
+namespace {
+
+GeneratorConfig base_config() {
+  GeneratorConfig config;
+  config.num_jobs = 400;
+  config.seed = 11;
+  return config;
+}
+
+TEST(Generator, ProducesRequestedJobCount) {
+  const Workload workload = generate(base_config());
+  EXPECT_EQ(workload.jobs.size(), 400u);
+  EXPECT_EQ(workload.machine_procs, 320);
+  EXPECT_EQ(workload.granularity, 32);
+}
+
+TEST(Generator, JobsSortedWithSequentialIds) {
+  const Workload workload = generate(base_config());
+  std::set<JobId> ids;
+  for (std::size_t i = 0; i < workload.jobs.size(); ++i) {
+    ids.insert(workload.jobs[i].id);
+    if (i > 0) {
+      EXPECT_GE(workload.jobs[i].arr, workload.jobs[i - 1].arr);
+    }
+  }
+  EXPECT_EQ(ids.size(), workload.jobs.size());
+  EXPECT_EQ(*ids.begin(), 1);
+  EXPECT_EQ(*ids.rbegin(), static_cast<JobId>(workload.jobs.size()));
+}
+
+TEST(Generator, SizesAreNodeCardMultiplesWithinMachine) {
+  const Workload workload = generate(base_config());
+  for (const Job& job : workload.jobs) {
+    EXPECT_EQ(job.num % 32, 0);
+    EXPECT_GE(job.num, 32);
+    EXPECT_LE(job.num, 320);
+    EXPECT_GT(job.dur, 0);
+    EXPECT_GT(job.actual_runtime(), 0);
+  }
+}
+
+TEST(Generator, DeterministicPerSeed) {
+  const Workload a = generate(base_config());
+  const Workload b = generate(base_config());
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.jobs[i].arr, b.jobs[i].arr);
+    EXPECT_EQ(a.jobs[i].num, b.jobs[i].num);
+    EXPECT_DOUBLE_EQ(a.jobs[i].dur, b.jobs[i].dur);
+  }
+  GeneratorConfig other = base_config();
+  other.seed = 12;
+  const Workload c = generate(other);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.jobs.size(); ++i)
+    any_diff |= (a.jobs[i].num != c.jobs[i].num);
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Generator, SmallJobFractionTracksPs) {
+  for (double ps : {0.2, 0.8}) {
+    GeneratorConfig config = base_config();
+    config.num_jobs = 3000;
+    config.p_small = ps;
+    const Workload workload = generate(config);
+    int small = 0;
+    for (const Job& job : workload.jobs)
+      if (job.num <= 96) ++small;
+    EXPECT_NEAR(small / static_cast<double>(workload.jobs.size()), ps, 0.04);
+  }
+}
+
+TEST(Generator, DedicatedFractionTracksPd) {
+  GeneratorConfig config = base_config();
+  config.num_jobs = 3000;
+  config.p_dedicated = 0.5;
+  const Workload workload = generate(config);
+  EXPECT_NEAR(static_cast<double>(workload.dedicated_count()) /
+                  static_cast<double>(workload.jobs.size()),
+              0.5, 0.04);
+  for (const Job& job : workload.jobs) {
+    if (job.dedicated()) {
+      EXPECT_GT(job.start, job.arr);
+    } else {
+      EXPECT_DOUBLE_EQ(job.start, -1);
+    }
+  }
+}
+
+TEST(Generator, TogglingDedicatedKeepsJobShapes) {
+  // Independent RNG streams: P_D must not change sizes/durations/arrivals.
+  GeneratorConfig with = base_config();
+  with.p_dedicated = 0.5;
+  GeneratorConfig without = base_config();
+  const Workload a = generate(with);
+  const Workload b = generate(without);
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_EQ(a.jobs[i].num, b.jobs[i].num);
+    EXPECT_DOUBLE_EQ(a.jobs[i].dur, b.jobs[i].dur);
+    EXPECT_DOUBLE_EQ(a.jobs[i].arr, b.jobs[i].arr);
+  }
+}
+
+TEST(Generator, EccInjectionRates) {
+  GeneratorConfig config = base_config();
+  config.num_jobs = 4000;
+  config.p_extend = 0.2;
+  config.p_reduce = 0.1;
+  const Workload workload = generate(config);
+  std::size_t extends = 0, reduces = 0;
+  for (const Ecc& ecc : workload.eccs) {
+    EXPECT_GT(ecc.amount, 0);
+    EXPECT_GE(ecc.job_id, 1);
+    if (ecc.type == EccType::kExtendTime) ++extends;
+    if (ecc.type == EccType::kReduceTime) ++reduces;
+  }
+  EXPECT_EQ(extends + reduces, workload.eccs.size());
+  EXPECT_NEAR(static_cast<double>(extends) / 4000.0, 0.2, 0.03);
+  EXPECT_NEAR(static_cast<double>(reduces) / 4000.0, 0.1, 0.02);
+}
+
+TEST(Generator, EccIssueTimesWithinJobWindow) {
+  GeneratorConfig config = base_config();
+  config.p_extend = 0.3;
+  config.p_reduce = 0.2;
+  const Workload workload = generate(config);
+  ASSERT_FALSE(workload.eccs.empty());
+  for (const Ecc& ecc : workload.eccs) {
+    const Job& job =
+        workload.jobs[static_cast<std::size_t>(ecc.job_id - 1)];
+    EXPECT_EQ(job.id, ecc.job_id);
+    EXPECT_GE(ecc.issue, job.arr);
+    EXPECT_LE(ecc.issue, job.arr + job.dur);
+  }
+}
+
+TEST(Generator, ReductionsKeepJobsViable) {
+  GeneratorConfig config = base_config();
+  config.p_reduce = 1.0;
+  config.p_extend = 0.0;
+  const Workload workload = generate(config);
+  for (const Ecc& ecc : workload.eccs) {
+    const Job& job =
+        workload.jobs[static_cast<std::size_t>(ecc.job_id - 1)];
+    EXPECT_LE(ecc.amount, 0.9 * job.dur + 1.0);
+  }
+}
+
+TEST(Generator, EstimateFactorInflatesRequestedTime) {
+  GeneratorConfig config = base_config();
+  config.estimate_factor = 2.0;
+  const Workload workload = generate(config);
+  for (const Job& job : workload.jobs)
+    EXPECT_NEAR(job.dur, 2.0 * job.actual, 1e-9);
+}
+
+TEST(Generator, TargetLoadCalibration) {
+  for (double target : {0.5, 0.9}) {
+    GeneratorConfig config = base_config();
+    config.target_load = target;
+    const Workload workload = generate(config);
+    EXPECT_NEAR(offered_load(workload, config.machine_procs), target,
+                0.02 * target);
+  }
+}
+
+TEST(GeneratorSdscLike, ShapeMatchesSp2Machine) {
+  const Workload workload = generate_sdsc_like(600, 128, 21);
+  EXPECT_EQ(workload.machine_procs, 128);
+  EXPECT_EQ(workload.granularity, 1);
+  EXPECT_EQ(workload.jobs.size(), 600u);
+  EXPECT_TRUE(workload.eccs.empty());
+  for (const Job& job : workload.jobs) {
+    EXPECT_GE(job.num, 1);
+    EXPECT_LE(job.num, 128);
+    EXPECT_FALSE(job.dedicated());
+  }
+  EXPECT_EQ(workload.dedicated_count(), 0u);
+}
+
+TEST(GeneratorSdscLike, Deterministic) {
+  const Workload a = generate_sdsc_like(100, 128, 3);
+  const Workload b = generate_sdsc_like(100, 128, 3);
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_EQ(a.jobs[i].num, b.jobs[i].num);
+    EXPECT_DOUBLE_EQ(a.jobs[i].arr, b.jobs[i].arr);
+  }
+}
+
+
+TEST(Generator, UniformEstimateModel) {
+  GeneratorConfig config = base_config();
+  config.num_jobs = 2000;
+  config.estimate_uniform_max = 3.0;
+  const Workload workload = generate(config);
+  double ratio_sum = 0;
+  for (const Job& job : workload.jobs) {
+    const double ratio = job.dur / job.actual;
+    EXPECT_GE(ratio, 1.0);
+    EXPECT_LE(ratio, 3.0);
+    ratio_sum += ratio;
+  }
+  // U(1,3) has mean 2.
+  EXPECT_NEAR(ratio_sum / static_cast<double>(workload.jobs.size()), 2.0,
+              0.05);
+}
+
+TEST(Generator, UniformEstimateModelKeepsOtherStreams) {
+  // Turning estimate noise on must not change sizes/runtimes/arrivals.
+  GeneratorConfig noisy = base_config();
+  noisy.estimate_uniform_max = 3.0;
+  const Workload a = generate(noisy);
+  const Workload b = generate(base_config());
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_EQ(a.jobs[i].num, b.jobs[i].num);
+    EXPECT_DOUBLE_EQ(a.jobs[i].actual, b.jobs[i].actual);
+    EXPECT_DOUBLE_EQ(a.jobs[i].arr, b.jobs[i].arr);
+  }
+}
+
+}  // namespace
+}  // namespace es::workload

@@ -1,0 +1,131 @@
+#include "workload/load.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/generator.hpp"
+
+namespace es::workload {
+namespace {
+
+Job simple_job(JobId id, double arr, int num, double dur) {
+  Job job;
+  job.id = id;
+  job.arr = arr;
+  job.num = num;
+  job.dur = dur;
+  return job;
+}
+
+TEST(Load, HandComputedExample) {
+  // Two jobs: 10 procs x 100 s + 20 procs x 50 s = 2000 proc-seconds.
+  // Span: first arrival 0 to last completion max(0+100, 50+50) = 100.
+  // Machine 40 procs -> load = 2000 / (100 * 40) = 0.5.
+  Workload workload;
+  workload.jobs = {simple_job(1, 0, 10, 100), simple_job(2, 50, 20, 50)};
+  EXPECT_DOUBLE_EQ(offered_load(workload, 40), 0.5);
+}
+
+TEST(Load, UsesActualRuntimeNotEstimate) {
+  Workload workload;
+  Job job = simple_job(1, 0, 10, 100);
+  job.actual = 50;  // over-estimated by 2x
+  workload.jobs = {job, simple_job(2, 0, 10, 100)};
+  // proc-seconds = 10*50 + 10*100 = 1500; span = 100; M = 30 -> 0.5
+  EXPECT_DOUBLE_EQ(offered_load(workload, 30), 0.5);
+}
+
+TEST(Load, EmptyWorkloadIsZero) {
+  Workload workload;
+  EXPECT_DOUBLE_EQ(offered_load(workload, 10), 0.0);
+}
+
+TEST(Load, ScaleArrivalsKeepsFirstArrivalAndOrder) {
+  Workload workload;
+  workload.jobs = {simple_job(1, 100, 4, 10), simple_job(2, 200, 4, 10),
+                   simple_job(3, 400, 4, 10)};
+  workload.scale_arrivals(2.0);
+  EXPECT_DOUBLE_EQ(workload.jobs[0].arr, 100);
+  EXPECT_DOUBLE_EQ(workload.jobs[1].arr, 300);
+  EXPECT_DOUBLE_EQ(workload.jobs[2].arr, 700);
+}
+
+TEST(Load, ScaleArrivalsMovesDedicatedStartsAndEccs) {
+  Workload workload;
+  Job dedicated = simple_job(1, 100, 4, 10);
+  dedicated.type = JobType::kDedicated;
+  dedicated.start = 300;
+  workload.jobs = {simple_job(2, 100, 4, 10), dedicated};
+  Ecc ecc;
+  ecc.issue = 200;
+  ecc.job_id = 2;
+  ecc.amount = 5;
+  workload.eccs = {ecc};
+  workload.normalize();
+  workload.scale_arrivals(3.0);
+  // Origin 100: dedicated start 100 + (300-100)*3 = 700.
+  bool found = false;
+  for (const Job& job : workload.jobs) {
+    if (job.dedicated()) {
+      EXPECT_DOUBLE_EQ(job.start, 700);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+  EXPECT_DOUBLE_EQ(workload.eccs[0].issue, 100 + (200 - 100) * 3);
+}
+
+TEST(Load, ScalingArrivalsScalesLoadInversely) {
+  GeneratorConfig config;
+  config.num_jobs = 300;
+  config.seed = 2;
+  Workload workload = generate(config);
+  const double before = offered_load(workload, 320);
+  workload.scale_arrivals(2.0);
+  const double after = offered_load(workload, 320);
+  // Span roughly doubles (runtimes add a constant tail), so load roughly
+  // halves.
+  EXPECT_LT(after, before);
+  EXPECT_NEAR(after, before / 2.0, 0.25 * before);
+}
+
+TEST(Load, CalibrationConvergesFromBothSides) {
+  for (double target : {0.3, 1.2}) {
+    GeneratorConfig config;
+    config.num_jobs = 300;
+    config.seed = 3;
+    Workload workload = generate(config);
+    const double achieved = calibrate_load(workload, 320, target);
+    EXPECT_NEAR(achieved, target, 0.01 * target);
+    EXPECT_NEAR(offered_load(workload, 320), achieved, 1e-12);
+  }
+}
+
+TEST(Load, DurationSpansArrivalToLastCompletion) {
+  Workload workload;
+  workload.jobs = {simple_job(1, 10, 4, 100), simple_job(2, 50, 4, 10)};
+  EXPECT_DOUBLE_EQ(workload.duration(), 100.0);  // 10..110
+}
+
+TEST(Load, DurationAccountsForDedicatedStarts) {
+  Workload workload;
+  Job dedicated = simple_job(1, 0, 4, 100);
+  dedicated.type = JobType::kDedicated;
+  dedicated.start = 500;
+  workload.jobs = {dedicated};
+  // Runs [500, 600], so the span is 600.
+  EXPECT_DOUBLE_EQ(workload.duration(), 600.0);
+}
+
+TEST(Load, BatchAndDedicatedCounts) {
+  Workload workload;
+  Job dedicated = simple_job(1, 0, 4, 10);
+  dedicated.type = JobType::kDedicated;
+  dedicated.start = 5;
+  workload.jobs = {dedicated, simple_job(2, 0, 4, 10),
+                   simple_job(3, 1, 8, 10)};
+  EXPECT_EQ(workload.batch_count(), 2u);
+  EXPECT_EQ(workload.dedicated_count(), 1u);
+}
+
+}  // namespace
+}  // namespace es::workload

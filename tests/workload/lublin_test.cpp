@@ -1,0 +1,189 @@
+#include "workload/lublin.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace es::workload {
+namespace {
+
+TEST(RuntimeModel, MixingProbabilityFollowsTableOne) {
+  const RuntimeParams params;  // Table I defaults
+  // p = -0.0054 * s + 0.78, clamped.
+  EXPECT_NEAR(params.mixing_p(32), 0.78 - 0.0054 * 32, 1e-12);
+  EXPECT_NEAR(params.mixing_p(96), 0.78 - 0.0054 * 96, 1e-12);
+  EXPECT_DOUBLE_EQ(params.mixing_p(320), 0.0);  // clamped at 0
+  EXPECT_DOUBLE_EQ(params.mixing_p(0), 0.78);
+}
+
+TEST(RuntimeModel, SamplesWithinBounds) {
+  const RuntimeParams params;
+  util::Rng rng(1);
+  for (int i = 0; i < 20000; ++i) {
+    const double runtime = params.sample(rng, 64);
+    EXPECT_GE(runtime, params.min_runtime);
+    EXPECT_LE(runtime, params.max_runtime);
+  }
+}
+
+TEST(RuntimeModel, LargeJobsRunLongerOnAverage) {
+  // The size correlation (p decreasing in s) must make large jobs draw from
+  // the long-runtime Gamma more often.
+  const RuntimeParams params;
+  util::Rng rng(2);
+  double small_sum = 0, large_sum = 0;
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) small_sum += params.sample(rng, 32);
+  for (int i = 0; i < n; ++i) large_sum += params.sample(rng, 256);
+  EXPECT_GT(large_sum / n, 2.0 * small_sum / n);
+}
+
+TEST(RuntimeModel, PureLongComponentCentersOnExpA2B2) {
+  // For s with p = 0 every draw is Gamma(312, 0.03) in log space:
+  // median runtime ~ e^9.36.
+  const RuntimeParams params;
+  util::Rng rng(3);
+  double log_sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) log_sum += std::log(params.sample(rng, 320));
+  EXPECT_NEAR(log_sum / n, 312 * 0.03, 0.05);
+}
+
+TEST(ArrivalProcess, StrictlyIncreasing) {
+  ArrivalProcess arrivals(ArrivalParams{}, util::Rng(4));
+  double last = arrivals.next();
+  for (int i = 0; i < 2000; ++i) {
+    const double t = arrivals.next();
+    EXPECT_GT(t, last);
+    last = t;
+  }
+}
+
+TEST(ArrivalProcess, DeterministicForSeed) {
+  ArrivalProcess a(ArrivalParams{}, util::Rng(5));
+  ArrivalProcess b(ArrivalParams{}, util::Rng(5));
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(a.next(), b.next());
+}
+
+TEST(ArrivalProcess, BetaArrControlsRateInLogGammaMode) {
+  // In Lublin's log-space mode beta_arr is the load knob: larger beta ->
+  // longer log-gaps -> slower arrivals.
+  ArrivalParams fast;
+  fast.gap_model = GapModel::kLogGamma;
+  fast.b_arr = 0.4101;
+  ArrivalParams slow = fast;
+  slow.b_arr = 0.6101;
+  ArrivalProcess fast_arrivals(fast, util::Rng(6));
+  ArrivalProcess slow_arrivals(slow, util::Rng(6));
+  double fast_last = 0, slow_last = 0;
+  for (int i = 0; i < 500; ++i) {
+    fast_last = fast_arrivals.next();
+    slow_last = slow_arrivals.next();
+  }
+  EXPECT_LT(fast_last, slow_last);
+}
+
+TEST(ArrivalProcess, HourlyBucketsRateSetByJobsPerHour) {
+  // In bucket mode ~Gamma(a_num, b_num) jobs land per hour regardless of
+  // beta_arr (which only shapes intra-hour spacing); 500 jobs at ~14.6
+  // jobs/hour span roughly 34 hours.
+  ArrivalProcess arrivals(ArrivalParams{}, util::Rng(6));
+  double last = 0;
+  for (int i = 0; i < 500; ++i) last = arrivals.next();
+  const double hours = last / 3600.0;
+  EXPECT_GT(hours, 20);
+  EXPECT_LT(hours, 60);
+}
+
+TEST(ArrivalProcess, LogGammaFirstArrivalAtTimeZero) {
+  ArrivalParams params;
+  params.gap_model = GapModel::kLogGamma;
+  ArrivalProcess arrivals(params, util::Rng(7));
+  EXPECT_DOUBLE_EQ(arrivals.next(), 0.0);
+}
+
+TEST(ArrivalProcess, HourlyBucketsFirstArrivalWithinFirstHours) {
+  ArrivalProcess arrivals(ArrivalParams{}, util::Rng(7));
+  const double first = arrivals.next();
+  EXPECT_GE(first, 0.0);
+  EXPECT_LT(first, 3600.0 * 24);  // some hour of the first day
+}
+
+TEST(LogUniformSize, BoundsAndSerialJobs) {
+  LogUniformSize model;
+  model.hi = 7.0;  // 128-processor machine
+  util::Rng rng(8);
+  int serial = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const int size = model.sample(rng);
+    EXPECT_GE(size, 1);
+    EXPECT_LE(size, 128);
+    if (size == 1) ++serial;
+  }
+  // p_serial = 0.24 plus a few log-uniform draws that round to 1.
+  EXPECT_GT(serial / static_cast<double>(n), 0.2);
+  EXPECT_LT(serial / static_cast<double>(n), 0.4);
+}
+
+TEST(LogUniformSize, PowersOfTwoDominate) {
+  LogUniformSize model;
+  model.hi = 7.0;
+  util::Rng rng(9);
+  int pow2 = 0, parallel = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const int size = model.sample(rng);
+    if (size == 1) continue;
+    ++parallel;
+    if ((size & (size - 1)) == 0) ++pow2;
+  }
+  EXPECT_GT(pow2 / static_cast<double>(parallel), 0.7);
+}
+
+TEST(LogUniformSize, VariedNonPowerSizesExist) {
+  LogUniformSize model;
+  model.hi = 7.0;
+  util::Rng rng(10);
+  int non_pow2 = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const int size = model.sample(rng);
+    if (size > 1 && (size & (size - 1)) != 0) ++non_pow2;
+  }
+  EXPECT_GT(non_pow2, 100);
+}
+
+
+TEST(ArrivalProcess, RushHoursReceiveMoreJobsThanOffHours) {
+  // ARAR thins off-hour buckets; amplify it to make the effect testable.
+  ArrivalParams params;
+  params.arar = 3.0;
+  ArrivalProcess arrivals(params, util::Rng(11));
+  int rush = 0, off = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const double t = arrivals.next();
+    const double hour = std::fmod(t / 3600.0, 24.0);
+    if (hour >= params.rush_begin_hour && hour < params.rush_end_hour) {
+      ++rush;
+    } else {
+      ++off;
+    }
+  }
+  // Rush window covers 10/24 of the day but should hold well over half of
+  // the arrivals at ARAR = 3.
+  EXPECT_GT(rush, off);
+}
+
+TEST(ArrivalProcess, HourlyBucketJobsStayWithinTheirHour) {
+  ArrivalProcess arrivals(ArrivalParams{}, util::Rng(12));
+  double prev = -1;
+  for (int i = 0; i < 1000; ++i) {
+    const double t = arrivals.next();
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+}  // namespace
+}  // namespace es::workload

@@ -1,0 +1,94 @@
+#include "workload/summary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "workload/generator.hpp"
+
+namespace es::workload {
+namespace {
+
+Job simple_job(JobId id, double arr, int num, double dur) {
+  Job job;
+  job.id = id;
+  job.arr = arr;
+  job.num = num;
+  job.dur = dur;
+  return job;
+}
+
+TEST(Summary, EmptyWorkload) {
+  const WorkloadSummary summary = summarize(Workload{});
+  EXPECT_EQ(summary.jobs, 0u);
+  EXPECT_DOUBLE_EQ(summary.mean_size, 0);
+  EXPECT_DOUBLE_EQ(summary.span, 0);
+}
+
+TEST(Summary, HandComputedValues) {
+  Workload workload;
+  workload.machine_procs = 20;
+  workload.jobs = {simple_job(1, 0, 10, 100), simple_job(2, 100, 20, 50)};
+  workload.normalize();
+  const WorkloadSummary summary = summarize(workload, 15);
+  EXPECT_EQ(summary.jobs, 2u);
+  EXPECT_DOUBLE_EQ(summary.mean_size, 15);
+  EXPECT_DOUBLE_EQ(summary.mean_runtime, 75);
+  EXPECT_EQ(summary.min_size, 10);
+  EXPECT_EQ(summary.max_size, 20);
+  EXPECT_DOUBLE_EQ(summary.max_runtime, 100);
+  EXPECT_DOUBLE_EQ(summary.small_fraction, 0.5);  // one of two <= 15
+  EXPECT_DOUBLE_EQ(summary.span, 150);            // 0 .. 100+50
+  EXPECT_DOUBLE_EQ(summary.mean_interarrival, 100);
+  // load: (10*100 + 20*50) / (150 * 20) = 2000/3000
+  EXPECT_NEAR(summary.offered_load, 2.0 / 3.0, 1e-12);
+}
+
+TEST(Summary, CountsEccKinds) {
+  Workload workload;
+  workload.jobs = {simple_job(1, 0, 4, 10)};
+  Ecc et;
+  et.job_id = 1;
+  et.type = EccType::kExtendTime;
+  Ecc rp;
+  rp.job_id = 1;
+  rp.type = EccType::kReduceProcs;
+  workload.eccs = {et, rp};
+  const WorkloadSummary summary = summarize(workload);
+  EXPECT_EQ(summary.eccs, 2u);
+  EXPECT_EQ(summary.time_eccs, 1u);
+  EXPECT_EQ(summary.proc_eccs, 1u);
+}
+
+TEST(Summary, GeneratedWorkloadMatchesKnobs) {
+  GeneratorConfig config;
+  config.num_jobs = 2000;
+  config.seed = 5;
+  config.p_small = 0.7;
+  config.p_dedicated = 0.3;
+  config.p_extend = 0.2;
+  const WorkloadSummary summary = summarize(generate(config));
+  EXPECT_EQ(summary.jobs, 2000u);
+  EXPECT_NEAR(summary.small_fraction, 0.7, 0.04);
+  EXPECT_NEAR(static_cast<double>(summary.dedicated) / 2000.0, 0.3, 0.04);
+  EXPECT_GT(summary.mean_runtime, 0);
+  EXPECT_GT(summary.mean_estimate + 1e-9, summary.mean_runtime);
+}
+
+TEST(Summary, PrintedReportContainsKeyRows) {
+  GeneratorConfig config;
+  config.num_jobs = 100;
+  config.seed = 6;
+  const WorkloadSummary summary = summarize(generate(config));
+  std::ostringstream out;
+  print_summary(out, summary);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("Workload summary"), std::string::npos);
+  EXPECT_NE(text.find("n-bar"), std::string::npos);
+  EXPECT_NE(text.find("mu-bar"), std::string::npos);
+  EXPECT_NE(text.find("offered load"), std::string::npos);
+  EXPECT_NE(text.find("small jobs"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace es::workload
