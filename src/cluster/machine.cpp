@@ -51,6 +51,22 @@ int Machine::resize(JobId job, int procs) {
   return delta;
 }
 
+void Machine::take_offline(int procs) {
+  ES_EXPECTS(procs > 0);
+  ES_EXPECTS(procs <= free_);
+  free_ -= procs;
+  offline_ += procs;
+  ES_ENSURES(offline_ <= total_);
+}
+
+void Machine::bring_online(int procs) {
+  ES_EXPECTS(procs > 0);
+  ES_EXPECTS(procs <= offline_);
+  offline_ -= procs;
+  free_ += procs;
+  ES_ENSURES(free_ <= total_);
+}
+
 int Machine::allocated(JobId job) const {
   const auto it = allocations_.find(job);
   return it == allocations_.end() ? 0 : it->second;

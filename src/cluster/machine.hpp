@@ -17,7 +17,10 @@ namespace es::cluster {
 
 using JobId = std::int64_t;
 
-/// Capacity ledger with per-job allocations.
+/// Capacity ledger with per-job allocations and degraded-capacity
+/// accounting: processors taken offline by a node failure leave the free
+/// pool until repaired, so `available()` (total - offline) is the capacity
+/// the scheduler can actually plan against.
 class Machine {
  public:
   /// `total` must be a positive multiple of `granularity`.
@@ -43,10 +46,20 @@ class Machine {
   /// Returns the delta in occupied processors (positive = grew).
   int resize(JobId job, int procs);
 
+  /// Removes `procs` processors from service (node failure).  They must be
+  /// idle: callers preempt running jobs first so `procs <= free()`.
+  void take_offline(int procs);
+
+  /// Returns `procs` previously offline processors to service (repair).
+  void bring_online(int procs);
+
   int total() const { return total_; }
   int granularity() const { return granularity_; }
   int free() const { return free_; }
-  int used() const { return total_ - free_; }
+  int used() const { return total_ - free_ - offline_; }
+  int offline() const { return offline_; }
+  /// Capacity currently in service: total() minus offline processors.
+  int available() const { return total_ - offline_; }
   std::size_t active_jobs() const { return allocations_.size(); }
   bool is_active(JobId job) const { return allocations_.contains(job); }
   /// Processors occupied by `job` (0 if not active).
@@ -56,6 +69,7 @@ class Machine {
   int total_;
   int granularity_;
   int free_;
+  int offline_ = 0;  ///< processors out of service (node failures)
   std::unordered_map<JobId, int> allocations_;
 };
 

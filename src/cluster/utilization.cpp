@@ -31,27 +31,62 @@ void UtilizationTracker::record(sim::Time at, int busy) {
   }
 }
 
+void UtilizationTracker::record_capacity(sim::Time at, int available) {
+  ES_EXPECTS(available >= 0 && available <= capacity_);
+  if (!capacity_steps_.empty()) {
+    ES_EXPECTS(at >= capacity_steps_.back().time);
+    if (capacity_steps_.back().time == at) {
+      capacity_steps_.back().busy = available;
+      return;
+    }
+  }
+  capacity_steps_.push_back({at, available});
+}
+
+double UtilizationTracker::integrate(const std::vector<Step>& steps,
+                                     sim::Time last, sim::Time from,
+                                     sim::Time to) {
+  ES_EXPECTS(from <= to);
+  if (steps.empty() || to <= steps.front().time) return 0.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    const sim::Time seg_start = steps[i].time;
+    const sim::Time seg_end =
+        (i + 1 < steps.size()) ? steps[i + 1].time : std::max(to, last);
+    const sim::Time lo = std::max(from, seg_start);
+    const sim::Time hi = std::min(to, seg_end);
+    if (hi > lo) sum += static_cast<double>(steps[i].busy) * (hi - lo);
+  }
+  return sum;
+}
+
 double UtilizationTracker::busy_proc_seconds(sim::Time from,
                                              sim::Time to) const {
   ES_EXPECTS(from <= to);
-  if (!started_ || steps_.empty() || to <= steps_.front().time) return 0.0;
-  double sum = 0.0;
-  for (std::size_t i = 0; i < steps_.size(); ++i) {
-    const sim::Time seg_start = steps_[i].time;
-    const sim::Time seg_end =
-        (i + 1 < steps_.size()) ? steps_[i + 1].time : std::max(to, last_);
-    const sim::Time lo = std::max(from, seg_start);
-    const sim::Time hi = std::min(to, seg_end);
-    if (hi > lo) sum += static_cast<double>(steps_[i].busy) * (hi - lo);
-  }
-  return sum;
+  if (!started_) return 0.0;
+  return integrate(steps_, last_, from, to);
+}
+
+double UtilizationTracker::available_proc_seconds(sim::Time from,
+                                                  sim::Time to) const {
+  ES_EXPECTS(from <= to);
+  if (capacity_steps_.empty())
+    return static_cast<double>(capacity_) * (to - from);
+  return integrate(capacity_steps_, capacity_steps_.back().time, from, to);
 }
 
 double UtilizationTracker::mean_utilization(sim::Time from,
                                             sim::Time to) const {
   if (to <= from) return 0.0;
-  return busy_proc_seconds(from, to) /
-         (static_cast<double>(capacity_) * (to - from));
+  if (capacity_steps_.empty()) {
+    // No failures: keep the original single-division arithmetic so results
+    // are bit-identical to the pre-failure-model tracker.
+    return busy_proc_seconds(from, to) /
+           (static_cast<double>(capacity_) * (to - from));
+  }
+  const double available = available_proc_seconds(from, to);
+  if (available <= 0) return 0.0;
+  return busy_proc_seconds(from, to) / available;
 }
 
 }  // namespace es::cluster

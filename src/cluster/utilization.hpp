@@ -20,12 +20,26 @@ class UtilizationTracker {
   /// `at` must be non-decreasing across calls; busy in [0, capacity].
   void record(sim::Time at, int busy);
 
+  /// Records that from `at` onwards `available` processors are in service
+  /// (node failures shrink this below capacity; repairs restore it).  Only
+  /// called when a failure model is active: with no capacity records the
+  /// machine is treated as fully available for the whole run, keeping the
+  /// no-failure arithmetic bit-identical to the original tracker.
+  void record_capacity(sim::Time at, int available);
+
   /// Busy processor-seconds accumulated in [from, to].  The window must lie
   /// within [first record, last record]; the level after the last record is
   /// extrapolated as the last busy value.
   double busy_proc_seconds(sim::Time from, sim::Time to) const;
 
-  /// Mean utilization in [from, to] as a fraction of capacity (0..1).
+  /// In-service processor-seconds in [from, to]: the integral of the
+  /// available-capacity step function (capacity * (to - from) when no
+  /// capacity records were made).
+  double available_proc_seconds(sim::Time from, sim::Time to) const;
+
+  /// Mean utilization in [from, to] as a fraction of the *available*
+  /// capacity timeline (0..1), so the metric stays meaningful while nodes
+  /// are down.  Equals busy / (capacity * span) when no failures occurred.
   double mean_utilization(sim::Time from, sim::Time to) const;
 
   int capacity() const { return capacity_; }
@@ -42,6 +56,11 @@ class UtilizationTracker {
     int busy;
   };
 
+  /// Integral of a step function over [from, to], extrapolating the last
+  /// level past the final step.
+  static double integrate(const std::vector<Step>& steps, sim::Time last,
+                          sim::Time from, sim::Time to);
+
   int capacity_;
   int busy_ = 0;
   sim::Time first_ = 0.0;
@@ -49,6 +68,8 @@ class UtilizationTracker {
   bool started_ = false;
   double integral_ = 0.0;  ///< busy-proc-seconds up to last_
   std::vector<Step> steps_;
+  std::vector<Step> capacity_steps_;  ///< empty unless failures injected
+
 };
 
 }  // namespace es::cluster

@@ -50,8 +50,13 @@ bool DelayedLos::step(sched::SchedulerContext& ctx, int max_skip_count,
   }
 
   // Lines 12-20: the head does not fit — give it the shadow reservation and
-  // pack the queue around it with Reservation_DP.
-  const sched::Freeze freeze = sched::shadow_for_blocked(ctx, head_alloc);
+  // pack the queue around it with Reservation_DP.  When node failures have
+  // pushed the head's need beyond the in-service capacity, no reservation
+  // is computable (no completion frees offline processors): pack without
+  // one until the machine is repaired.
+  sched::Freeze freeze;
+  if (head_alloc <= ctx.machine->available())
+    freeze = sched::shadow_for_blocked(ctx, head_alloc);
   const auto outcome = run_reservation_dp(ctx, freeze, lookahead, ws);
   return outcome.started > 0;
 }

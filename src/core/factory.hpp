@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/failure_model.hpp"
 #include "sched/scheduler.hpp"
 
 namespace es::core {
@@ -32,6 +33,10 @@ struct AlgorithmOptions {
   bool allow_running_resize = false;
   /// Attach a full schedule audit trace to the result (engine attachment).
   bool record_trace = false;
+  /// Fault injection (engine attachment; disabled by default).
+  fault::FailureModelConfig failure{};
+  /// What happens to jobs preempted by a node failure.
+  fault::RequeuePolicy requeue = fault::RequeuePolicy::kRequeueHead;
 };
 
 /// A constructed algorithm: the policy plus its engine attachments.

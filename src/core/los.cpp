@@ -83,12 +83,14 @@ void Los::cycle(sched::SchedulerContext& ctx) {
 
     // Head blocked: reserve for it (or, in -D mode with a pending dedicated
     // group, for that group — Hybrid-LOS structure) and pack around the
-    // reservation.
+    // reservation.  A head larger than the in-service capacity (nodes down)
+    // gets no shadow: the DP packs without a reservation until repair.
     sched::Freeze binding = ded;
     if (!binding.active) {
       const int head_alloc = ctx.alloc_of(*head);
       ES_ASSERT(head_alloc > ctx.free());
-      binding = sched::shadow_for_blocked(ctx, head_alloc);
+      if (head_alloc <= ctx.machine->available())
+        binding = sched::shadow_for_blocked(ctx, head_alloc);
     }
     const auto outcome = run_reservation_dp(ctx, binding, lookahead_, ws_);
     if (outcome.started == 0 && !any_started) return;

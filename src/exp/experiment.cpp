@@ -20,6 +20,8 @@ sched::SimulationResult run_workload(const workload::Workload& workload,
   config.process_eccs = algo.process_eccs;
   config.allow_running_resize = algo.allow_running_resize;
   config.record_trace = options.record_trace;
+  config.failure = options.failure;
+  config.requeue = options.requeue;
   return sched::simulate(config, *algo.policy, workload);
 }
 

@@ -1,0 +1,85 @@
+#include "fault/failure_model.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/check.hpp"
+
+namespace es::fault {
+
+const char* to_string(RequeuePolicy policy) {
+  switch (policy) {
+    case RequeuePolicy::kRequeueHead: return "head";
+    case RequeuePolicy::kRequeueTail: return "tail";
+    case RequeuePolicy::kAbandon: return "abandon";
+  }
+  return "?";
+}
+
+bool parse_requeue_policy(const std::string& text, RequeuePolicy& out) {
+  std::string key = text;
+  std::transform(key.begin(), key.end(), key.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  if (key == "head") {
+    out = RequeuePolicy::kRequeueHead;
+  } else if (key == "tail") {
+    out = RequeuePolicy::kRequeueTail;
+  } else if (key == "abandon") {
+    out = RequeuePolicy::kAbandon;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+FailureModel::FailureModel(const FailureModelConfig& config, int machine_procs,
+                           int granularity)
+    : config_(config),
+      machine_procs_(machine_procs),
+      granularity_(granularity),
+      rng_(config.seed) {
+  ES_EXPECTS(machine_procs > 0);
+  ES_EXPECTS(granularity > 0);
+  if (config_.enabled && config_.script.empty()) {
+    ES_EXPECTS(config_.mtbf > 0);
+    ES_EXPECTS(config_.mttr > 0);
+    ES_EXPECTS(config_.min_nodes >= 1);
+    ES_EXPECTS(config_.max_nodes >= config_.min_nodes);
+  }
+}
+
+bool FailureModel::next(sim::Time from, Outage& out) {
+  ES_EXPECTS(config_.enabled);
+  Outage outage;
+  if (!config_.script.empty()) {
+    if (script_index_ >= config_.script.size()) return false;
+    outage = config_.script[script_index_++];
+    ES_EXPECTS(outage.up > outage.down);
+    ES_EXPECTS(outage.procs > 0);
+  } else {
+    // Exponential gap from the end of the previous outage, exponential
+    // repair time, uniform whole-node-card size.
+    const double gap = rng_.exponential(config_.mtbf);
+    const double repair = rng_.exponential(config_.mttr);
+    const int max_cards = std::max(1, machine_procs_ / granularity_);
+    const int lo = std::min(config_.min_nodes, max_cards);
+    const int hi = std::min(config_.max_nodes, max_cards);
+    const int cards = static_cast<int>(rng_.uniform_int(lo, hi));
+    outage.down = std::max(cursor_, from) + gap;
+    outage.up = outage.down + std::max(repair, 1e-6);
+    outage.procs = cards * granularity_;
+    cursor_ = outage.up;
+  }
+  // Clamp into the caller's window: outages are replayed sequentially, so a
+  // scripted entry overlapping the previous one degrades to a contiguous
+  // follow-on outage rather than a concurrent one.
+  if (outage.down < from) outage.down = from;
+  if (outage.up <= outage.down) outage.up = outage.down + 1e-6;
+  outage.procs = std::min(outage.procs, machine_procs_);
+  ES_ENSURES(outage.procs > 0 && outage.procs <= machine_procs_);
+  out = outage;
+  return true;
+}
+
+}  // namespace es::fault

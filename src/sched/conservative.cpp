@@ -75,13 +75,19 @@ sim::Time CapacityProfile::earliest_start(int procs, double duration) const {
 }
 
 void Conservative::cycle(SchedulerContext& ctx) {
-  CapacityProfile profile(ctx.now, ctx.machine->total(), ctx.active);
+  // Profile over the in-service capacity: offline processors cannot be
+  // promised to anyone, and their repair time is unknown to the policy.
+  const int available = ctx.machine->available();
+  CapacityProfile profile(ctx.now, available, ctx.active);
   // Give every queued job (FIFO order) its earliest reservation; start the
   // ones whose reservation is "now".  Iterate a snapshot since start()
   // mutates the queue.
   std::vector<JobRun*> snapshot(ctx.batch->begin(), ctx.batch->end());
   for (JobRun* job : snapshot) {
     const int alloc = ctx.alloc_of(*job);
+    // A job larger than today's degraded machine gets its reservation once
+    // capacity returns; skipping it keeps the profile feasible.
+    if (alloc > available) continue;
     const double duration = std::max(job->req_time, 1e-9);
     const sim::Time start = profile.earliest_start(alloc, duration);
     profile.reserve(start, duration, alloc);

@@ -38,10 +38,13 @@ void Easy::cycle(SchedulerContext& ctx) {
   // Phase 2: the head is blocked.  If it is blocked by capacity, it gets the
   // classic shadow reservation; if it is blocked only by the dedicated
   // freeze, that freeze is already the binding constraint and the head waits
-  // for the dedicated placement.
+  // for the dedicated placement.  If it needs more than the in-service
+  // capacity (nodes down), no completion chain can seat it — backfill
+  // freely and reserve once the machine is repaired.
   const int head_alloc = ctx.alloc_of(*head);
   Freeze shadow;
-  if (head_alloc > ctx.free()) shadow = shadow_for_blocked(ctx, head_alloc);
+  if (head_alloc > ctx.free() && head_alloc <= ctx.machine->available())
+    shadow = shadow_for_blocked(ctx, head_alloc);
 
   // Phase 3: aggressive backfill — any later job that fits now and delays
   // neither the head reservation nor the dedicated freeze.

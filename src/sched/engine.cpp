@@ -14,7 +14,9 @@ Engine::Engine(const EngineConfig& config, Scheduler& policy)
       policy_(&policy),
       machine_(config.machine_procs, config.granularity),
       utilization_(config.machine_procs),
-      ecc_processor_(config.machine_procs, config.granularity) {
+      ecc_processor_(config.machine_procs, config.granularity),
+      failure_model_(config.failure, config.machine_procs,
+                     config.granularity) {
   ecc_processor_.set_running_resize(config.allow_running_resize);
   if (config.record_trace) trace_ = std::make_shared<ScheduleTrace>();
 }
@@ -58,36 +60,66 @@ void Engine::run_cycle() {
 }
 
 void Engine::check_invariants() const {
-  // Ledger: free + sum of active allocations == machine size, and the
-  // machine agrees job-by-job.
+  const double now = sim_.now();
+  const unsigned long long cycle = cycles_;
+
+  // Ledger: free + sum of active allocations == in-service capacity, and
+  // the machine agrees job-by-job.
   int active_sum = 0;
   for (const JobRun* job : active_) {
-    ES_ASSERT(job->status == JobStatus::kRunning);
-    ES_ASSERT(job->alloc == machine_.allocated(job->spec.id));
-    ES_ASSERT(job->start_time >= job->spec.arr);
+    const long long id = job->spec.id;
+    ES_ASSERT_MSG(job->status == JobStatus::kRunning,
+                  "t=%.3f cycle=%llu job=%lld", now, cycle, id);
+    ES_ASSERT_MSG(job->alloc == machine_.allocated(job->spec.id),
+                  "t=%.3f cycle=%llu job=%lld alloc=%d ledger=%d", now, cycle,
+                  id, job->alloc, machine_.allocated(job->spec.id));
+    ES_ASSERT_MSG(job->start_time >= job->spec.arr,
+                  "t=%.3f cycle=%llu job=%lld start=%.3f arr=%.3f", now,
+                  cycle, id, job->start_time, job->spec.arr);
     active_sum += job->alloc;
   }
-  ES_ASSERT(machine_.free() + active_sum == machine_.total());
-  ES_ASSERT(active_.size() == machine_.active_jobs());
+  ES_ASSERT_MSG(machine_.free() + active_sum == machine_.available(),
+                "t=%.3f cycle=%llu free=%d active=%d available=%d offline=%d",
+                now, cycle, machine_.free(), active_sum, machine_.available(),
+                machine_.offline());
+  ES_ASSERT_MSG(machine_.offline() >= 0 &&
+                    machine_.offline() <= machine_.total(),
+                "t=%.3f cycle=%llu offline=%d", now, cycle,
+                machine_.offline());
+  ES_ASSERT_MSG(active_.size() == machine_.active_jobs(),
+                "t=%.3f cycle=%llu active=%zu ledger=%zu", now, cycle,
+                active_.size(), machine_.active_jobs());
 
   // Batch queue: waiting status; FIFO by arrival once past any
-  // forced-priority (moved dedicated) prefix.
+  // forced-priority (moved dedicated) prefix.  Jobs requeued after a
+  // node-failure preemption sit wherever the requeue policy put them, so
+  // they are exempt from the arrival ordering.
   bool in_prefix = true;
   double last_arr = -1;
   for (const JobRun* job : batch_queue_) {
-    ES_ASSERT(job->status == JobStatus::kWaiting);
+    const long long id = job->spec.id;
+    ES_ASSERT_MSG(job->status == JobStatus::kWaiting,
+                  "t=%.3f cycle=%llu job=%lld", now, cycle, id);
     if (in_prefix && job->forced_priority) continue;
     in_prefix = false;
-    ES_ASSERT(job->spec.arr >= last_arr);
+    if (job->interruptions > 0) continue;
+    ES_ASSERT_MSG(job->spec.arr >= last_arr,
+                  "t=%.3f cycle=%llu job=%lld arr=%.3f last=%.3f", now, cycle,
+                  id, job->spec.arr, last_arr);
     last_arr = job->spec.arr;
   }
 
   // Dedicated list: waiting, sorted by requested start.
   double last_start = -1;
   for (const JobRun* job : dedicated_queue_) {
-    ES_ASSERT(job->status == JobStatus::kWaiting);
-    ES_ASSERT(job->dedicated());
-    ES_ASSERT(job->req_start >= last_start);
+    const long long id = job->spec.id;
+    ES_ASSERT_MSG(job->status == JobStatus::kWaiting,
+                  "t=%.3f cycle=%llu job=%lld", now, cycle, id);
+    ES_ASSERT_MSG(job->dedicated(), "t=%.3f cycle=%llu job=%lld", now, cycle,
+                  id);
+    ES_ASSERT_MSG(job->req_start >= last_start,
+                  "t=%.3f cycle=%llu job=%lld req_start=%.3f last=%.3f", now,
+                  cycle, id, job->req_start, last_start);
     last_start = job->req_start;
   }
 }
@@ -200,6 +232,121 @@ void Engine::on_ecc(const workload::Ecc& ecc) {
   run_cycle();
 }
 
+void Engine::schedule_next_outage(sim::Time from) {
+  fault::Outage outage;
+  if (!failure_model_.next(from, outage)) return;
+  sim_.at(std::max(outage.down, sim_.now()), sim::EventClass::kNodeDown,
+          [this, outage](sim::Time) { on_node_down(outage); });
+}
+
+void Engine::preempt_victim() {
+  // Deterministic victim rule: the most recently started running job loses
+  // the least sunk work; ties (same start instant) break toward the higher
+  // job id so replays are bit-identical.
+  ES_EXPECTS(!active_.empty());
+  auto it = std::max_element(active_.begin(), active_.end(),
+                             [](const JobRun* a, const JobRun* b) {
+                               if (a->start_time != b->start_time)
+                                 return a->start_time < b->start_time;
+                               return a->spec.id < b->spec.id;
+                             });
+  JobRun* job = *it;
+  active_.erase(it);
+  const bool cancelled = sim_.cancel(job->finish_event);
+  ES_ASSERT(cancelled);
+  machine_.release(job->spec.id);
+  const double lost =
+      static_cast<double>(job->alloc) * (sim_.now() - job->start_time);
+  failure_stats_.lost_proc_seconds += lost;
+  ++failure_stats_.interruptions;
+  ++job->interruptions;
+  // Retry budget: past the cap a job is abandoned even under a requeue
+  // policy (see FailureModelConfig::max_interruptions).
+  fault::RequeuePolicy policy = config_.requeue;
+  if (config_.failure.max_interruptions > 0 &&
+      job->interruptions >= config_.failure.max_interruptions)
+    policy = fault::RequeuePolicy::kAbandon;
+  // A requeued job restarts from scratch, so its partial run is wasted work
+  // here and now; an abandoned job's partial run is accounted by collect().
+  if (policy != fault::RequeuePolicy::kAbandon)
+    failure_stats_.wasted_proc_seconds += lost;
+  utilization_.record(sim_.now(), machine_.used());
+  if (trace_)
+    trace_->record(sim_.now(), TraceEventKind::kPreempt, job->spec.id,
+                   job->alloc, lost);
+
+  const int alloc = job->alloc;
+  job->finish_event = {};
+  switch (policy) {
+    case fault::RequeuePolicy::kRequeueHead:
+      // Front of the batch queue with saturated priority, like a moved
+      // dedicated job: it restarts as soon as it fits again.
+      job->status = JobStatus::kWaiting;
+      job->alloc = 0;
+      job->start_time = -1;
+      job->forced_priority = true;
+      job->scount = std::numeric_limits<int>::max() / 2;
+      batch_queue_.push_front(job);
+      ++failure_stats_.requeues;
+      if (trace_)
+        trace_->record(sim_.now(), TraceEventKind::kRequeue, job->spec.id,
+                       alloc);
+      break;
+    case fault::RequeuePolicy::kRequeueTail:
+      job->status = JobStatus::kWaiting;
+      job->alloc = 0;
+      job->start_time = -1;
+      batch_queue_.push_back(job);
+      ++failure_stats_.requeues;
+      if (trace_)
+        trace_->record(sim_.now(), TraceEventKind::kRequeue, job->spec.id,
+                       alloc);
+      break;
+    case fault::RequeuePolicy::kAbandon:
+      // Keeps its alloc/start_time so collect() sees the partial run.
+      job->status = JobStatus::kAbandoned;
+      job->end_time = sim_.now();
+      last_finish_ = std::max(last_finish_, job->end_time);
+      finished_.push_back(job);
+      ++failure_stats_.abandoned;
+      if (trace_)
+        trace_->record(sim_.now(), TraceEventKind::kAbandon, job->spec.id,
+                       alloc);
+      break;
+  }
+}
+
+void Engine::on_node_down(const fault::Outage& outage) {
+  if (all_jobs_finished()) return;  // run is over; let the queue drain
+  // Never take more than what is still in service (a scripted storm may
+  // overlap outages).
+  const int procs = std::min(outage.procs, machine_.available());
+  if (procs > 0) {
+    ++failure_stats_.outages;
+    // Cover the lost capacity: first from the free pool, then by preempting
+    // running jobs until the failed processors are idle.
+    while (machine_.free() < procs) preempt_victim();
+    machine_.take_offline(procs);
+    utilization_.record_capacity(sim_.now(), machine_.available());
+    if (trace_)
+      trace_->record(sim_.now(), TraceEventKind::kNodeDown, 0, procs);
+    sim_.at(std::max(outage.up, sim_.now()), sim::EventClass::kNodeUp,
+            [this, procs](sim::Time) { on_node_up(procs); });
+  } else {
+    // Nothing left to fail right now; keep the outage chain alive.
+    schedule_next_outage(outage.up);
+  }
+  run_cycle();
+}
+
+void Engine::on_node_up(int procs) {
+  machine_.bring_online(procs);
+  utilization_.record_capacity(sim_.now(), machine_.available());
+  if (trace_) trace_->record(sim_.now(), TraceEventKind::kNodeUp, 0, procs);
+  if (!all_jobs_finished()) schedule_next_outage(sim_.now());
+  run_cycle();
+}
+
 void Engine::start_job(JobRun* job) {
   ES_EXPECTS(job->status == JobStatus::kWaiting);
   // Remove from whichever waiting queue holds it (policies start batch-queue
@@ -287,6 +434,10 @@ SimulationResult Engine::run(const workload::Workload& workload) {
   first_arrival_ =
       workload.jobs.empty() ? 0 : workload.jobs.front().arr;
   utilization_.record(first_arrival_, 0);
+  if (failure_model_.enabled() && !workload.jobs.empty()) {
+    utilization_.record_capacity(first_arrival_, machine_.available());
+    schedule_next_outage(first_arrival_);
+  }
 
   sim_.run();
 
@@ -295,6 +446,7 @@ SimulationResult Engine::run(const workload::Workload& workload) {
   ES_ENSURES(dedicated_queue_.empty());
   ES_ENSURES(active_.empty());
   ES_ENSURES(finished_.size() == jobs_.size());
+  ES_ENSURES(machine_.offline() == 0);  // every outage was repaired
 
   SimulationResult result = collect(workload);
   result.trace = trace_;
@@ -312,6 +464,7 @@ SimulationResult Engine::collect(const workload::Workload& workload) const {
   result.events = sim_.events_processed();
   result.offered_load = workload::offered_load(workload, machine_.total());
   result.ecc = ecc_processor_.stats();
+  result.failure = failure_stats_;
 
   double wait_sum = 0, run_sum = 0, sd_sum = 0, bsd_sum = 0;
   double dedicated_delay_sum = 0;
@@ -321,6 +474,8 @@ SimulationResult Engine::collect(const workload::Workload& workload) const {
     outcome.id = job->spec.id;
     outcome.dedicated = job->dedicated();
     outcome.killed = job->status == JobStatus::kKilled;
+    outcome.abandoned = job->status == JobStatus::kAbandoned;
+    outcome.interruptions = job->interruptions;
     outcome.procs = job->alloc;
     outcome.arrival = job->spec.arr;
     outcome.started = job->start_time;
@@ -340,10 +495,16 @@ SimulationResult Engine::collect(const workload::Workload& workload) const {
     sd_sum += (outcome.wait + outcome.run) / run_floor;
     bsd_sum += (outcome.wait + outcome.run) / std::max(outcome.run, 10.0);
     result.max_wait = std::max(result.max_wait, outcome.wait);
-    if (outcome.killed) {
+    const double work = static_cast<double>(outcome.procs) * outcome.run;
+    if (outcome.abandoned) {
+      ++result.abandoned;
+      result.failure.wasted_proc_seconds += work;
+    } else if (outcome.killed) {
       ++result.killed;
+      result.failure.wasted_proc_seconds += work;
     } else {
       ++result.completed;
+      result.failure.goodput_proc_seconds += work;
     }
     if (config_.keep_job_outcomes) result.jobs.push_back(outcome);
   }
@@ -363,6 +524,12 @@ SimulationResult Engine::collect(const workload::Workload& workload) const {
         dedicated_delay_sum / static_cast<double>(dedicated_count);
   result.utilization =
       utilization_.mean_utilization(first_arrival_, last_finish_);
+  if (failure_model_.enabled() && last_finish_ > first_arrival_) {
+    result.failure.down_proc_seconds =
+        static_cast<double>(machine_.total()) *
+            (last_finish_ - first_arrival_) -
+        utilization_.available_proc_seconds(first_arrival_, last_finish_);
+  }
   return result;
 }
 

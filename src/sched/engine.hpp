@@ -10,7 +10,11 @@
 //   * each event updates queues/state and then runs one scheduler cycle;
 //   * policy start() decisions allocate processors and schedule JobFinish at
 //     start + min(actual, kill-by estimate); jobs overrunning their estimate
-//     are killed, per the backfilling literature.
+//     are killed, per the backfilling literature;
+//   * (fault injection) the failure model chains NodeDown/NodeUp pairs: a
+//     NodeDown preempts enough running jobs to cover the lost capacity and
+//     applies the requeue policy; the paired NodeUp restores the processors
+//     and, while unfinished jobs remain, schedules the next outage.
 #pragma once
 
 #include <deque>
@@ -20,6 +24,7 @@
 
 #include "cluster/machine.hpp"
 #include "cluster/utilization.hpp"
+#include "fault/failure_model.hpp"
 #include "sched/ecc_processor.hpp"
 #include "sched/metrics.hpp"
 #include "sched/scheduler.hpp"
@@ -48,6 +53,12 @@ struct EngineConfig {
   /// status coherence) after every scheduling cycle.  O(queue) per cycle;
   /// used by the test suite and for debugging new policies.
   bool paranoid = false;
+  /// Fault injection: when `failure.enabled`, NodeDown/NodeUp events shrink
+  /// and restore machine capacity during the run (default: off, which keeps
+  /// every result bit-identical to the failure-free engine).
+  fault::FailureModelConfig failure;
+  /// What happens to running jobs preempted when capacity is lost.
+  fault::RequeuePolicy requeue = fault::RequeuePolicy::kRequeueHead;
 };
 
 /// One engine instance runs one workload with one policy.
@@ -66,11 +77,16 @@ class Engine {
   void on_dedicated_due(JobRun* job);
   void on_ecc(const workload::Ecc& ecc);
   void on_finish(JobRun* job);
+  void on_node_down(const fault::Outage& outage);
+  void on_node_up(int procs);
+  void schedule_next_outage(sim::Time from);
+  void preempt_victim();
   void start_job(JobRun* job);
   void finish_job(JobRun* job);
   void move_dedicated_head_to_batch_head();
   void run_cycle();
   void check_invariants() const;
+  bool all_jobs_finished() const { return finished_.size() == jobs_.size(); }
   SimulationResult collect(const workload::Workload& workload) const;
 
   EngineConfig config_;
@@ -79,6 +95,8 @@ class Engine {
   cluster::Machine machine_;
   cluster::UtilizationTracker utilization_;
   EccProcessor ecc_processor_;
+  fault::FailureModel failure_model_;
+  FailureStats failure_stats_;
   std::shared_ptr<ScheduleTrace> trace_;  ///< null unless record_trace
 
   std::vector<std::unique_ptr<JobRun>> jobs_;

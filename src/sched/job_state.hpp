@@ -18,6 +18,7 @@ enum class JobStatus {
   kRunning,    ///< allocated on the machine
   kCompleted,  ///< ran to its (possibly ECC-adjusted) natural end
   kKilled,     ///< hit its kill-by time before completing
+  kAbandoned,  ///< preempted by a node failure and dropped (kAbandon policy)
 };
 
 /// Runtime record; owned by the engine, referenced by schedulers.
@@ -36,6 +37,11 @@ struct JobRun {
   int scount = 0;          ///< cycles the job was skipped at queue head
   bool forced_priority = false;  ///< set when a due dedicated job is moved to
                                  ///< the batch head (Algorithm 3)
+
+  // Failure bookkeeping.
+  int interruptions = 0;   ///< times a node failure preempted this job; a
+                           ///< requeued job restarts from scratch, so its
+                           ///< place in the FIFO order is policy-defined
 
   // Lifecycle.
   JobStatus status = JobStatus::kWaiting;

@@ -16,12 +16,28 @@ struct JobOutcome {
   workload::JobId id = 0;
   bool dedicated = false;
   bool killed = false;
+  bool abandoned = false;   ///< dropped after a node-failure preemption
+  int interruptions = 0;    ///< node-failure preemptions suffered
   int procs = 0;            ///< processors occupied
   sim::Time arrival = 0;
-  sim::Time started = 0;
+  sim::Time started = 0;    ///< last (successful) start
   sim::Time finished = 0;
   double wait = 0;          ///< batch: start - arrival; dedicated: start delay
   double run = 0;           ///< finished - started
+};
+
+/// Fault-injection statistics of one run (all zero when the failure model
+/// is disabled).
+struct FailureStats {
+  std::uint64_t outages = 0;        ///< NodeDown events applied
+  std::uint64_t interruptions = 0;  ///< running jobs preempted by failures
+  std::uint64_t requeues = 0;       ///< interrupted jobs put back in queue
+  std::uint64_t abandoned = 0;      ///< interrupted jobs dropped
+  double lost_proc_seconds = 0;     ///< in-progress work discarded by
+                                    ///< preemptions (restarts lose progress)
+  double down_proc_seconds = 0;     ///< capacity-offline integral over the run
+  double goodput_proc_seconds = 0;  ///< work of jobs that completed
+  double wasted_proc_seconds = 0;   ///< killed/abandoned runs + lost work
 };
 
 /// Aggregate metrics of one simulation run.
@@ -43,6 +59,7 @@ struct SimulationResult {
   // --- run accounting ---
   std::uint64_t completed = 0;
   std::uint64_t killed = 0;
+  std::uint64_t abandoned = 0;  ///< dropped by the kAbandon requeue policy
   sim::Time first_arrival = 0;
   sim::Time last_finish = 0;
   double makespan = 0;
@@ -50,6 +67,7 @@ struct SimulationResult {
   std::uint64_t events = 0;    ///< simulation events processed
   double offered_load = 0;     ///< load of the input workload
   EccStats ecc;                ///< ECC processor statistics (if enabled)
+  FailureStats failure;        ///< fault-injection statistics (if enabled)
 
   std::vector<JobOutcome> jobs;  ///< per-job detail (always filled)
 

@@ -19,7 +19,11 @@ double planned_residual(const JobRun& job, sim::Time now) {
 Freeze shadow_for_blocked(const SchedulerContext& ctx, int need_procs) {
   const int m = ctx.free();
   ES_EXPECTS(need_procs > m);
-  ES_EXPECTS(need_procs <= ctx.machine->total());
+  // Under fault injection the bound is the *in-service* capacity: no chain
+  // of completions can release offline processors, so callers must not ask
+  // for a shadow the degraded machine cannot host (they skip the
+  // reservation until repair instead).
+  ES_EXPECTS(need_procs <= ctx.machine->available());
   Freeze freeze;
   freeze.active = true;
   int available = m;
@@ -34,7 +38,7 @@ Freeze shadow_for_blocked(const SchedulerContext& ctx, int need_procs) {
     }
   }
   // Unreachable when the ledger is consistent: free + sum(active allocs)
-  // equals the machine size which bounds any request.
+  // equals the in-service capacity which bounds any request.
   ES_ASSERT(false);
   return freeze;
 }
@@ -43,7 +47,11 @@ Freeze dedicated_freeze(const SchedulerContext& ctx) {
   const JobRun* head = ctx.dedicated_head();
   ES_EXPECTS(head != nullptr);
   ES_EXPECTS(head->req_start > ctx.now);
-  const int total = ctx.machine->total();
+  // Plan against the in-service capacity: the scheduler cannot know when
+  // offline processors will be repaired, so it books the dedicated group
+  // out of what exists right now (conservative under fault injection;
+  // identical to total() on a healthy machine).
+  const int total = ctx.machine->available();
 
   Freeze freeze;
   freeze.active = true;

@@ -16,6 +16,11 @@ const char* to_string(TraceEventKind kind) {
     case TraceEventKind::kEccRejected: return "ecc_rejected";
     case TraceEventKind::kResize: return "resize";
     case TraceEventKind::kDedicatedMove: return "dedicated_move";
+    case TraceEventKind::kNodeDown: return "node_down";
+    case TraceEventKind::kNodeUp: return "node_up";
+    case TraceEventKind::kPreempt: return "preempt";
+    case TraceEventKind::kRequeue: return "requeue";
+    case TraceEventKind::kAbandon: return "abandon";
   }
   return "?";
 }

@@ -23,6 +23,11 @@ enum class TraceEventKind {
   kEccRejected,     ///< an ECC was rejected
   kResize,          ///< a running job's allocation changed (EP/RP)
   kDedicatedMove,   ///< dedicated job moved to the batch-queue head
+  kNodeDown,        ///< processors left service (fault injection)
+  kNodeUp,          ///< processors returned to service
+  kPreempt,         ///< running job interrupted by a node failure
+  kRequeue,         ///< interrupted job returned to the waiting queue
+  kAbandon,         ///< interrupted job dropped (kAbandon requeue policy)
 };
 
 const char* to_string(TraceEventKind kind);

@@ -13,14 +13,19 @@ using Time = double;
 /// Ordering classes for events that share a timestamp.  Lower runs first.
 /// Completions must precede arrivals so a scheduler invoked on the arrival
 /// sees the freed capacity; ECCs precede scheduling so a cycle sees the
-/// adjusted residuals.
+/// adjusted residuals.  Repairs (NodeUp) precede failures and everything
+/// else except completions so same-instant down/up churn nets out before
+/// any scheduling decision; failures run before arrivals so a job arriving
+/// at the failure instant sees the degraded machine.
 enum class EventClass : int {
   kJobFinish = 0,
-  kEccArrival = 1,
-  kDedicatedDue = 2,
-  kJobArrival = 3,
-  kSchedule = 4,
-  kOther = 5,
+  kNodeUp = 1,
+  kNodeDown = 2,
+  kEccArrival = 3,
+  kDedicatedDue = 4,
+  kJobArrival = 5,
+  kSchedule = 6,
+  kOther = 7,
 };
 
 }  // namespace es::sim

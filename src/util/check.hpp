@@ -7,6 +7,7 @@
 // a benchmark run is worth far more than the branch.
 #pragma once
 
+#include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 
@@ -16,6 +17,29 @@ namespace es::util {
                                             const char* file, int line) {
   std::fprintf(stderr, "elastisched: %s violated: `%s` at %s:%d\n", kind, expr,
                file, line);
+  std::abort();
+}
+
+/// As contract_violation, with a printf-style context message appended —
+/// used where the failing expression alone is not enough to debug (e.g. the
+/// engine's invariant sweep reports sim time, cycle count and job id).
+[[noreturn]] inline void contract_violation_msg(const char* kind,
+                                                const char* expr,
+                                                const char* file, int line,
+                                                const char* fmt, ...)
+    __attribute__((format(printf, 5, 6)));
+
+[[noreturn]] inline void contract_violation_msg(const char* kind,
+                                                const char* expr,
+                                                const char* file, int line,
+                                                const char* fmt, ...) {
+  std::fprintf(stderr, "elastisched: %s violated: `%s` at %s:%d: ", kind,
+               expr, file, line);
+  std::va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
   std::abort();
 }
 
@@ -35,3 +59,24 @@ namespace es::util {
   ((cond) ? static_cast<void>(0)                                         \
           : ::es::util::contract_violation("invariant", #cond,           \
                                            __FILE__, __LINE__))
+
+// Variants carrying a printf-style context message, e.g.
+//   ES_ASSERT_MSG(job->alloc > 0, "t=%.1f cycle=%llu job=%lld", ...);
+
+#define ES_EXPECTS_MSG(cond, ...)                                        \
+  ((cond) ? static_cast<void>(0)                                         \
+          : ::es::util::contract_violation_msg("precondition", #cond,    \
+                                               __FILE__, __LINE__,       \
+                                               __VA_ARGS__))
+
+#define ES_ENSURES_MSG(cond, ...)                                        \
+  ((cond) ? static_cast<void>(0)                                         \
+          : ::es::util::contract_violation_msg("postcondition", #cond,   \
+                                               __FILE__, __LINE__,       \
+                                               __VA_ARGS__))
+
+#define ES_ASSERT_MSG(cond, ...)                                         \
+  ((cond) ? static_cast<void>(0)                                         \
+          : ::es::util::contract_violation_msg("invariant", #cond,       \
+                                               __FILE__, __LINE__,       \
+                                               __VA_ARGS__))

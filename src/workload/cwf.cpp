@@ -1,6 +1,7 @@
 #include "workload/cwf.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -23,7 +24,10 @@ std::vector<std::string> tokenize(const std::string& line) {
 bool to_double(const std::string& text, double& out) {
   char* end = nullptr;
   out = std::strtod(text.c_str(), &end);
-  return end != text.c_str() && *end == '\0';
+  if (end == text.c_str() || *end != '\0') return false;
+  // Reject nan/inf — matches the SWF prefix parser; a non-finite start time
+  // or amount would corrupt the event queue ordering.
+  return std::isfinite(out);
 }
 
 bool parse_cwf_line(const std::string& line, CwfRecord& out,
@@ -125,12 +129,12 @@ Workload to_workload(const CwfFile& file) {
     workload.granularity = 1;
   }
   std::unordered_set<std::int64_t> known_ids;
+  std::size_t dropped_jobs = 0, dropped_eccs = 0;
   for (const auto& record : file.records) {
     if (record.is_submission()) {
       Job job;
       if (!to_job(record.swf, job)) {
-        ES_LOG_WARN("CWF submission for job %lld unusable, skipped",
-                    record.swf.job_number);
+        ++dropped_jobs;
         continue;
       }
       if (record.req_start_time >= 0) {
@@ -143,8 +147,7 @@ Workload to_workload(const CwfFile& file) {
       EccType type;
       if (!parse_ecc_type(record.request_type, type)) continue;
       if (!known_ids.contains(record.swf.job_number)) {
-        ES_LOG_WARN("ECC for unknown job %lld dropped",
-                    record.swf.job_number);
+        ++dropped_eccs;
         continue;
       }
       Ecc ecc;
@@ -154,6 +157,14 @@ Workload to_workload(const CwfFile& file) {
       ecc.amount = record.amount;
       workload.eccs.push_back(ecc);
     }
+  }
+  // One summary per file (mirrors load_swf_jobs): per-record warnings drown
+  // the log on archive traces with many cancelled submissions.
+  if (dropped_jobs + dropped_eccs > 0) {
+    ES_LOG_WARN(
+        "CWF lowering dropped %zu unusable submission(s) and %zu ECC(s) "
+        "referencing unknown jobs",
+        dropped_jobs, dropped_eccs);
   }
   workload.normalize();
   return workload;

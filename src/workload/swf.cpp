@@ -1,6 +1,7 @@
 #include "workload/swf.hpp"
 
 #include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -25,19 +26,22 @@ std::vector<std::string> tokenize(const std::string& line) {
 bool to_double(const std::string& text, double& out) {
   char* end = nullptr;
   out = std::strtod(text.c_str(), &end);
-  return end != text.c_str() && *end == '\0';
-}
-
-bool to_ll(const std::string& text, long long& out) {
-  // SWF integer fields occasionally appear as "12.0" in archive traces;
-  // accept a numeric token and truncate.
-  double value = 0;
-  if (!to_double(text, value)) return false;
-  out = static_cast<long long>(value);
-  return true;
+  if (end == text.c_str() || *end != '\0') return false;
+  // Reject nan/inf: every SWF field is a finite quantity, and a NaN would
+  // silently poison every downstream comparison.
+  return std::isfinite(out);
 }
 
 }  // namespace
+
+/// Archive names of the 18 SWF fields, 1-based order; used to point parse
+/// diagnostics at the offending column.
+constexpr const char* kSwfFieldNames[18] = {
+    "job_number", "submit_time",   "wait_time",  "run_time",
+    "used_procs", "avg_cpu_time",  "used_memory", "req_procs",
+    "req_time",   "req_memory",    "status",      "user_id",
+    "group_id",   "app_number",    "queue_number", "partition",
+    "preceding_job", "think_time"};
 
 bool parse_swf_record(const std::string& line, SwfRecord& out,
                       std::string& message) {
@@ -46,29 +50,37 @@ bool parse_swf_record(const std::string& line, SwfRecord& out,
     message = "expected 18 fields, got " + std::to_string(tokens.size());
     return false;
   }
-  SwfRecord r;
-  bool ok = to_ll(tokens[0], r.job_number);
-  ok = ok && to_double(tokens[1], r.submit_time);
-  ok = ok && to_double(tokens[2], r.wait_time);
-  ok = ok && to_double(tokens[3], r.run_time);
-  ok = ok && to_ll(tokens[4], r.used_procs);
-  ok = ok && to_double(tokens[5], r.avg_cpu_time);
-  ok = ok && to_double(tokens[6], r.used_memory);
-  ok = ok && to_ll(tokens[7], r.req_procs);
-  ok = ok && to_double(tokens[8], r.req_time);
-  ok = ok && to_double(tokens[9], r.req_memory);
-  ok = ok && to_ll(tokens[10], r.status);
-  ok = ok && to_ll(tokens[11], r.user_id);
-  ok = ok && to_ll(tokens[12], r.group_id);
-  ok = ok && to_ll(tokens[13], r.app_number);
-  ok = ok && to_ll(tokens[14], r.queue_number);
-  ok = ok && to_ll(tokens[15], r.partition);
-  ok = ok && to_ll(tokens[16], r.preceding_job);
-  ok = ok && to_double(tokens[17], r.think_time);
-  if (!ok) {
-    message = "non-numeric field";
-    return false;
+  // Every field is numeric (integer fields may appear as "12.0" in archive
+  // traces and are truncated); parse all 18 uniformly so a failure can name
+  // the exact field and token instead of a bare "non-numeric field".
+  double values[18];
+  for (std::size_t i = 0; i < 18; ++i) {
+    if (!to_double(tokens[i], values[i])) {
+      message = "field " + std::to_string(i + 1) + " (" + kSwfFieldNames[i] +
+                "): non-numeric token '" + tokens[i] + "'";
+      return false;
+    }
   }
+  auto as_ll = [](double value) { return static_cast<long long>(value); };
+  SwfRecord r;
+  r.job_number = as_ll(values[0]);
+  r.submit_time = values[1];
+  r.wait_time = values[2];
+  r.run_time = values[3];
+  r.used_procs = as_ll(values[4]);
+  r.avg_cpu_time = values[5];
+  r.used_memory = values[6];
+  r.req_procs = as_ll(values[7]);
+  r.req_time = values[8];
+  r.req_memory = values[9];
+  r.status = as_ll(values[10]);
+  r.user_id = as_ll(values[11]);
+  r.group_id = as_ll(values[12]);
+  r.app_number = as_ll(values[13]);
+  r.queue_number = as_ll(values[14]);
+  r.partition = as_ll(values[15]);
+  r.preceding_job = as_ll(values[16]);
+  r.think_time = values[17];
   out = r;
   return true;
 }
@@ -165,7 +177,22 @@ void write_swf(std::ostream& out, const SwfFile& file) {
     out << format_swf_record(record) << '\n';
 }
 
-bool to_job(const SwfRecord& record, Job& out) {
+bool to_job(const SwfRecord& record, Job& out, const SwfImportOptions& options,
+            SwfDropReason* reason) {
+  auto drop = [reason](SwfDropReason why) {
+    if (reason) *reason = why;
+    return false;
+  };
+  if (reason) *reason = SwfDropReason::kNone;
+  // Status field (11): 0 = failed, 5 = cancelled.  A record that terminated
+  // early but ran (run_time > 0) still occupied processors and is replayed
+  // with its partial runtime (unless the caller opted out); one that never
+  // ran consumed nothing and would only distort the replayed load.
+  const bool terminated_early = record.status == 0 || record.status == 5;
+  if (terminated_early) {
+    if (record.run_time <= 0) return drop(SwfDropReason::kNeverRan);
+    if (!options.import_partial) return drop(SwfDropReason::kPartialDisabled);
+  }
   Job job;
   job.id = record.job_number;
   job.arr = record.submit_time < 0 ? 0 : record.submit_time;
@@ -175,7 +202,7 @@ bool to_job(const SwfRecord& record, Job& out) {
       record.req_time > 0 ? record.req_time : record.run_time;
   const double actual =
       record.run_time > 0 ? record.run_time : requested;
-  if (procs <= 0 || requested <= 0) return false;
+  if (procs <= 0 || requested <= 0) return drop(SwfDropReason::kUnusable);
   job.num = static_cast<int>(procs);
   job.dur = requested;
   job.actual = actual;
@@ -197,7 +224,8 @@ SwfRecord from_job(const Job& job) {
   return record;
 }
 
-std::vector<Job> load_swf_jobs(const std::string& path) {
+std::vector<Job> load_swf_jobs(const std::string& path,
+                               const SwfImportOptions& options) {
   std::ifstream in(path);
   if (!in) {
     ES_LOG_ERROR("cannot open SWF trace '%s'", path.c_str());
@@ -210,9 +238,29 @@ std::vector<Job> load_swf_jobs(const std::string& path) {
                 error.message.c_str());
   std::vector<Job> jobs;
   jobs.reserve(file.records.size());
+  std::size_t unusable = 0, never_ran = 0, partial_disabled = 0;
   for (const auto& record : file.records) {
     Job job;
-    if (to_job(record, job)) jobs.push_back(job);
+    SwfDropReason reason = SwfDropReason::kNone;
+    if (to_job(record, job, options, &reason)) {
+      jobs.push_back(job);
+      continue;
+    }
+    switch (reason) {
+      case SwfDropReason::kUnusable: ++unusable; break;
+      case SwfDropReason::kNeverRan: ++never_ran; break;
+      case SwfDropReason::kPartialDisabled: ++partial_disabled; break;
+      case SwfDropReason::kNone: break;
+    }
+  }
+  // One summary per file, not one warning per record — a large archive trace
+  // can legitimately carry thousands of cancelled submissions.
+  if (unusable + never_ran + partial_disabled > 0) {
+    ES_LOG_WARN(
+        "%s: dropped %zu of %zu records (%zu unusable, %zu "
+        "failed/cancelled before running, %zu partial runs excluded)",
+        path.c_str(), unusable + never_ran + partial_disabled,
+        file.records.size(), unusable, never_ran, partial_disabled);
   }
   return jobs;
 }

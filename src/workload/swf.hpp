@@ -82,15 +82,37 @@ std::string format_swf_record(const SwfRecord& record);
 /// Writes header (each line prefixed with "; ") and records.
 void write_swf(std::ostream& out, const SwfFile& file);
 
+/// Controls how the job status (field 11: 0 = failed, 1 = completed,
+/// 5 = cancelled) is honoured when lowering records to simulator jobs.
+struct SwfImportOptions {
+  /// Import failed/cancelled records that actually ran (run_time > 0),
+  /// replaying their partial execution — they consumed real machine time, so
+  /// dropping them would understate the offered load.  When false such
+  /// records are dropped entirely.
+  bool import_partial = true;
+};
+
+/// Why to_job rejected a record.
+enum class SwfDropReason {
+  kNone,             ///< record imported
+  kUnusable,         ///< no processor count or runtime at all
+  kNeverRan,         ///< failed/cancelled before consuming any machine time
+  kPartialDisabled,  ///< partial run dropped because import_partial is off
+};
+
 /// Converts an SWF record to the simulator Job model.  Requested fields fall
 /// back to used/actual ones when absent (-1), matching common archive usage.
-/// Returns false for records that cannot run (no size or runtime at all).
-bool to_job(const SwfRecord& record, Job& out);
+/// Returns false for records that cannot run; `reason` (if given) says why.
+bool to_job(const SwfRecord& record, Job& out,
+            const SwfImportOptions& options = {},
+            SwfDropReason* reason = nullptr);
 
 /// Converts a Job back to an SWF record (submission view; wait/run unknown).
 SwfRecord from_job(const Job& job);
 
-/// Loads jobs from an SWF file on disk.  Unusable records are skipped.
-std::vector<Job> load_swf_jobs(const std::string& path);
+/// Loads jobs from an SWF file on disk.  Unusable records are skipped and
+/// counted; one summary warning per file reports the drop totals.
+std::vector<Job> load_swf_jobs(const std::string& path,
+                               const SwfImportOptions& options = {});
 
 }  // namespace es::workload

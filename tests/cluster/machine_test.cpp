@@ -76,7 +76,47 @@ TEST(Machine, AllocatedOfUnknownJobIsZero) {
   EXPECT_EQ(machine.allocated(42), 0);
 }
 
+TEST(Machine, OfflineShrinksAvailableNotTotal) {
+  Machine machine(320, 32);
+  EXPECT_EQ(machine.available(), 320);
+  machine.allocate(1, 64);
+  machine.take_offline(32);
+  EXPECT_EQ(machine.total(), 320);
+  EXPECT_EQ(machine.available(), 288);
+  EXPECT_EQ(machine.offline(), 32);
+  EXPECT_EQ(machine.free(), 224);
+  EXPECT_EQ(machine.used(), 64);  // the running job is untouched
+  machine.bring_online(32);
+  EXPECT_EQ(machine.available(), 320);
+  EXPECT_EQ(machine.offline(), 0);
+  EXPECT_EQ(machine.free(), 256);
+}
+
+TEST(Machine, RepeatedOutagesStack) {
+  Machine machine(320, 32);
+  machine.take_offline(64);
+  machine.take_offline(32);
+  EXPECT_EQ(machine.offline(), 96);
+  EXPECT_EQ(machine.available(), 224);
+  machine.bring_online(64);
+  EXPECT_EQ(machine.offline(), 32);
+  machine.bring_online(32);
+  EXPECT_EQ(machine.offline(), 0);
+}
+
 using MachineDeath = Machine;
+
+TEST(MachineDeath, TakeOfflineMoreThanFreeAborts) {
+  Machine machine(64, 32);
+  machine.allocate(1, 32);
+  EXPECT_DEATH(machine.take_offline(64), "precondition");
+}
+
+TEST(MachineDeath, BringOnlineMoreThanOfflineAborts) {
+  Machine machine(64, 32);
+  machine.take_offline(32);
+  EXPECT_DEATH(machine.bring_online(64), "precondition");
+}
 
 TEST(MachineDeath, OverAllocationAborts) {
   Machine machine(64, 32);

@@ -81,6 +81,34 @@ TEST(Utilization, CurrentBusyTracksLastRecord) {
   EXPECT_EQ(tracker.current_busy(), 9);
 }
 
+TEST(Utilization, CapacityTimelineDefaultsToFullMachine) {
+  UtilizationTracker tracker(10);
+  tracker.record(0, 5);
+  // No capacity records: the full machine is available the whole window.
+  EXPECT_DOUBLE_EQ(tracker.available_proc_seconds(0, 100), 1000.0);
+  EXPECT_DOUBLE_EQ(tracker.mean_utilization(0, 100), 0.5);
+}
+
+TEST(Utilization, DegradedCapacityRaisesMeanUtilization) {
+  UtilizationTracker tracker(10);
+  tracker.record(0, 5);
+  tracker.record_capacity(0, 10);
+  tracker.record_capacity(40, 5);   // 5 procs out of service over [40,80)
+  tracker.record_capacity(80, 10);
+  // available = 10*40 + 5*40 + 10*20 = 800 over [0,100)
+  EXPECT_DOUBLE_EQ(tracker.available_proc_seconds(0, 100), 800.0);
+  // busy = 5*100 = 500 -> utilization against what was in service
+  EXPECT_DOUBLE_EQ(tracker.mean_utilization(0, 100), 500.0 / 800.0);
+}
+
+TEST(Utilization, CapacityRecordsCoalesceAtSameInstant) {
+  UtilizationTracker tracker(10);
+  tracker.record_capacity(0, 10);
+  tracker.record_capacity(50, 8);
+  tracker.record_capacity(50, 6);  // same instant: final value wins
+  EXPECT_DOUBLE_EQ(tracker.available_proc_seconds(0, 100), 10 * 50 + 6 * 50.0);
+}
+
 TEST(UtilizationDeath, OverCapacityAborts) {
   UtilizationTracker tracker(10);
   EXPECT_DEATH(tracker.record(0, 11), "precondition");

@@ -1,0 +1,129 @@
+// FailureModel: determinism, scripted replay, granularity alignment and
+// window clamping of the outage sequence.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fault/failure_model.hpp"
+
+namespace es::fault {
+namespace {
+
+constexpr int kProcs = 320;
+constexpr int kGranularity = 32;
+
+FailureModelConfig stochastic_config(std::uint64_t seed = 7) {
+  FailureModelConfig config;
+  config.enabled = true;
+  config.seed = seed;
+  config.mtbf = 3600;
+  config.mttr = 900;
+  config.min_nodes = 1;
+  config.max_nodes = 4;
+  return config;
+}
+
+std::vector<Outage> draw(FailureModel& model, int count, sim::Time from = 0) {
+  std::vector<Outage> outages;
+  sim::Time cursor = from;
+  for (int i = 0; i < count; ++i) {
+    Outage outage;
+    EXPECT_TRUE(model.next(cursor, outage));
+    outages.push_back(outage);
+    cursor = outage.up;
+  }
+  return outages;
+}
+
+TEST(RequeuePolicyNames, RoundTripAndRejects) {
+  for (const auto policy :
+       {RequeuePolicy::kRequeueHead, RequeuePolicy::kRequeueTail,
+        RequeuePolicy::kAbandon}) {
+    RequeuePolicy parsed;
+    ASSERT_TRUE(parse_requeue_policy(to_string(policy), parsed));
+    EXPECT_EQ(parsed, policy);
+  }
+  RequeuePolicy parsed;
+  EXPECT_TRUE(parse_requeue_policy("HEAD", parsed));  // case-insensitive
+  EXPECT_EQ(parsed, RequeuePolicy::kRequeueHead);
+  EXPECT_FALSE(parse_requeue_policy("front", parsed));
+  EXPECT_FALSE(parse_requeue_policy("", parsed));
+}
+
+TEST(FailureModel, SameSeedProducesBitIdenticalSequence) {
+  FailureModel a(stochastic_config(), kProcs, kGranularity);
+  FailureModel b(stochastic_config(), kProcs, kGranularity);
+  const auto seq_a = draw(a, 50);
+  const auto seq_b = draw(b, 50);
+  ASSERT_EQ(seq_a.size(), seq_b.size());
+  for (std::size_t i = 0; i < seq_a.size(); ++i) {
+    EXPECT_EQ(seq_a[i].down, seq_b[i].down) << i;
+    EXPECT_EQ(seq_a[i].up, seq_b[i].up) << i;
+    EXPECT_EQ(seq_a[i].procs, seq_b[i].procs) << i;
+  }
+}
+
+TEST(FailureModel, DifferentSeedsDiverge) {
+  FailureModel a(stochastic_config(7), kProcs, kGranularity);
+  FailureModel b(stochastic_config(8), kProcs, kGranularity);
+  const auto seq_a = draw(a, 10);
+  const auto seq_b = draw(b, 10);
+  bool any_different = false;
+  for (std::size_t i = 0; i < seq_a.size(); ++i)
+    any_different = any_different || seq_a[i].down != seq_b[i].down;
+  EXPECT_TRUE(any_different);
+}
+
+TEST(FailureModel, OutageSizesAlignedToWholeNodeCards) {
+  FailureModelConfig config = stochastic_config();
+  config.max_nodes = 50;  // more cards than the machine has — must clamp
+  FailureModel model(config, kProcs, kGranularity);
+  for (const Outage& outage : draw(model, 100)) {
+    EXPECT_EQ(outage.procs % kGranularity, 0);
+    EXPECT_GE(outage.procs, kGranularity);
+    EXPECT_LE(outage.procs, kProcs);
+  }
+}
+
+TEST(FailureModel, OutagesAreOrderedAndRespectTheWindow) {
+  FailureModel model(stochastic_config(), kProcs, kGranularity);
+  sim::Time cursor = 1000;  // the caller's lower bound
+  for (int i = 0; i < 50; ++i) {
+    Outage outage;
+    ASSERT_TRUE(model.next(cursor, outage));
+    EXPECT_GE(outage.down, cursor);
+    EXPECT_GT(outage.up, outage.down);
+    cursor = outage.up;
+  }
+}
+
+TEST(FailureModel, ScriptReplayedInOrderThenExhausted) {
+  FailureModelConfig config;
+  config.enabled = true;
+  config.script = {{100, 200, 32}, {300, 350, 64}};
+  FailureModel model(config, kProcs, kGranularity);
+  Outage outage;
+  ASSERT_TRUE(model.next(0, outage));
+  EXPECT_EQ(outage.down, 100);
+  EXPECT_EQ(outage.up, 200);
+  EXPECT_EQ(outage.procs, 32);
+  ASSERT_TRUE(model.next(outage.up, outage));
+  EXPECT_EQ(outage.down, 300);
+  EXPECT_EQ(outage.procs, 64);
+  EXPECT_FALSE(model.next(outage.up, outage));  // exhausted
+}
+
+TEST(FailureModel, ScriptedOutageClampedToCallerWindowAndMachine) {
+  FailureModelConfig config;
+  config.enabled = true;
+  config.script = {{5, 10, 640}};  // larger than the machine, starts early
+  FailureModel model(config, kProcs, kGranularity);
+  Outage outage;
+  ASSERT_TRUE(model.next(7, outage));
+  EXPECT_EQ(outage.down, 7);   // shifted to the caller's lower bound
+  EXPECT_EQ(outage.up, 10);
+  EXPECT_EQ(outage.procs, kProcs);  // clamped to the machine size
+}
+
+}  // namespace
+}  // namespace es::fault

@@ -1,0 +1,173 @@
+// Adversarial trace ingestion: truncated lines, non-finite and overflowing
+// numbers, negative sizes, CRLF endings, and status-aware record lowering.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "workload/cwf.hpp"
+#include "workload/swf.hpp"
+
+namespace es::workload {
+namespace {
+
+std::string line18(const std::string& field_value, int field_index) {
+  // A valid 18-field line with one field replaced (1-based index).
+  std::string line;
+  for (int i = 1; i <= 18; ++i) {
+    if (i > 1) line += ' ';
+    line += i == field_index ? field_value : "1";
+  }
+  return line;
+}
+
+TEST(SwfAdversarial, TruncatedLineReportsFieldCount) {
+  SwfRecord record;
+  std::string message;
+  EXPECT_FALSE(parse_swf_record("1 2 3 4 5 6 7 8 9 10", record, message));
+  EXPECT_NE(message.find("expected 18 fields, got 10"), std::string::npos)
+      << message;
+}
+
+TEST(SwfAdversarial, NonFiniteValuesAreRejectedWithFieldName) {
+  SwfRecord record;
+  std::string message;
+  EXPECT_FALSE(parse_swf_record(line18("nan", 4), record, message));
+  EXPECT_NE(message.find("field 4 (run_time)"), std::string::npos) << message;
+  EXPECT_NE(message.find("'nan'"), std::string::npos) << message;
+
+  EXPECT_FALSE(parse_swf_record(line18("inf", 9), record, message));
+  EXPECT_NE(message.find("field 9 (req_time)"), std::string::npos) << message;
+
+  EXPECT_FALSE(parse_swf_record(line18("-inf", 2), record, message));
+  EXPECT_NE(message.find("field 2 (submit_time)"), std::string::npos)
+      << message;
+}
+
+TEST(SwfAdversarial, OverflowingNumberIsRejected) {
+  // 1e400 overflows double to infinity — must be refused, not imported.
+  SwfRecord record;
+  std::string message;
+  EXPECT_FALSE(parse_swf_record(line18("1e400", 2), record, message));
+  EXPECT_NE(message.find("field 2 (submit_time)"), std::string::npos)
+      << message;
+}
+
+TEST(SwfAdversarial, GarbageTokenNamesFieldAndToken) {
+  SwfRecord record;
+  std::string message;
+  EXPECT_FALSE(parse_swf_record(line18("12x", 5), record, message));
+  EXPECT_NE(message.find("field 5 (used_procs)"), std::string::npos)
+      << message;
+  EXPECT_NE(message.find("'12x'"), std::string::npos) << message;
+}
+
+TEST(SwfAdversarial, HugeButFiniteValuesParse) {
+  SwfRecord record;
+  std::string message;
+  EXPECT_TRUE(parse_swf_record(line18("1e300", 9), record, message))
+      << message;
+  EXPECT_DOUBLE_EQ(record.req_time, 1e300);
+}
+
+TEST(SwfAdversarial, MalformedLinesAreSkippedWithLineNumbers) {
+  const std::string text =
+      "; MaxProcs: 64\n"
+      "1 0 0 10 4 -1 -1 4 10 -1 1 1 1 1 1 1 -1 -1\n"
+      "2 0 0 nan 4 -1 -1 4 10 -1 1 1 1 1 1 1 -1 -1\n"
+      "3 0 0 10 4 -1 -1 4 10 -1 1 1 1 1 1 1 -1 -1\n";
+  std::vector<SwfParseError> errors;
+  const SwfFile file = parse_swf_string(text, &errors);
+  EXPECT_EQ(file.records.size(), 2u);
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_EQ(errors[0].line_number, 3u);
+  EXPECT_NE(errors[0].message.find("run_time"), std::string::npos);
+}
+
+TEST(SwfAdversarial, CrlfEndingsParseCleanly) {
+  const std::string text =
+      "; Computer: test\r\n"
+      "1 0 0 10 4 -1 -1 4 10 -1 1 1 1 1 1 1 -1 -1\r\n"
+      "2 5 0 10 4 -1 -1 4 10 -1 1 1 1 1 1 1 -1 -1\r\n";
+  std::vector<SwfParseError> errors;
+  const SwfFile file = parse_swf_string(text, &errors);
+  EXPECT_TRUE(errors.empty());
+  ASSERT_EQ(file.records.size(), 2u);
+  EXPECT_EQ(file.records[1].job_number, 2);
+}
+
+SwfRecord record_with_status(long long status, double run_time) {
+  SwfRecord record;
+  record.job_number = 1;
+  record.submit_time = 0;
+  record.run_time = run_time;
+  record.req_procs = 4;
+  record.req_time = 100;
+  record.status = status;
+  return record;
+}
+
+TEST(SwfStatus, CancelledRecordThatNeverRanIsDropped) {
+  Job job;
+  SwfDropReason reason = SwfDropReason::kNone;
+  EXPECT_FALSE(to_job(record_with_status(5, -1), job, {}, &reason));
+  EXPECT_EQ(reason, SwfDropReason::kNeverRan);
+  EXPECT_FALSE(to_job(record_with_status(0, 0), job, {}, &reason));
+  EXPECT_EQ(reason, SwfDropReason::kNeverRan);
+}
+
+TEST(SwfStatus, FailedRecordThatRanImportsItsPartialRuntimeByDefault) {
+  Job job;
+  SwfDropReason reason = SwfDropReason::kNone;
+  ASSERT_TRUE(to_job(record_with_status(0, 40), job, {}, &reason));
+  EXPECT_EQ(reason, SwfDropReason::kNone);
+  EXPECT_DOUBLE_EQ(job.dur, 100);     // the user's estimate
+  EXPECT_DOUBLE_EQ(job.actual, 40);   // the partial execution
+}
+
+TEST(SwfStatus, ImportPartialFlagDropsEarlyTerminatedRuns) {
+  Job job;
+  SwfImportOptions options;
+  options.import_partial = false;
+  SwfDropReason reason = SwfDropReason::kNone;
+  EXPECT_FALSE(to_job(record_with_status(5, 40), job, options, &reason));
+  EXPECT_EQ(reason, SwfDropReason::kPartialDisabled);
+  // Completed records are untouched by the flag.
+  EXPECT_TRUE(to_job(record_with_status(1, 40), job, options, &reason));
+}
+
+TEST(SwfStatus, UnusableRecordReportsReason) {
+  SwfRecord record = record_with_status(1, -1);
+  record.req_procs = -1;
+  record.used_procs = -1;
+  Job job;
+  SwfDropReason reason = SwfDropReason::kNone;
+  EXPECT_FALSE(to_job(record, job, {}, &reason));
+  EXPECT_EQ(reason, SwfDropReason::kUnusable);
+}
+
+TEST(CwfAdversarial, NonFiniteExtensionFieldsAreRejected) {
+  std::vector<SwfParseError> errors;
+  const std::string base = "1 0 0 10 4 -1 -1 4 10 -1 1 1 1 1 1 1 -1 -1";
+  parse_cwf_string(base + " nan S -1\n", &errors);
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_NE(errors[0].message.find("field 19"), std::string::npos)
+      << errors[0].message;
+  errors.clear();
+  parse_cwf_string(base + " -1 ET inf\n", &errors);
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_NE(errors[0].message.find("field 21"), std::string::npos)
+      << errors[0].message;
+}
+
+TEST(CwfAdversarial, NonFinitePrefixFieldNamesTheColumn) {
+  std::vector<SwfParseError> errors;
+  parse_cwf_string("1 inf 0 10 4 -1 -1 4 10 -1 1 1 1 1 1 1 -1 -1 -1 S -1\n",
+                   &errors);
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_NE(errors[0].message.find("field 2 (submit_time)"),
+            std::string::npos)
+      << errors[0].message;
+}
+
+}  // namespace
+}  // namespace es::workload

@@ -33,6 +33,11 @@ int main(int argc, char** argv) {
   double p_small = 0.5, p_dedicated = 0.0, p_extend = 0.0, p_reduce = 0.0;
   double load = 0.0;
   int cs = 7, lookahead = 250;
+  double mtbf = 0.0, mttr = 1800.0;
+  unsigned long long fail_seed = 1;
+  int fail_min_nodes = 1, fail_max_nodes = 1;
+  int fail_retry_cap = 0;
+  std::string requeue = "head";
 
   es::util::CliParser cli("Run one scheduling simulation");
   cli.add_option("trace", "SWF/CWF trace to replay", &trace);
@@ -52,6 +57,19 @@ int main(int argc, char** argv) {
   cli.add_option("load", "synthetic: target offered load (0 = off)", &load);
   cli.add_option("cs", "max skip count C_s (default 7)", &cs);
   cli.add_option("lookahead", "DP lookahead (default 250)", &lookahead);
+  cli.add_option("mtbf", "fault injection: mean time between failures in "
+                 "seconds (0 = disabled)", &mtbf);
+  cli.add_option("mttr", "fault injection: mean time to repair in seconds "
+                 "(default 1800)", &mttr);
+  cli.add_option("fail-seed", "fault injection: RNG seed", &fail_seed);
+  cli.add_option("fail-min-nodes", "fault injection: min nodes per outage",
+                 &fail_min_nodes);
+  cli.add_option("fail-max-nodes", "fault injection: max nodes per outage",
+                 &fail_max_nodes);
+  cli.add_option("fail-retry-cap", "fault injection: abandon a job after "
+                 "this many preemptions (0 = retry forever)", &fail_retry_cap);
+  cli.add_option("requeue", "preempted-job policy: head/tail/abandon",
+                 &requeue);
   bool profile = false;
   std::string trace_csv;
   cli.add_option("per-job", "write per-job outcomes to this CSV", &per_job_csv);
@@ -98,6 +116,20 @@ int main(int argc, char** argv) {
   options.max_skip_count = cs;
   options.lookahead = lookahead;
   options.record_trace = !trace_csv.empty();
+  if (mtbf > 0) {
+    options.failure.enabled = true;
+    options.failure.seed = fail_seed;
+    options.failure.mtbf = mtbf;
+    options.failure.mttr = mttr;
+    options.failure.min_nodes = fail_min_nodes;
+    options.failure.max_nodes = fail_max_nodes;
+    options.failure.max_interruptions = fail_retry_cap;
+    if (!es::fault::parse_requeue_policy(requeue, options.requeue)) {
+      std::fprintf(stderr, "simrun: unknown requeue policy '%s'\n",
+                   requeue.c_str());
+      return 1;
+    }
+  }
   const auto result = es::exp::run_workload(workload, algorithm, options);
 
   es::util::AsciiTable table("simrun — " + algorithm);
@@ -118,6 +150,19 @@ int main(int argc, char** argv) {
       .cell(std::to_string(result.events) + " / " +
             std::to_string(result.cycles))
       .end_row();
+  if (mtbf > 0) {
+    const auto& failure = result.failure;
+    table.cell("outages").cell(static_cast<long long>(failure.outages)).end_row();
+    table.cell("jobs interrupted / requeued")
+        .cell(std::to_string(failure.interruptions) + " / " +
+              std::to_string(failure.requeues))
+        .end_row();
+    table.cell("jobs abandoned").cell(static_cast<long long>(failure.abandoned)).end_row();
+    table.cell("lost proc-seconds").cell(failure.lost_proc_seconds, 0).end_row();
+    table.cell("down proc-seconds").cell(failure.down_proc_seconds, 0).end_row();
+    table.cell("goodput proc-seconds").cell(failure.goodput_proc_seconds, 0).end_row();
+    table.cell("wasted proc-seconds").cell(failure.wasted_proc_seconds, 0).end_row();
+  }
   table.render(std::cout);
 
   if (profile) {
