@@ -12,10 +12,19 @@
 // Every point runs with a retry budget of 10 preemptions per job: without
 // it, restart-from-scratch at MTBF below the longest runtimes needs
 // ~e^(runtime/MTBF) attempts and the harsh points effectively never finish.
+//
+// A third table drops that safety net to compare recovery modes directly:
+// capless restart-from-scratch vs checkpointed recovery (interval 900 s,
+// overhead 30 s per checkpoint) across an MTBF sweep down to a harsh 15
+// minutes.  Both run under a watchdog event budget, so the restart mode —
+// which at harsh MTBF may never finish — aborts gracefully and reports its
+// termination reason and unfinished-job count instead of hanging the bench.
 #include <cstdint>
 #include <fstream>
 
 #include "bench_common.hpp"
+#include "sim/watchdog.hpp"
+#include "util/atomic_file.hpp"
 #include "util/csv.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -85,6 +94,83 @@ Point run_point(const es::bench::BenchOptions& options,
   point.abandoned = abandoned / n;
   point.lost_kps = lost / n / 1000.0;
   point.goodput_pct = 100.0 * goodput_stats.mean();
+  return point;
+}
+
+struct RecoveryPoint {
+  double mtbf_hours = 0;
+  std::string mode;  ///< "restart" or "ckpt"
+  double utilization = 0;
+  double mean_wait = 0;
+  double interrupted = 0;
+  double lost_kps = 0;
+  double saved_kps = 0;      ///< work recovered from checkpoints
+  double overhead_kps = 0;   ///< capacity spent writing checkpoints
+  double goodput_pct = 0;
+  int aborted = 0;           ///< replications stopped by the watchdog
+  double unfinished = 0;     ///< mean jobs unfinished at an abort
+  std::string termination;   ///< reason of the last replication
+};
+
+RecoveryPoint run_recovery_point(const es::bench::BenchOptions& options,
+                                 const es::workload::GeneratorConfig& base,
+                                 double mtbf_hours, bool checkpointed) {
+  es::util::RunningStats util_stats, wait_stats, goodput_stats;
+  double interrupted = 0, lost = 0, saved = 0, overhead = 0, unfinished = 0;
+  RecoveryPoint point;
+  point.mtbf_hours = mtbf_hours;
+  point.mode = checkpointed ? "ckpt" : "restart";
+  point.termination = "completed";
+  for (int i = 0; i < options.replications; ++i) {
+    es::workload::GeneratorConfig config = base;
+    config.seed = options.seed + static_cast<std::uint64_t>(i);
+    const es::workload::Workload workload = es::workload::generate(config);
+
+    es::core::AlgorithmOptions algo = es::bench::algo_options(options);
+    algo.requeue = es::fault::RequeuePolicy::kRequeueHead;
+    algo.failure.enabled = true;
+    algo.failure.seed = options.seed + 1000 + static_cast<std::uint64_t>(i);
+    algo.failure.mtbf = mtbf_hours * 3600.0;
+    algo.failure.mttr = 30 * 60.0;
+    algo.failure.min_nodes = 1;
+    algo.failure.max_nodes = 2;
+    algo.failure.max_interruptions = 0;  // capless: recovery mode decides
+    if (checkpointed) {
+      algo.checkpoint.enabled = true;
+      algo.checkpoint.interval = 900.0;
+      algo.checkpoint.overhead = 30.0;
+    }
+    // Event budget so the capless restart mode cannot hang the bench.
+    algo.watchdog.max_events =
+        options.quick ? 100'000ULL : 500'000ULL;
+    const es::sched::SimulationResult result =
+        es::exp::run_workload(workload, "EASY", algo);
+
+    util_stats.add(result.utilization);
+    wait_stats.add(result.mean_wait);
+    const double consumed = result.failure.goodput_proc_seconds +
+                            result.failure.wasted_proc_seconds;
+    goodput_stats.add(
+        consumed > 0 ? result.failure.goodput_proc_seconds / consumed : 1.0);
+    interrupted += static_cast<double>(result.failure.interruptions);
+    lost += result.failure.lost_proc_seconds;
+    saved += result.failure.saved_proc_seconds;
+    overhead += result.failure.checkpoint_overhead_proc_seconds;
+    unfinished += static_cast<double>(result.unfinished);
+    if (result.termination != es::sim::TerminationReason::kCompleted) {
+      ++point.aborted;
+      point.termination = es::sim::to_string(result.termination);
+    }
+  }
+  const double n = options.replications;
+  point.utilization = util_stats.mean();
+  point.mean_wait = wait_stats.mean();
+  point.interrupted = interrupted / n;
+  point.lost_kps = lost / n / 1000.0;
+  point.saved_kps = saved / n / 1000.0;
+  point.overhead_kps = overhead / n / 1000.0;
+  point.goodput_pct = 100.0 * goodput_stats.mean();
+  point.unfinished = unfinished / n;
   return point;
 }
 
@@ -159,6 +245,40 @@ int main(int argc, char** argv) {
   add_rows(policy_table, policy_points);
   policy_table.render(std::cout);
 
+  // Recovery modes: capless restart-from-scratch vs checkpointed recovery,
+  // down to an MTBF harsh enough that restart alone cannot finish.
+  const std::vector<double> recovery_mtbf =
+      options.quick ? std::vector<double>{1.0, 0.25}
+                    : std::vector<double>{4.0, 1.0, 0.5, 0.25};
+  std::vector<RecoveryPoint> recovery;
+  for (const double mtbf : recovery_mtbf)
+    for (const bool checkpointed : {false, true})
+      recovery.push_back(run_recovery_point(options, config, mtbf,
+                                            checkpointed));
+
+  es::util::AsciiTable recovery_table(
+      "Recovery modes (EASY, capless requeue=head; ckpt: I=900s C=30s)");
+  recovery_table.set_columns({"MTBF", "mode", "util %", "wait (s)",
+                              "interrupted", "lost kPs", "saved kPs",
+                              "ckpt-ovh kPs", "goodput %", "aborted",
+                              "unfinished", "termination"});
+  for (const RecoveryPoint& p : recovery) {
+    recovery_table.cell(std::to_string(p.mtbf_hours).substr(0, 4) + " h")
+        .cell(p.mode)
+        .cell(100.0 * p.utilization, 2)
+        .cell(p.mean_wait, 1)
+        .cell(p.interrupted, 1)
+        .cell(p.lost_kps, 1)
+        .cell(p.saved_kps, 1)
+        .cell(p.overhead_kps, 1)
+        .cell(p.goodput_pct, 2)
+        .cell(static_cast<long long>(p.aborted))
+        .cell(p.unfinished, 1)
+        .cell(p.termination)
+        .end_row();
+  }
+  recovery_table.render(std::cout);
+
   ::mkdir(options.csv_dir.c_str(), 0755);
   const std::string path = options.csv_dir + "/failure_resilience.csv";
   std::ofstream out(path);
@@ -188,6 +308,38 @@ int main(int argc, char** argv) {
     std::printf("[csv] %s\n", path.c_str());
   } else {
     std::printf("[csv] could not write %s\n", path.c_str());
+  }
+
+  const std::string recovery_path = options.csv_dir + "/failure_recovery.csv";
+  const bool recovery_ok = es::util::write_file_atomic(
+      recovery_path, [&recovery](std::ostream& out) {
+        es::util::CsvWriter csv(out);
+        csv.set_header({"mtbf_hours", "mode", "utilization", "mean_wait",
+                        "interrupted", "lost_proc_seconds",
+                        "saved_proc_seconds", "ckpt_overhead_proc_seconds",
+                        "goodput_share", "aborted_replications",
+                        "mean_unfinished", "termination"});
+        for (const RecoveryPoint& p : recovery) {
+          csv.cell(p.mtbf_hours)
+              .cell(p.mode)
+              .cell(p.utilization)
+              .cell(p.mean_wait)
+              .cell(p.interrupted)
+              .cell(p.lost_kps * 1000.0)
+              .cell(p.saved_kps * 1000.0)
+              .cell(p.overhead_kps * 1000.0)
+              .cell(p.goodput_pct / 100.0)
+              .cell(static_cast<long long>(p.aborted))
+              .cell(p.unfinished)
+              .cell(p.termination)
+              .end_row();
+        }
+        return out.good();
+      });
+  if (recovery_ok) {
+    std::printf("[csv] %s\n", recovery_path.c_str());
+  } else {
+    std::printf("[csv] could not write %s\n", recovery_path.c_str());
   }
   return 0;
 }

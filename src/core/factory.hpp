@@ -18,8 +18,10 @@
 #include <string>
 #include <vector>
 
+#include "fault/checkpoint.hpp"
 #include "fault/failure_model.hpp"
 #include "sched/scheduler.hpp"
+#include "sim/watchdog.hpp"
 
 namespace es::core {
 
@@ -37,6 +39,11 @@ struct AlgorithmOptions {
   fault::FailureModelConfig failure{};
   /// What happens to jobs preempted by a node failure.
   fault::RequeuePolicy requeue = fault::RequeuePolicy::kRequeueHead;
+  /// Checkpoint/restart recovery for preempted jobs (engine attachment;
+  /// disabled by default).
+  fault::CheckpointConfig checkpoint{};
+  /// Watchdog budgets (engine attachment; disabled by default).
+  sim::WatchdogConfig watchdog{};
 };
 
 /// A constructed algorithm: the policy plus its engine attachments.

@@ -27,7 +27,7 @@ ReservationDpOutcome run_reservation_dp(sched::SchedulerContext& ctx,
     // The paper's frenum (Algorithm 1 line 16): a job whose estimate ends
     // strictly before the freeze end time needs no shadow capacity.
     int frenum;
-    if (!freeze.active || ctx.now + job->req_time < freeze.fret) {
+    if (!freeze.active || ctx.now + job->estimated_duration() < freeze.fret) {
       frenum = 0;
     } else {
       frenum = alloc;

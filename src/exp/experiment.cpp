@@ -22,6 +22,8 @@ sched::SimulationResult run_workload(const workload::Workload& workload,
   config.record_trace = options.record_trace;
   config.failure = options.failure;
   config.requeue = options.requeue;
+  config.checkpoint = options.checkpoint;
+  config.watchdog = options.watchdog;
   return sched::simulate(config, *algo.policy, workload);
 }
 

@@ -1,0 +1,62 @@
+#include "fault/checkpoint.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace es::fault {
+
+CheckpointModel::CheckpointModel(const CheckpointConfig& config)
+    : config_(config) {
+  ES_EXPECTS(config.interval >= 0);
+  ES_EXPECTS(config.overhead >= 0);
+  // An enabled model must actually checkpoint somewhere.
+  if (config.enabled) ES_EXPECTS(config.interval > 0 || config.on_preempt);
+}
+
+int CheckpointModel::periodic_count(double work) const {
+  if (!config_.enabled || config_.interval <= 0 ||
+      work <= config_.interval)
+    return 0;
+  // One checkpoint after every full interval; the one coinciding with the
+  // end of the attempt is skipped.
+  return static_cast<int>(std::ceil(work / config_.interval)) - 1;
+}
+
+double CheckpointModel::planned_overhead(double work) const {
+  return periodic_count(work) * config_.overhead;
+}
+
+double CheckpointModel::work_executed(double elapsed) const {
+  if (!config_.enabled || config_.interval <= 0 || config_.overhead <= 0)
+    return elapsed;  // no checkpoint overhead: wall time is work time
+  const double cycle = config_.interval + config_.overhead;
+  const double cycles = std::floor(elapsed / cycle);
+  const double rem = elapsed - cycles * cycle;
+  return cycles * config_.interval + std::min(rem, config_.interval);
+}
+
+int CheckpointModel::completed_count(double elapsed) const {
+  if (!config_.enabled || config_.interval <= 0) return 0;
+  // Checkpoint i completes at wall time i * (interval + overhead).
+  const double cycle = config_.interval + config_.overhead;
+  return static_cast<int>(std::floor(elapsed / cycle));
+}
+
+double CheckpointModel::banked_work(double elapsed) const {
+  if (!config_.enabled) return 0;
+  if (config_.on_preempt) return work_executed(elapsed);
+  return completed_count(elapsed) * config_.interval;
+}
+
+double CheckpointModel::overhead_spent(double elapsed) const {
+  if (!config_.enabled || config_.interval <= 0 || config_.overhead <= 0)
+    return 0;
+  const double cycle = config_.interval + config_.overhead;
+  const double cycles = std::floor(elapsed / cycle);
+  const double rem = elapsed - cycles * cycle;
+  return cycles * config_.overhead + std::max(0.0, rem - config_.interval);
+}
+
+}  // namespace es::fault

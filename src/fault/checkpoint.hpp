@@ -1,0 +1,73 @@
+// Checkpoint/restart recovery model (Young/Daly style).
+//
+// The requeue policies restart a preempted job from scratch, which makes
+// expected completion grow like e^(runtime/MTBF) — effectively
+// non-terminating once the MTBF drops below the job runtime.  HPC practice
+// bounds that loss with checkpointing: a job periodically pays `overhead`
+// wall seconds to durably save its progress, and after a failure resumes
+// from the last checkpoint (remaining = runtime - banked) instead of zero.
+//
+// The model is analytic: no checkpoint events enter the simulation.  An
+// attempt of W useful seconds alternates `interval` seconds of work with
+// `overhead` seconds of checkpointing, so its wall duration is
+// W + (ceil(W/interval) - 1) * overhead (a checkpoint coinciding with the
+// end of the attempt is skipped — there is nothing left to protect).  At a
+// preemption after `elapsed` wall seconds, the banked work is the last
+// completed checkpoint, interval * floor(elapsed / (interval + overhead)).
+// The classic trade-off applies: the Young first-order optimum is
+// interval ~= sqrt(2 * overhead * MTBF).
+//
+// `on_preempt` additionally banks *all* executed work at preemption time,
+// modelling checkpoint-on-signal / graceful preemption with advance
+// warning (the malleable-scheduling assumption).
+#pragma once
+
+namespace es::fault {
+
+/// Configuration of the checkpoint/restart model.  Disabled by default;
+/// when disabled no engine path changes and results stay byte-identical to
+/// the checkpoint-free engine.
+struct CheckpointConfig {
+  bool enabled = false;
+  /// Useful-work seconds between periodic checkpoints (0 = no periodic
+  /// checkpoints; only meaningful together with on_preempt).
+  double interval = 0;
+  /// Wall seconds each periodic checkpoint adds to the attempt.
+  double overhead = 0;
+  /// Bank all executed work at preemption time (checkpoint-on-signal).
+  bool on_preempt = false;
+};
+
+/// Pure checkpoint arithmetic over one execution attempt.
+class CheckpointModel {
+ public:
+  CheckpointModel() = default;
+  explicit CheckpointModel(const CheckpointConfig& config);
+
+  bool enabled() const { return config_.enabled; }
+  const CheckpointConfig& config() const { return config_; }
+
+  /// Periodic checkpoints taken during an attempt of `work` useful seconds.
+  int periodic_count(double work) const;
+
+  /// Wall overhead folded into an attempt of `work` useful seconds.
+  double planned_overhead(double work) const;
+
+  /// Useful work executed after `elapsed` wall seconds of an attempt.
+  double work_executed(double elapsed) const;
+
+  /// Periodic checkpoints completed within `elapsed` wall seconds.
+  int completed_count(double elapsed) const;
+
+  /// Work durably banked after `elapsed` wall seconds: the last completed
+  /// periodic checkpoint, or everything executed when on_preempt is set.
+  double banked_work(double elapsed) const;
+
+  /// Wall seconds spent checkpointing within `elapsed`.
+  double overhead_spent(double elapsed) const;
+
+ private:
+  CheckpointConfig config_;
+};
+
+}  // namespace es::fault

@@ -88,7 +88,7 @@ void Conservative::cycle(SchedulerContext& ctx) {
     // A job larger than today's degraded machine gets its reservation once
     // capacity returns; skipping it keeps the profile feasible.
     if (alloc > available) continue;
-    const double duration = std::max(job->req_time, 1e-9);
+    const double duration = std::max(job->estimated_duration(), 1e-9);
     const sim::Time start = profile.earliest_start(alloc, duration);
     profile.reserve(start, duration, alloc);
     if (start <= ctx.now) ctx.start(job);

@@ -75,8 +75,11 @@ EccOutcome EccProcessor::apply(const workload::Ecc& ecc, JobRun& job,
   ++stats_.processed;
   ES_EXPECTS(ecc.amount >= 0);
 
-  if (job.status == JobStatus::kCompleted || job.status == JobStatus::kKilled) {
+  if (job.status == JobStatus::kCompleted ||
+      job.status == JobStatus::kKilled ||
+      job.status == JobStatus::kAbandoned) {
     ++stats_.rejected;
+    ++stats_.after_finish;
     return EccOutcome::kRejectedFinished;
   }
 

@@ -35,6 +35,11 @@ struct EccStats {
   std::uint64_t extensions = 0;
   std::uint64_t reductions = 0;
   std::uint64_t rejected = 0;
+  std::uint64_t unknown_job = 0;   ///< commands naming a job id that is not
+                                   ///< in the workload (skipped with a
+                                   ///< warning)
+  std::uint64_t after_finish = 0;  ///< commands arriving after the target
+                                   ///< completed / was killed / abandoned
   std::uint64_t running_resizes = 0;  ///< EP/RP applied to running jobs
   double time_added = 0;    ///< net seconds added by ET
   double time_removed = 0;  ///< net seconds removed by RT
@@ -67,6 +72,11 @@ class EccProcessor {
   /// (kResizedRunning), or finish it immediately (kCompletedJob).
   EccOutcome apply(const workload::Ecc& ecc, JobRun& job, sim::Time now,
                    int free_procs = 0);
+
+  /// Records a command whose job id resolved to nothing (hardened traces
+  /// can carry ECCs for dropped or mistyped submissions).  The engine skips
+  /// such commands; this keeps them visible in the run's statistics.
+  void note_unknown_job() { ++stats_.unknown_job; }
 
   const EccStats& stats() const { return stats_; }
 

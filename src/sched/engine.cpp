@@ -1,6 +1,7 @@
 #include "sched/engine.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <limits>
 
 #include "util/check.hpp"
@@ -16,7 +17,8 @@ Engine::Engine(const EngineConfig& config, Scheduler& policy)
       utilization_(config.machine_procs),
       ecc_processor_(config.machine_procs, config.granularity),
       failure_model_(config.failure, config.machine_procs,
-                     config.granularity) {
+                     config.granularity),
+      checkpoint_(config.checkpoint) {
   ecc_processor_.set_running_resize(config.allow_running_resize);
   if (config.record_trace) trace_ = std::make_shared<ScheduleTrace>();
 }
@@ -34,8 +36,8 @@ void Engine::run_cycle() {
   ctx.active = active_;
   std::sort(ctx.active.begin(), ctx.active.end(),
             [](const JobRun* a, const JobRun* b) {
-              const double ra = a->start_time + a->req_time;
-              const double rb = b->start_time + b->req_time;
+              const double ra = a->start_time + a->estimated_duration();
+              const double rb = b->start_time + b->estimated_duration();
               if (ra != rb) return ra < rb;
               return a->spec.id < b->spec.id;  // deterministic tie-break
             });
@@ -43,10 +45,10 @@ void Engine::run_cycle() {
     start_job(job);
     // Keep the active snapshot coherent for freeze math within the cycle:
     // insert by planned end.
-    const double end = job->start_time + job->req_time;
+    const double end = job->start_time + job->estimated_duration();
     auto it = std::lower_bound(ctx.active.begin(), ctx.active.end(), end,
                                [](const JobRun* a, double e) {
-                                 return a->start_time + a->req_time < e;
+                                 return a->start_time + a->estimated_duration() < e;
                                });
     ctx.active.insert(it, job);
   };
@@ -56,7 +58,25 @@ void Engine::run_cycle() {
 
   policy_->cycle(ctx);
   in_cycle_ = false;
+  if (config_.watchdog.no_progress_cycles > 0) note_cycle_progress();
   if (config_.paranoid) check_invariants();
+}
+
+void Engine::note_cycle_progress() {
+  // A cycle counts as progress when any job started or finished since the
+  // last one, or when there is simply nothing waiting to schedule (idle
+  // cycles are not a hang).  Everything else — arrivals piling up against
+  // a wedged policy, ECC churn that never seats a job — increments the
+  // stall counter until the watchdog aborts.
+  const std::uint64_t progress = starts_ + finishes_;
+  if (progress != progress_marker_ ||
+      (batch_queue_.empty() && dedicated_queue_.empty())) {
+    progress_marker_ = progress;
+    stalled_cycles_ = 0;
+    return;
+  }
+  if (++stalled_cycles_ >= config_.watchdog.no_progress_cycles)
+    no_progress_tripped_ = true;
 }
 
 void Engine::check_invariants() const {
@@ -164,11 +184,21 @@ void Engine::on_dedicated_due(JobRun* job) {
   run_cycle();
 }
 
+void Engine::refresh_checkpoint_plan(JobRun* job) {
+  // An ECC that moved the job's time bounds changes how many periodic
+  // checkpoints the rest of the attempt will take; re-plan before the
+  // finish event is re-inserted so duration formulas stay coherent.
+  if (checkpoint_.enabled())
+    job->ckpt_overhead_planned =
+        checkpoint_.planned_overhead(job->remaining_work());
+}
+
 void Engine::on_ecc(const workload::Ecc& ecc) {
   const auto it = by_id_.find(ecc.job_id);
   if (it == by_id_.end()) {
-    ES_LOG_WARN("ECC for unknown job %lld ignored",
+    ES_LOG_WARN("ECC for unknown job %lld skipped",
                 static_cast<long long>(ecc.job_id));
+    ecc_processor_.note_unknown_job();
     return;
   }
   JobRun* job = it->second;
@@ -201,6 +231,7 @@ void Engine::on_ecc(const workload::Ecc& ecc) {
       utilization_.record(sim_.now(), machine_.used());
       const bool cancelled = sim_.cancel(job->finish_event);
       ES_ASSERT(cancelled);
+      refresh_checkpoint_plan(job);
       const sim::Time finish =
           std::max(sim_.now(), job->start_time + job->run_duration());
       job->finish_event = sim_.at(finish, sim::EventClass::kJobFinish,
@@ -211,6 +242,7 @@ void Engine::on_ecc(const workload::Ecc& ecc) {
       // Kill-by (and possibly true runtime) moved: reschedule completion.
       const bool cancelled = sim_.cancel(job->finish_event);
       ES_ASSERT(cancelled);
+      refresh_checkpoint_plan(job);
       const sim::Time finish =
           std::max(sim_.now(), job->start_time + job->run_duration());
       job->finish_event = sim_.at(finish, sim::EventClass::kJobFinish,
@@ -220,6 +252,7 @@ void Engine::on_ecc(const workload::Ecc& ecc) {
     case EccOutcome::kCompletedJob: {
       const bool cancelled = sim_.cancel(job->finish_event);
       ES_ASSERT(cancelled);
+      refresh_checkpoint_plan(job);  // accounting: the run was cut short
       finish_job(job);
       break;
     }
@@ -255,9 +288,6 @@ void Engine::preempt_victim() {
   const bool cancelled = sim_.cancel(job->finish_event);
   ES_ASSERT(cancelled);
   machine_.release(job->spec.id);
-  const double lost =
-      static_cast<double>(job->alloc) * (sim_.now() - job->start_time);
-  failure_stats_.lost_proc_seconds += lost;
   ++failure_stats_.interruptions;
   ++job->interruptions;
   // Retry budget: past the cap a job is abandoned even under a requeue
@@ -266,8 +296,28 @@ void Engine::preempt_victim() {
   if (config_.failure.max_interruptions > 0 &&
       job->interruptions >= config_.failure.max_interruptions)
     policy = fault::RequeuePolicy::kAbandon;
-  // A requeued job restarts from scratch, so its partial run is wasted work
-  // here and now; an abandoned job's partial run is accounted by collect().
+  // Checkpoint recovery: a requeued job resumes from its last checkpoint,
+  // so the work banked there is saved rather than lost.  Abandoned jobs
+  // bank nothing — their checkpoints are never restored from.
+  const double elapsed = sim_.now() - job->start_time;
+  double saved = 0;
+  if (checkpoint_.enabled() && policy != fault::RequeuePolicy::kAbandon) {
+    saved = std::min(checkpoint_.banked_work(elapsed), job->remaining_work());
+    std::uint64_t taken =
+        static_cast<std::uint64_t>(checkpoint_.completed_count(elapsed));
+    if (checkpoint_.config().on_preempt) ++taken;
+    failure_stats_.checkpoints += taken;
+    failure_stats_.checkpoint_overhead_proc_seconds +=
+        static_cast<double>(job->alloc) * checkpoint_.overhead_spent(elapsed);
+    failure_stats_.saved_proc_seconds +=
+        static_cast<double>(job->alloc) * saved;
+    job->ckpt_progress += saved;
+  }
+  const double lost = static_cast<double>(job->alloc) * (elapsed - saved);
+  failure_stats_.lost_proc_seconds += lost;
+  // A requeued job restarts from its checkpoint (or from scratch without
+  // one), so the unsaved part of its partial run is wasted work here and
+  // now; an abandoned job's partial run is accounted by collect().
   if (policy != fault::RequeuePolicy::kAbandon)
     failure_stats_.wasted_proc_seconds += lost;
   utilization_.record(sim_.now(), machine_.used());
@@ -277,6 +327,7 @@ void Engine::preempt_victim() {
 
   const int alloc = job->alloc;
   job->finish_event = {};
+  job->ckpt_overhead_planned = 0;  // re-planned at the next start
   switch (policy) {
     case fault::RequeuePolicy::kRequeueHead:
       // Front of the batch queue with saturated priority, like a moved
@@ -359,11 +410,13 @@ void Engine::start_job(JobRun* job) {
   job->status = JobStatus::kRunning;
   job->start_time = sim_.now();
   active_.push_back(job);
+  ++starts_;
   utilization_.record(sim_.now(), machine_.used());
   if (trace_)
     trace_->record(sim_.now(), TraceEventKind::kStart, job->spec.id,
                    job->alloc);
 
+  refresh_checkpoint_plan(job);
   const sim::Time finish = sim_.now() + job->run_duration();
   job->finish_event = sim_.at(finish, sim::EventClass::kJobFinish,
                               [this, job](sim::Time) { on_finish(job); });
@@ -381,6 +434,15 @@ void Engine::finish_job(JobRun* job) {
   job->end_time = sim_.now();
   last_finish_ = std::max(last_finish_, job->end_time);
   finished_.push_back(job);
+  ++finishes_;
+  if (checkpoint_.enabled()) {
+    // The attempt ran to completion, so every planned periodic checkpoint
+    // was taken and its overhead paid on the job's full allocation.
+    failure_stats_.checkpoints += static_cast<std::uint64_t>(
+        checkpoint_.periodic_count(job->remaining_work()));
+    failure_stats_.checkpoint_overhead_proc_seconds +=
+        static_cast<double>(job->alloc) * job->ckpt_overhead_planned;
+  }
   utilization_.record(sim_.now(), machine_.used());
   if (trace_)
     trace_->record(sim_.now(),
@@ -439,18 +501,79 @@ SimulationResult Engine::run(const workload::Workload& workload) {
     schedule_next_outage(first_arrival_);
   }
 
-  sim_.run();
+  warn_if_unbounded_retry(workload);
+  pump_events();
 
-  // Every job must have completed: the scheduler invariant tests rely on it.
-  ES_ENSURES(batch_queue_.empty());
-  ES_ENSURES(dedicated_queue_.empty());
-  ES_ENSURES(active_.empty());
-  ES_ENSURES(finished_.size() == jobs_.size());
-  ES_ENSURES(machine_.offline() == 0);  // every outage was repaired
+  if (termination_ == sim::TerminationReason::kCompleted) {
+    // Every job must have completed: the scheduler invariant tests rely on
+    // it.  A watchdog abort leaves the run mid-flight by design, so the
+    // postconditions only hold for completed runs.
+    ES_ENSURES(batch_queue_.empty());
+    ES_ENSURES(dedicated_queue_.empty());
+    ES_ENSURES(active_.empty());
+    ES_ENSURES(finished_.size() == jobs_.size());
+    ES_ENSURES(machine_.offline() == 0);  // every outage was repaired
+  }
 
   SimulationResult result = collect(workload);
   result.trace = trace_;
   return result;
+}
+
+void Engine::pump_events() {
+  if (!config_.watchdog.enabled()) {
+    // The exact seed event loop: no per-event budget checks on the fast
+    // path when no budget is configured.
+    sim_.run();
+    return;
+  }
+  sim::Watchdog watchdog(config_.watchdog);
+  sim::TerminationReason reason = sim::TerminationReason::kCompleted;
+  while (!sim_.idle()) {
+    if (watchdog.exhausted(sim_, reason)) break;
+    sim_.step();
+    if (no_progress_tripped_) {
+      reason = sim::TerminationReason::kNoProgress;
+      break;
+    }
+  }
+  termination_ = reason;
+  if (termination_ != sim::TerminationReason::kCompleted) {
+    ES_LOG_WARN(
+        "watchdog abort (%s) at t=%.3f after %llu events: %zu/%zu jobs "
+        "finished; reporting partial metrics",
+        sim::to_string(termination_), sim_.now(),
+        static_cast<unsigned long long>(sim_.events_processed()),
+        finished_.size(), jobs_.size());
+  }
+}
+
+void Engine::warn_if_unbounded_retry(
+    const workload::Workload& workload) const {
+  // Footgun detector: stochastic failures, capless restart-from-scratch
+  // requeue, no checkpointing, and an MTBF below the mean job runtime mean
+  // the expected number of attempts per job grows like e^(runtime/MTBF) —
+  // the run may effectively never terminate.  Warn once per process.
+  if (!config_.failure.enabled || !config_.failure.script.empty()) return;
+  if (config_.failure.max_interruptions > 0) return;
+  if (config_.requeue == fault::RequeuePolicy::kAbandon) return;
+  if (checkpoint_.enabled()) return;
+  if (workload.jobs.empty()) return;
+  double runtime_sum = 0;
+  for (const workload::Job& job : workload.jobs)
+    runtime_sum += job.actual_runtime();
+  const double mean_runtime =
+      runtime_sum / static_cast<double>(workload.jobs.size());
+  if (config_.failure.mtbf >= mean_runtime) return;
+  static std::atomic<bool> warned{false};
+  if (warned.exchange(true)) return;
+  ES_LOG_WARN(
+      "failure MTBF (%.0f s) is below the mean job runtime (%.0f s) with an "
+      "uncapped restart-from-scratch requeue policy: expected attempts grow "
+      "like e^(runtime/MTBF), so the run may not terminate.  Consider "
+      "--fail-retry-cap, checkpointing (--ckpt-interval), or a watchdog "
+      "budget (--max-events / --wall-budget).",
+      config_.failure.mtbf, mean_runtime);
 }
 
 SimulationResult Engine::collect(const workload::Workload& workload) const {
@@ -462,6 +585,9 @@ SimulationResult Engine::collect(const workload::Workload& workload) const {
   result.makespan = last_finish_ - first_arrival_;
   result.cycles = cycles_;
   result.events = sim_.events_processed();
+  result.termination = termination_;
+  result.unfinished =
+      static_cast<std::uint64_t>(jobs_.size() - finished_.size());
   result.offered_load = workload::offered_load(workload, machine_.total());
   result.ecc = ecc_processor_.stats();
   result.failure = failure_stats_;

@@ -14,7 +14,13 @@
 //   * (fault injection) the failure model chains NodeDown/NodeUp pairs: a
 //     NodeDown preempts enough running jobs to cover the lost capacity and
 //     applies the requeue policy; the paired NodeUp restores the processors
-//     and, while unfinished jobs remain, schedules the next outage.
+//     and, while unfinished jobs remain, schedules the next outage;
+//   * (checkpoint recovery) with a CheckpointModel attached, a preempted
+//     job banks the work saved by its last checkpoint and resumes from
+//     remaining = runtime - banked instead of restarting from scratch;
+//   * (watchdog) with budgets configured, the event loop aborts gracefully
+//     — typed TerminationReason, partial metrics — instead of hanging on a
+//     pathological configuration.
 #pragma once
 
 #include <deque>
@@ -24,12 +30,14 @@
 
 #include "cluster/machine.hpp"
 #include "cluster/utilization.hpp"
+#include "fault/checkpoint.hpp"
 #include "fault/failure_model.hpp"
 #include "sched/ecc_processor.hpp"
 #include "sched/metrics.hpp"
 #include "sched/scheduler.hpp"
 #include "sched/trace.hpp"
 #include "sim/simulation.hpp"
+#include "sim/watchdog.hpp"
 #include "workload/job.hpp"
 
 namespace es::sched {
@@ -59,6 +67,16 @@ struct EngineConfig {
   fault::FailureModelConfig failure;
   /// What happens to running jobs preempted when capacity is lost.
   fault::RequeuePolicy requeue = fault::RequeuePolicy::kRequeueHead;
+  /// Checkpoint/restart recovery: when enabled, preempted-then-requeued
+  /// jobs resume from their last checkpoint (remaining = runtime - banked)
+  /// instead of restarting from scratch, at the cost of periodic checkpoint
+  /// overhead.  Default: disabled, byte-identical to the seed engine.
+  fault::CheckpointConfig checkpoint;
+  /// Termination guardrails: event / sim-time / wall-clock budgets plus a
+  /// no-progress detector.  When any budget trips, the run aborts
+  /// gracefully and the result carries partial metrics tagged with a typed
+  /// TerminationReason.  Default: disabled (the exact seed event loop).
+  sim::WatchdogConfig watchdog;
 };
 
 /// One engine instance runs one workload with one policy.
@@ -84,7 +102,11 @@ class Engine {
   void start_job(JobRun* job);
   void finish_job(JobRun* job);
   void move_dedicated_head_to_batch_head();
+  void refresh_checkpoint_plan(JobRun* job);
+  void warn_if_unbounded_retry(const workload::Workload& workload) const;
   void run_cycle();
+  void note_cycle_progress();
+  void pump_events();
   void check_invariants() const;
   bool all_jobs_finished() const { return finished_.size() == jobs_.size(); }
   SimulationResult collect(const workload::Workload& workload) const;
@@ -96,6 +118,7 @@ class Engine {
   cluster::UtilizationTracker utilization_;
   EccProcessor ecc_processor_;
   fault::FailureModel failure_model_;
+  fault::CheckpointModel checkpoint_;
   FailureStats failure_stats_;
   std::shared_ptr<ScheduleTrace> trace_;  ///< null unless record_trace
 
@@ -110,6 +133,15 @@ class Engine {
   std::uint64_t cycles_ = 0;
   sim::Time first_arrival_ = 0;
   sim::Time last_finish_ = 0;
+
+  // Watchdog state.
+  sim::TerminationReason termination_ = sim::TerminationReason::kCompleted;
+  std::uint64_t starts_ = 0;    ///< job starts so far (progress signal)
+  std::uint64_t finishes_ = 0;  ///< job completions so far (progress signal)
+  std::uint64_t progress_marker_ = 0;  ///< starts_ + finishes_ at the last
+                                       ///< cycle that made progress
+  int stalled_cycles_ = 0;
+  bool no_progress_tripped_ = false;
 };
 
 /// Convenience wrapper: one-shot run.

@@ -43,6 +43,14 @@ struct JobRun {
                            ///< requeued job restarts from scratch, so its
                            ///< place in the FIFO order is policy-defined
 
+  // Checkpoint/restart state (fault recovery layer).  Both fields stay 0
+  // when the checkpoint model is disabled, which keeps every duration
+  // formula below arithmetically identical to the checkpoint-free engine.
+  double ckpt_progress = 0;  ///< useful work banked by completed checkpoints;
+                             ///< a requeued job resumes from here
+  double ckpt_overhead_planned = 0;  ///< wall overhead folded into the
+                                     ///< current attempt's duration
+
   // Lifecycle.
   JobStatus status = JobStatus::kWaiting;
   sim::Time start_time = -1;
@@ -54,10 +62,28 @@ struct JobRun {
 
   bool dedicated() const { return spec.dedicated(); }
 
-  /// Completion bound while running: the job ends at natural completion or
-  /// is killed at its kill-by time, whichever comes first.
+  /// Useful work still to execute: the completion bound (natural end or
+  /// kill-by time, whichever comes first) less work banked by checkpoints.
+  double remaining_work() const {
+    const double limit = req_time < actual_time ? req_time : actual_time;
+    return limit > ckpt_progress ? limit - ckpt_progress : 0.0;
+  }
+
+  /// Wall duration of the current attempt: the remaining work plus the
+  /// checkpoint overhead planned into it.  With checkpointing disabled this
+  /// is exactly min(req_time, actual_time), the classic kill-by bound.
   double run_duration() const {
-    return req_time < actual_time ? req_time : actual_time;
+    return remaining_work() + ckpt_overhead_planned;
+  }
+
+  /// Estimate-basis duration of the current/next attempt (`req_time` less
+  /// banked work, plus planned checkpoint overhead): what reservations,
+  /// freezes and capacity profiles must plan with — they never see the true
+  /// runtime.
+  double estimated_duration() const {
+    const double remaining =
+        req_time > ckpt_progress ? req_time - ckpt_progress : 0.0;
+    return remaining + ckpt_overhead_planned;
   }
 
   /// Residual execution time (`a.res` in the paper) at time `now`.

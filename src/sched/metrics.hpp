@@ -7,6 +7,7 @@
 
 #include "sched/ecc_processor.hpp"
 #include "sim/time.hpp"
+#include "sim/watchdog.hpp"
 #include "workload/job.hpp"
 
 namespace es::sched {
@@ -38,6 +39,15 @@ struct FailureStats {
   double down_proc_seconds = 0;     ///< capacity-offline integral over the run
   double goodput_proc_seconds = 0;  ///< work of jobs that completed
   double wasted_proc_seconds = 0;   ///< killed/abandoned runs + lost work
+
+  // Checkpoint/restart recovery (all zero when the checkpoint model is
+  // disabled).
+  std::uint64_t checkpoints = 0;    ///< checkpoints completed (periodic and
+                                    ///< on-preempt)
+  double checkpoint_overhead_proc_seconds = 0;  ///< capacity spent writing
+                                                ///< checkpoints
+  double saved_proc_seconds = 0;    ///< preempted work recovered from the
+                                    ///< last checkpoint instead of re-run
 };
 
 /// Aggregate metrics of one simulation run.
@@ -65,6 +75,10 @@ struct SimulationResult {
   double makespan = 0;
   std::uint64_t cycles = 0;    ///< scheduler invocations
   std::uint64_t events = 0;    ///< simulation events processed
+  /// How the run ended.  kCompleted unless a watchdog budget aborted it, in
+  /// which case every metric above covers the partial run.
+  sim::TerminationReason termination = sim::TerminationReason::kCompleted;
+  std::uint64_t unfinished = 0;  ///< jobs not finished at a watchdog abort
   double offered_load = 0;     ///< load of the input workload
   EccStats ecc;                ///< ECC processor statistics (if enabled)
   FailureStats failure;        ///< fault-injection statistics (if enabled)

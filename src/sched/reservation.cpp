@@ -8,7 +8,9 @@ namespace es::sched {
 
 sim::Time planned_end(const JobRun& job) {
   ES_EXPECTS(job.status == JobStatus::kRunning);
-  return job.start_time + job.req_time;
+  // Estimate basis, checkpoint-aware: a resumed job only owes the work not
+  // yet banked by its checkpoints.
+  return job.start_time + job.estimated_duration();
 }
 
 double planned_residual(const JobRun& job, sim::Time now) {

@@ -35,6 +35,9 @@ class Simulation {
   bool step();
 
   bool idle() const { return queue_.empty(); }
+  /// Time of the next live event.  Precondition: !idle().  Non-const: the
+  /// queue may skim lazily cancelled entries off its top.
+  Time next_event_time() { return queue_.next_time(); }
   std::uint64_t events_processed() const { return processed_; }
   const EventQueue& queue() const { return queue_; }
 

@@ -1,0 +1,35 @@
+#include "util/atomic_file.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+namespace es::util {
+
+bool write_file_atomic(const std::string& path,
+                       const std::function<bool(std::ostream&)>& producer) {
+  const std::string temp = path + ".tmp";
+  {
+    std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    if (!producer(out) || !out.good()) {
+      out.close();
+      std::remove(temp.c_str());
+      return false;
+    }
+    out.flush();
+    if (!out.good()) {
+      out.close();
+      std::remove(temp.c_str());
+      return false;
+    }
+  }
+  // POSIX rename over an existing target is atomic on the same filesystem,
+  // and the temp file is a sibling of the target by construction.
+  if (std::rename(temp.c_str(), path.c_str()) != 0) {
+    std::remove(temp.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace es::util

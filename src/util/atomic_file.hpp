@@ -1,0 +1,24 @@
+// Crash-safe file output: write-to-temp then atomic rename.
+//
+// The simulation tools write result files that downstream plotting and CI
+// steps consume; a crash (or a watchdog abort racing a reader) must never
+// leave a half-written file where a complete one is expected.  The content
+// goes to a sibling temp file which is renamed over the target only after a
+// successful flush and close, so readers observe either the previous
+// version or the complete new one — never a torn write.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+namespace es::util {
+
+/// Writes `path` atomically.  `producer` receives the output stream and
+/// returns false to abort (e.g. a serialization error); on abort or any I/O
+/// failure the temp file is removed, any previous version of `path` is left
+/// intact, and the function returns false.
+bool write_file_atomic(const std::string& path,
+                       const std::function<bool(std::ostream&)>& producer);
+
+}  // namespace es::util

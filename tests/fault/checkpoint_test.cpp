@@ -1,0 +1,111 @@
+// CheckpointModel arithmetic: periodic counts, planned overhead, banked
+// work, overhead spent — the analytic Young/Daly trade-off quantities the
+// engine folds into job durations.
+#include <gtest/gtest.h>
+
+#include "fault/checkpoint.hpp"
+
+namespace es::fault {
+namespace {
+
+CheckpointModel periodic(double interval, double overhead) {
+  CheckpointConfig config;
+  config.enabled = true;
+  config.interval = interval;
+  config.overhead = overhead;
+  return CheckpointModel(config);
+}
+
+TEST(CheckpointModel, DisabledModelIsInert) {
+  const CheckpointModel model;  // default config: disabled
+  EXPECT_FALSE(model.enabled());
+  EXPECT_EQ(model.periodic_count(1000), 0);
+  EXPECT_DOUBLE_EQ(model.planned_overhead(1000), 0.0);
+  EXPECT_DOUBLE_EQ(model.banked_work(1000), 0.0);
+  EXPECT_DOUBLE_EQ(model.overhead_spent(1000), 0.0);
+  // Disabled: all elapsed time is useful work (the seed engine's view).
+  EXPECT_DOUBLE_EQ(model.work_executed(123.5), 123.5);
+}
+
+TEST(CheckpointModel, PeriodicCountSkipsTheFinalCheckpoint) {
+  const CheckpointModel model = periodic(100, 10);
+  // A checkpoint coinciding with the end of the attempt protects nothing.
+  EXPECT_EQ(model.periodic_count(100), 0);
+  EXPECT_EQ(model.periodic_count(100.5), 1);
+  EXPECT_EQ(model.periodic_count(200), 1);
+  EXPECT_EQ(model.periodic_count(250), 2);
+  EXPECT_EQ(model.periodic_count(0), 0);
+  EXPECT_DOUBLE_EQ(model.planned_overhead(250), 20.0);
+  EXPECT_DOUBLE_EQ(model.planned_overhead(100), 0.0);
+}
+
+TEST(CheckpointModel, WorkExecutedAlternatesWorkAndOverhead) {
+  const CheckpointModel model = periodic(100, 10);
+  // One cycle is 100 s work + 10 s checkpoint = 110 s wall.
+  EXPECT_DOUBLE_EQ(model.work_executed(50), 50.0);
+  EXPECT_DOUBLE_EQ(model.work_executed(100), 100.0);
+  EXPECT_DOUBLE_EQ(model.work_executed(105), 100.0);  // mid-checkpoint
+  EXPECT_DOUBLE_EQ(model.work_executed(110), 100.0);
+  EXPECT_DOUBLE_EQ(model.work_executed(150), 140.0);
+  EXPECT_DOUBLE_EQ(model.work_executed(220), 200.0);
+}
+
+TEST(CheckpointModel, BankedWorkIsTheLastCompletedCheckpoint) {
+  const CheckpointModel model = periodic(100, 10);
+  EXPECT_EQ(model.completed_count(109), 0);
+  EXPECT_EQ(model.completed_count(110), 1);
+  EXPECT_EQ(model.completed_count(221), 2);
+  EXPECT_DOUBLE_EQ(model.banked_work(109), 0.0);
+  EXPECT_DOUBLE_EQ(model.banked_work(110), 100.0);
+  EXPECT_DOUBLE_EQ(model.banked_work(219), 100.0);
+  EXPECT_DOUBLE_EQ(model.banked_work(225), 200.0);
+}
+
+TEST(CheckpointModel, OverheadSpentCountsWholeAndPartialCheckpoints) {
+  const CheckpointModel model = periodic(100, 10);
+  EXPECT_DOUBLE_EQ(model.overhead_spent(50), 0.0);
+  EXPECT_DOUBLE_EQ(model.overhead_spent(105), 5.0);   // mid-checkpoint
+  EXPECT_DOUBLE_EQ(model.overhead_spent(110), 10.0);
+  EXPECT_DOUBLE_EQ(model.overhead_spent(150), 10.0);
+  EXPECT_DOUBLE_EQ(model.overhead_spent(215), 15.0);
+}
+
+TEST(CheckpointModel, FreeCheckpointsBankEveryInterval) {
+  const CheckpointModel model = periodic(100, 0);
+  EXPECT_DOUBLE_EQ(model.work_executed(250), 250.0);
+  EXPECT_EQ(model.completed_count(250), 2);
+  EXPECT_DOUBLE_EQ(model.banked_work(250), 200.0);
+  EXPECT_DOUBLE_EQ(model.overhead_spent(250), 0.0);
+}
+
+TEST(CheckpointModel, OnPreemptBanksAllExecutedWork) {
+  CheckpointConfig config;
+  config.enabled = true;
+  config.on_preempt = true;
+  const CheckpointModel signal(config);
+  // No periodic checkpoints, so all elapsed time is useful and all of it is
+  // banked at the preemption instant.
+  EXPECT_EQ(signal.periodic_count(1000), 0);
+  EXPECT_DOUBLE_EQ(signal.banked_work(73.25), 73.25);
+  EXPECT_DOUBLE_EQ(signal.overhead_spent(73.25), 0.0);
+
+  config.interval = 100;
+  config.overhead = 10;
+  const CheckpointModel both(config);
+  // Periodic checkpoints still cost overhead, but preemption banks the
+  // executed work, not just the last checkpoint.
+  EXPECT_DOUBLE_EQ(both.banked_work(150), 140.0);
+  EXPECT_DOUBLE_EQ(both.overhead_spent(150), 10.0);
+}
+
+TEST(CheckpointModel, BankedNeverExceedsExecuted) {
+  const CheckpointModel model = periodic(37, 3);
+  for (double elapsed = 0; elapsed < 500; elapsed += 7.3) {
+    EXPECT_LE(model.banked_work(elapsed), model.work_executed(elapsed));
+    EXPECT_LE(model.work_executed(elapsed) + model.overhead_spent(elapsed),
+              elapsed + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace es::fault

@@ -1,0 +1,253 @@
+// Checkpoint/restart recovery and watchdog guardrails end-to-end: exact
+// resume schedules under scripted outages, the harsh-MTBF scenario that
+// never terminates under capless restart but completes under checkpointed
+// recovery, the typed watchdog aborts with partial metrics, and the
+// hardened ECC skip counters.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/factory.hpp"
+#include "sched/engine.hpp"
+#include "testing/helpers.hpp"
+
+namespace es {
+namespace {
+
+using es::testing::batch_job;
+using es::testing::make_workload;
+
+/// One engine run with full control over the failure/checkpoint/watchdog
+/// attachments; paranoid invariant checking stays on.
+testing::Scenario run_engine(const workload::Workload& workload,
+                             const sched::EngineConfig& base) {
+  core::Algorithm algo = core::make_algorithm("EASY");
+  EXPECT_NE(algo.policy, nullptr);
+  sched::EngineConfig config = base;
+  config.machine_procs = workload.machine_procs;
+  config.granularity = workload.granularity;
+  config.paranoid = true;
+  testing::Scenario scenario;
+  scenario.result = sched::simulate(config, *algo.policy, workload);
+  for (const sched::JobOutcome& outcome : scenario.result.jobs)
+    scenario.by_id[outcome.id] = outcome;
+  return scenario;
+}
+
+sched::EngineConfig scripted_failure(std::vector<fault::Outage> script,
+                                     fault::RequeuePolicy policy =
+                                         fault::RequeuePolicy::kRequeueHead) {
+  sched::EngineConfig config;
+  config.failure.enabled = true;
+  config.failure.script = std::move(script);
+  config.requeue = policy;
+  return config;
+}
+
+TEST(CheckpointRecovery, ResumesFromTheLastCheckpoint) {
+  // One job owns the whole machine; a node card fails at t=50.  With free
+  // checkpoints every 20 s of work the job has banked 40 s when preempted,
+  // so after the t=80 repair it runs only the remaining 60 s.
+  const auto workload = make_workload(320, 32, {batch_job(1, 0, 320, 100)});
+  sched::EngineConfig config = scripted_failure({{50, 80, 32}});
+  config.checkpoint.enabled = true;
+  config.checkpoint.interval = 20;
+  const auto scenario = run_engine(workload, config);
+
+  EXPECT_EQ(scenario.result.completed, 1u);
+  EXPECT_DOUBLE_EQ(scenario.job(1).started, 80.0);
+  EXPECT_DOUBLE_EQ(scenario.job(1).finished, 140.0);  // 180 without recovery
+  const auto& failure = scenario.result.failure;
+  // Two checkpoints before the failure (t=20, t=40; the preemption at
+  // t=50 is mid-interval) plus two during the resumed 60 s attempt.
+  EXPECT_EQ(failure.checkpoints, 4u);
+  EXPECT_DOUBLE_EQ(failure.saved_proc_seconds, 320.0 * 40);
+  // Only the 10 s past the last checkpoint are lost (and re-run = wasted).
+  EXPECT_DOUBLE_EQ(failure.lost_proc_seconds, 320.0 * 10);
+  EXPECT_DOUBLE_EQ(failure.wasted_proc_seconds, 320.0 * 10);
+  EXPECT_DOUBLE_EQ(failure.checkpoint_overhead_proc_seconds, 0.0);
+  EXPECT_EQ(scenario.result.termination, sim::TerminationReason::kCompleted);
+  EXPECT_EQ(scenario.result.unfinished, 0u);
+}
+
+TEST(CheckpointRecovery, OverheadStretchesAttemptsAndIsAccounted) {
+  // Interval 20 s, overhead 5 s: one wall cycle is 25 s.  At the t=50
+  // preemption two checkpoints are complete (40 s banked, 10 s overhead
+  // spent); the 60 s resume carries two more planned checkpoints, so it
+  // takes 70 s of wall time.
+  const auto workload = make_workload(320, 32, {batch_job(1, 0, 320, 100)});
+  sched::EngineConfig config = scripted_failure({{50, 80, 32}});
+  config.checkpoint.enabled = true;
+  config.checkpoint.interval = 20;
+  config.checkpoint.overhead = 5;
+  const auto scenario = run_engine(workload, config);
+
+  EXPECT_EQ(scenario.result.completed, 1u);
+  EXPECT_DOUBLE_EQ(scenario.job(1).finished, 150.0);
+  const auto& failure = scenario.result.failure;
+  EXPECT_EQ(failure.checkpoints, 4u);  // 2 before the failure + 2 after
+  EXPECT_DOUBLE_EQ(failure.saved_proc_seconds, 320.0 * 40);
+  EXPECT_DOUBLE_EQ(failure.checkpoint_overhead_proc_seconds, 320.0 * 20);
+}
+
+TEST(CheckpointRecovery, OnPreemptBanksAllExecutedWork) {
+  // Checkpoint-on-signal: the full 50 s executed at the preemption instant
+  // are banked, so the resume runs exactly the remaining 50 s.
+  const auto workload = make_workload(320, 32, {batch_job(1, 0, 320, 100)});
+  sched::EngineConfig config = scripted_failure({{50, 80, 32}});
+  config.checkpoint.enabled = true;
+  config.checkpoint.on_preempt = true;
+  const auto scenario = run_engine(workload, config);
+
+  EXPECT_DOUBLE_EQ(scenario.job(1).finished, 130.0);
+  const auto& failure = scenario.result.failure;
+  EXPECT_EQ(failure.checkpoints, 1u);  // the on-preempt checkpoint itself
+  EXPECT_DOUBLE_EQ(failure.saved_proc_seconds, 320.0 * 50);
+  EXPECT_DOUBLE_EQ(failure.lost_proc_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(failure.wasted_proc_seconds, 0.0);
+}
+
+TEST(CheckpointRecovery, AbandonedJobsBankNothing) {
+  // Checkpoints only matter for jobs that will run again: the abandon
+  // policy must produce the same accounting as the checkpoint-free engine.
+  const auto workload = make_workload(320, 32, {batch_job(1, 0, 320, 100)});
+  sched::EngineConfig config =
+      scripted_failure({{50, 80, 32}}, fault::RequeuePolicy::kAbandon);
+  config.checkpoint.enabled = true;
+  config.checkpoint.interval = 20;
+  const auto scenario = run_engine(workload, config);
+
+  EXPECT_EQ(scenario.result.abandoned, 1u);
+  const auto& failure = scenario.result.failure;
+  EXPECT_EQ(failure.checkpoints, 0u);
+  EXPECT_DOUBLE_EQ(failure.saved_proc_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(failure.lost_proc_seconds, 320.0 * 50);
+}
+
+TEST(CheckpointRecovery, DisabledConfigMatchesSeedSchedule) {
+  // Default-constructed checkpoint and watchdog configs must reproduce the
+  // seed engine exactly (the restart-from-scratch schedule).
+  const auto workload = make_workload(320, 32, {batch_job(1, 0, 320, 100)});
+  const auto scenario =
+      run_engine(workload, scripted_failure({{50, 80, 32}}));
+
+  EXPECT_DOUBLE_EQ(scenario.job(1).started, 80.0);
+  EXPECT_DOUBLE_EQ(scenario.job(1).finished, 180.0);
+  const auto& failure = scenario.result.failure;
+  EXPECT_EQ(failure.checkpoints, 0u);
+  EXPECT_DOUBLE_EQ(failure.saved_proc_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(failure.checkpoint_overhead_proc_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(failure.lost_proc_seconds, 320.0 * 50);
+  EXPECT_EQ(scenario.result.termination, sim::TerminationReason::kCompleted);
+}
+
+/// The pathological configuration the watchdog exists for: stochastic
+/// failures with MTBF far below the job runtimes, capless
+/// restart-from-scratch requeue.  Expected attempts grow like
+/// e^(runtime/MTBF), so the run effectively never terminates.
+sched::EngineConfig harsh_mtbf_config() {
+  sched::EngineConfig config;
+  config.failure.enabled = true;
+  config.failure.seed = 7;
+  config.failure.mtbf = 60;
+  config.failure.mttr = 30;
+  config.failure.min_nodes = 1;
+  config.failure.max_nodes = 1;
+  config.failure.max_interruptions = 0;  // capless: retry forever
+  config.requeue = fault::RequeuePolicy::kRequeueHead;
+  return config;
+}
+
+workload::Workload harsh_mtbf_workload() {
+  return make_workload(
+      64, 32, {batch_job(1, 0, 64, 10000), batch_job(2, 1, 64, 10000)});
+}
+
+TEST(Watchdog, HarshMtbfCaplessRestartAbortsWithPartialMetrics) {
+  sched::EngineConfig config = harsh_mtbf_config();
+  config.watchdog.max_events = 20000;
+  const auto scenario = run_engine(harsh_mtbf_workload(), config);
+
+  EXPECT_EQ(scenario.result.termination, sim::TerminationReason::kMaxEvents);
+  EXPECT_EQ(scenario.result.events, 20000u);
+  EXPECT_EQ(scenario.result.unfinished, 2u);
+  EXPECT_EQ(scenario.result.completed, 0u);
+  // Partial metrics are still meaningful: the failure churn was recorded.
+  EXPECT_GT(scenario.result.failure.interruptions, 0u);
+  EXPECT_GT(scenario.result.failure.lost_proc_seconds, 0.0);
+}
+
+TEST(Watchdog, CheckpointedRecoveryCompletesTheSameScenario) {
+  sched::EngineConfig config = harsh_mtbf_config();
+  config.checkpoint.enabled = true;
+  config.checkpoint.on_preempt = true;
+  config.watchdog.max_events = 2'000'000;  // safety net only
+  const auto scenario = run_engine(harsh_mtbf_workload(), config);
+
+  EXPECT_EQ(scenario.result.termination, sim::TerminationReason::kCompleted);
+  EXPECT_EQ(scenario.result.unfinished, 0u);
+  EXPECT_EQ(scenario.result.completed, 2u);
+  EXPECT_GT(scenario.result.failure.saved_proc_seconds, 0.0);
+}
+
+TEST(Watchdog, MaxSimTimeAbortsAStochasticFailureRun) {
+  sched::EngineConfig config = harsh_mtbf_config();
+  config.watchdog.max_sim_time = 5000;
+  const auto scenario = run_engine(harsh_mtbf_workload(), config);
+
+  EXPECT_EQ(scenario.result.termination, sim::TerminationReason::kMaxSimTime);
+  EXPECT_EQ(scenario.result.unfinished, 2u);
+}
+
+TEST(Watchdog, NoProgressDetectorTripsOnEccChurn) {
+  // Job 1 runs on half the machine; the other half goes down for a long
+  // time, so job 2 (whole machine) can never start.  A stream of ET
+  // commands keeps triggering scheduler cycles that seat nothing — the
+  // detector must call that a hang instead of spinning to the last event.
+  std::vector<workload::Ecc> eccs;
+  for (int i = 0; i < 10; ++i) {
+    workload::Ecc ecc;
+    ecc.issue = 10 + i;
+    ecc.job_id = 1;
+    ecc.type = workload::EccType::kExtendTime;
+    ecc.amount = 1;
+    eccs.push_back(ecc);
+  }
+  const auto workload = make_workload(
+      64, 32, {batch_job(1, 0, 32, 100000), batch_job(2, 1, 64, 100)},
+      eccs);
+  sched::EngineConfig config = scripted_failure({{5, 100000, 32}});
+  config.process_eccs = true;
+  config.watchdog.no_progress_cycles = 5;
+  const auto scenario = run_engine(workload, config);
+
+  EXPECT_EQ(scenario.result.termination, sim::TerminationReason::kNoProgress);
+  EXPECT_EQ(scenario.result.unfinished, 2u);
+}
+
+TEST(EccHardening, UnknownAndLateCommandsAreSkippedAndCounted) {
+  std::vector<workload::Ecc> eccs(2);
+  eccs[0].issue = 5;
+  eccs[0].job_id = 999;  // no such job in the workload
+  eccs[0].type = workload::EccType::kExtendTime;
+  eccs[0].amount = 10;
+  eccs[1].issue = 50;
+  eccs[1].job_id = 1;  // job 1 finished at t=10
+  eccs[1].type = workload::EccType::kExtendTime;
+  eccs[1].amount = 10;
+  const auto workload =
+      make_workload(64, 32, {batch_job(1, 0, 32, 10)}, eccs);
+  sched::EngineConfig config;
+  config.process_eccs = true;
+  const auto scenario = run_engine(workload, config);
+
+  EXPECT_EQ(scenario.result.completed, 1u);
+  EXPECT_DOUBLE_EQ(scenario.job(1).finished, 10.0);  // neither ECC applied
+  EXPECT_EQ(scenario.result.ecc.unknown_job, 1u);
+  EXPECT_EQ(scenario.result.ecc.after_finish, 1u);
+  EXPECT_EQ(scenario.result.ecc.rejected, 1u);
+}
+
+}  // namespace
+}  // namespace es

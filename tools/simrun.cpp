@@ -5,13 +5,19 @@
 //            --algorithm Delayed-LOS --cs 7 --per-job jobs.csv
 //
 // Prints the paper's three metrics plus diagnostics; optionally dumps
-// per-job outcomes as CSV for plotting.
+// per-job outcomes as CSV for plotting.  CSV outputs are written atomically
+// (temp file + rename) so a crash mid-write never leaves a truncated file.
+//
+// Exit codes: 0 success, 1 usage error, 2 invalid flag combination,
+// 3 output I/O error, 4 watchdog abort (partial metrics were printed).
 #include <cstdio>
-#include <fstream>
 #include <iostream>
+#include <ostream>
 
 #include "exp/analysis.hpp"
 #include "exp/experiment.hpp"
+#include "sim/watchdog.hpp"
+#include "util/atomic_file.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
 #include "util/log.hpp"
@@ -19,6 +25,16 @@
 #include "workload/cwf.hpp"
 #include "workload/generator.hpp"
 #include "workload/load.hpp"
+
+namespace {
+
+// Flag-validation failure: field-named message, distinct exit code (2).
+int flag_error(const char* flag, const char* message) {
+  std::fprintf(stderr, "simrun: --%s: %s\n", flag, message);
+  return 2;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   std::string trace;
@@ -38,6 +54,11 @@ int main(int argc, char** argv) {
   int fail_min_nodes = 1, fail_max_nodes = 1;
   int fail_retry_cap = 0;
   std::string requeue = "head";
+  double ckpt_interval = 0.0, ckpt_overhead = 0.0;
+  bool ckpt_on_preempt = false;
+  unsigned long long max_events = 0;
+  double max_sim_time = 0.0, wall_budget = 0.0;
+  int no_progress_cycles = 0;
 
   es::util::CliParser cli("Run one scheduling simulation");
   cli.add_option("trace", "SWF/CWF trace to replay", &trace);
@@ -70,6 +91,23 @@ int main(int argc, char** argv) {
                  "this many preemptions (0 = retry forever)", &fail_retry_cap);
   cli.add_option("requeue", "preempted-job policy: head/tail/abandon",
                  &requeue);
+  cli.add_option("ckpt-interval", "checkpoint recovery: seconds of work "
+                 "between periodic checkpoints (0 = disabled)",
+                 &ckpt_interval);
+  cli.add_option("ckpt-overhead", "checkpoint recovery: seconds each "
+                 "checkpoint adds to the run (default 0)", &ckpt_overhead);
+  cli.add_flag("ckpt-on-preempt", "checkpoint recovery: also bank all work "
+               "at the preemption instant (checkpoint-on-signal)",
+               &ckpt_on_preempt);
+  cli.add_option("max-events", "watchdog: abort after this many simulation "
+                 "events (0 = unlimited)", &max_events);
+  cli.add_option("max-sim-time", "watchdog: abort past this simulated time "
+                 "in seconds (0 = unlimited)", &max_sim_time);
+  cli.add_option("wall-budget", "watchdog: abort after this many wall-clock "
+                 "seconds (0 = unlimited)", &wall_budget);
+  cli.add_option("no-progress-cycles", "watchdog: abort after this many "
+                 "consecutive scheduler cycles without a job start or finish "
+                 "while work is queued (0 = disabled)", &no_progress_cycles);
   bool profile = false;
   std::string trace_csv;
   cli.add_option("per-job", "write per-job outcomes to this CSV", &per_job_csv);
@@ -80,6 +118,31 @@ int main(int argc, char** argv) {
   cli.add_option("log", "log level: debug/info/warn/error/off", &log_level);
   if (!cli.parse(argc, argv)) return 1;
   es::util::set_log_level(es::util::parse_log_level(log_level));
+
+  // Flag validation (exit 2): catch contradictory or degenerate settings
+  // before spending any simulation time on them.
+  if (mtbf < 0)
+    return flag_error("mtbf", "must be >= 0 (0 disables fault injection)");
+  if (mtbf > 0 && mttr <= 0)
+    return flag_error("mttr", "must be > 0 when fault injection is enabled");
+  if (ckpt_interval < 0)
+    return flag_error("ckpt-interval", "must be >= 0 (0 disables periodic "
+                      "checkpoints)");
+  if (ckpt_overhead < 0)
+    return flag_error("ckpt-overhead", "must be >= 0");
+  const bool ckpt_enabled = ckpt_interval > 0 || ckpt_on_preempt;
+  if (ckpt_enabled && mtbf <= 0)
+    return flag_error("ckpt-interval", "checkpoint recovery only matters "
+                      "under fault injection; set --mtbf > 0 as well");
+  if (ckpt_overhead > 0 && !ckpt_enabled)
+    return flag_error("ckpt-overhead", "has no effect without "
+                      "--ckpt-interval > 0 or --ckpt-on-preempt");
+  if (max_sim_time < 0)
+    return flag_error("max-sim-time", "must be >= 0 (0 = unlimited)");
+  if (wall_budget < 0)
+    return flag_error("wall-budget", "must be >= 0 (0 = unlimited)");
+  if (no_progress_cycles < 0)
+    return flag_error("no-progress-cycles", "must be >= 0 (0 = disabled)");
 
   es::workload::Workload workload;
   if (synthetic || trace.empty()) {
@@ -124,12 +187,19 @@ int main(int argc, char** argv) {
     options.failure.min_nodes = fail_min_nodes;
     options.failure.max_nodes = fail_max_nodes;
     options.failure.max_interruptions = fail_retry_cap;
-    if (!es::fault::parse_requeue_policy(requeue, options.requeue)) {
-      std::fprintf(stderr, "simrun: unknown requeue policy '%s'\n",
-                   requeue.c_str());
-      return 1;
-    }
+    if (!es::fault::parse_requeue_policy(requeue, options.requeue))
+      return flag_error("requeue", "expected head, tail or abandon");
   }
+  if (ckpt_enabled) {
+    options.checkpoint.enabled = true;
+    options.checkpoint.interval = ckpt_interval;
+    options.checkpoint.overhead = ckpt_overhead;
+    options.checkpoint.on_preempt = ckpt_on_preempt;
+  }
+  options.watchdog.max_events = max_events;
+  options.watchdog.max_sim_time = max_sim_time;
+  options.watchdog.wall_budget = wall_budget;
+  options.watchdog.no_progress_cycles = no_progress_cycles;
   const auto result = es::exp::run_workload(workload, algorithm, options);
 
   es::util::AsciiTable table("simrun — " + algorithm);
@@ -146,10 +216,19 @@ int main(int argc, char** argv) {
   table.cell("dedicated on time").cell(static_cast<long long>(result.dedicated_on_time)).end_row();
   table.cell("mean dedicated delay (s)").cell(result.mean_dedicated_delay, 1).end_row();
   table.cell("ECCs processed").cell(static_cast<long long>(result.ecc.processed)).end_row();
+  if (result.ecc.unknown_job > 0 || result.ecc.after_finish > 0) {
+    table.cell("ECCs skipped (unknown job / after finish)")
+        .cell(std::to_string(result.ecc.unknown_job) + " / " +
+              std::to_string(result.ecc.after_finish))
+        .end_row();
+  }
   table.cell("events / cycles")
       .cell(std::to_string(result.events) + " / " +
             std::to_string(result.cycles))
       .end_row();
+  table.cell("termination").cell(es::sim::to_string(result.termination)).end_row();
+  if (result.termination != es::sim::TerminationReason::kCompleted)
+    table.cell("unfinished jobs").cell(static_cast<long long>(result.unfinished)).end_row();
   if (mtbf > 0) {
     const auto& failure = result.failure;
     table.cell("outages").cell(static_cast<long long>(failure.outages)).end_row();
@@ -162,6 +241,12 @@ int main(int argc, char** argv) {
     table.cell("down proc-seconds").cell(failure.down_proc_seconds, 0).end_row();
     table.cell("goodput proc-seconds").cell(failure.goodput_proc_seconds, 0).end_row();
     table.cell("wasted proc-seconds").cell(failure.wasted_proc_seconds, 0).end_row();
+    if (ckpt_enabled) {
+      table.cell("checkpoints taken").cell(static_cast<long long>(failure.checkpoints)).end_row();
+      table.cell("checkpoint overhead proc-seconds")
+          .cell(failure.checkpoint_overhead_proc_seconds, 0).end_row();
+      table.cell("saved proc-seconds").cell(failure.saved_proc_seconds, 0).end_row();
+    }
   }
   table.render(std::cout);
 
@@ -173,40 +258,49 @@ int main(int argc, char** argv) {
                 es::exp::render_profile(timeline).c_str());
   }
 
+  // CSV outputs are crash-safe: written to a temp sibling and renamed into
+  // place, so readers never observe a truncated file.  On a watchdog abort
+  // the files still carry the partial run (tagged via the termination row).
   if (!trace_csv.empty() && result.trace != nullptr) {
-    std::ofstream out(trace_csv);
-    if (!out) {
+    const bool ok = es::util::write_file_atomic(
+        trace_csv, [&result](std::ostream& out) {
+          result.trace->write_csv(out);
+          return out.good();
+        });
+    if (!ok) {
       std::fprintf(stderr, "simrun: cannot write %s\n", trace_csv.c_str());
-      return 1;
+      return 3;
     }
-    result.trace->write_csv(out);
     std::printf("[csv] %s (%zu events)\n", trace_csv.c_str(),
                 result.trace->size());
   }
 
   if (!per_job_csv.empty()) {
-    std::ofstream out(per_job_csv);
-    if (!out) {
+    const bool ok = es::util::write_file_atomic(
+        per_job_csv, [&result](std::ostream& out) {
+          es::util::CsvWriter csv(out);
+          csv.set_header({"id", "dedicated", "killed", "procs", "arrival",
+                          "started", "finished", "wait", "run"});
+          for (const auto& job : result.jobs) {
+            csv.cell(static_cast<long long>(job.id))
+                .cell(static_cast<long long>(job.dedicated))
+                .cell(static_cast<long long>(job.killed))
+                .cell(job.procs)
+                .cell(job.arrival)
+                .cell(job.started)
+                .cell(job.finished)
+                .cell(job.wait)
+                .cell(job.run);
+            csv.end_row();
+          }
+          return out.good();
+        });
+    if (!ok) {
       std::fprintf(stderr, "simrun: cannot write %s\n", per_job_csv.c_str());
-      return 1;
-    }
-    es::util::CsvWriter csv(out);
-    csv.set_header({"id", "dedicated", "killed", "procs", "arrival",
-                    "started", "finished", "wait", "run"});
-    for (const auto& job : result.jobs) {
-      csv.cell(static_cast<long long>(job.id))
-          .cell(static_cast<long long>(job.dedicated))
-          .cell(static_cast<long long>(job.killed))
-          .cell(job.procs)
-          .cell(job.arrival)
-          .cell(job.started)
-          .cell(job.finished)
-          .cell(job.wait)
-          .cell(job.run);
-      csv.end_row();
+      return 3;
     }
     std::printf("[csv] %s (%zu rows)\n", per_job_csv.c_str(),
                 result.jobs.size());
   }
-  return 0;
+  return result.termination == es::sim::TerminationReason::kCompleted ? 0 : 4;
 }
