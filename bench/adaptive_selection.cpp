@@ -67,7 +67,7 @@ int main(int argc, char** argv) {
     for (int i = 0; i < options.replications; ++i) {
       const auto workload =
           phased(options.seed + 10 * static_cast<unsigned>(i),
-                 options.jobs / 2);
+                 options.num_jobs / 2);
       const auto result = es::exp::run_workload(
           workload, algorithm, es::bench::algo_options(options));
       util_stats.add(result.utilization);

@@ -21,46 +21,56 @@
 #include "exp/report.hpp"
 #include "exp/sweep.hpp"
 #include "util/cli.hpp"
+#include "util/thread_pool.hpp"
 
 namespace es::bench {
 
 struct BenchOptions {
-  int jobs = 500;          ///< N_J per simulation point
+  int num_jobs = 500;      ///< N_J per simulation point
   int replications = 5;    ///< seeds averaged per point
   unsigned long long seed = 1;
   int lookahead = 250;
+  int parallel_jobs = 1;   ///< worker threads (--jobs); 0 = all cores
   std::string csv_dir = "results";
   bool quick = false;      ///< CI mode: fewer points/seeds
 };
 
 /// Standard CLI for every bench binary.  Returns false if the program
-/// should exit (e.g. --help).
+/// should exit (e.g. --help).  On success the global worker pool is sized
+/// from --jobs, so every sweep in the bench fans out automatically.
 inline bool parse_bench_options(int argc, const char* const* argv,
                                 const std::string& description,
                                 BenchOptions& options) {
   util::CliParser cli(description);
-  cli.add_option("jobs", "jobs per simulation point (default 500)",
-                 &options.jobs);
+  cli.add_option("num-jobs", "jobs per simulation point (default 500)",
+                 &options.num_jobs);
   cli.add_option("replications", "seeds averaged per point (default 5)",
                  &options.replications);
   cli.add_option("seed", "base RNG seed", &options.seed);
   cli.add_option("lookahead", "DP lookahead depth (default 250)",
                  &options.lookahead);
+  cli.add_option("jobs",
+                 "worker threads for the experiment campaign "
+                 "(default 1 = serial; 0 = all cores)",
+                 &options.parallel_jobs);
   cli.add_option("csv-dir", "directory for CSV output (default results/)",
                  &options.csv_dir);
   cli.add_flag("quick", "fast mode: fewer points and seeds", &options.quick);
   if (!cli.parse(argc, argv)) return false;
   if (options.quick) {
-    options.jobs = 200;
+    options.num_jobs = 200;
     options.replications = 2;
   }
+  if (options.parallel_jobs == 0)
+    options.parallel_jobs = util::hardware_parallelism();
+  util::set_global_parallelism(options.parallel_jobs);
   return true;
 }
 
 inline workload::GeneratorConfig base_workload(const BenchOptions& options) {
   workload::GeneratorConfig config;
   config.machine_procs = 320;
-  config.num_jobs = static_cast<std::size_t>(options.jobs);
+  config.num_jobs = static_cast<std::size_t>(options.num_jobs);
   config.seed = options.seed;
   return config;
 }
@@ -85,10 +95,12 @@ inline void save_csv(const BenchOptions& options, const std::string& name,
     std::printf("[csv] could not write %s\n", path.c_str());
     return;
   }
-  // Algorithms present at the first point, in map order.
+  // Algorithms present at the first point (shared references included), in
+  // map order.
   std::vector<std::string> algorithms;
   if (!sweep.points.empty())
-    for (const auto& [algorithm, aggregate] : sweep.points.front().by_algorithm)
+    for (const auto& [algorithm, aggregate] :
+         sweep.merged(sweep.points.front()))
       algorithms.push_back(algorithm);
   const std::string gp_path = options.csv_dir + "/" + name + ".gp";
   if (exp::write_sweep_gnuplot(gp_path, name + ".csv", name, sweep,

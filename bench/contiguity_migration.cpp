@@ -41,7 +41,7 @@ int main(int argc, char** argv) {
     char title[96];
     std::snprintf(title, sizeof title,
                   "Contiguity study — SDSC-like M=128, load %.1f (N=%d, %d seeds)",
-                  load, options.jobs, options.replications);
+                  load, options.num_jobs, options.replications);
     es::util::AsciiTable table(title);
     table.set_columns({"mode", "util %", "wait s", "frag %", "migr", "moved"});
     for (const Mode& mode : modes) {
@@ -53,7 +53,7 @@ int main(int argc, char** argv) {
         // than the 10-node-card BlueGene/P configuration, mirroring how
         // Krevat et al. studied a unit-granular torus.
         es::workload::Workload workload = es::workload::generate_sdsc_like(
-            static_cast<std::size_t>(options.jobs), 128,
+            static_cast<std::size_t>(options.num_jobs), 128,
             options.seed + static_cast<unsigned>(i));
         es::workload::calibrate_load(workload, 128, load);
         const auto result =

@@ -19,7 +19,7 @@ int main(int argc, char** argv) {
     return 0;
 
   const std::size_t jobs = static_cast<std::size_t>(
-      options.quick ? options.jobs : std::max(options.jobs, 1000));
+      options.quick ? options.num_jobs : std::max(options.num_jobs, 1000));
   const auto algo = es::bench::algo_options(options);
 
   es::exp::Sweep sweep;

@@ -1,0 +1,170 @@
+// perf_baseline — machine-readable perf trajectory entry (BENCH_PR3.json).
+//
+// Measures the two PR-3 optimizations on the paper's Fig-7 setup
+// (P_S = 0.2, load sweep over EASY / LOS / Delayed-LOS):
+//
+//   1. campaign parallelism: the identical load sweep run serially
+//      (--jobs 1) and across the worker pool (--jobs N), with the two
+//      metrics CSVs compared byte for byte — the speedup only counts if
+//      the science is unchanged;
+//   2. the DP hot path: fast-path / cache-hit counters and wall time with
+//      the knapsack memo cache on vs off, with the headline metrics
+//      compared exactly — cached runs must schedule identically.
+//
+// Counters in the JSON are deterministic; every *_seconds field is
+// measurement and varies run to run.  CI uploads the file as an artifact;
+// the committed copy records the numbers of one representative host.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "bench_common.hpp"
+#include "exp/experiment.hpp"
+#include "util/atomic_file.hpp"
+#include "util/thread_pool.hpp"
+
+#include <chrono>
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  es::bench::BenchOptions options;
+  if (!es::bench::parse_bench_options(
+          argc, argv,
+          "Perf baseline: campaign parallelism + DP hot path (BENCH_PR3.json)",
+          options))
+    return 0;
+
+  // --jobs from the common CLI names the *parallel* leg; default to every
+  // core when the user left it serial, since comparing 1 vs 1 says nothing.
+  const int parallel_jobs = options.parallel_jobs > 1
+                                ? options.parallel_jobs
+                                : es::util::hardware_parallelism();
+
+  es::workload::GeneratorConfig config = es::bench::base_workload(options);
+  config.p_small = 0.2;
+  const std::vector<std::string> algorithms{"EASY", "LOS", "Delayed-LOS"};
+  const std::vector<double> loads = es::bench::load_grid(options);
+  const es::core::AlgorithmOptions algo = es::bench::algo_options(options);
+
+  // --- leg 1: identical campaign, serial vs pooled ---------------------
+  es::util::set_global_parallelism(1);
+  auto t0 = std::chrono::steady_clock::now();
+  const es::exp::Sweep serial_sweep =
+      es::exp::load_sweep(config, loads, algorithms, algo,
+                          options.replications);
+  const double serial_seconds = seconds_since(t0);
+
+  es::util::set_global_parallelism(parallel_jobs);
+  t0 = std::chrono::steady_clock::now();
+  const es::exp::Sweep parallel_sweep =
+      es::exp::load_sweep(config, loads, algorithms, algo,
+                          options.replications);
+  const double parallel_seconds = seconds_since(t0);
+  es::util::set_global_parallelism(1);
+
+  ::mkdir(options.csv_dir.c_str(), 0755);
+  const std::string serial_csv = options.csv_dir + "/perf_baseline_serial.csv";
+  const std::string parallel_csv =
+      options.csv_dir + "/perf_baseline_parallel.csv";
+  es::exp::write_sweep_csv(serial_csv, serial_sweep);
+  es::exp::write_sweep_csv(parallel_csv, parallel_sweep);
+  const bool csv_identical = slurp(serial_csv) == slurp(parallel_csv);
+  const double speedup =
+      parallel_seconds > 0 ? serial_seconds / parallel_seconds : 0.0;
+
+  // --- leg 2: DP hot path, memo cache on vs off ------------------------
+  es::exp::RunSpec spec;
+  spec.workload = config;
+  spec.workload.target_load = 0.9;  // Fig-7's most DP-intensive point
+  spec.algorithm = "Delayed-LOS";
+  spec.options = algo;
+
+  spec.options.dp_cache = true;
+  t0 = std::chrono::steady_clock::now();
+  const es::exp::Aggregate cached =
+      es::exp::run_replicated(spec, options.replications);
+  const double cached_seconds = seconds_since(t0);
+
+  spec.options.dp_cache = false;
+  t0 = std::chrono::steady_clock::now();
+  const es::exp::Aggregate uncached =
+      es::exp::run_replicated(spec, options.replications);
+  const double uncached_seconds = seconds_since(t0);
+
+  const bool cache_identical = cached.utilization == uncached.utilization &&
+                               cached.mean_wait == uncached.mean_wait &&
+                               cached.slowdown == uncached.slowdown;
+  const double hit_rate =
+      cached.dp.calls > 0 ? static_cast<double>(cached.dp.cache_hits) /
+                                static_cast<double>(cached.dp.calls)
+                          : 0.0;
+
+  std::printf("campaign: serial %.3fs, parallel(%d) %.3fs, speedup %.2fx, "
+              "csv identical: %s\n",
+              serial_seconds, parallel_jobs, parallel_seconds, speedup,
+              csv_identical ? "yes" : "NO");
+  std::printf("dp cache: on %.3fs, off %.3fs, hit rate %.1f%%, "
+              "fast-path %.1f%%, metrics identical: %s\n",
+              cached_seconds, uncached_seconds, 100.0 * hit_rate,
+              cached.dp.calls > 0
+                  ? 100.0 * static_cast<double>(cached.dp.fast_path) /
+                        static_cast<double>(cached.dp.calls)
+                  : 0.0,
+              cache_identical ? "yes" : "NO");
+
+  const std::string out_path = "BENCH_PR3.json";
+  const bool ok = es::util::write_file_atomic(
+      out_path, [&](std::ostream& out) {
+        out << "{\n"
+            << "  \"bench\": \"perf_baseline\",\n"
+            << "  \"pr\": 3,\n"
+            << "  \"host_cores\": " << es::util::hardware_parallelism()
+            << ",\n"
+            << "  \"workload\": {\"num_jobs\": " << options.num_jobs
+            << ", \"replications\": " << options.replications
+            << ", \"loads\": " << loads.size()
+            << ", \"algorithms\": " << algorithms.size() << "},\n"
+            << "  \"campaign\": {\"serial_seconds\": " << serial_seconds
+            << ", \"parallel_jobs\": " << parallel_jobs
+            << ", \"parallel_seconds\": " << parallel_seconds
+            << ", \"speedup\": " << speedup
+            << ", \"csv_identical\": " << (csv_identical ? "true" : "false")
+            << "},\n"
+            << "  \"dp\": {\"calls\": " << cached.dp.calls
+            << ", \"fast_path\": " << cached.dp.fast_path
+            << ", \"cache_hits\": " << cached.dp.cache_hits
+            << ", \"table_runs\": " << cached.dp.table_runs
+            << ", \"table_cells\": " << cached.dp.table_cells
+            << ", \"cache_hit_rate\": " << hit_rate
+            << ", \"cached_seconds\": " << cached_seconds
+            << ", \"uncached_seconds\": " << uncached_seconds
+            << ", \"metrics_identical\": "
+            << (cache_identical ? "true" : "false") << "}\n"
+            << "}\n";
+        return out.good();
+      });
+  if (!ok) {
+    std::fprintf(stderr, "perf_baseline: cannot write %s\n", out_path.c_str());
+    return 3;
+  }
+  std::printf("[json] %s\n", out_path.c_str());
+  // Both equivalences are correctness gates, not just measurements.
+  return (csv_identical && cache_identical) ? 0 : 1;
+}

@@ -26,7 +26,7 @@ int main(int argc, char** argv) {
     char title[96];
     std::snprintf(title, sizeof title,
                   "Baselines — P_S=%.1f, load 0.9 (N=%d, %d seeds)", ps,
-                  options.jobs, options.replications);
+                  options.num_jobs, options.replications);
     es::util::AsciiTable table(title);
     table.set_columns({"algorithm", "util %", "wait s", "slowdown"});
     for (const char* algorithm : {"FCFS", "SJF", "SMALLEST", "LJF", "CONS",

@@ -38,6 +38,9 @@ class DelayedLos : public sched::Scheduler {
   static bool step(sched::SchedulerContext& ctx, int max_skip_count,
                    int lookahead, DpWorkspace& ws, bool allow_skip_increment);
 
+  sched::DpCounters dp_counters() const override { return ws_.counters; }
+  void set_dp_cache(bool enabled) override { ws_.cache_enabled = enabled; }
+
  private:
   int max_skip_count_;
   int lookahead_;

@@ -21,10 +21,84 @@ std::int64_t item_value(int weight, std::size_t index, std::size_t n,
          static_cast<std::int64_t>(n - index);
 }
 
+// Bitpacked keep table: one take/skip bit per (item, cell).
+void keep_clear(DpWorkspace& ws, std::size_t bits) {
+  ws.keep.assign((bits + 63) / 64, 0);
+}
+inline void keep_set(DpWorkspace& ws, std::size_t bit) {
+  ws.keep[bit >> 6] |= std::uint64_t{1} << (bit & 63);
+}
+inline bool keep_get(const DpWorkspace& ws, std::size_t bit) {
+  return (ws.keep[bit >> 6] >> (bit & 63)) & 1;
+}
+
+/// Fast path: when every positive-weight item fits together (total demand
+/// <= capacity, and total shadow demand <= shadow capacity), "take them
+/// all" is the unique optimum — each item adds its full weight of primary
+/// value plus a positive tie-break term, so no proper subset can match it.
+/// Returns true and fills `selected` (ascending) when it applies.
+bool fits_entirely(std::span<const int> weights,
+                   std::span<const int> shadow_weights, int capacity,
+                   int shadow_capacity, std::vector<int>& selected) {
+  std::int64_t total = 0;
+  std::int64_t shadow_total = 0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const int w = weights[i];
+    ES_EXPECTS(w >= 0);
+    if (w == 0) continue;
+    total += w;
+    if (!shadow_weights.empty()) shadow_total += shadow_weights[i];
+  }
+  if (total > capacity || shadow_total > shadow_capacity) return false;
+  selected.clear();
+  for (std::size_t i = 0; i < weights.size(); ++i)
+    if (weights[i] > 0) selected.push_back(static_cast<int>(i));
+  return true;
+}
+
+/// Exact-key cache probe.  `shadow_weights` is empty for basic_dp lookups.
+const std::vector<int>* cache_find(const DpWorkspace& ws, bool reservation,
+                                   std::span<const int> weights,
+                                   std::span<const int> shadow_weights,
+                                   int capacity, int shadow_capacity) {
+  for (const DpWorkspace::CacheEntry& entry : ws.cache) {
+    if (!entry.used || entry.reservation != reservation) continue;
+    if (entry.capacity != capacity ||
+        entry.shadow_capacity != shadow_capacity)
+      continue;
+    if (entry.weights.size() != weights.size()) continue;
+    if (!std::equal(weights.begin(), weights.end(), entry.weights.begin()))
+      continue;
+    if (reservation &&
+        !std::equal(shadow_weights.begin(), shadow_weights.end(),
+                    entry.shadow_weights.begin()))
+      continue;
+    return &entry.selected;
+  }
+  return nullptr;
+}
+
+void cache_store(DpWorkspace& ws, bool reservation,
+                 std::span<const int> weights,
+                 std::span<const int> shadow_weights, int capacity,
+                 int shadow_capacity, const std::vector<int>& selected) {
+  DpWorkspace::CacheEntry& entry = ws.cache[ws.cache_clock];
+  ws.cache_clock = (ws.cache_clock + 1) % DpWorkspace::kCacheSlots;
+  entry.used = true;
+  entry.reservation = reservation;
+  entry.capacity = capacity;
+  entry.shadow_capacity = shadow_capacity;
+  entry.weights.assign(weights.begin(), weights.end());
+  entry.shadow_weights.assign(shadow_weights.begin(), shadow_weights.end());
+  entry.selected = selected;
+}
+
 }  // namespace
 
-std::vector<int> basic_dp(std::span<const int> weights, int capacity,
-                          DpWorkspace& ws) {
+namespace detail {
+
+std::vector<int> basic_dp_table(std::span<const int> weights, int capacity,
+                                DpWorkspace& ws) {
   ES_EXPECTS(capacity >= 0);
   const std::size_t n = weights.size();
   if (n == 0 || capacity == 0) return {};
@@ -32,7 +106,9 @@ std::vector<int> basic_dp(std::span<const int> weights, int capacity,
   const std::size_t cols = static_cast<std::size_t>(capacity) + 1;
 
   ws.value.assign(cols, 0);
-  ws.keep.assign(n * cols, 0);
+  keep_clear(ws, n * cols);
+  ++ws.counters.table_runs;
+  ws.counters.table_cells += n * cols;
 
   for (std::size_t i = 0; i < n; ++i) {
     const int w = weights[i];
@@ -43,7 +119,7 @@ std::vector<int> basic_dp(std::span<const int> weights, int capacity,
       const std::int64_t candidate = ws.value[c - static_cast<std::size_t>(w)] + v;
       if (candidate > ws.value[c]) {
         ws.value[c] = candidate;
-        ws.keep[i * cols + c] = 1;
+        keep_set(ws, i * cols + c);
       }
     }
   }
@@ -51,7 +127,7 @@ std::vector<int> basic_dp(std::span<const int> weights, int capacity,
   std::vector<int> selected;
   std::size_t c = cols - 1;
   for (std::size_t i = n; i-- > 0;) {
-    if (ws.keep[i * cols + c]) {
+    if (keep_get(ws, i * cols + c)) {
       selected.push_back(static_cast<int>(i));
       c -= static_cast<std::size_t>(weights[i]);
     }
@@ -60,10 +136,10 @@ std::vector<int> basic_dp(std::span<const int> weights, int capacity,
   return selected;
 }
 
-std::vector<int> reservation_dp(std::span<const int> weights,
-                                std::span<const int> shadow_weights,
-                                int capacity, int shadow_capacity,
-                                DpWorkspace& ws) {
+std::vector<int> reservation_dp_table(std::span<const int> weights,
+                                      std::span<const int> shadow_weights,
+                                      int capacity, int shadow_capacity,
+                                      DpWorkspace& ws) {
   ES_EXPECTS(capacity >= 0);
   ES_EXPECTS(shadow_capacity >= 0);
   ES_EXPECTS(weights.size() == shadow_weights.size());
@@ -75,7 +151,9 @@ std::vector<int> reservation_dp(std::span<const int> weights,
   const std::size_t cells = c1 * c2;
 
   ws.value.assign(cells, 0);
-  ws.keep.assign(n * cells, 0);
+  keep_clear(ws, n * cells);
+  ++ws.counters.table_runs;
+  ws.counters.table_cells += n * cells;
   auto cell = [c2](std::size_t a, std::size_t b) { return a * c2 + b; };
 
   for (std::size_t i = 0; i < n; ++i) {
@@ -93,7 +171,7 @@ std::vector<int> reservation_dp(std::span<const int> weights,
             v;
         if (candidate > ws.value[cell(a, b)]) {
           ws.value[cell(a, b)] = candidate;
-          ws.keep[i * cells + cell(a, b)] = 1;
+          keep_set(ws, i * cells + cell(a, b));
         }
         if (b == 0) break;  // avoid size_t underflow
       }
@@ -105,13 +183,76 @@ std::vector<int> reservation_dp(std::span<const int> weights,
   std::size_t a = c1 - 1;
   std::size_t b = c2 - 1;
   for (std::size_t i = n; i-- > 0;) {
-    if (ws.keep[i * cells + cell(a, b)]) {
+    if (keep_get(ws, i * cells + cell(a, b))) {
       selected.push_back(static_cast<int>(i));
       a -= static_cast<std::size_t>(weights[i]);
       b -= static_cast<std::size_t>(shadow_weights[i]);
     }
   }
   std::reverse(selected.begin(), selected.end());
+  return selected;
+}
+
+}  // namespace detail
+
+std::vector<int> basic_dp(std::span<const int> weights, int capacity,
+                          DpWorkspace& ws) {
+  ES_EXPECTS(capacity >= 0);
+  ++ws.counters.calls;
+  if (weights.empty() || capacity == 0) {
+    ++ws.counters.fast_path;  // trivially empty: no table, no cache
+    return {};
+  }
+
+  std::vector<int> selected;
+  if (fits_entirely(weights, {}, capacity, 0, selected)) {
+    ++ws.counters.fast_path;
+    return selected;
+  }
+  if (ws.cache_enabled) {
+    if (const std::vector<int>* hit =
+            cache_find(ws, false, weights, {}, capacity, 0)) {
+      ++ws.counters.cache_hits;
+      return *hit;
+    }
+  }
+  selected = detail::basic_dp_table(weights, capacity, ws);
+  if (ws.cache_enabled)
+    cache_store(ws, false, weights, {}, capacity, 0, selected);
+  return selected;
+}
+
+std::vector<int> reservation_dp(std::span<const int> weights,
+                                std::span<const int> shadow_weights,
+                                int capacity, int shadow_capacity,
+                                DpWorkspace& ws) {
+  ES_EXPECTS(capacity >= 0);
+  ES_EXPECTS(shadow_capacity >= 0);
+  ES_EXPECTS(weights.size() == shadow_weights.size());
+  ++ws.counters.calls;
+  if (weights.empty() || capacity == 0) {
+    ++ws.counters.fast_path;  // trivially empty: no table, no cache
+    return {};
+  }
+
+  std::vector<int> selected;
+  if (fits_entirely(weights, shadow_weights, capacity, shadow_capacity,
+                    selected)) {
+    ++ws.counters.fast_path;
+    return selected;
+  }
+  if (ws.cache_enabled) {
+    if (const std::vector<int>* hit = cache_find(
+            ws, true, weights, shadow_weights, capacity, shadow_capacity)) {
+      ++ws.counters.cache_hits;
+      return *hit;
+    }
+  }
+  selected = detail::reservation_dp_table(weights, shadow_weights, capacity,
+                                          shadow_capacity, ws);
+  if (ws.cache_enabled)
+    cache_store(ws, true, weights, shadow_weights, capacity, shadow_capacity,
+                selected);
   return selected;
 }
 

@@ -15,18 +15,54 @@
 // Capacities and weights are in *allocation grains* (processors divided by
 // the machine granularity — 32 on BlueGene/P), which keeps the DP tables
 // tiny; callers convert.  A reusable workspace avoids per-cycle allocation.
+//
+// Hot-path structure (PR 3): every call resolves through, in order,
+//  1. the *fast path* — when the total eligible demand fits the capacity
+//     (and, for Reservation_DP, the total shadow demand fits the shadow
+//     capacity), the optimum is "take everything", no table needed;
+//  2. the *result cache* — an exact-key memo of recent (weights, shadows,
+//     capacities) -> selection pairs.  Scheduling events that do not change
+//     the eligible set (an arrival too large to fit, an ECC on a queued
+//     job, a dedicated wake-up) re-pose the identical instance, which the
+//     cache answers in O(n) instead of O(n * capacity^2);
+//  3. the full table fill, with the keep table bitpacked (1 bit per cell,
+//     8x smaller than the byte table it replaces) for cache residency.
+// All three paths return bit-identical selections; the kernels stay pure
+// functions of their arguments.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <span>
 #include <vector>
 
+#include "sched/perf.hpp"
+
 namespace es::core {
 
-/// Reusable DP buffers; one per policy instance.
+/// Reusable DP buffers, result cache and counters; one per policy instance.
 struct DpWorkspace {
   std::vector<std::int64_t> value;  ///< dp table, flattened
-  std::vector<std::uint8_t> keep;   ///< per-item take decisions, flattened
+  std::vector<std::uint64_t> keep;  ///< per-item take decisions, bitpacked
+
+  /// Exact-key memo of recent instances.  Entries store full copies of the
+  /// inputs and are compared element-wise, so a hit is always sound (no
+  /// fingerprint collisions); kSlots bounds both memory and probe cost.
+  struct CacheEntry {
+    bool used = false;
+    bool reservation = false;  ///< reservation_dp (vs basic_dp) instance
+    int capacity = 0;
+    int shadow_capacity = 0;
+    std::vector<int> weights;
+    std::vector<int> shadow_weights;  ///< empty for basic_dp entries
+    std::vector<int> selected;
+  };
+  static constexpr std::size_t kCacheSlots = 8;
+  std::array<CacheEntry, kCacheSlots> cache;
+  std::size_t cache_clock = 0;  ///< round-robin eviction cursor
+  bool cache_enabled = true;    ///< AlgorithmOptions::dp_cache
+
+  sched::DpCounters counters;
 };
 
 /// Basic_DP.  `weights[i]` is the i-th waiting job's size in grains, in
@@ -43,5 +79,19 @@ std::vector<int> reservation_dp(std::span<const int> weights,
                                 std::span<const int> shadow_weights,
                                 int capacity, int shadow_capacity,
                                 DpWorkspace& ws);
+
+namespace detail {
+
+/// The unconditional table fills, bypassing the fast path and the cache.
+/// Exposed for the equivalence tests and microbenchmarks that prove the
+/// fast paths select identically; production code calls the wrappers above.
+std::vector<int> basic_dp_table(std::span<const int> weights, int capacity,
+                                DpWorkspace& ws);
+std::vector<int> reservation_dp_table(std::span<const int> weights,
+                                      std::span<const int> shadow_weights,
+                                      int capacity, int shadow_capacity,
+                                      DpWorkspace& ws);
+
+}  // namespace detail
 
 }  // namespace es::core

@@ -77,6 +77,7 @@ Algorithm make_algorithm(const std::string& name,
   }
 
   if (algorithm.policy != nullptr) {
+    algorithm.policy->set_dp_cache(options.dp_cache);
     algorithm.allow_running_resize =
         algorithm.process_eccs && options.allow_running_resize;
     algorithm.canonical_name = algorithm.policy->name();

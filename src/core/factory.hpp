@@ -29,6 +29,10 @@ namespace es::core {
 struct AlgorithmOptions {
   int max_skip_count = 7;  ///< C_s for Delayed-LOS / Hybrid-LOS
   int lookahead = 50;      ///< DP lookahead depth (Shmueli's 50-job limit)
+  /// Memoize knapsack instances across scheduling events (core/dp.hpp).
+  /// Cached runs schedule bit-identically to uncached ones; the switch
+  /// exists so tests and perf baselines can prove it.
+  bool dp_cache = true;
   /// Let EP/RP resize running jobs work-conservingly (section-VI
   /// extension).  Only meaningful for the -E variants; an engine
   /// attachment, carried here so experiment specs stay one struct.

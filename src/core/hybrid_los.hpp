@@ -32,6 +32,9 @@ class HybridLos : public sched::Scheduler {
 
   int max_skip_count() const { return max_skip_count_; }
 
+  sched::DpCounters dp_counters() const override { return ws_.counters; }
+  void set_dp_cache(bool enabled) override { ws_.cache_enabled = enabled; }
+
  private:
   /// One Algorithm-2 pass; returns true on progress (job started or
   /// dedicated head moved).

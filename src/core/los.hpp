@@ -44,6 +44,9 @@ class Los : public sched::Scheduler {
 
   int lookahead() const { return lookahead_; }
 
+  sched::DpCounters dp_counters() const override { return ws_.counters; }
+  void set_dp_cache(bool enabled) override { ws_.cache_enabled = enabled; }
+
  private:
   bool dedicated_aware_;
   int lookahead_;

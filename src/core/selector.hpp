@@ -44,6 +44,11 @@ class AdaptiveSelector : public sched::Scheduler {
   /// Which delegate the last cycle used (for tests): true = EASY.
   bool using_easy() const { return using_easy_; }
 
+  sched::DpCounters dp_counters() const override {
+    return delayed_.dp_counters();
+  }
+  void set_dp_cache(bool enabled) override { delayed_.set_dp_cache(enabled); }
+
  private:
   void observe_arrivals(const sched::SchedulerContext& ctx);
 

@@ -6,6 +6,7 @@
 #include "exp/analysis.hpp"
 #include "util/check.hpp"
 #include "util/stats.hpp"
+#include "util/thread_pool.hpp"
 
 namespace es::exp {
 
@@ -38,18 +39,32 @@ Aggregate run_replicated(RunSpec spec, int replications) {
   aggregate.algorithm = spec.algorithm;
   aggregate.replications = replications;
 
+  // Replications are independent by construction: seed i is derived up
+  // front (base_seed + i) and each run writes its own pre-sized slot, so
+  // fanning them across the pool changes nothing but wall time.  The
+  // statistics are then folded serially in index order — the identical
+  // floating-point operation order to the old serial loop, which keeps
+  // parallel results byte-for-byte equal to `--jobs 1`.
+  const std::uint64_t base_seed = spec.workload.seed;
+  std::vector<sched::SimulationResult> results(
+      static_cast<std::size_t>(replications));
+  util::parallel_for_each(
+      static_cast<std::size_t>(replications), [&](std::size_t i) {
+        RunSpec replication = spec;
+        replication.workload.seed = base_seed + i;
+        results[i] = run_once(replication);
+      });
+
   util::RunningStats util_stats, wait_stats, slowdown_stats, load_stats;
   util::RunningStats dedicated_delay_stats;
-  const std::uint64_t base_seed = spec.workload.seed;
-  for (int i = 0; i < replications; ++i) {
-    spec.workload.seed = base_seed + static_cast<std::uint64_t>(i);
-    const sched::SimulationResult result = run_once(spec);
+  for (const sched::SimulationResult& result : results) {
     util_stats.add(result.utilization);
     wait_stats.add(result.mean_wait);
     slowdown_stats.add(result.slowdown);
     load_stats.add(result.offered_load);
     dedicated_delay_stats.add(result.mean_dedicated_delay);
     aggregate.ecc_processed += result.ecc.processed;
+    aggregate.dp += result.perf.dp;
   }
   aggregate.utilization = util_stats.mean();
   aggregate.mean_wait = wait_stats.mean();
@@ -66,17 +81,24 @@ Aggregate run_replicated(RunSpec spec, int replications) {
 int optimal_skip_count(const workload::GeneratorConfig& config, int cs_min,
                        int cs_max, int replications) {
   ES_EXPECTS(cs_min >= 1 && cs_min <= cs_max);
-  int best_cs = cs_min;
-  double best_wait = std::numeric_limits<double>::infinity();
-  for (int cs = cs_min; cs <= cs_max; ++cs) {
+  // Every C_s candidate is independent; evaluate them all across the pool
+  // and pick the winner serially.  The strict `<` keeps the serial loop's
+  // tie-break: the lowest C_s reaching the best wait wins.
+  const std::size_t count = static_cast<std::size_t>(cs_max - cs_min + 1);
+  std::vector<double> waits(count);
+  util::parallel_for_each(count, [&](std::size_t i) {
     RunSpec spec;
     spec.workload = config;
     spec.algorithm = "Delayed-LOS";
-    spec.options.max_skip_count = cs;
-    const Aggregate aggregate = run_replicated(spec, replications);
-    if (aggregate.mean_wait < best_wait) {
-      best_wait = aggregate.mean_wait;
-      best_cs = cs;
+    spec.options.max_skip_count = cs_min + static_cast<int>(i);
+    waits[i] = run_replicated(spec, replications).mean_wait;
+  });
+  int best_cs = cs_min;
+  double best_wait = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < count; ++i) {
+    if (waits[i] < best_wait) {
+      best_wait = waits[i];
+      best_cs = cs_min + static_cast<int>(i);
     }
   }
   return best_cs;

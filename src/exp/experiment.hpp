@@ -34,6 +34,9 @@ struct Aggregate {
   double offered_load = 0;            ///< mean achieved load
   double mean_dedicated_delay = 0;
   std::uint64_t ecc_processed = 0;
+  /// DP hot-path counters summed over the replications (calls, fast-path
+  /// exits, cache hits) — deterministic, used by perf baselines.
+  sched::DpCounters dp;
 };
 
 /// Runs a prepared workload under a named algorithm.  The engine's machine

@@ -4,8 +4,27 @@
 
 #include "util/check.hpp"
 #include "util/stats.hpp"
+#include "util/thread_pool.hpp"
 
 namespace es::exp {
+
+const Aggregate* Sweep::find(const SweepPoint& point,
+                             const std::string& algorithm) const {
+  const auto own = point.by_algorithm.find(algorithm);
+  if (own != point.by_algorithm.end()) return &own->second;
+  const auto shared = references.find(algorithm);
+  if (shared != references.end()) return &shared->second;
+  return nullptr;
+}
+
+std::map<std::string, const Aggregate*> Sweep::merged(
+    const SweepPoint& point) const {
+  std::map<std::string, const Aggregate*> view;
+  for (const auto& [name, aggregate] : references) view[name] = &aggregate;
+  for (const auto& [name, aggregate] : point.by_algorithm)
+    view[name] = &aggregate;  // a per-point series shadows a reference
+  return view;
+}
 
 Sweep load_sweep(const workload::GeneratorConfig& base,
                  const std::vector<double>& loads,
@@ -13,17 +32,31 @@ Sweep load_sweep(const workload::GeneratorConfig& base,
                  const core::AlgorithmOptions& options, int replications) {
   Sweep sweep;
   sweep.x_label = "load";
-  for (double load : loads) {
+
+  // Every (load, algorithm) cell is an independent simulation batch; fan
+  // them all across the pool at once and assemble the points serially in
+  // index order afterwards, so the result is identical to the nested serial
+  // loops no matter how many workers run.
+  const std::size_t n_algorithms = algorithms.size();
+  std::vector<std::vector<Aggregate>> cells(
+      loads.size(), std::vector<Aggregate>(n_algorithms));
+  util::parallel_for_each(
+      loads.size() * n_algorithms, [&](std::size_t task) {
+        const std::size_t li = task / n_algorithms;
+        const std::size_t ai = task % n_algorithms;
+        RunSpec spec;
+        spec.workload = base;
+        spec.workload.target_load = loads[li];
+        spec.algorithm = algorithms[ai];
+        spec.options = options;
+        cells[li][ai] = run_replicated(spec, replications);
+      });
+
+  for (std::size_t li = 0; li < loads.size(); ++li) {
     SweepPoint point;
-    point.x = load;
-    for (const std::string& algorithm : algorithms) {
-      RunSpec spec;
-      spec.workload = base;
-      spec.workload.target_load = load;
-      spec.algorithm = algorithm;
-      spec.options = options;
-      point.by_algorithm[algorithm] = run_replicated(spec, replications);
-    }
+    point.x = loads[li];
+    for (std::size_t ai = 0; ai < n_algorithms; ++ai)
+      point.by_algorithm[algorithms[ai]] = std::move(cells[li][ai]);
     sweep.points.push_back(std::move(point));
   }
   return sweep;
@@ -37,29 +70,36 @@ Sweep skip_count_sweep(const workload::GeneratorConfig& base, int cs_min,
   Sweep sweep;
   sweep.x_label = "C_s";
 
-  // Reference algorithms do not depend on C_s; evaluate them once and repeat
-  // their aggregates across the x-axis, exactly like the flat lines in the
-  // paper's figures 5-6.
-  std::map<std::string, Aggregate> references;
-  for (const std::string& algorithm : reference_algorithms) {
+  // Reference algorithms do not depend on C_s, so they run once and land in
+  // Sweep::references — the flat lines of the paper's figures 5-6 — instead
+  // of being copied into every point.  The references and the C_s points
+  // are all independent, so one flat task list covers both.
+  const std::size_t n_references = reference_algorithms.size();
+  const std::size_t n_points = static_cast<std::size_t>(cs_max - cs_min + 1);
+  std::vector<Aggregate> reference_results(n_references);
+  std::vector<Aggregate> delayed_results(n_points);
+  util::parallel_for_each(n_references + n_points, [&](std::size_t task) {
     RunSpec spec;
     spec.workload = base;
-    spec.algorithm = algorithm;
     spec.options.lookahead = lookahead;
-    references[algorithm] = run_replicated(spec, replications);
-  }
+    if (task < n_references) {
+      spec.algorithm = reference_algorithms[task];
+      reference_results[task] = run_replicated(spec, replications);
+    } else {
+      spec.algorithm = "Delayed-LOS";
+      spec.options.max_skip_count =
+          cs_min + static_cast<int>(task - n_references);
+      delayed_results[task - n_references] = run_replicated(spec, replications);
+    }
+  });
 
-  for (int cs = cs_min; cs <= cs_max; ++cs) {
+  for (std::size_t i = 0; i < n_references; ++i)
+    sweep.references[reference_algorithms[i]] =
+        std::move(reference_results[i]);
+  for (std::size_t i = 0; i < n_points; ++i) {
     SweepPoint point;
-    point.x = cs;
-    RunSpec spec;
-    spec.workload = base;
-    spec.algorithm = "Delayed-LOS";
-    spec.options.max_skip_count = cs;
-    spec.options.lookahead = lookahead;
-    point.by_algorithm["Delayed-LOS"] = run_replicated(spec, replications);
-    for (const auto& [name, aggregate] : references)
-      point.by_algorithm[name] = aggregate;
+    point.x = cs_min + static_cast<int>(i);
+    point.by_algorithm["Delayed-LOS"] = std::move(delayed_results[i]);
     sweep.points.push_back(std::move(point));
   }
   return sweep;
@@ -70,20 +110,19 @@ Improvement max_improvement(const Sweep& sweep, const std::string& candidate,
   Improvement improvement;
   bool any = false;
   for (const SweepPoint& point : sweep.points) {
-    const auto candidate_it = point.by_algorithm.find(candidate);
-    const auto baseline_it = point.by_algorithm.find(baseline);
-    ES_EXPECTS(candidate_it != point.by_algorithm.end());
-    ES_EXPECTS(baseline_it != point.by_algorithm.end());
-    const Aggregate& c = candidate_it->second;
-    const Aggregate& b = baseline_it->second;
+    const Aggregate* c = sweep.find(point, candidate);
+    const Aggregate* b = sweep.find(point, baseline);
+    ES_EXPECTS(c != nullptr);
+    ES_EXPECTS(b != nullptr);
     improvement.utilization =
         std::max(improvement.utilization,
-                 util::improvement_higher_better(b.utilization, c.utilization));
+                 util::improvement_higher_better(b->utilization, c->utilization));
     improvement.wait = std::max(
-        improvement.wait, util::improvement_lower_better(b.mean_wait, c.mean_wait));
+        improvement.wait,
+        util::improvement_lower_better(b->mean_wait, c->mean_wait));
     improvement.slowdown =
         std::max(improvement.slowdown,
-                 util::improvement_lower_better(b.slowdown, c.slowdown));
+                 util::improvement_lower_better(b->slowdown, c->slowdown));
     any = true;
   }
   ES_EXPECTS(any);

@@ -10,7 +10,7 @@
 
 namespace es::exp {
 
-/// One x-position of a sweep with every algorithm's aggregate.
+/// One x-position of a sweep with every x-dependent algorithm's aggregate.
 struct SweepPoint {
   double x = 0;  ///< load, C_s, P_S, ... depending on the sweep
   std::map<std::string, Aggregate> by_algorithm;
@@ -19,6 +19,18 @@ struct SweepPoint {
 struct Sweep {
   std::string x_label;
   std::vector<SweepPoint> points;
+  /// Aggregates of x-independent reference algorithms (the flat lines of
+  /// figures 5-6), shared by every point instead of copied into each one.
+  std::map<std::string, Aggregate> references;
+
+  /// Looks up `algorithm` at `point`: the point's own series first, then
+  /// the shared references.  Returns nullptr when the sweep never ran it.
+  const Aggregate* find(const SweepPoint& point,
+                        const std::string& algorithm) const;
+
+  /// The point's series merged with the shared references, in map (name)
+  /// order — what consumers iterate to see every series at this x.
+  std::map<std::string, const Aggregate*> merged(const SweepPoint& point) const;
 };
 
 /// Runs `algorithms` over the target loads (paper figures 7-11: x = offered

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <limits>
 
 #include "util/check.hpp"
@@ -23,10 +24,21 @@ Engine::Engine(const EngineConfig& config, Scheduler& policy)
   if (config.record_trace) trace_ = std::make_shared<ScheduleTrace>();
 }
 
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
 void Engine::run_cycle() {
   ES_ASSERT(!in_cycle_);
   in_cycle_ = true;
   ++cycles_;
+  const auto cycle_start = std::chrono::steady_clock::now();
 
   SchedulerContext ctx;
   ctx.now = sim_.now();
@@ -57,6 +69,7 @@ void Engine::run_cycle() {
   };
 
   policy_->cycle(ctx);
+  cycle_seconds_ += seconds_since(cycle_start);
   in_cycle_ = false;
   if (config_.watchdog.no_progress_cycles > 0) note_cycle_progress();
   if (config_.paranoid) check_invariants();
@@ -459,6 +472,8 @@ void Engine::on_finish(JobRun* job) {
 
 SimulationResult Engine::run(const workload::Workload& workload) {
   ES_EXPECTS(jobs_.empty());  // one run per engine instance
+  const auto run_start = std::chrono::steady_clock::now();
+  dp_baseline_ = policy_->dp_counters();
   jobs_.reserve(workload.jobs.size());
   for (const workload::Job& spec : workload.jobs) {
     ES_EXPECTS(spec.num >= 1);
@@ -517,6 +532,9 @@ SimulationResult Engine::run(const workload::Workload& workload) {
 
   SimulationResult result = collect(workload);
   result.trace = trace_;
+  result.perf.dp = policy_->dp_counters() - dp_baseline_;
+  result.perf.cycle_seconds = cycle_seconds_;
+  result.perf.wall_seconds = seconds_since(run_start);
   return result;
 }
 

@@ -134,6 +134,12 @@ class Engine {
   sim::Time first_arrival_ = 0;
   sim::Time last_finish_ = 0;
 
+  // Perf observability: DP counters are policy-cumulative, so run() keeps a
+  // start snapshot and reports the delta; cycle wall time accumulates
+  // around every policy cycle() call.
+  DpCounters dp_baseline_;
+  double cycle_seconds_ = 0;
+
   // Watchdog state.
   sim::TerminationReason termination_ = sim::TerminationReason::kCompleted;
   std::uint64_t starts_ = 0;    ///< job starts so far (progress signal)

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "sched/ecc_processor.hpp"
+#include "sched/perf.hpp"
 #include "sim/time.hpp"
 #include "sim/watchdog.hpp"
 #include "workload/job.hpp"
@@ -82,6 +83,10 @@ struct SimulationResult {
   double offered_load = 0;     ///< load of the input workload
   EccStats ecc;                ///< ECC processor statistics (if enabled)
   FailureStats failure;        ///< fault-injection statistics (if enabled)
+  /// Hot-path counters (DP calls / cache hits / fast-path exits) and wall
+  /// timings.  Counters are deterministic; the wall fields are measurement
+  /// only and never enter metrics CSVs.
+  PerfStats perf;
 
   std::vector<JobOutcome> jobs;  ///< per-job detail (always filled)
 

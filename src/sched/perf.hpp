@@ -1,0 +1,62 @@
+// Hot-path performance counters: how often the knapsack kernels ran and how
+// often the fast paths answered instead of the full DP table.
+//
+// Defined at the sched layer so both producers (the es_core DP kernels,
+// which sit above sched) and the consumer (the engine, which copies a
+// per-run delta into SimulationResult) can see the type without a layering
+// cycle.  Counters are plain tallies — they never influence scheduling, so
+// enabling them cannot perturb a schedule.
+#pragma once
+
+#include <cstdint>
+
+namespace es::sched {
+
+/// Tallies of the Basic_DP / Reservation_DP kernel invocations.
+struct DpCounters {
+  std::uint64_t calls = 0;       ///< kernel entries (any resolution path)
+  std::uint64_t fast_path = 0;   ///< answered by the trivial-empty or
+                                 ///< fits-free-capacity exits
+                                 ///  (calls == fast_path + cache_hits
+                                 ///   + table_runs, always)
+  std::uint64_t cache_hits = 0;  ///< answered by the DP result cache
+  std::uint64_t table_runs = 0;  ///< full table fills (the expensive path)
+  std::uint64_t table_cells = 0; ///< DP cells touched across table fills
+
+  DpCounters& operator+=(const DpCounters& other) {
+    calls += other.calls;
+    fast_path += other.fast_path;
+    cache_hits += other.cache_hits;
+    table_runs += other.table_runs;
+    table_cells += other.table_cells;
+    return *this;
+  }
+  DpCounters operator-(const DpCounters& other) const {
+    DpCounters delta;
+    delta.calls = calls - other.calls;
+    delta.fast_path = fast_path - other.fast_path;
+    delta.cache_hits = cache_hits - other.cache_hits;
+    delta.table_runs = table_runs - other.table_runs;
+    delta.table_cells = table_cells - other.table_cells;
+    return delta;
+  }
+};
+
+/// Per-run performance breakdown attached to SimulationResult.  Wall-clock
+/// fields are measurement, not simulation state: they vary run to run and
+/// never feed back into scheduling decisions or metrics CSVs.
+struct PerfStats {
+  DpCounters dp;
+  double wall_seconds = 0;   ///< whole run() wall time
+  double cycle_seconds = 0;  ///< wall time inside policy cycle() calls
+
+  /// Fraction of kernel calls answered from the result cache.
+  double dp_cache_hit_rate() const {
+    return dp.calls == 0
+               ? 0.0
+               : static_cast<double>(dp.cache_hits) /
+                     static_cast<double>(dp.calls);
+  }
+};
+
+}  // namespace es::sched

@@ -13,6 +13,7 @@
 
 #include "cluster/machine.hpp"
 #include "sched/job_state.hpp"
+#include "sched/perf.hpp"
 #include "sim/time.hpp"
 
 namespace es::sched {
@@ -72,6 +73,16 @@ class Scheduler {
   /// Whether the policy understands the dedicated queue.  The engine rejects
   /// heterogeneous workloads on policies that do not.
   virtual bool supports_dedicated() const { return false; }
+
+  /// Cumulative knapsack-kernel counters over this instance's lifetime
+  /// (zero for policies without DP kernels).  The engine snapshots them at
+  /// run start and reports the per-run delta in SimulationResult::perf.
+  virtual DpCounters dp_counters() const { return {}; }
+
+  /// Toggles the DP result cache (no-op for policies without DP kernels).
+  /// On by default; the off switch exists so tests and benchmarks can prove
+  /// cached and uncached runs schedule identically.
+  virtual void set_dp_cache(bool /*enabled*/) {}
 };
 
 }  // namespace es::sched

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <numeric>
 #include <vector>
 
@@ -183,6 +184,152 @@ TEST(ReservationDp, PropertyMatchesBruteForce) {
               brute_force_best_2d(weights, shadows, capacity, shadow_cap))
         << "round " << round;
   }
+}
+
+TEST(FastPath, BasicDpMatchesTablePathWhenEverythingFits) {
+  util::Rng rng(303);
+  DpWorkspace fast_ws, table_ws;
+  table_ws.cache_enabled = false;
+  for (int round = 0; round < 200; ++round) {
+    const int n = static_cast<int>(rng.uniform_int(1, 12));
+    std::vector<int> weights;
+    int demand = 0;
+    for (int i = 0; i < n; ++i) {
+      const int w = static_cast<int>(rng.uniform_int(0, 8));  // incl. zeros
+      weights.push_back(w);
+      demand += w;
+    }
+    // Capacity at or above total demand: the fast path must fire and select
+    // exactly what the unconditional table fill selects.
+    const int capacity =
+        std::max(1, demand + static_cast<int>(rng.uniform_int(0, 5)));
+    const auto before = fast_ws.counters.fast_path;
+    const auto fast = basic_dp(weights, capacity, fast_ws);
+    ASSERT_EQ(fast_ws.counters.fast_path, before + 1) << "round " << round;
+    const auto table = detail::basic_dp_table(weights, capacity, table_ws);
+    ASSERT_EQ(fast, table) << "round " << round;
+  }
+}
+
+TEST(FastPath, ReservationDpMatchesTablePathWhenEverythingFits) {
+  util::Rng rng(404);
+  DpWorkspace fast_ws, table_ws;
+  table_ws.cache_enabled = false;
+  for (int round = 0; round < 200; ++round) {
+    const int n = static_cast<int>(rng.uniform_int(1, 10));
+    std::vector<int> weights, shadows;
+    int demand = 0, shadow_demand = 0;
+    for (int i = 0; i < n; ++i) {
+      const int w = static_cast<int>(rng.uniform_int(0, 8));
+      weights.push_back(w);
+      const int s = rng.bernoulli(0.5) ? w : 0;
+      shadows.push_back(s);
+      demand += w;
+      shadow_demand += s;
+    }
+    const int capacity =
+        std::max(1, demand + static_cast<int>(rng.uniform_int(0, 5)));
+    const int shadow_cap =
+        shadow_demand + static_cast<int>(rng.uniform_int(0, 5));
+    const auto before = fast_ws.counters.fast_path;
+    const auto fast =
+        reservation_dp(weights, shadows, capacity, shadow_cap, fast_ws);
+    ASSERT_EQ(fast_ws.counters.fast_path, before + 1) << "round " << round;
+    const auto table = detail::reservation_dp_table(weights, shadows,
+                                                    capacity, shadow_cap,
+                                                    table_ws);
+    ASSERT_EQ(fast, table) << "round " << round;
+  }
+}
+
+TEST(DpCache, RepeatedInstanceHitsAndSelectsIdentically) {
+  DpWorkspace ws;
+  // Over capacity so neither call resolves on the fast path.
+  const std::vector<int> weights{7, 4, 6};
+  const auto first = basic_dp(weights, 10, ws);
+  EXPECT_EQ(ws.counters.table_runs, 1u);
+  EXPECT_EQ(ws.counters.cache_hits, 0u);
+  const auto second = basic_dp(weights, 10, ws);
+  EXPECT_EQ(second, first);
+  EXPECT_EQ(ws.counters.table_runs, 1u);  // answered from the cache
+  EXPECT_EQ(ws.counters.cache_hits, 1u);
+  // A different capacity is a different instance: miss, new table fill.
+  basic_dp(weights, 9, ws);
+  EXPECT_EQ(ws.counters.table_runs, 2u);
+  EXPECT_EQ(ws.counters.cache_hits, 1u);
+}
+
+TEST(DpCache, BasicAndReservationInstancesNeverAlias) {
+  DpWorkspace ws;
+  // Same weights and capacity, both past the fast path, but reservation_dp
+  // with a binding shadow must not be answered from the basic_dp cache
+  // entry (or vice versa).
+  const std::vector<int> weights{7, 4, 6};
+  const auto basic = basic_dp(weights, 10, ws);
+  EXPECT_EQ(basic, (std::vector<int>{1, 2}));
+  const std::vector<int> shadows{7, 4, 6};
+  const auto reservation = reservation_dp(weights, shadows, 10, 5, ws);
+  EXPECT_EQ(reservation, (std::vector<int>{1}));
+  // And re-posing the basic instance afterwards still answers correctly.
+  EXPECT_EQ(basic_dp(weights, 10, ws), basic);
+}
+
+TEST(DpCache, DisabledWorkspaceSelectsIdentically) {
+  util::Rng rng(505);
+  DpWorkspace cached, uncached;
+  uncached.cache_enabled = false;
+  for (int round = 0; round < 200; ++round) {
+    const int n = static_cast<int>(rng.uniform_int(1, 10));
+    const int capacity = static_cast<int>(rng.uniform_int(1, 20));
+    const int shadow_cap = static_cast<int>(rng.uniform_int(0, 12));
+    std::vector<int> weights, shadows;
+    for (int i = 0; i < n; ++i) {
+      const int w = static_cast<int>(rng.uniform_int(1, 10));
+      weights.push_back(w);
+      shadows.push_back(rng.bernoulli(0.5) ? w : 0);
+    }
+    // Re-pose instances frequently so the cached workspace actually hits.
+    for (int repeat = 0; repeat < 2; ++repeat) {
+      ASSERT_EQ(basic_dp(weights, capacity, cached),
+                basic_dp(weights, capacity, uncached))
+          << "round " << round;
+      ASSERT_EQ(reservation_dp(weights, shadows, capacity, shadow_cap, cached),
+                reservation_dp(weights, shadows, capacity, shadow_cap,
+                               uncached))
+          << "round " << round;
+    }
+  }
+  EXPECT_GT(cached.counters.cache_hits, 0u);
+  EXPECT_EQ(uncached.counters.cache_hits, 0u);
+}
+
+TEST(DpCache, EvictionKeepsAnswersCorrect) {
+  // More distinct instances than kCacheSlots: the round-robin eviction must
+  // only ever cost extra table fills, never wrong selections.
+  DpWorkspace ws;
+  for (int extra = 0;
+       extra < static_cast<int>(DpWorkspace::kCacheSlots) + 4; ++extra) {
+    const std::vector<int> weights{7, 4, 6, 2 + extra};
+    const auto chosen = basic_dp(weights, 10, ws);
+    DpWorkspace fresh;
+    fresh.cache_enabled = false;
+    ASSERT_EQ(chosen, basic_dp(weights, 10, fresh)) << "extra " << extra;
+  }
+}
+
+TEST(DpCounters, EveryCallIsCounted) {
+  DpWorkspace ws;
+  const std::vector<int> weights{2, 3};
+  basic_dp(weights, 10, ws);              // fast path
+  basic_dp(weights, 4, ws);               // table
+  basic_dp(weights, 4, ws);               // cache hit
+  const std::vector<int> shadows{0, 0};
+  reservation_dp(weights, shadows, 10, 0, ws);  // fast path
+  EXPECT_EQ(ws.counters.calls, 4u);
+  EXPECT_EQ(ws.counters.fast_path, 2u);
+  EXPECT_EQ(ws.counters.table_runs, 1u);
+  EXPECT_EQ(ws.counters.cache_hits, 1u);
+  EXPECT_GT(ws.counters.table_cells, 0u);
 }
 
 TEST(ReservationDp, WorkspaceReuseIsClean) {

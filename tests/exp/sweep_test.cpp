@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -39,14 +40,38 @@ TEST(Sweep, SkipCountSweepHasFlatReferences) {
       skip_count_sweep(small_config(), 1, 3, {"EASY"}, 250, 2);
   ASSERT_EQ(sweep.points.size(), 3u);
   EXPECT_EQ(sweep.x_label, "C_s");
-  // EASY does not depend on C_s: identical aggregates at every x.
-  const double reference =
-      sweep.points[0].by_algorithm.at("EASY").mean_wait;
-  for (const SweepPoint& point : sweep.points)
-    EXPECT_DOUBLE_EQ(point.by_algorithm.at("EASY").mean_wait, reference);
-  // Delayed-LOS present at each point.
+  // EASY does not depend on C_s, so it is evaluated once and shared —
+  // stored in Sweep::references, never copied into the points.
+  ASSERT_TRUE(sweep.references.contains("EASY"));
+  const Aggregate& reference = sweep.references.at("EASY");
+  EXPECT_GT(reference.replications, 0);
+  for (const SweepPoint& point : sweep.points) {
+    EXPECT_FALSE(point.by_algorithm.contains("EASY"));
+    // ...but find() and merged() surface it at every x.
+    const Aggregate* found = sweep.find(point, "EASY");
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(found, &reference);  // shared, not a per-point copy
+    EXPECT_DOUBLE_EQ(found->mean_wait, reference.mean_wait);
+    const auto view = sweep.merged(point);
+    ASSERT_TRUE(view.contains("EASY"));
+    ASSERT_TRUE(view.contains("Delayed-LOS"));
+    EXPECT_EQ(view.size(), 2u);
+  }
+  // Delayed-LOS (C_s-dependent) still lives in each point.
   for (const SweepPoint& point : sweep.points)
     EXPECT_TRUE(point.by_algorithm.contains("Delayed-LOS"));
+}
+
+TEST(Sweep, MaxImprovementReadsSharedReferences) {
+  // The baseline lives in Sweep::references; max_improvement must resolve
+  // it through find() rather than expecting per-point copies.
+  const Sweep sweep =
+      skip_count_sweep(small_config(), 1, 2, {"EASY"}, 250, 1);
+  const Improvement improvement =
+      max_improvement(sweep, "Delayed-LOS", "EASY");
+  EXPECT_TRUE(std::isfinite(improvement.utilization));
+  EXPECT_TRUE(std::isfinite(improvement.wait));
+  EXPECT_TRUE(std::isfinite(improvement.slowdown));
 }
 
 TEST(Sweep, MaxImprovementAgainstSelfIsZero) {

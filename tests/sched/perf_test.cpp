@@ -1,0 +1,117 @@
+// Engine perf observability: SimulationResult::perf carries the per-run DP
+// counter delta, the memo cache pays off on the paper's Fig-7 workload, and
+// — the acceptance bar for any caching of scheduling decisions — cached and
+// uncached runs produce identical schedules.
+#include <gtest/gtest.h>
+
+#include "exp/experiment.hpp"
+#include "workload/generator.hpp"
+
+namespace es::sched {
+namespace {
+
+workload::Workload fig7_workload() {
+  workload::GeneratorConfig config;
+  config.num_jobs = 300;
+  config.seed = 17;
+  config.p_small = 0.2;       // Fig 7: dominated by large jobs
+  config.target_load = 0.9;   // the DP-intensive end of the sweep
+  return workload::generate(config);
+}
+
+TEST(EnginePerf, DpCountersLandInSimulationResult) {
+  const workload::Workload workload = fig7_workload();
+  const SimulationResult result =
+      exp::run_workload(workload, "Delayed-LOS");
+  EXPECT_GT(result.perf.dp.calls, 0u);
+  // Every call resolved through exactly one of the three paths.
+  EXPECT_EQ(result.perf.dp.calls,
+            result.perf.dp.fast_path + result.perf.dp.cache_hits +
+                result.perf.dp.table_runs);
+  // The acceptance criterion: the cache actually hits on this workload.
+  EXPECT_GT(result.perf.dp.cache_hits, 0u);
+  EXPECT_GT(result.perf.dp_cache_hit_rate(), 0.0);
+  EXPECT_LE(result.perf.dp_cache_hit_rate(), 1.0);
+  // Wall timings are measurement, not simulation state: merely sane.
+  EXPECT_GE(result.perf.wall_seconds, 0.0);
+  EXPECT_GE(result.perf.cycle_seconds, 0.0);
+  EXPECT_LE(result.perf.cycle_seconds, result.perf.wall_seconds + 1e-3);
+}
+
+TEST(EnginePerf, CacheDisabledSchedulesIdentically) {
+  const workload::Workload workload = fig7_workload();
+  core::AlgorithmOptions cached_options;
+  cached_options.dp_cache = true;
+  core::AlgorithmOptions uncached_options;
+  uncached_options.dp_cache = false;
+
+  const SimulationResult cached =
+      exp::run_workload(workload, "Delayed-LOS", cached_options);
+  const SimulationResult uncached =
+      exp::run_workload(workload, "Delayed-LOS", uncached_options);
+
+  EXPECT_GT(cached.perf.dp.cache_hits, 0u);
+  EXPECT_EQ(uncached.perf.dp.cache_hits, 0u);
+  // Same calls, fewer table fills — the cache only removes recomputation.
+  EXPECT_EQ(cached.perf.dp.calls, uncached.perf.dp.calls);
+  EXPECT_LT(cached.perf.dp.table_runs, uncached.perf.dp.table_runs);
+
+  // Bit-identical schedule, job by job.
+  EXPECT_EQ(cached.utilization, uncached.utilization);
+  EXPECT_EQ(cached.mean_wait, uncached.mean_wait);
+  EXPECT_EQ(cached.slowdown, uncached.slowdown);
+  ASSERT_EQ(cached.jobs.size(), uncached.jobs.size());
+  for (std::size_t i = 0; i < cached.jobs.size(); ++i) {
+    EXPECT_EQ(cached.jobs[i].id, uncached.jobs[i].id);
+    EXPECT_EQ(cached.jobs[i].procs, uncached.jobs[i].procs);
+    EXPECT_EQ(cached.jobs[i].started, uncached.jobs[i].started);
+    EXPECT_EQ(cached.jobs[i].finished, uncached.jobs[i].finished);
+    EXPECT_EQ(cached.jobs[i].killed, uncached.jobs[i].killed);
+  }
+}
+
+TEST(EnginePerf, ReservationPoliciesAlsoCount) {
+  // Hybrid-LOS exercises the 2-D reservation kernel once its head blocks.
+  const workload::Workload workload = fig7_workload();
+  const SimulationResult result =
+      exp::run_workload(workload, "Hybrid-LOS");
+  EXPECT_GT(result.perf.dp.calls, 0u);
+  EXPECT_EQ(result.perf.dp.calls,
+            result.perf.dp.fast_path + result.perf.dp.cache_hits +
+                result.perf.dp.table_runs);
+}
+
+TEST(EnginePerf, PoliciesWithoutDpReportZeroes) {
+  const workload::Workload workload = fig7_workload();
+  const SimulationResult result = exp::run_workload(workload, "EASY");
+  EXPECT_EQ(result.perf.dp.calls, 0u);
+  EXPECT_EQ(result.perf.dp.cache_hits, 0u);
+  EXPECT_EQ(result.perf.dp.table_runs, 0u);
+}
+
+TEST(EnginePerf, CountersAreAPerRunDelta) {
+  // One policy object driven through two engine runs: the policy's counters
+  // are cumulative, so each result must carry only its own run's delta —
+  // identical runs report identical (not doubling) numbers.
+  const workload::Workload workload = fig7_workload();
+  core::Algorithm algorithm = core::make_algorithm("Delayed-LOS");
+  ASSERT_NE(algorithm.policy, nullptr);
+  EngineConfig config;
+  config.machine_procs = workload.machine_procs;
+  config.granularity = workload.granularity;
+  const SimulationResult first =
+      simulate(config, *algorithm.policy, workload);
+  const SimulationResult second =
+      simulate(config, *algorithm.policy, workload);
+  EXPECT_GT(first.perf.dp.calls, 0u);
+  // A cumulative (non-delta) report would double on the second run.
+  EXPECT_EQ(first.perf.dp.calls, second.perf.dp.calls);
+  EXPECT_EQ(first.perf.dp.fast_path, second.perf.dp.fast_path);
+  // The memo cache stays warm across runs, so the hit/table split may
+  // shift between runs — but their sum is pinned by the calls identity.
+  EXPECT_EQ(first.perf.dp.table_runs + first.perf.dp.cache_hits,
+            second.perf.dp.table_runs + second.perf.dp.cache_hits);
+}
+
+}  // namespace
+}  // namespace es::sched

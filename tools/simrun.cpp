@@ -1,12 +1,16 @@
 // simrun — run one simulation from the command line.
 //
 //   $ simrun --trace trace.cwf --algorithm Hybrid-LOS-E --procs 320
-//   $ simrun --synthetic --jobs 500 --p-small 0.2 --load 0.9 \
+//   $ simrun --synthetic --num-jobs 500 --p-small 0.2 --load 0.9
 //            --algorithm Delayed-LOS --cs 7 --per-job jobs.csv
+//   $ simrun --synthetic --replications 8 --jobs 4   # 8 seeds, 4 threads
 //
 // Prints the paper's three metrics plus diagnostics; optionally dumps
 // per-job outcomes as CSV for plotting.  CSV outputs are written atomically
 // (temp file + rename) so a crash mid-write never leaves a truncated file.
+// With --replications N the run is repeated over N derived seeds (fanned
+// across --jobs worker threads) and the seed-mean aggregate is printed —
+// byte-identical output whatever the thread count.
 //
 // Exit codes: 0 success, 1 usage error, 2 invalid flag combination,
 // 3 output I/O error, 4 watchdog abort (partial metrics were printed).
@@ -22,6 +26,7 @@
 #include "util/csv.hpp"
 #include "util/log.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 #include "workload/cwf.hpp"
 #include "workload/generator.hpp"
 #include "workload/load.hpp"
@@ -44,7 +49,11 @@ int main(int argc, char** argv) {
   bool synthetic = false;
   int procs = 320;
   int granularity = 32;
-  int jobs = 500;
+  int num_jobs = 500;
+  int replications = 1;
+  int parallel_jobs = 1;
+  bool perf_report = false;
+  bool no_dp_cache = false;
   unsigned long long seed = 1;
   double p_small = 0.5, p_dedicated = 0.0, p_extend = 0.0, p_reduce = 0.0;
   double load = 0.0;
@@ -69,7 +78,16 @@ int main(int argc, char** argv) {
   cli.add_option("procs", "machine size (default 320)", &procs);
   cli.add_option("granularity", "allocation granularity (default 32)",
                  &granularity);
-  cli.add_option("jobs", "synthetic: job count", &jobs);
+  cli.add_option("num-jobs", "synthetic: job count", &num_jobs);
+  cli.add_option("replications", "repeat over this many derived seeds and "
+                 "print the aggregate (default 1)", &replications);
+  cli.add_option("jobs", "worker threads fanning the replications "
+                 "(default 1 = serial; 0 = all cores)", &parallel_jobs);
+  cli.add_flag("perf-report", "print hot-path counters (DP calls, cache "
+               "hits, fast-path exits) and wall timings", &perf_report);
+  cli.add_flag("no-dp-cache", "disable the knapsack memo cache (schedules "
+               "are identical either way; for perf comparison)",
+               &no_dp_cache);
   cli.add_option("seed", "synthetic: RNG seed", &seed);
   cli.add_option("p-small", "synthetic: P_S", &p_small);
   cli.add_option("p-dedicated", "synthetic: P_D", &p_dedicated);
@@ -143,19 +161,32 @@ int main(int argc, char** argv) {
     return flag_error("wall-budget", "must be >= 0 (0 = unlimited)");
   if (no_progress_cycles < 0)
     return flag_error("no-progress-cycles", "must be >= 0 (0 = disabled)");
+  if (replications < 1)
+    return flag_error("replications", "must be >= 1");
+  if (parallel_jobs < 0)
+    return flag_error("jobs", "must be >= 0 (0 = all cores, 1 = serial)");
+  if (replications > 1 && (!per_job_csv.empty() || !trace_csv.empty()))
+    return flag_error("replications", "per-job/trace CSVs describe a single "
+                      "run; drop --per-job/--trace-out or use "
+                      "--replications 1");
+  if (replications > 1 && !trace.empty())
+    return flag_error("replications", "derived seeds only vary synthetic "
+                      "workloads; a fixed trace would repeat the same run");
+  if (parallel_jobs == 0) parallel_jobs = es::util::hardware_parallelism();
+  es::util::set_global_parallelism(parallel_jobs);
 
+  es::workload::GeneratorConfig generator_config;
   es::workload::Workload workload;
   if (synthetic || trace.empty()) {
-    es::workload::GeneratorConfig config;
-    config.machine_procs = procs;
-    config.num_jobs = static_cast<std::size_t>(jobs);
-    config.seed = seed;
-    config.p_small = p_small;
-    config.p_dedicated = p_dedicated;
-    config.p_extend = p_extend;
-    config.p_reduce = p_reduce;
-    config.target_load = load;
-    workload = es::workload::generate(config);
+    generator_config.machine_procs = procs;
+    generator_config.num_jobs = static_cast<std::size_t>(num_jobs);
+    generator_config.seed = seed;
+    generator_config.p_small = p_small;
+    generator_config.p_dedicated = p_dedicated;
+    generator_config.p_extend = p_extend;
+    generator_config.p_reduce = p_reduce;
+    generator_config.target_load = load;
+    workload = es::workload::generate(generator_config);
     std::printf("Synthetic workload: %zu jobs, offered load %.3f\n",
                 workload.jobs.size(),
                 es::workload::offered_load(workload, procs));
@@ -200,6 +231,38 @@ int main(int argc, char** argv) {
   options.watchdog.max_sim_time = max_sim_time;
   options.watchdog.wall_budget = wall_budget;
   options.watchdog.no_progress_cycles = no_progress_cycles;
+  options.dp_cache = !no_dp_cache;
+
+  if (replications > 1) {
+    // Seed-mean aggregate mode: N derived seeds fanned across the worker
+    // pool.  Everything printed here is deterministic — identical bytes at
+    // any --jobs value — so diffing serial vs parallel output is a test.
+    es::exp::RunSpec spec;
+    spec.workload = generator_config;
+    spec.algorithm = algorithm;
+    spec.options = options;
+    const es::exp::Aggregate aggregate =
+        es::exp::run_replicated(spec, replications);
+    es::util::AsciiTable table("simrun — " + algorithm + " (mean of " +
+                               std::to_string(replications) + " seeds)");
+    table.set_columns({"metric", "value"});
+    table.cell("mean utilization %").cell(100.0 * aggregate.utilization, 2).end_row();
+    table.cell("utilization ci95 %").cell(100.0 * aggregate.utilization_ci95, 2).end_row();
+    table.cell("mean wait (s)").cell(aggregate.mean_wait, 1).end_row();
+    table.cell("mean wait ci95 (s)").cell(aggregate.mean_wait_ci95, 1).end_row();
+    table.cell("slowdown (paper defn)").cell(aggregate.slowdown, 3).end_row();
+    table.cell("offered load").cell(aggregate.offered_load, 3).end_row();
+    table.cell("ECCs processed").cell(static_cast<long long>(aggregate.ecc_processed)).end_row();
+    if (perf_report) {
+      table.cell("DP calls").cell(static_cast<long long>(aggregate.dp.calls)).end_row();
+      table.cell("DP fast-path exits").cell(static_cast<long long>(aggregate.dp.fast_path)).end_row();
+      table.cell("DP cache hits").cell(static_cast<long long>(aggregate.dp.cache_hits)).end_row();
+      table.cell("DP table runs").cell(static_cast<long long>(aggregate.dp.table_runs)).end_row();
+    }
+    table.render(std::cout);
+    return 0;
+  }
+
   const auto result = es::exp::run_workload(workload, algorithm, options);
 
   es::util::AsciiTable table("simrun — " + algorithm);
@@ -249,6 +312,22 @@ int main(int argc, char** argv) {
     }
   }
   table.render(std::cout);
+
+  if (perf_report) {
+    // Counters are deterministic; the two wall rows are measurement only.
+    const es::sched::PerfStats& perf = result.perf;
+    es::util::AsciiTable perf_table("perf — hot-path breakdown");
+    perf_table.set_columns({"counter", "value"});
+    perf_table.cell("DP calls").cell(static_cast<long long>(perf.dp.calls)).end_row();
+    perf_table.cell("DP fast-path exits").cell(static_cast<long long>(perf.dp.fast_path)).end_row();
+    perf_table.cell("DP cache hits").cell(static_cast<long long>(perf.dp.cache_hits)).end_row();
+    perf_table.cell("DP table runs").cell(static_cast<long long>(perf.dp.table_runs)).end_row();
+    perf_table.cell("DP table cells").cell(static_cast<long long>(perf.dp.table_cells)).end_row();
+    perf_table.cell("DP cache hit rate %").cell(100.0 * perf.dp_cache_hit_rate(), 2).end_row();
+    perf_table.cell("cycle wall (s)").cell(perf.cycle_seconds, 4).end_row();
+    perf_table.cell("run wall (s)").cell(perf.wall_seconds, 4).end_row();
+    perf_table.render(std::cout);
+  }
 
   if (profile) {
     const auto timeline =
