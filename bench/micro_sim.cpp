@@ -1,9 +1,15 @@
 // Microbenchmarks for the simulation substrate: event-queue throughput,
 // machine ledger operations and workload-generator speed.
+//
+// The BM_ReferenceQueue* pairs run the retired shared_ptr/hash-set kernel
+// (reference_event_queue.hpp) under the exact workloads of their
+// BM_EventQueue* counterparts, so one run reports the slab queue's speedup
+// on this host.
 #include <benchmark/benchmark.h>
 
 #include "cluster/contiguous.hpp"
 #include "cluster/machine.hpp"
+#include "reference_event_queue.hpp"
 #include "sim/event_queue.hpp"
 #include "util/rng.hpp"
 #include "workload/generator.hpp"
@@ -49,6 +55,45 @@ void BM_EventQueueCancellationHeavy(benchmark::State& state) {
                           static_cast<std::int64_t>(n));
 }
 BENCHMARK(BM_EventQueueCancellationHeavy)->Arg(1000)->Arg(10000);
+
+void BM_ReferenceQueueScheduleAndRun(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  es::util::Rng rng(1);
+  std::vector<double> times;
+  times.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) times.push_back(rng.uniform(0, 1e6));
+  for (auto _ : state) {
+    es::bench::ReferenceEventQueue queue;
+    std::uint64_t sum = 0;
+    for (double t : times)
+      queue.schedule(t, es::sim::EventClass::kOther,
+                     [&sum](es::sim::Time) { ++sum; });
+    while (!queue.empty()) queue.pop_and_run();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ReferenceQueueScheduleAndRun)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_ReferenceQueueCancellationHeavy(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  es::util::Rng rng(2);
+  for (auto _ : state) {
+    es::bench::ReferenceEventQueue queue;
+    std::vector<es::bench::ReferenceEventHandle> handles;
+    handles.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+      handles.push_back(queue.schedule(rng.uniform(0, 1e6),
+                                       es::sim::EventClass::kOther,
+                                       [](es::sim::Time) {}));
+    for (std::size_t i = 0; i < n; i += 2) queue.cancel(handles[i]);
+    while (!queue.empty()) queue.pop_and_run();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ReferenceQueueCancellationHeavy)->Arg(1000)->Arg(10000);
 
 void BM_MachineAllocateRelease(benchmark::State& state) {
   es::cluster::Machine machine(320, 32);

@@ -1,19 +1,31 @@
-// perf_baseline — machine-readable perf trajectory entry (BENCH_PR3.json).
+// perf_baseline — machine-readable perf trajectory entry (BENCH_PR4.json).
 //
-// Measures the two PR-3 optimizations on the paper's Fig-7 setup
+// Measures the cumulative engine optimizations on the paper's Fig-7 setup
 // (P_S = 0.2, load sweep over EASY / LOS / Delayed-LOS):
 //
-//   1. campaign parallelism: the identical load sweep run serially
+//   1. campaign parallelism (PR 3): the identical load sweep run serially
 //      (--jobs 1) and across the worker pool (--jobs N), with the two
 //      metrics CSVs compared byte for byte — the speedup only counts if
 //      the science is unchanged;
-//   2. the DP hot path: fast-path / cache-hit counters and wall time with
-//      the knapsack memo cache on vs off, with the headline metrics
-//      compared exactly — cached runs must schedule identically.
+//   2. the DP hot path (PR 3): fast-path / cache-hit counters and wall time
+//      with the knapsack memo cache on vs off, with the headline metrics
+//      compared exactly — cached runs must schedule identically;
+//   3. the event kernel (PR 4): the slab/free-list sim::EventQueue against
+//      the retired shared_ptr/hash-set queue (reference_event_queue.hpp)
+//      under identical schedule/pop and cancellation-heavy workloads, same
+//      host, same build flags — events/sec for each and the speedup;
+//   4. simulation scale (PR 4): wall time of one Delayed-LOS run at the
+//      scale_10k operating point (load 0.7), the end-to-end number the
+//      kernel work is meant to move;
+//   5. kernel equivalence (PR 4): a fixed mini-sweep byte-compared against
+//      the committed golden CSV (data/golden/kernel_equivalence.csv),
+//      generated from the pre-overhaul engine.  Any divergence fails the
+//      run — the kernel rework must not change a single simulated metric.
 //
-// Counters in the JSON are deterministic; every *_seconds field is
-// measurement and varies run to run.  CI uploads the file as an artifact;
-// the committed copy records the numbers of one representative host.
+// Counters and equivalence verdicts in the JSON are deterministic; every
+// *_seconds / *_per_second field is measurement and varies run to run.  CI
+// uploads the file as an artifact; the committed copy records the numbers
+// of one representative host.
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -21,7 +33,10 @@
 
 #include "bench_common.hpp"
 #include "exp/experiment.hpp"
+#include "reference_event_queue.hpp"
+#include "sim/event_queue.hpp"
 #include "util/atomic_file.hpp"
+#include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
 #include <chrono>
@@ -41,15 +56,97 @@ std::string slurp(const std::string& path) {
   return out.str();
 }
 
+/// Events/sec of `queue` under the micro_sim schedule-then-drain workload
+/// (uniform times, trivial callback), repeated until ~0.2 s has elapsed.
+template <typename Queue>
+double measure_schedule_and_run(std::size_t n) {
+  es::util::Rng rng(1);
+  std::vector<double> times;
+  times.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) times.push_back(rng.uniform(0, 1e6));
+  std::uint64_t processed = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  double elapsed = 0;
+  do {
+    Queue queue;
+    std::uint64_t sum = 0;
+    for (double t : times)
+      queue.schedule(t, es::sim::EventClass::kOther,
+                     [&sum](es::sim::Time) { ++sum; });
+    while (!queue.empty()) queue.pop_and_run();
+    processed += n;
+    elapsed = seconds_since(t0);
+  } while (elapsed < 0.2);
+  return static_cast<double>(processed) / elapsed;
+}
+
+/// Events/sec with half the population cancelled before the drain — the
+/// elastic-workload pattern that exercises lazy deletion.
+template <typename Queue>
+double measure_cancellation_heavy(std::size_t n) {
+  es::util::Rng rng(2);
+  std::uint64_t processed = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  double elapsed = 0;
+  do {
+    Queue queue;
+    std::vector<decltype(queue.schedule(0, es::sim::EventClass::kOther,
+                                        nullptr))> handles;
+    handles.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+      handles.push_back(queue.schedule(rng.uniform(0, 1e6),
+                                       es::sim::EventClass::kOther,
+                                       [](es::sim::Time) {}));
+    for (std::size_t i = 0; i < n; i += 2) queue.cancel(handles[i]);
+    while (!queue.empty()) queue.pop_and_run();
+    processed += n;
+    elapsed = seconds_since(t0);
+  } while (elapsed < 0.2);
+  return static_cast<double>(processed) / elapsed;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   es::bench::BenchOptions options;
-  if (!es::bench::parse_bench_options(
-          argc, argv,
-          "Perf baseline: campaign parallelism + DP hot path (BENCH_PR3.json)",
-          options))
-    return 0;
+// Default golden path baked in by the build so the bench works from any
+// working directory (ctest runs it from the build tree, CI from bench/).
+#ifdef ES_KERNEL_GOLDEN
+  std::string golden_path = ES_KERNEL_GOLDEN;
+#else
+  std::string golden_path = "data/golden/kernel_equivalence.csv";
+#endif
+  {
+    es::util::CliParser cli(
+        "Perf baseline: campaign parallelism + DP hot path + event kernel "
+        "(BENCH_PR4.json)");
+    cli.add_option("num-jobs", "jobs per simulation point (default 500)",
+                   &options.num_jobs);
+    cli.add_option("replications", "seeds averaged per point (default 5)",
+                   &options.replications);
+    cli.add_option("seed", "base RNG seed", &options.seed);
+    cli.add_option("lookahead", "DP lookahead depth (default 250)",
+                   &options.lookahead);
+    cli.add_option("jobs",
+                   "worker threads for the experiment campaign "
+                   "(default 1 = serial; 0 = all cores)",
+                   &options.parallel_jobs);
+    cli.add_option("csv-dir", "directory for CSV output (default results/)",
+                   &options.csv_dir);
+    cli.add_option("golden",
+                   "kernel-equivalence golden CSV to byte-compare against",
+                   &golden_path);
+    cli.add_flag("quick", "fast mode: fewer points and seeds",
+                 &options.quick);
+    if (!cli.parse(argc, argv)) return 0;
+    if (options.quick) {
+      options.num_jobs = 200;
+      options.replications = 2;
+    }
+    if (options.parallel_jobs == 0)
+      options.parallel_jobs = es::util::hardware_parallelism();
+    es::util::set_global_parallelism(options.parallel_jobs);
+  }
 
   // --jobs from the common CLI names the *parallel* leg; default to every
   // core when the user left it serial, since comparing 1 vs 1 says nothing.
@@ -116,6 +213,62 @@ int main(int argc, char** argv) {
                                 static_cast<double>(cached.dp.calls)
                           : 0.0;
 
+  // --- leg 3: event kernel, slab queue vs retired reference ------------
+  const std::size_t micro_n = 10000;
+  const double slab_schedule_eps =
+      measure_schedule_and_run<es::sim::EventQueue>(micro_n);
+  const double reference_schedule_eps =
+      measure_schedule_and_run<es::bench::ReferenceEventQueue>(micro_n);
+  const double slab_cancel_eps =
+      measure_cancellation_heavy<es::sim::EventQueue>(micro_n);
+  const double reference_cancel_eps =
+      measure_cancellation_heavy<es::bench::ReferenceEventQueue>(micro_n);
+  const double kernel_speedup =
+      reference_schedule_eps > 0 ? slab_schedule_eps / reference_schedule_eps
+                                 : 0.0;
+  const double kernel_cancel_speedup =
+      reference_cancel_eps > 0 ? slab_cancel_eps / reference_cancel_eps : 0.0;
+
+  // --- leg 4: end-to-end scale point (scale_10k's stable regime) -------
+  es::exp::RunSpec scale_spec;
+  scale_spec.workload = es::bench::base_workload(options);
+  scale_spec.workload.num_jobs = options.quick ? 2000 : 10000;
+  scale_spec.workload.p_small = 0.5;
+  scale_spec.workload.target_load = 0.7;
+  scale_spec.algorithm = "Delayed-LOS";
+  scale_spec.options = algo;
+  t0 = std::chrono::steady_clock::now();
+  const es::sched::SimulationResult scale_result =
+      es::exp::run_once(scale_spec);
+  const double scale_seconds = seconds_since(t0);
+  const double scale_events_per_second =
+      scale_seconds > 0
+          ? static_cast<double>(scale_result.perf.events.fired) / scale_seconds
+          : 0.0;
+
+  // --- leg 5: kernel-equivalence golden --------------------------------
+  // Fixed configuration, independent of --quick/--num-jobs, matching the
+  // committed golden exactly: 200 jobs, seeds 1+2, loads {0.6, 0.9},
+  // P_S = 0.2, lookahead 250, C_s = 7, EASY / LOS / Delayed-LOS.
+  es::workload::GeneratorConfig golden_config;
+  golden_config.machine_procs = 320;
+  golden_config.num_jobs = 200;
+  golden_config.seed = 1;
+  golden_config.p_small = 0.2;
+  es::core::AlgorithmOptions golden_algo;
+  golden_algo.lookahead = 250;
+  golden_algo.max_skip_count = 7;
+  const es::exp::Sweep golden_sweep = es::exp::load_sweep(
+      golden_config, {0.6, 0.9}, algorithms, golden_algo, 2);
+  const std::string golden_out =
+      options.csv_dir + "/kernel_equivalence.csv";
+  es::exp::write_sweep_csv(golden_out, golden_sweep);
+  const std::string golden_expected = slurp(golden_path);
+  const std::string golden_actual = slurp(golden_out);
+  const bool golden_found = !golden_expected.empty();
+  const bool golden_identical =
+      golden_found && golden_expected == golden_actual;
+
   std::printf("campaign: serial %.3fs, parallel(%d) %.3fs, speedup %.2fx, "
               "csv identical: %s\n",
               serial_seconds, parallel_jobs, parallel_seconds, speedup,
@@ -128,13 +281,27 @@ int main(int argc, char** argv) {
                         static_cast<double>(cached.dp.calls)
                   : 0.0,
               cache_identical ? "yes" : "NO");
+  std::printf("event kernel: slab %.2fM ev/s vs reference %.2fM ev/s "
+              "(%.2fx); cancel-heavy %.2fM vs %.2fM (%.2fx)\n",
+              slab_schedule_eps / 1e6, reference_schedule_eps / 1e6,
+              kernel_speedup, slab_cancel_eps / 1e6,
+              reference_cancel_eps / 1e6, kernel_cancel_speedup);
+  std::printf("scale: Delayed-LOS, %zu jobs @ load 0.7: %.3fs "
+              "(%.2fM events/s, peak %llu pending)\n",
+              scale_spec.workload.num_jobs, scale_seconds,
+              scale_events_per_second / 1e6,
+              static_cast<unsigned long long>(
+                  scale_result.perf.events.peak_pending));
+  std::printf("kernel equivalence vs %s: %s\n", golden_path.c_str(),
+              !golden_found ? "GOLDEN NOT FOUND"
+                            : (golden_identical ? "byte-identical" : "DIVERGED"));
 
-  const std::string out_path = "BENCH_PR3.json";
+  const std::string out_path = "BENCH_PR4.json";
   const bool ok = es::util::write_file_atomic(
       out_path, [&](std::ostream& out) {
         out << "{\n"
             << "  \"bench\": \"perf_baseline\",\n"
-            << "  \"pr\": 3,\n"
+            << "  \"pr\": 4,\n"
             << "  \"host_cores\": " << es::util::hardware_parallelism()
             << ",\n"
             << "  \"workload\": {\"num_jobs\": " << options.num_jobs
@@ -156,7 +323,26 @@ int main(int argc, char** argv) {
             << ", \"cached_seconds\": " << cached_seconds
             << ", \"uncached_seconds\": " << uncached_seconds
             << ", \"metrics_identical\": "
-            << (cache_identical ? "true" : "false") << "}\n"
+            << (cache_identical ? "true" : "false") << "},\n"
+            << "  \"event_kernel\": {\"micro_events\": " << micro_n
+            << ", \"slab_events_per_second\": " << slab_schedule_eps
+            << ", \"reference_events_per_second\": " << reference_schedule_eps
+            << ", \"speedup\": " << kernel_speedup
+            << ", \"slab_cancel_events_per_second\": " << slab_cancel_eps
+            << ", \"reference_cancel_events_per_second\": "
+            << reference_cancel_eps
+            << ", \"cancel_speedup\": " << kernel_cancel_speedup << "},\n"
+            << "  \"scale\": {\"algorithm\": \"Delayed-LOS\", \"num_jobs\": "
+            << scale_spec.workload.num_jobs
+            << ", \"target_load\": 0.7, \"wall_seconds\": " << scale_seconds
+            << ", \"events_fired\": " << scale_result.perf.events.fired
+            << ", \"events_per_second\": " << scale_events_per_second
+            << ", \"peak_pending_events\": "
+            << scale_result.perf.events.peak_pending << "},\n"
+            << "  \"kernel_equivalence\": {\"golden\": \"" << golden_path
+            << "\", \"golden_found\": " << (golden_found ? "true" : "false")
+            << ", \"identical\": " << (golden_identical ? "true" : "false")
+            << "}\n"
             << "}\n";
         return out.good();
       });
@@ -165,6 +351,8 @@ int main(int argc, char** argv) {
     return 3;
   }
   std::printf("[json] %s\n", out_path.c_str());
-  // Both equivalences are correctness gates, not just measurements.
-  return (csv_identical && cache_identical) ? 0 : 1;
+  // The equivalences are correctness gates, not just measurements: the
+  // parallel campaign, the DP cache and the slab kernel must all leave the
+  // simulated science untouched.
+  return (csv_identical && cache_identical && golden_identical) ? 0 : 1;
 }

@@ -1,0 +1,107 @@
+// Pre-overhaul event queue, preserved verbatim as a benchmark baseline.
+//
+// This is the PR-3 kernel the slab/free-list sim::EventQueue replaced: every
+// schedule() allocates a shared_ptr<Callback> control block, cancellation
+// funnels through an unordered_set of ids, and the heap entries carry two
+// words of id bookkeeping.  micro_sim and perf_baseline pit the two against
+// each other on the same host and build flags, so the recorded speedup is a
+// kernel-vs-kernel measurement rather than a cross-commit one.  Benchmarks
+// only — the simulator itself always uses sim::EventQueue.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "util/check.hpp"
+
+namespace es::bench {
+
+struct ReferenceEventHandle {
+  std::uint64_t id = 0;
+  bool valid() const { return id != 0; }
+};
+
+/// Min-heap of (time, class, seq) with shared_ptr callbacks and lazy
+/// hash-set cancellation — the allocation profile the slab queue removed.
+class ReferenceEventQueue {
+ public:
+  using Callback = std::function<void(sim::Time)>;
+
+  ReferenceEventHandle schedule(sim::Time at, sim::EventClass cls,
+                                Callback fn) {
+    ES_EXPECTS(fn != nullptr);
+    Entry entry;
+    entry.time = at;
+    entry.cls = static_cast<int>(cls);
+    entry.seq = next_seq_++;
+    entry.id = next_id_++;
+    const std::uint64_t id = entry.id;
+    entry.fn = std::make_shared<Callback>(std::move(fn));
+    heap_.push(std::move(entry));
+    ++live_;
+    return ReferenceEventHandle{id};
+  }
+
+  bool cancel(ReferenceEventHandle handle) {
+    if (!handle.valid()) return false;
+    if (handle.id >= next_id_) return false;
+    if (live_ == 0) return false;
+    const auto [it, inserted] = cancelled_.insert(handle.id);
+    (void)it;
+    if (!inserted) return false;
+    --live_;
+    return true;
+  }
+
+  bool empty() const { return live_ == 0; }
+  std::size_t size() const { return live_; }
+
+  sim::Time pop_and_run() {
+    skim();
+    ES_EXPECTS(!heap_.empty());
+    Entry entry = heap_.top();
+    heap_.pop();
+    --live_;
+    (*entry.fn)(entry.time);
+    return entry.time;
+  }
+
+ private:
+  struct Entry {
+    sim::Time time;
+    int cls;
+    std::uint64_t seq;
+    std::uint64_t id;
+    std::shared_ptr<Callback> fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      if (a.cls != b.cls) return a.cls > b.cls;
+      return a.seq > b.seq;
+    }
+  };
+
+  void skim() {
+    while (!heap_.empty()) {
+      const auto it = cancelled_.find(heap_.top().id);
+      if (it == cancelled_.end()) return;
+      cancelled_.erase(it);
+      heap_.pop();
+    }
+  }
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<std::uint64_t> cancelled_;
+  std::size_t live_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace es::bench

@@ -65,6 +65,7 @@ Aggregate run_replicated(RunSpec spec, int replications) {
     dedicated_delay_stats.add(result.mean_dedicated_delay);
     aggregate.ecc_processed += result.ecc.processed;
     aggregate.dp += result.perf.dp;
+    aggregate.events += result.perf.events;
   }
   aggregate.utilization = util_stats.mean();
   aggregate.mean_wait = wait_stats.mean();

@@ -37,6 +37,9 @@ struct Aggregate {
   /// DP hot-path counters summed over the replications (calls, fast-path
   /// exits, cache hits) — deterministic, used by perf baselines.
   sched::DpCounters dp;
+  /// Event-kernel traffic over the replications (scheduled/cancelled/fired
+  /// summed, peak pending maxed) — deterministic, like the DP counters.
+  sim::EventQueueCounters events;
 };
 
 /// Runs a prepared workload under a named algorithm.  The engine's machine

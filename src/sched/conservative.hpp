@@ -7,19 +7,20 @@
 // correctness anchor for tests (conservative never delays any queued job
 // relative to its FCFS reservation).
 //
-// Reservations are recomputed from scratch each cycle over a capacity
-// profile, which is the standard simulation formulation.
+// Queued-job reservations are still recomputed each cycle (they depend on
+// the queue, which changes), but the *base* profile — free capacity under
+// the running jobs only — is memoised across cycles: it only changes when
+// the active set or the in-service capacity does, which the engine exposes
+// through (run_epoch, active_version).  A cache hit replays the stored
+// profile advanced to the current time instead of re-reserving every active
+// job from scratch.
 #pragma once
+
+#include <cstdint>
 
 #include "sched/scheduler.hpp"
 
 namespace es::sched {
-
-class Conservative : public Scheduler {
- public:
-  std::string name() const override { return "CONS"; }
-  void cycle(SchedulerContext& ctx) override;
-};
 
 /// Piecewise-constant free-capacity profile over future time, seeded from
 /// running jobs' planned ends.  Exposed for tests.
@@ -29,6 +30,19 @@ class CapacityProfile {
   /// free capacity rises at each active job's planned end.
   CapacityProfile(sim::Time now, int total,
                   const std::vector<JobRun*>& active);
+
+  /// An empty all-free profile (rebuild() before use).
+  CapacityProfile() : CapacityProfile(0, 0, {}) {}
+
+  /// Re-seeds in place (same semantics as the constructor), reusing the
+  /// segment storage so steady-state rebuilds do not allocate.
+  void rebuild(sim::Time now, int total, const std::vector<JobRun*>& active);
+
+  /// Advances the profile origin to `now` (>= the build time), merging
+  /// segments that ended in the past.  After this the profile equals one
+  /// built from scratch at `now` over the same reservations, provided every
+  /// reservation still extends past `now`.
+  void advance_to(sim::Time now);
 
   /// Earliest time >= now at which `procs` processors are simultaneously
   /// free for `duration` seconds.
@@ -51,6 +65,21 @@ class CapacityProfile {
   sim::Time now_;
   int total_;
   std::vector<Segment> segments_;  ///< sorted by begin; last extends to +inf
+};
+
+class Conservative : public Scheduler {
+ public:
+  std::string name() const override { return "CONS"; }
+  void cycle(SchedulerContext& ctx) override;
+
+ private:
+  // Memoised active-occupancy profile and the keys it was built under.
+  CapacityProfile base_;
+  CapacityProfile work_;  ///< per-cycle scratch copy (reuses capacity)
+  bool cache_valid_ = false;
+  std::uint64_t cached_epoch_ = 0;
+  std::uint64_t cached_version_ = 0;
+  int cached_available_ = -1;
 };
 
 }  // namespace es::sched

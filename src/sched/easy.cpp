@@ -49,7 +49,8 @@ void Easy::cycle(SchedulerContext& ctx) {
   // Phase 3: aggressive backfill — any later job that fits now and delays
   // neither the head reservation nor the dedicated freeze.
   // Iterate over a snapshot: ctx.start() mutates the queue.
-  std::vector<JobRun*> candidates(ctx.batch->begin() + 1, ctx.batch->end());
+  std::vector<JobRun*> candidates(std::next(ctx.batch->begin()),
+                                  ctx.batch->end());
   for (JobRun* job : candidates) {
     const int alloc = ctx.alloc_of(*job);
     if (alloc > ctx.free()) continue;

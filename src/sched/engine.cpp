@@ -22,6 +22,12 @@ Engine::Engine(const EngineConfig& config, Scheduler& policy)
       checkpoint_(config.checkpoint) {
   ecc_processor_.set_running_resize(config.allow_running_resize);
   if (config.record_trace) trace_ = std::make_shared<ScheduleTrace>();
+  // A process-unique epoch tags this engine's SchedulerContexts so policy
+  // caches keyed on (epoch, active_version) can never confuse two runs.
+  // Only uniqueness matters; the value never influences scheduling, so the
+  // nondeterministic claim order across threads is harmless.
+  static std::atomic<std::uint64_t> next_epoch{1};
+  run_epoch_ = next_epoch.fetch_add(1, std::memory_order_relaxed);
 }
 
 namespace {
@@ -32,7 +38,46 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
+/// Active-array order: ascending (planned end, job id) — the estimated
+/// residual order the paper's freeze computations walk.
+bool active_before(const JobRun* a, const JobRun* b) {
+  const double ea = a->start_time + a->estimated_duration();
+  const double eb = b->start_time + b->estimated_duration();
+  if (ea != eb) return ea < eb;
+  return a->spec.id < b->spec.id;
+}
+
 }  // namespace
+
+void Engine::insert_active(JobRun* job) {
+  ES_ASSERT(job->active_index < 0);
+  const auto it =
+      std::lower_bound(active_.begin(), active_.end(), job, active_before);
+  const auto pos = it - active_.begin();
+  active_.insert(it, job);
+  for (auto i = pos; i < static_cast<std::ptrdiff_t>(active_.size()); ++i)
+    active_[static_cast<std::size_t>(i)]->active_index = i;
+  ++active_version_;
+}
+
+void Engine::remove_active(JobRun* job) {
+  const auto pos = job->active_index;
+  ES_ASSERT(pos >= 0 && pos < static_cast<std::ptrdiff_t>(active_.size()) &&
+            active_[static_cast<std::size_t>(pos)] == job);
+  active_.erase(active_.begin() + pos);
+  job->active_index = -1;
+  for (auto i = pos; i < static_cast<std::ptrdiff_t>(active_.size()); ++i)
+    active_[static_cast<std::size_t>(i)]->active_index = i;
+  ++active_version_;
+}
+
+void Engine::reposition_active(JobRun* job) {
+  // The job's sort key (planned end, or its alloc visible to profile
+  // consumers) changed: re-seat it.  Erase+insert keeps every neighbour's
+  // back-reference exact; the version bumps along the way.
+  remove_active(job);
+  insert_active(job);
+}
 
 void Engine::run_cycle() {
   ES_ASSERT(!in_cycle_);
@@ -45,25 +90,15 @@ void Engine::run_cycle() {
   ctx.machine = &machine_;
   ctx.batch = &batch_queue_;
   ctx.dedicated = &dedicated_queue_;
-  ctx.active = active_;
-  std::sort(ctx.active.begin(), ctx.active.end(),
-            [](const JobRun* a, const JobRun* b) {
-              const double ra = a->start_time + a->estimated_duration();
-              const double rb = b->start_time + b->estimated_duration();
-              if (ra != rb) return ra < rb;
-              return a->spec.id < b->spec.id;  // deterministic tie-break
-            });
-  ctx.start = [this, &ctx](JobRun* job) {
-    start_job(job);
-    // Keep the active snapshot coherent for freeze math within the cycle:
-    // insert by planned end.
-    const double end = job->start_time + job->estimated_duration();
-    auto it = std::lower_bound(ctx.active.begin(), ctx.active.end(), end,
-                               [](const JobRun* a, double e) {
-                                 return a->start_time + a->estimated_duration() < e;
-                               });
-    ctx.active.insert(it, job);
-  };
+  // The active array is maintained sorted by (planned end, id) across all
+  // mutations — start, finish, preemption, ECC resize — so the cycle hands
+  // policies a live view instead of copying and re-sorting a snapshot.
+  // start_job inserts new runners in order, which keeps the freeze math
+  // within the cycle coherent with the same (end, id) key.
+  ctx.active = &active_;
+  ctx.run_epoch = run_epoch_;
+  ctx.active_version = active_version_;
+  ctx.start = [this](JobRun* job) { start_job(job); };
   ctx.move_dedicated_head_to_batch_head = [this] {
     move_dedicated_head_to_batch_head();
   };
@@ -97,9 +132,13 @@ void Engine::check_invariants() const {
   const unsigned long long cycle = cycles_;
 
   // Ledger: free + sum of active allocations == in-service capacity, and
-  // the machine agrees job-by-job.
+  // the machine agrees job-by-job.  The array must also be exactly what a
+  // from-scratch sort would produce — ascending (planned end, id) — with
+  // every back-reference pointing at the job's own slot.
   int active_sum = 0;
-  for (const JobRun* job : active_) {
+  const JobRun* prev_active = nullptr;
+  for (std::size_t i = 0; i < active_.size(); ++i) {
+    const JobRun* job = active_[i];
     const long long id = job->spec.id;
     ES_ASSERT_MSG(job->status == JobStatus::kRunning,
                   "t=%.3f cycle=%llu job=%lld", now, cycle, id);
@@ -109,6 +148,22 @@ void Engine::check_invariants() const {
     ES_ASSERT_MSG(job->start_time >= job->spec.arr,
                   "t=%.3f cycle=%llu job=%lld start=%.3f arr=%.3f", now,
                   cycle, id, job->start_time, job->spec.arr);
+    ES_ASSERT_MSG(job->active_index == static_cast<std::ptrdiff_t>(i),
+                  "t=%.3f cycle=%llu job=%lld index=%td slot=%zu", now, cycle,
+                  id, job->active_index, i);
+    ES_ASSERT_MSG(!job->in_batch_queue, "t=%.3f cycle=%llu job=%lld", now,
+                  cycle, id);
+    if (prev_active != nullptr) {
+      const double prev_end =
+          prev_active->start_time + prev_active->estimated_duration();
+      const double end = job->start_time + job->estimated_duration();
+      ES_ASSERT_MSG(prev_end < end ||
+                        (prev_end == end && prev_active->spec.id < id),
+                    "t=%.3f cycle=%llu job=%lld end=%.3f prev=%lld "
+                    "prev_end=%.3f",
+                    now, cycle, id, end, prev_active->spec.id, prev_end);
+    }
+    prev_active = job;
     active_sum += job->alloc;
   }
   ES_ASSERT_MSG(machine_.free() + active_sum == machine_.available(),
@@ -129,8 +184,12 @@ void Engine::check_invariants() const {
   // they are exempt from the arrival ordering.
   bool in_prefix = true;
   double last_arr = -1;
+  std::size_t batch_count = 0;
   for (const JobRun* job : batch_queue_) {
     const long long id = job->spec.id;
+    ++batch_count;
+    ES_ASSERT_MSG(job->in_batch_queue && job->active_index < 0,
+                  "t=%.3f cycle=%llu job=%lld", now, cycle, id);
     ES_ASSERT_MSG(job->status == JobStatus::kWaiting,
                   "t=%.3f cycle=%llu job=%lld", now, cycle, id);
     if (in_prefix && job->forced_priority) continue;
@@ -141,6 +200,9 @@ void Engine::check_invariants() const {
                   id, job->spec.arr, last_arr);
     last_arr = job->spec.arr;
   }
+  ES_ASSERT_MSG(batch_count == batch_queue_.size(),
+                "t=%.3f cycle=%llu walked=%zu size=%zu", now, cycle,
+                batch_count, batch_queue_.size());
 
   // Dedicated list: waiting, sorted by requested start.
   double last_start = -1;
@@ -245,6 +307,9 @@ void Engine::on_ecc(const workload::Ecc& ecc) {
       const bool cancelled = sim_.cancel(job->finish_event);
       ES_ASSERT(cancelled);
       refresh_checkpoint_plan(job);
+      // Both the planned end (rescaled remaining time) and the allocation
+      // changed: re-seat the job in the active order.
+      reposition_active(job);
       const sim::Time finish =
           std::max(sim_.now(), job->start_time + job->run_duration());
       job->finish_event = sim_.at(finish, sim::EventClass::kJobFinish,
@@ -252,10 +317,12 @@ void Engine::on_ecc(const workload::Ecc& ecc) {
       break;
     }
     case EccOutcome::kAppliedRunning: {
-      // Kill-by (and possibly true runtime) moved: reschedule completion.
+      // Kill-by (and possibly true runtime) moved: reschedule completion
+      // and re-seat the job under its new planned end.
       const bool cancelled = sim_.cancel(job->finish_event);
       ES_ASSERT(cancelled);
       refresh_checkpoint_plan(job);
+      reposition_active(job);
       const sim::Time finish =
           std::max(sim_.now(), job->start_time + job->run_duration());
       job->finish_event = sim_.at(finish, sim::EventClass::kJobFinish,
@@ -297,7 +364,7 @@ void Engine::preempt_victim() {
                                return a->spec.id < b->spec.id;
                              });
   JobRun* job = *it;
-  active_.erase(it);
+  remove_active(job);
   const bool cancelled = sim_.cancel(job->finish_event);
   ES_ASSERT(cancelled);
   machine_.release(job->spec.id);
@@ -413,23 +480,25 @@ void Engine::on_node_up(int procs) {
 
 void Engine::start_job(JobRun* job) {
   ES_EXPECTS(job->status == JobStatus::kWaiting);
-  // Remove from whichever waiting queue holds it (policies start batch-queue
-  // members only; dedicated jobs are moved to the batch queue first).
-  const auto it = std::find(batch_queue_.begin(), batch_queue_.end(), job);
-  ES_EXPECTS(it != batch_queue_.end());
-  batch_queue_.erase(it);
+  // Unlink from the batch queue (policies start batch-queue members only;
+  // dedicated jobs are moved to the batch queue first) — O(1) through the
+  // intrusive links instead of a linear scan.
+  ES_EXPECTS(job->in_batch_queue);
+  batch_queue_.erase(job);
 
   job->alloc = machine_.allocate(job->spec.id, job->num);
   job->status = JobStatus::kRunning;
   job->start_time = sim_.now();
-  active_.push_back(job);
+  // Plan checkpoint overhead before seating the job: it is part of the
+  // (planned end, id) sort key insert_active files the job under.
+  refresh_checkpoint_plan(job);
+  insert_active(job);
   ++starts_;
   utilization_.record(sim_.now(), machine_.used());
   if (trace_)
     trace_->record(sim_.now(), TraceEventKind::kStart, job->spec.id,
                    job->alloc);
 
-  refresh_checkpoint_plan(job);
   const sim::Time finish = sim_.now() + job->run_duration();
   job->finish_event = sim_.at(finish, sim::EventClass::kJobFinish,
                               [this, job](sim::Time) { on_finish(job); });
@@ -438,9 +507,7 @@ void Engine::start_job(JobRun* job) {
 void Engine::finish_job(JobRun* job) {
   ES_EXPECTS(job->status == JobStatus::kRunning);
   machine_.release(job->spec.id);
-  const auto it = std::find(active_.begin(), active_.end(), job);
-  ES_ASSERT(it != active_.end());
-  active_.erase(it);
+  remove_active(job);
 
   job->status = job->actual_time > job->req_time ? JobStatus::kKilled
                                                  : JobStatus::kCompleted;
@@ -533,6 +600,7 @@ SimulationResult Engine::run(const workload::Workload& workload) {
   SimulationResult result = collect(workload);
   result.trace = trace_;
   result.perf.dp = policy_->dp_counters() - dp_baseline_;
+  result.perf.events = sim_.queue().counters();
   result.perf.cycle_seconds = cycle_seconds_;
   result.perf.wall_seconds = seconds_since(run_start);
   return result;

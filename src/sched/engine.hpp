@@ -23,7 +23,6 @@
 //     pathological configuration.
 #pragma once
 
-#include <deque>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -101,6 +100,9 @@ class Engine {
   void preempt_victim();
   void start_job(JobRun* job);
   void finish_job(JobRun* job);
+  void insert_active(JobRun* job);
+  void remove_active(JobRun* job);
+  void reposition_active(JobRun* job);
   void move_dedicated_head_to_batch_head();
   void refresh_checkpoint_plan(JobRun* job);
   void warn_if_unbounded_retry(const workload::Workload& workload) const;
@@ -124,10 +126,18 @@ class Engine {
 
   std::vector<std::unique_ptr<JobRun>> jobs_;
   std::unordered_map<workload::JobId, JobRun*> by_id_;
-  std::deque<JobRun*> batch_queue_;
+  JobQueue batch_queue_;                  ///< intrusive FIFO (W^b)
   std::vector<JobRun*> dedicated_queue_;  ///< sorted by (req_start, arr)
-  std::vector<JobRun*> active_;           ///< running jobs, unordered
+  std::vector<JobRun*> active_;  ///< running jobs, kept sorted by
+                                 ///< (planned end, id); JobRun::active_index
+                                 ///< back-references positions
   std::vector<JobRun*> finished_;
+
+  // Cache keys handed to policies through SchedulerContext: the epoch is
+  // process-unique per engine, the version bumps on every active-set
+  // mutation (see bump_active_version callers).
+  std::uint64_t run_epoch_ = 0;
+  std::uint64_t active_version_ = 0;
 
   bool in_cycle_ = false;
   std::uint64_t cycles_ = 0;

@@ -1,0 +1,113 @@
+// Intrusive FIFO of waiting jobs (the paper's W^b).
+//
+// The links live inside JobRun, so push/erase never allocate and removing a
+// job the engine already holds a pointer to — every ctx.start() — is O(1)
+// instead of the linear std::find a std::deque forces.  A job is in at most
+// one JobQueue at a time (`in_batch_queue` guards double-insertion).
+//
+// Iteration yields JobRun* like the container-of-pointers it replaces, so
+// policies keep writing `for (JobRun* job : *ctx.batch)`.  Iterators are
+// forward-only and invalidated for the erased job only; policies that start
+// jobs while scanning iterate a snapshot, exactly as before.
+#pragma once
+
+#include <cstddef>
+#include <iterator>
+
+#include "sched/job_state.hpp"
+#include "util/check.hpp"
+
+namespace es::sched {
+
+class JobQueue {
+ public:
+  class iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = JobRun*;
+    using difference_type = std::ptrdiff_t;
+    using pointer = JobRun* const*;
+    using reference = JobRun* const&;
+
+    iterator() = default;
+    explicit iterator(JobRun* node) : node_(node) {}
+    JobRun* operator*() const { return node_; }
+    iterator& operator++() {
+      node_ = node_->queue_next;
+      return *this;
+    }
+    iterator operator++(int) {
+      iterator copy = *this;
+      ++*this;
+      return copy;
+    }
+    friend bool operator==(const iterator& a, const iterator& b) {
+      return a.node_ == b.node_;
+    }
+    friend bool operator!=(const iterator& a, const iterator& b) {
+      return a.node_ != b.node_;
+    }
+
+   private:
+    JobRun* node_ = nullptr;
+  };
+
+  bool empty() const { return head_ == nullptr; }
+  std::size_t size() const { return size_; }
+  JobRun* front() const { return head_; }
+  JobRun* back() const { return tail_; }
+  iterator begin() const { return iterator(head_); }
+  iterator end() const { return iterator(nullptr); }
+
+  void push_front(JobRun* job) {
+    link(job);
+    job->queue_next = head_;
+    if (head_ != nullptr)
+      head_->queue_prev = job;
+    else
+      tail_ = job;
+    head_ = job;
+  }
+
+  void push_back(JobRun* job) {
+    link(job);
+    job->queue_prev = tail_;
+    if (tail_ != nullptr)
+      tail_->queue_next = job;
+    else
+      head_ = job;
+    tail_ = job;
+  }
+
+  /// O(1) unlink.  Precondition: `job` is in this queue.
+  void erase(JobRun* job) {
+    ES_EXPECTS(job->in_batch_queue);
+    if (job->queue_prev != nullptr)
+      job->queue_prev->queue_next = job->queue_next;
+    else
+      head_ = job->queue_next;
+    if (job->queue_next != nullptr)
+      job->queue_next->queue_prev = job->queue_prev;
+    else
+      tail_ = job->queue_prev;
+    job->queue_prev = nullptr;
+    job->queue_next = nullptr;
+    job->in_batch_queue = false;
+    --size_;
+  }
+
+ private:
+  void link(JobRun* job) {
+    ES_EXPECTS(!job->in_batch_queue);
+    job->queue_prev = nullptr;
+    job->queue_next = nullptr;
+    job->in_batch_queue = true;
+    ++size_;
+  }
+
+  JobRun* head_ = nullptr;
+  JobRun* tail_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace es::sched

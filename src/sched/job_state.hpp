@@ -57,6 +57,15 @@ struct JobRun {
   sim::Time end_time = -1;       ///< set when finished/killed
   sim::EventHandle finish_event{};
 
+  // Container back-references, so removal is O(1) instead of a linear scan.
+  // The intrusive batch-queue links are owned by sched::JobQueue; the
+  // active-array index is owned by the engine, which keeps it exact while
+  // inserts/erases shift neighbours.  -1 / null while not enrolled.
+  JobRun* queue_prev = nullptr;
+  JobRun* queue_next = nullptr;
+  bool in_batch_queue = false;
+  std::ptrdiff_t active_index = -1;
+
   // Scratch used by Reservation_DP (the paper's w.frenum attribute).
   int frenum = 0;
 

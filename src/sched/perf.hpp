@@ -10,6 +10,8 @@
 
 #include <cstdint>
 
+#include "sim/event_queue.hpp"
+
 namespace es::sched {
 
 /// Tallies of the Basic_DP / Reservation_DP kernel invocations.
@@ -47,6 +49,7 @@ struct DpCounters {
 /// never feed back into scheduling decisions or metrics CSVs.
 struct PerfStats {
   DpCounters dp;
+  sim::EventQueueCounters events;  ///< kernel traffic for this run's queue
   double wall_seconds = 0;   ///< whole run() wall time
   double cycle_seconds = 0;  ///< wall time inside policy cycle() calls
 

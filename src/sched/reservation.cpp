@@ -31,7 +31,7 @@ Freeze shadow_for_blocked(const SchedulerContext& ctx, int need_procs) {
   int available = m;
   // Active snapshot is sorted ascending by residual; accumulate releases
   // until the need fits (Algorithm 1 line 13).
-  for (const JobRun* active : ctx.active) {
+  for (const JobRun* active : *ctx.active) {
     available += active->alloc;
     if (available >= need_procs) {
       freeze.fret = ctx.now + planned_residual(*active, ctx.now);
@@ -64,7 +64,7 @@ Freeze dedicated_freeze(const SchedulerContext& ctx) {
   // (Algorithm 2 lines 10-14; a job ending exactly at the start instant is
   // conservatively treated as still occupying, matching the paper's "<=").
   int capacity_at_start = total;
-  for (const JobRun* active : ctx.active) {
+  for (const JobRun* active : *ctx.active) {
     if (ctx.now + planned_residual(*active, ctx.now) >= head->req_start)
       capacity_at_start -= active->alloc;
   }
@@ -92,7 +92,7 @@ Freeze dedicated_freeze(const SchedulerContext& ctx) {
     freeze.frec = std::max(capacity_at_start, 0);
     return freeze;
   }
-  for (const JobRun* active : ctx.active) {
+  for (const JobRun* active : *ctx.active) {
     available += active->alloc;
     if (available >= group_need) {
       freeze.fret = std::max<sim::Time>(

@@ -6,12 +6,13 @@
 // are implicit (recomputed each cycle), exactly as in EASY/LOS.
 #pragma once
 
-#include <deque>
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
 
 #include "cluster/machine.hpp"
+#include "sched/job_queue.hpp"
 #include "sched/job_state.hpp"
 #include "sched/perf.hpp"
 #include "sim/time.hpp"
@@ -28,9 +29,20 @@ class SchedulerContext {
  public:
   sim::Time now = 0;
   const cluster::Machine* machine = nullptr;
-  std::deque<JobRun*>* batch = nullptr;
+  JobQueue* batch = nullptr;
   std::vector<JobRun*>* dedicated = nullptr;
-  std::vector<JobRun*> active;  ///< snapshot, sorted by residual
+  /// Live view of the engine's running set, kept incrementally sorted by
+  /// (planned end, job id) — ascending estimated residual.  start() inserts
+  /// the new runner in order, so freeze math within a cycle always sees the
+  /// current set; no per-cycle snapshot or re-sort happens.
+  const std::vector<JobRun*>* active = nullptr;
+
+  /// Cache keys for policies that memoise work derived from the active set
+  /// (Conservative's base capacity profile): `run_epoch` is unique per
+  /// engine run, `active_version` bumps on every active-set mutation
+  /// (insert, removal, reposition, resize).
+  std::uint64_t run_epoch = 0;
+  std::uint64_t active_version = 0;
 
   /// Activates a waiting job now: engine removes it from its queue,
   /// allocates processors and schedules its completion.  The machine state

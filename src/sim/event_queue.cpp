@@ -1,6 +1,7 @@
 #include "sim/event_queue.hpp"
 
-#include <memory>
+#include <algorithm>
+#include <limits>
 #include <utility>
 
 #include "util/check.hpp"
@@ -9,62 +10,91 @@ namespace es::sim {
 
 EventHandle EventQueue::schedule(Time at, EventClass cls, Callback fn) {
   ES_EXPECTS(fn != nullptr);
-  Entry entry;
-  entry.time = at;
-  entry.cls = static_cast<int>(cls);
-  entry.seq = next_seq_++;
-  entry.id = next_id_++;
-  const std::uint64_t id = entry.id;
-  entry.fn = std::make_shared<Callback>(std::move(fn));
-  heap_.push(std::move(entry));
+  std::uint32_t slot;
+  if (!free_.empty()) {
+    slot = free_.back();
+    free_.pop_back();
+  } else {
+    ES_EXPECTS(records_.size() <
+               std::numeric_limits<std::uint32_t>::max() - 1);
+    slot = static_cast<std::uint32_t>(records_.size());
+    records_.emplace_back();
+  }
+  Record& record = records_[slot];
+  record.fn = std::move(fn);
+  heap_.push_back(HeapItem{at, static_cast<std::int32_t>(cls), next_seq_++,
+                           slot, record.generation});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
   ++live_;
-  return EventHandle{id};
+  ++counters_.scheduled;
+  counters_.peak_pending = std::max<std::uint64_t>(counters_.peak_pending,
+                                                   live_);
+  return EventHandle{make_id(slot, record.generation)};
+}
+
+void EventQueue::retire(std::uint32_t slot) {
+  Record& record = records_[slot];
+  ++record.generation;
+  if (record.generation == 0) ++record.generation;  // skip never-valid 0
+  free_.push_back(slot);
 }
 
 bool EventQueue::cancel(EventHandle handle) {
   if (!handle.valid()) return false;
-  if (handle.id >= next_id_) return false;
-  // Only pending events can be cancelled; fired events were removed from the
-  // heap so inserting their id into cancelled_ would leak.  We cannot cheaply
-  // distinguish "already fired" from "pending" without a side table, so keep
-  // one: cancelled_ holds ids whose heap entry still exists.  We detect
-  // double-cancel via the insertion result.
-  if (live_ == 0) return false;
-  const auto [it, inserted] = cancelled_.insert(handle.id);
-  (void)it;
-  if (!inserted) return false;
-  // The id might belong to an event that already fired; pop_and_run erases
-  // fired ids from cancelled_ defensively, so a stale cancel of a fired event
-  // is detected there.  To keep cancel() truthful we check liveness by
-  // assuming callers only cancel events they know are pending (the engine
-  // guarantees this); the live counter is adjusted here.
+  const std::uint64_t slot_part = handle.id & 0xffffffffULL;
+  if (slot_part == 0 || slot_part > records_.size()) return false;
+  const auto slot = static_cast<std::uint32_t>(slot_part - 1);
+  const auto generation = static_cast<std::uint32_t>(handle.id >> 32);
+  // A fired, cancelled, or recycled record carries a newer generation, so a
+  // stale handle fails here — cancel-after-fire is a truthful false.
+  if (records_[slot].generation != generation) return false;
+  records_[slot].fn = nullptr;
+  retire(slot);  // the heap item is skimmed lazily on pop
   --live_;
+  ++counters_.cancelled;
+  // Lazy deletion keeps cancel O(1), but a cancel-heavy stretch with no
+  // intervening pop would let dead heap entries pile up and force vector
+  // regrowth.  Once the dead outnumber the live, sweep them in place and
+  // re-heapify — amortized O(1) per cancel, and since (time, class, seq) is
+  // a strict total order the rebuilt heap pops in exactly the same order.
+  if (heap_.size() >= 64 && heap_.size() > 2 * live_) {
+    heap_.erase(std::remove_if(
+                    heap_.begin(), heap_.end(),
+                    [this](const HeapItem& item) { return !armed(item); }),
+                heap_.end());
+    std::make_heap(heap_.begin(), heap_.end(), Later{});
+  }
   return true;
 }
 
 void EventQueue::skim() {
-  while (!heap_.empty()) {
-    const auto it = cancelled_.find(heap_.top().id);
-    if (it == cancelled_.end()) return;
-    cancelled_.erase(it);
-    heap_.pop();
+  while (!heap_.empty() && !armed(heap_.front())) {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
   }
 }
 
 Time EventQueue::next_time() {
   skim();
   ES_EXPECTS(!heap_.empty());
-  return heap_.top().time;
+  return heap_.front().time;
 }
 
 Time EventQueue::pop_and_run() {
   skim();
   ES_EXPECTS(!heap_.empty());
-  Entry entry = heap_.top();
-  heap_.pop();
+  const HeapItem item = heap_.front();
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  heap_.pop_back();
+  // Retire before running: the callback may legitimately schedule new events
+  // (possibly reusing this very slot) or try to cancel its own handle, which
+  // must report "already fired".
+  Callback fn = std::move(records_[item.slot].fn);
+  retire(item.slot);
   --live_;
-  (*entry.fn)(entry.time);
-  return entry.time;
+  ++counters_.fired;
+  fn(item.time);
+  return item.time;
 }
 
 }  // namespace es::sim

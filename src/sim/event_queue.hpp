@@ -5,13 +5,20 @@
 // sequence); cancellation is O(1) (lazy removal on pop) which is what the
 // elastic workload needs — an ET/RT command reschedules a job's completion by
 // cancelling the pending finish event and inserting a new one.
+//
+// Storage is a slab of event records recycled through a free list.  The heap
+// holds plain (time, class, seq, slot, generation) items; callbacks live in
+// the slab and are moved in and out, so the steady-state schedule/pop cycle
+// performs no heap allocation (the engine's completion lambdas fit
+// std::function's small-object buffer).  Handles encode (slot, generation):
+// retiring a record bumps its generation, so a stale handle — fired,
+// cancelled, or pointing at a recycled slot — fails the generation match and
+// cancel() returns false in O(1), with no side table of cancelled ids.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
-#include <memory>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
 #include "sim/time.hpp"
@@ -22,6 +29,26 @@ namespace es::sim {
 struct EventHandle {
   std::uint64_t id = 0;
   bool valid() const { return id != 0; }
+};
+
+/// Monotonic traffic counters for one queue's lifetime.  `fired` counts
+/// callbacks actually run (cancelled events never fire); `peak_pending` is
+/// the high-water mark of live events.  Always: scheduled = fired +
+/// cancelled + still-pending.
+struct EventQueueCounters {
+  std::uint64_t scheduled = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t fired = 0;
+  std::uint64_t peak_pending = 0;
+
+  /// Aggregation across runs: traffic sums, the high-water mark maxes.
+  EventQueueCounters& operator+=(const EventQueueCounters& other) {
+    scheduled += other.scheduled;
+    cancelled += other.cancelled;
+    fired += other.fired;
+    peak_pending = std::max(peak_pending, other.peak_pending);
+    return *this;
+  }
 };
 
 /// Min-heap of events with deterministic tie-breaking and lazy cancellation.
@@ -50,34 +77,60 @@ class EventQueue {
   Time pop_and_run();
 
   /// Total events ever scheduled (for diagnostics / tests).
-  std::uint64_t total_scheduled() const { return next_id_ - 1; }
+  std::uint64_t total_scheduled() const { return counters_.scheduled; }
+
+  /// Lifetime traffic counters (see EventQueueCounters).
+  const EventQueueCounters& counters() const { return counters_; }
 
  private:
-  struct Entry {
+  // One slab slot.  `generation` starts at 1 (so a default EventHandle or a
+  // forged id with generation 0 never matches) and is bumped every time the
+  // record retires — fire and cancel both invalidate outstanding handles.
+  struct Record {
+    Callback fn;
+    std::uint32_t generation = 1;
+  };
+
+  // What the heap orders.  POD — pushing/popping never allocates beyond the
+  // amortized vector growth, which reaches steady state.
+  struct HeapItem {
     Time time;
-    int cls;
+    std::int32_t cls;
     std::uint64_t seq;
-    std::uint64_t id;
-    // Callback kept out of the comparison; shared_ptr keeps Entry copyable
-    // cheaply inside the heap.
-    std::shared_ptr<Callback> fn;
+    std::uint32_t slot;
+    std::uint32_t generation;
   };
   struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
+    bool operator()(const HeapItem& a, const HeapItem& b) const {
       if (a.time != b.time) return a.time > b.time;
       if (a.cls != b.cls) return a.cls > b.cls;
       return a.seq > b.seq;
     }
   };
 
+  static constexpr std::uint64_t make_id(std::uint32_t slot,
+                                         std::uint32_t generation) {
+    return (static_cast<std::uint64_t>(generation) << 32) |
+           (static_cast<std::uint64_t>(slot) + 1);
+  }
+
+  /// True when `item`'s record is still armed (not cancelled/retired).
+  bool armed(const HeapItem& item) const {
+    return records_[item.slot].generation == item.generation;
+  }
+
   /// Drops cancelled entries from the heap top.
   void skim();
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  std::unordered_set<std::uint64_t> cancelled_;
+  /// Invalidates the slot's handles and recycles it.
+  void retire(std::uint32_t slot);
+
+  std::vector<HeapItem> heap_;       // std::push_heap/pop_heap with Later
+  std::vector<Record> records_;      // slab, indexed by slot
+  std::vector<std::uint32_t> free_;  // recycled slots
   std::size_t live_ = 0;
-  std::uint64_t next_id_ = 1;
   std::uint64_t next_seq_ = 0;
+  EventQueueCounters counters_;
 };
 
 }  // namespace es::sim

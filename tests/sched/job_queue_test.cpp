@@ -1,0 +1,129 @@
+// Unit tests for the intrusive waiting queue (W^b).
+//
+// The queue replaces a std::deque<JobRun*>: links live inside JobRun, so
+// push/erase are allocation-free and erasing a job by pointer is O(1).  The
+// tests cover FIFO order, head/tail/middle unlinking, re-insertion after
+// erase, and the double-insertion guard flags.
+#include "sched/job_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "sched/job_state.hpp"
+
+namespace es::sched {
+namespace {
+
+std::vector<workload::JobId> ids_of(const JobQueue& queue) {
+  std::vector<workload::JobId> ids;
+  for (const JobRun* job : queue) ids.push_back(job->spec.id);
+  return ids;
+}
+
+class JobQueueTest : public ::testing::Test {
+ protected:
+  JobQueueTest() {
+    for (std::size_t i = 0; i < jobs_.size(); ++i)
+      jobs_[i].spec.id = static_cast<workload::JobId>(i + 1);
+  }
+
+  JobQueue queue_;
+  std::array<JobRun, 5> jobs_;
+};
+
+TEST_F(JobQueueTest, StartsEmpty) {
+  EXPECT_TRUE(queue_.empty());
+  EXPECT_EQ(queue_.size(), 0u);
+  EXPECT_EQ(queue_.front(), nullptr);
+  EXPECT_EQ(queue_.back(), nullptr);
+  EXPECT_EQ(queue_.begin(), queue_.end());
+}
+
+TEST_F(JobQueueTest, PushBackPreservesFifoOrder) {
+  for (JobRun& job : jobs_) queue_.push_back(&job);
+  EXPECT_EQ(queue_.size(), 5u);
+  EXPECT_EQ(ids_of(queue_), (std::vector<workload::JobId>{1, 2, 3, 4, 5}));
+  EXPECT_EQ(queue_.front(), &jobs_[0]);
+  EXPECT_EQ(queue_.back(), &jobs_[4]);
+}
+
+TEST_F(JobQueueTest, PushFrontPrepends) {
+  queue_.push_back(&jobs_[0]);
+  queue_.push_front(&jobs_[1]);  // the requeue-head path
+  EXPECT_EQ(ids_of(queue_), (std::vector<workload::JobId>{2, 1}));
+  EXPECT_EQ(queue_.front(), &jobs_[1]);
+  EXPECT_EQ(queue_.back(), &jobs_[0]);
+}
+
+TEST_F(JobQueueTest, PushFrontIntoEmptySetsBothEnds) {
+  queue_.push_front(&jobs_[0]);
+  EXPECT_EQ(queue_.front(), &jobs_[0]);
+  EXPECT_EQ(queue_.back(), &jobs_[0]);
+  EXPECT_EQ(queue_.size(), 1u);
+}
+
+TEST_F(JobQueueTest, EraseHeadMiddleAndTail) {
+  for (JobRun& job : jobs_) queue_.push_back(&job);
+  queue_.erase(&jobs_[0]);  // head
+  EXPECT_EQ(ids_of(queue_), (std::vector<workload::JobId>{2, 3, 4, 5}));
+  queue_.erase(&jobs_[2]);  // middle
+  EXPECT_EQ(ids_of(queue_), (std::vector<workload::JobId>{2, 4, 5}));
+  queue_.erase(&jobs_[4]);  // tail
+  EXPECT_EQ(ids_of(queue_), (std::vector<workload::JobId>{2, 4}));
+  EXPECT_EQ(queue_.front(), &jobs_[1]);
+  EXPECT_EQ(queue_.back(), &jobs_[3]);
+  EXPECT_EQ(queue_.size(), 2u);
+}
+
+TEST_F(JobQueueTest, EraseLastLeavesCleanEmptyQueue) {
+  queue_.push_back(&jobs_[0]);
+  queue_.erase(&jobs_[0]);
+  EXPECT_TRUE(queue_.empty());
+  EXPECT_EQ(queue_.front(), nullptr);
+  EXPECT_EQ(queue_.back(), nullptr);
+  EXPECT_FALSE(jobs_[0].in_batch_queue);
+  EXPECT_EQ(jobs_[0].queue_prev, nullptr);
+  EXPECT_EQ(jobs_[0].queue_next, nullptr);
+}
+
+TEST_F(JobQueueTest, ErasedJobCanBeReinserted) {
+  // The requeue path: a preempted job leaves via start() and comes back via
+  // push_front/push_back.
+  for (JobRun& job : jobs_) queue_.push_back(&job);
+  queue_.erase(&jobs_[2]);
+  queue_.push_front(&jobs_[2]);
+  EXPECT_EQ(ids_of(queue_), (std::vector<workload::JobId>{3, 1, 2, 4, 5}));
+  queue_.erase(&jobs_[2]);
+  queue_.push_back(&jobs_[2]);
+  EXPECT_EQ(ids_of(queue_), (std::vector<workload::JobId>{1, 2, 4, 5, 3}));
+}
+
+TEST_F(JobQueueTest, MembershipFlagTracksQueueState) {
+  EXPECT_FALSE(jobs_[0].in_batch_queue);
+  queue_.push_back(&jobs_[0]);
+  EXPECT_TRUE(jobs_[0].in_batch_queue);
+  queue_.erase(&jobs_[0]);
+  EXPECT_FALSE(jobs_[0].in_batch_queue);
+}
+
+TEST_F(JobQueueTest, IteratorIsForwardIterator) {
+  for (JobRun& job : jobs_) queue_.push_back(&job);
+  auto it = queue_.begin();
+  EXPECT_EQ((*it)->spec.id, 1);
+  auto copy = it++;
+  EXPECT_EQ((*copy)->spec.id, 1);
+  EXPECT_EQ((*it)->spec.id, 2);
+  ++it;
+  EXPECT_EQ((*it)->spec.id, 3);
+  // A snapshot built from iterators matches iteration order — the pattern
+  // EASY uses to scan backfill candidates.
+  std::vector<JobRun*> snapshot(queue_.begin(), queue_.end());
+  ASSERT_EQ(snapshot.size(), 5u);
+  EXPECT_EQ(snapshot.front(), &jobs_[0]);
+  EXPECT_EQ(snapshot.back(), &jobs_[4]);
+}
+
+}  // namespace
+}  // namespace es::sched

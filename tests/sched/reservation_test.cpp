@@ -51,25 +51,28 @@ class ReservationTest : public ::testing::Test {
   }
 
   SchedulerContext context(double now) {
-    // Active list must be sorted by residual (planned end).
+    // Active list must be sorted by residual (planned end), id on ties —
+    // the invariant the engine maintains incrementally.
     std::sort(active_.begin(), active_.end(),
               [](const JobRun* a, const JobRun* b) {
-                return a->start_time + a->req_time <
-                       b->start_time + b->req_time;
+                const double ea = a->start_time + a->req_time;
+                const double eb = b->start_time + b->req_time;
+                if (ea != eb) return ea < eb;
+                return a->spec.id < b->spec.id;
               });
     SchedulerContext ctx;
     ctx.now = now;
     ctx.machine = &machine_;
     ctx.batch = &batch_;
     ctx.dedicated = &dedicated_;
-    ctx.active = active_;
+    ctx.active = &active_;
     return ctx;
   }
 
   cluster::Machine machine_;
   std::vector<std::unique_ptr<JobRun>> owned_;
   std::vector<JobRun*> active_;
-  std::deque<JobRun*> batch_;
+  JobQueue batch_;
   std::vector<JobRun*> dedicated_;
 };
 

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "util/rng.hpp"
@@ -140,6 +143,226 @@ TEST(EventQueue, PropertyRandomInsertionPopsSorted) {
         ASSERT_LE(popped[i - 1].second, popped[i].second);
       }
     }
+  }
+}
+
+TEST(EventQueue, CancelAfterFireFails) {
+  // Regression: cancelling a handle whose event already fired must return
+  // false and must not disturb the live count or any other pending event.
+  // (The pre-slab queue corrupted its live counter here: the fired id went
+  // into the cancelled set and live_ was decremented for a second time.)
+  EventQueue queue;
+  int fired = 0;
+  const EventHandle first =
+      queue.schedule(1.0, EventClass::kOther, [&](Time) { ++fired; });
+  queue.schedule(2.0, EventClass::kOther, [&](Time) { ++fired; });
+  queue.pop_and_run();  // fires `first`
+  EXPECT_EQ(queue.size(), 1u);
+  EXPECT_FALSE(queue.cancel(first));
+  EXPECT_EQ(queue.size(), 1u);  // the stale cancel must not eat the size
+  EXPECT_FALSE(queue.empty());
+  queue.pop_and_run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueue, CancelInsideOwnCallbackFails) {
+  EventQueue queue;
+  EventHandle self{};
+  bool cancel_result = true;
+  self = queue.schedule(1.0, EventClass::kOther, [&](Time) {
+    cancel_result = queue.cancel(self);
+  });
+  queue.pop_and_run();
+  EXPECT_FALSE(cancel_result);  // by then the event counts as fired
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueue, StaleHandleToReusedSlotFails) {
+  // Slot recycling must not let an old handle cancel the new tenant: the
+  // generation in the handle no longer matches the record's.
+  EventQueue queue;
+  int fired = 0;
+  const EventHandle old_handle =
+      queue.schedule(1.0, EventClass::kOther, [&](Time) { ++fired; });
+  EXPECT_TRUE(queue.cancel(old_handle));
+  // The next schedule reuses the freed slot (single-slot slab).
+  const EventHandle new_handle =
+      queue.schedule(2.0, EventClass::kOther, [&](Time) { ++fired; });
+  EXPECT_NE(old_handle.id, new_handle.id);
+  EXPECT_FALSE(queue.cancel(old_handle));  // stale generation
+  queue.pop_and_run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(queue.cancel(new_handle));  // already fired
+}
+
+TEST(EventQueue, HandleReuseAcrossManyGenerations) {
+  // Hammer one slot through many schedule/fire and schedule/cancel rounds;
+  // every stale handle from an earlier generation must stay dead.
+  EventQueue queue;
+  std::vector<EventHandle> history;
+  int fired = 0;
+  for (int round = 0; round < 100; ++round) {
+    const EventHandle handle = queue.schedule(
+        static_cast<double>(round), EventClass::kOther, [&](Time) { ++fired; });
+    for (const EventHandle& stale : history) EXPECT_FALSE(queue.cancel(stale));
+    history.push_back(handle);
+    if (round % 2 == 0) {
+      queue.pop_and_run();
+    } else {
+      EXPECT_TRUE(queue.cancel(handle));
+    }
+  }
+  EXPECT_EQ(fired, 50);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueue, CountersTrackTraffic) {
+  EventQueue queue;
+  const EventHandle a = queue.schedule(1.0, EventClass::kOther, [](Time) {});
+  queue.schedule(2.0, EventClass::kOther, [](Time) {});
+  queue.schedule(3.0, EventClass::kOther, [](Time) {});
+  EXPECT_EQ(queue.counters().scheduled, 3u);
+  EXPECT_EQ(queue.counters().peak_pending, 3u);
+  EXPECT_TRUE(queue.cancel(a));
+  queue.pop_and_run();
+  queue.pop_and_run();
+  const EventQueueCounters& counters = queue.counters();
+  EXPECT_EQ(counters.scheduled, 3u);
+  EXPECT_EQ(counters.cancelled, 1u);
+  EXPECT_EQ(counters.fired, 2u);
+  EXPECT_EQ(counters.peak_pending, 3u);  // high-water mark survives draining
+  EXPECT_EQ(counters.scheduled, counters.fired + counters.cancelled);
+  EXPECT_EQ(queue.total_scheduled(), 3u);
+}
+
+TEST(EventQueue, CountersAggregateSumsTrafficAndMaxesPeak) {
+  EventQueueCounters total;
+  EventQueueCounters a{10, 2, 8, 5};
+  EventQueueCounters b{7, 0, 7, 9};
+  total += a;
+  total += b;
+  EXPECT_EQ(total.scheduled, 17u);
+  EXPECT_EQ(total.cancelled, 2u);
+  EXPECT_EQ(total.fired, 15u);
+  EXPECT_EQ(total.peak_pending, 9u);
+}
+
+// Naive reference queue for the model-based stress test: a flat vector
+// scanned for the (time, class, seq) minimum, with eager cancellation.
+class ReferenceQueue {
+ public:
+  std::uint64_t schedule(Time at, EventClass cls) {
+    entries_.push_back({at, static_cast<int>(cls), next_seq_++, next_id_});
+    return next_id_++;
+  }
+  bool cancel(std::uint64_t id) {
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      if (entries_[i].id == id) {
+        entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(i));
+        return true;
+      }
+    }
+    return false;
+  }
+  bool empty() const { return entries_.empty(); }
+  std::size_t size() const { return entries_.size(); }
+  /// Removes and returns the id of the earliest entry.
+  std::uint64_t pop() {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < entries_.size(); ++i) {
+      const Entry& a = entries_[i];
+      const Entry& b = entries_[best];
+      if (a.time != b.time ? a.time < b.time
+                           : (a.cls != b.cls ? a.cls < b.cls : a.seq < b.seq))
+        best = i;
+    }
+    const std::uint64_t id = entries_[best].id;
+    entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(best));
+    return id;
+  }
+
+ private:
+  struct Entry {
+    Time time;
+    int cls;
+    std::uint64_t seq;
+    std::uint64_t id;
+  };
+  std::vector<Entry> entries_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_id_ = 1;
+};
+
+TEST(EventQueue, ModelBasedRandomInterleavings) {
+  // Random schedule/cancel/pop interleavings checked op-by-op against the
+  // naive reference: identical pop order, identical cancel verdicts,
+  // identical sizes.  Cancels deliberately include stale handles (already
+  // fired or already cancelled) so the generation check is exercised too.
+  util::Rng rng(4242);
+  for (int round = 0; round < 25; ++round) {
+    EventQueue queue;
+    ReferenceQueue reference;
+    // Model id -> live slab handle; erased when fired or cancelled.
+    std::vector<std::pair<std::uint64_t, EventHandle>> live;
+    std::vector<std::pair<std::uint64_t, EventHandle>> retired;
+    std::vector<std::uint64_t> fired_ids;
+    std::uint64_t expected_fire = 0;
+    const int ops = 400;
+    for (int op = 0; op < ops; ++op) {
+      const double coin = rng.uniform(0, 1);
+      if (coin < 0.5 || queue.empty()) {
+        // Schedule, with coarse times so ties across classes happen often.
+        const double t = std::floor(rng.uniform(0, 20));
+        const auto cls = static_cast<EventClass>(rng.uniform_int(0, 7));
+        const std::uint64_t model_id = reference.schedule(t, cls);
+        const EventHandle handle =
+            queue.schedule(t, cls, [&fired_ids, model_id](Time) {
+              fired_ids.push_back(model_id);
+            });
+        ASSERT_TRUE(handle.valid());
+        live.emplace_back(model_id, handle);
+      } else if (coin < 0.75 && !(live.empty() && retired.empty())) {
+        // Cancel: half the time a live handle, half a stale one.
+        const bool pick_live =
+            !live.empty() && (retired.empty() || rng.bernoulli(0.5));
+        auto& pool = pick_live ? live : retired;
+        const std::size_t index = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<int>(pool.size()) - 1));
+        const auto [model_id, handle] = pool[index];
+        const bool model_ok = reference.cancel(model_id);
+        ASSERT_EQ(queue.cancel(handle), model_ok)
+            << "round " << round << " op " << op << " id " << model_id;
+        if (model_ok) {
+          pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(index));
+          retired.emplace_back(model_id, handle);
+        }
+      } else {
+        const std::uint64_t model_id = reference.pop();
+        expected_fire = model_id;
+        fired_ids.clear();
+        queue.pop_and_run();
+        ASSERT_EQ(fired_ids, std::vector<std::uint64_t>{expected_fire})
+            << "round " << round << " op " << op;
+        for (std::size_t i = 0; i < live.size(); ++i) {
+          if (live[i].first == model_id) {
+            retired.push_back(live[i]);
+            live.erase(live.begin() + static_cast<std::ptrdiff_t>(i));
+            break;
+          }
+        }
+      }
+      ASSERT_EQ(queue.size(), reference.size());
+      ASSERT_EQ(queue.empty(), reference.empty());
+    }
+    // Drain: remaining pops must match the reference exactly.
+    while (!reference.empty()) {
+      const std::uint64_t model_id = reference.pop();
+      fired_ids.clear();
+      queue.pop_and_run();
+      ASSERT_EQ(fired_ids, std::vector<std::uint64_t>{model_id});
+    }
+    EXPECT_TRUE(queue.empty());
   }
 }
 

@@ -84,7 +84,8 @@ int main(int argc, char** argv) {
   cli.add_option("jobs", "worker threads fanning the replications "
                  "(default 1 = serial; 0 = all cores)", &parallel_jobs);
   cli.add_flag("perf-report", "print hot-path counters (DP calls, cache "
-               "hits, fast-path exits) and wall timings", &perf_report);
+               "hits, fast-path exits; event-queue scheduled/cancelled/"
+               "fired, peak pending) and wall timings", &perf_report);
   cli.add_flag("no-dp-cache", "disable the knapsack memo cache (schedules "
                "are identical either way; for perf comparison)",
                &no_dp_cache);
@@ -258,6 +259,10 @@ int main(int argc, char** argv) {
       table.cell("DP fast-path exits").cell(static_cast<long long>(aggregate.dp.fast_path)).end_row();
       table.cell("DP cache hits").cell(static_cast<long long>(aggregate.dp.cache_hits)).end_row();
       table.cell("DP table runs").cell(static_cast<long long>(aggregate.dp.table_runs)).end_row();
+      table.cell("events scheduled").cell(static_cast<long long>(aggregate.events.scheduled)).end_row();
+      table.cell("events cancelled").cell(static_cast<long long>(aggregate.events.cancelled)).end_row();
+      table.cell("events fired").cell(static_cast<long long>(aggregate.events.fired)).end_row();
+      table.cell("peak pending events").cell(static_cast<long long>(aggregate.events.peak_pending)).end_row();
     }
     table.render(std::cout);
     return 0;
@@ -324,6 +329,10 @@ int main(int argc, char** argv) {
     perf_table.cell("DP table runs").cell(static_cast<long long>(perf.dp.table_runs)).end_row();
     perf_table.cell("DP table cells").cell(static_cast<long long>(perf.dp.table_cells)).end_row();
     perf_table.cell("DP cache hit rate %").cell(100.0 * perf.dp_cache_hit_rate(), 2).end_row();
+    perf_table.cell("events scheduled").cell(static_cast<long long>(perf.events.scheduled)).end_row();
+    perf_table.cell("events cancelled").cell(static_cast<long long>(perf.events.cancelled)).end_row();
+    perf_table.cell("events fired").cell(static_cast<long long>(perf.events.fired)).end_row();
+    perf_table.cell("peak pending events").cell(static_cast<long long>(perf.events.peak_pending)).end_row();
     perf_table.cell("cycle wall (s)").cell(perf.cycle_seconds, 4).end_row();
     perf_table.cell("run wall (s)").cell(perf.wall_seconds, 4).end_row();
     perf_table.render(std::cout);
