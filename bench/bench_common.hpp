@@ -18,6 +18,7 @@
 #include <string>
 #include <sys/stat.h>
 
+#include "core/factory.hpp"
 #include "exp/report.hpp"
 #include "exp/sweep.hpp"
 #include "util/cli.hpp"
@@ -56,7 +57,15 @@ inline bool parse_bench_options(int argc, const char* const* argv,
   cli.add_option("csv-dir", "directory for CSV output (default results/)",
                  &options.csv_dir);
   cli.add_flag("quick", "fast mode: fewer points and seeds", &options.quick);
+  bool list_algorithms = false;
+  cli.add_flag("list-algorithms", "print every known algorithm name and exit",
+               &list_algorithms);
   if (!cli.parse(argc, argv)) return false;
+  if (list_algorithms) {
+    for (const std::string& name : core::algorithm_names())
+      std::printf("%s\n", name.c_str());
+    return false;
+  }
   if (options.quick) {
     options.num_jobs = 200;
     options.replications = 2;

@@ -56,15 +56,15 @@ Point run_point(const es::bench::BenchOptions& options,
     const es::workload::Workload workload = es::workload::generate(config);
 
     es::core::AlgorithmOptions algo = es::bench::algo_options(options);
-    algo.requeue = policy;
+    algo.engine.requeue = policy;
     if (mtbf_hours > 0) {
-      algo.failure.enabled = true;
-      algo.failure.seed = options.seed + 1000 + static_cast<std::uint64_t>(i);
-      algo.failure.mtbf = mtbf_hours * 3600.0;
-      algo.failure.mttr = 30 * 60.0;
-      algo.failure.min_nodes = 1;
-      algo.failure.max_nodes = 2;
-      algo.failure.max_interruptions = 10;
+      algo.engine.failure.enabled = true;
+      algo.engine.failure.seed = options.seed + 1000 + static_cast<std::uint64_t>(i);
+      algo.engine.failure.mtbf = mtbf_hours * 3600.0;
+      algo.engine.failure.mttr = 30 * 60.0;
+      algo.engine.failure.min_nodes = 1;
+      algo.engine.failure.max_nodes = 2;
+      algo.engine.failure.max_interruptions = 10;
     }
     const es::sched::SimulationResult result =
         es::exp::run_workload(workload, algorithm, algo);
@@ -127,21 +127,21 @@ RecoveryPoint run_recovery_point(const es::bench::BenchOptions& options,
     const es::workload::Workload workload = es::workload::generate(config);
 
     es::core::AlgorithmOptions algo = es::bench::algo_options(options);
-    algo.requeue = es::fault::RequeuePolicy::kRequeueHead;
-    algo.failure.enabled = true;
-    algo.failure.seed = options.seed + 1000 + static_cast<std::uint64_t>(i);
-    algo.failure.mtbf = mtbf_hours * 3600.0;
-    algo.failure.mttr = 30 * 60.0;
-    algo.failure.min_nodes = 1;
-    algo.failure.max_nodes = 2;
-    algo.failure.max_interruptions = 0;  // capless: recovery mode decides
+    algo.engine.requeue = es::fault::RequeuePolicy::kRequeueHead;
+    algo.engine.failure.enabled = true;
+    algo.engine.failure.seed = options.seed + 1000 + static_cast<std::uint64_t>(i);
+    algo.engine.failure.mtbf = mtbf_hours * 3600.0;
+    algo.engine.failure.mttr = 30 * 60.0;
+    algo.engine.failure.min_nodes = 1;
+    algo.engine.failure.max_nodes = 2;
+    algo.engine.failure.max_interruptions = 0;  // capless: recovery mode decides
     if (checkpointed) {
-      algo.checkpoint.enabled = true;
-      algo.checkpoint.interval = 900.0;
-      algo.checkpoint.overhead = 30.0;
+      algo.engine.checkpoint.enabled = true;
+      algo.engine.checkpoint.interval = 900.0;
+      algo.engine.checkpoint.overhead = 30.0;
     }
     // Event budget so the capless restart mode cannot hang the bench.
-    algo.watchdog.max_events =
+    algo.engine.watchdog.max_events =
         options.quick ? 100'000ULL : 500'000ULL;
     const es::sched::SimulationResult result =
         es::exp::run_workload(workload, "EASY", algo);

@@ -1,4 +1,4 @@
-// perf_baseline — machine-readable perf trajectory entry (BENCH_PR4.json).
+// perf_baseline — machine-readable perf trajectory entry (BENCH_PR5.json).
 //
 // Measures the cumulative engine optimizations on the paper's Fig-7 setup
 // (P_S = 0.2, load sweep over EASY / LOS / Delayed-LOS):
@@ -21,6 +21,10 @@
 //      the committed golden CSV (data/golden/kernel_equivalence.csv),
 //      generated from the pre-overhaul engine.  Any divergence fails the
 //      run — the kernel rework must not change a single simulated metric.
+//   6. observer chain (PR 5): the serial campaign repeated with the
+//      CycleStatsObserver attachment enabled vs the default empty chain,
+//      with the metrics CSVs byte-compared — the lifecycle event bus must
+//      leave the science untouched and cost at most a couple percent.
 //
 // Counters and equivalence verdicts in the JSON are deterministic; every
 // *_seconds / *_per_second field is measurement and varies run to run.  CI
@@ -119,7 +123,7 @@ int main(int argc, char** argv) {
   {
     es::util::CliParser cli(
         "Perf baseline: campaign parallelism + DP hot path + event kernel "
-        "(BENCH_PR4.json)");
+        "+ observer chain (BENCH_PR5.json)");
     cli.add_option("num-jobs", "jobs per simulation point (default 500)",
                    &options.num_jobs);
     cli.add_option("replications", "seeds averaged per point (default 5)",
@@ -269,6 +273,73 @@ int main(int argc, char** argv) {
   const bool golden_identical =
       golden_found && golden_expected == golden_actual;
 
+  // --- leg 6: observer-chain overhead ----------------------------------
+  // The leg-1 serial campaign again, alternating the default empty
+  // attachment chain with the CycleStatsObserver collecting per-cycle
+  // histograms.  Attachments only observe, so the metrics CSVs must be
+  // byte-identical; the wall-time ratio is the chain's whole cost.  The
+  // variants are timed interleaved across many reps and the per-variant
+  // minimum kept: OS noise only ever adds time, so the min over enough
+  // reps converges on each variant's true cost.
+  es::core::AlgorithmOptions observed_algo = algo;
+  observed_algo.engine.collect_cycle_stats = true;
+  // Each sample times chain_iters whole campaigns so one sample is a few
+  // hundred milliseconds — long enough that scheduler jitter stops
+  // dominating a percent-level comparison.
+  const int chain_iters = options.quick ? 2 : 8;
+  const int chain_reps = options.quick ? 2 : 12;
+  double chain_off_seconds = 0;
+  double chain_on_seconds = 0;
+  es::exp::Sweep chain_off_sweep;
+  es::exp::Sweep chain_on_sweep;
+  // One untimed campaign per variant first, so cold caches and lazy page
+  // faults land on nobody's clock.
+  chain_off_sweep = es::exp::load_sweep(config, loads, algorithms, algo,
+                                        options.replications);
+  chain_on_sweep = es::exp::load_sweep(config, loads, algorithms,
+                                       observed_algo, options.replications);
+  const auto time_chain_off = [&]() {
+    t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < chain_iters; ++i)
+      chain_off_sweep = es::exp::load_sweep(config, loads, algorithms, algo,
+                                            options.replications);
+    const double off = seconds_since(t0) / chain_iters;
+    if (chain_off_seconds == 0 || off < chain_off_seconds)
+      chain_off_seconds = off;
+  };
+  const auto time_chain_on = [&]() {
+    t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < chain_iters; ++i)
+      chain_on_sweep = es::exp::load_sweep(config, loads, algorithms,
+                                           observed_algo,
+                                           options.replications);
+    const double on = seconds_since(t0) / chain_iters;
+    if (chain_on_seconds == 0 || on < chain_on_seconds)
+      chain_on_seconds = on;
+  };
+  for (int rep = 0; rep < chain_reps; ++rep) {
+    // Alternate which variant is timed first: frequency boost decaying
+    // through the run would otherwise systematically favour one side.
+    if (rep % 2 == 0) {
+      time_chain_off();
+      time_chain_on();
+    } else {
+      time_chain_on();
+      time_chain_off();
+    }
+  }
+
+  const std::string chain_off_csv =
+      options.csv_dir + "/perf_baseline_chain_off.csv";
+  const std::string chain_on_csv =
+      options.csv_dir + "/perf_baseline_chain_on.csv";
+  es::exp::write_sweep_csv(chain_off_csv, chain_off_sweep);
+  es::exp::write_sweep_csv(chain_on_csv, chain_on_sweep);
+  const bool chain_identical = slurp(chain_off_csv) == slurp(chain_on_csv);
+  const double chain_overhead =
+      chain_off_seconds > 0 ? chain_on_seconds / chain_off_seconds - 1.0
+                            : 0.0;
+
   std::printf("campaign: serial %.3fs, parallel(%d) %.3fs, speedup %.2fx, "
               "csv identical: %s\n",
               serial_seconds, parallel_jobs, parallel_seconds, speedup,
@@ -295,13 +366,17 @@ int main(int argc, char** argv) {
   std::printf("kernel equivalence vs %s: %s\n", golden_path.c_str(),
               !golden_found ? "GOLDEN NOT FOUND"
                             : (golden_identical ? "byte-identical" : "DIVERGED"));
+  std::printf("observer chain: off %.3fs, on %.3fs, overhead %.2f%%, "
+              "csv identical: %s\n",
+              chain_off_seconds, chain_on_seconds, 100.0 * chain_overhead,
+              chain_identical ? "yes" : "NO");
 
-  const std::string out_path = "BENCH_PR4.json";
+  const std::string out_path = "BENCH_PR5.json";
   const bool ok = es::util::write_file_atomic(
       out_path, [&](std::ostream& out) {
         out << "{\n"
             << "  \"bench\": \"perf_baseline\",\n"
-            << "  \"pr\": 4,\n"
+            << "  \"pr\": 5,\n"
             << "  \"host_cores\": " << es::util::hardware_parallelism()
             << ",\n"
             << "  \"workload\": {\"num_jobs\": " << options.num_jobs
@@ -342,6 +417,11 @@ int main(int argc, char** argv) {
             << "  \"kernel_equivalence\": {\"golden\": \"" << golden_path
             << "\", \"golden_found\": " << (golden_found ? "true" : "false")
             << ", \"identical\": " << (golden_identical ? "true" : "false")
+            << "},\n"
+            << "  \"observer_chain\": {\"off_seconds\": " << chain_off_seconds
+            << ", \"on_seconds\": " << chain_on_seconds
+            << ", \"overhead\": " << chain_overhead
+            << ", \"csv_identical\": " << (chain_identical ? "true" : "false")
             << "}\n"
             << "}\n";
         return out.good();
@@ -352,7 +432,10 @@ int main(int argc, char** argv) {
   }
   std::printf("[json] %s\n", out_path.c_str());
   // The equivalences are correctness gates, not just measurements: the
-  // parallel campaign, the DP cache and the slab kernel must all leave the
-  // simulated science untouched.
-  return (csv_identical && cache_identical && golden_identical) ? 0 : 1;
+  // parallel campaign, the DP cache, the slab kernel and the observer
+  // chain must all leave the simulated science untouched.
+  return (csv_identical && cache_identical && golden_identical &&
+          chain_identical)
+             ? 0
+             : 1;
 }

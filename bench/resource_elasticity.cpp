@@ -36,7 +36,7 @@ int main(int argc, char** argv) {
       spec.workload = config;
       spec.algorithm = "Delayed-LOS-E";
       spec.options = es::bench::algo_options(options);
-      spec.options.allow_running_resize = malleable;
+      spec.options.engine.allow_running_resize = malleable;
       es::util::RunningStats util_stats, wait_stats;
       std::uint64_t resizes = 0, rejected = 0;
       for (int i = 0; i < options.replications; ++i) {

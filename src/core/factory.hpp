@@ -15,17 +15,16 @@
 #pragma once
 
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
-#include "fault/checkpoint.hpp"
-#include "fault/failure_model.hpp"
+#include "sched/engine_config.hpp"
 #include "sched/scheduler.hpp"
-#include "sim/watchdog.hpp"
 
 namespace es::core {
 
-/// Tunables shared by the LOS family, plus engine attachments.
+/// Tunables shared by the LOS family, plus the engine configuration.
 struct AlgorithmOptions {
   int max_skip_count = 7;  ///< C_s for Delayed-LOS / Hybrid-LOS
   int lookahead = 50;      ///< DP lookahead depth (Shmueli's 50-job limit)
@@ -33,24 +32,15 @@ struct AlgorithmOptions {
   /// Cached runs schedule bit-identically to uncached ones; the switch
   /// exists so tests and perf baselines can prove it.
   bool dp_cache = true;
-  /// Let EP/RP resize running jobs work-conservingly (section-VI
-  /// extension).  Only meaningful for the -E variants; an engine
-  /// attachment, carried here so experiment specs stay one struct.
-  bool allow_running_resize = false;
-  /// Attach a full schedule audit trace to the result (engine attachment).
-  bool record_trace = false;
-  /// Fault injection (engine attachment; disabled by default).
-  fault::FailureModelConfig failure{};
-  /// What happens to jobs preempted by a node failure.
-  fault::RequeuePolicy requeue = fault::RequeuePolicy::kRequeueHead;
-  /// Checkpoint/restart recovery for preempted jobs (engine attachment;
-  /// disabled by default).
-  fault::CheckpointConfig checkpoint{};
-  /// Watchdog budgets (engine attachment; disabled by default).
-  sim::WatchdogConfig watchdog{};
+  /// The one engine configuration, flowing unchanged factory ->
+  /// experiment -> simrun/bench.  The run paths override the machine
+  /// shape from the workload and process_eccs / allow_running_resize
+  /// from the algorithm name (see exp::run_workload).
+  sched::EngineConfig engine{};
 };
 
 /// A constructed algorithm: the policy plus its engine attachments.
+/// `policy` is never null — make_algorithm throws on unknown names.
 struct Algorithm {
   std::unique_ptr<sched::Scheduler> policy;
   bool process_eccs = false;
@@ -58,10 +48,26 @@ struct Algorithm {
   std::string canonical_name;
 };
 
+/// Thrown by make_algorithm for names outside algorithm_names(); carries
+/// the offending name and the known-name list in what().
+class UnknownAlgorithmError : public std::invalid_argument {
+ public:
+  explicit UnknownAlgorithmError(const std::string& name);
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+};
+
 /// Builds an algorithm by name (case-insensitive; both "Delayed-LOS" and
-/// "delayed-los" work).  Returns an empty policy for unknown names.
+/// "delayed-los" work).  Throws UnknownAlgorithmError for unknown names,
+/// so a returned Algorithm always has a non-null policy.
 Algorithm make_algorithm(const std::string& name,
                          const AlgorithmOptions& options = {});
+
+/// True when `name` would construct (the non-throwing validity probe for
+/// CLI front-ends that want exit codes instead of exceptions).
+bool is_algorithm_name(const std::string& name);
 
 /// All Table-III names in the paper's order, plus the extras.
 std::vector<std::string> algorithm_names();

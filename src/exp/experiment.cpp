@@ -13,18 +13,17 @@ namespace es::exp {
 sched::SimulationResult run_workload(const workload::Workload& workload,
                                      const std::string& algorithm,
                                      const core::AlgorithmOptions& options) {
+  // make_algorithm throws UnknownAlgorithmError for bad names, so the
+  // policy is always valid here.
   core::Algorithm algo = core::make_algorithm(algorithm, options);
-  ES_EXPECTS(algo.policy != nullptr);
-  sched::EngineConfig config;
+  // One config spine: the options carry the EngineConfig verbatim; only
+  // the machine shape (owned by the workload) and the name-derived ECC
+  // flags are overridden.
+  sched::EngineConfig config = options.engine;
   config.machine_procs = workload.machine_procs;
   config.granularity = workload.granularity;
   config.process_eccs = algo.process_eccs;
   config.allow_running_resize = algo.allow_running_resize;
-  config.record_trace = options.record_trace;
-  config.failure = options.failure;
-  config.requeue = options.requeue;
-  config.checkpoint = options.checkpoint;
-  config.watchdog = options.watchdog;
   return sched::simulate(config, *algo.policy, workload);
 }
 
@@ -66,6 +65,7 @@ Aggregate run_replicated(RunSpec spec, int replications) {
     aggregate.ecc_processed += result.ecc.processed;
     aggregate.dp += result.perf.dp;
     aggregate.events += result.perf.events;
+    aggregate.cycle += result.perf.cycle;
   }
   aggregate.utilization = util_stats.mean();
   aggregate.mean_wait = wait_stats.mean();

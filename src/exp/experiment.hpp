@@ -40,6 +40,9 @@ struct Aggregate {
   /// Event-kernel traffic over the replications (scheduled/cancelled/fired
   /// summed, peak pending maxed) — deterministic, like the DP counters.
   sim::EventQueueCounters events;
+  /// Per-cycle shape histograms summed over the replications (all-zero
+  /// unless AlgorithmOptions::engine.collect_cycle_stats is set).
+  sched::CycleStats cycle;
 };
 
 /// Runs a prepared workload under a named algorithm.  The engine's machine

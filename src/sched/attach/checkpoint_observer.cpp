@@ -1,0 +1,54 @@
+#include "sched/attach/checkpoint_observer.hpp"
+
+#include <algorithm>
+
+#include "sched/metrics.hpp"
+
+namespace es::sched {
+
+void CheckpointObserver::on_checkpoint_replan(JobRun& job) {
+  // An ECC that moved the job's time bounds (or a fresh start) changes how
+  // many periodic checkpoints the rest of the attempt will take; re-plan
+  // before the finish event is (re)inserted so duration formulas stay
+  // coherent.
+  job.ckpt_overhead_planned = model_.planned_overhead(job.remaining_work());
+}
+
+void CheckpointObserver::on_preempt(sim::Time now, PreemptInfo& info) {
+  (void)now;
+  JobRun* job = info.job;
+  // A requeued job resumes from its last checkpoint, so the work banked
+  // there is saved rather than lost.  Abandoned jobs bank nothing — their
+  // checkpoints are never restored from.
+  if (info.policy != fault::RequeuePolicy::kAbandon) {
+    info.saved =
+        std::min(model_.banked_work(info.elapsed), job->remaining_work());
+    std::uint64_t taken =
+        static_cast<std::uint64_t>(model_.completed_count(info.elapsed));
+    if (model_.config().on_preempt) ++taken;
+    checkpoints_ += taken;
+    overhead_proc_seconds_ +=
+        static_cast<double>(job->alloc) * model_.overhead_spent(info.elapsed);
+    saved_proc_seconds_ += static_cast<double>(job->alloc) * info.saved;
+    job->ckpt_progress += info.saved;
+  }
+  job->ckpt_overhead_planned = 0;  // re-planned at the next start
+}
+
+void CheckpointObserver::on_finish(sim::Time now, const JobRun& job) {
+  (void)now;
+  // The attempt ran to completion, so every planned periodic checkpoint
+  // was taken and its overhead paid on the job's full allocation.
+  checkpoints_ +=
+      static_cast<std::uint64_t>(model_.periodic_count(job.remaining_work()));
+  overhead_proc_seconds_ +=
+      static_cast<double>(job.alloc) * job.ckpt_overhead_planned;
+}
+
+void CheckpointObserver::on_collect(SimulationResult& result) const {
+  result.failure.checkpoints = checkpoints_;
+  result.failure.checkpoint_overhead_proc_seconds = overhead_proc_seconds_;
+  result.failure.saved_proc_seconds = saved_proc_seconds_;
+}
+
+}  // namespace es::sched

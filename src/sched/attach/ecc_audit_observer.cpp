@@ -1,0 +1,58 @@
+#include "sched/attach/ecc_audit_observer.hpp"
+
+#include "sched/metrics.hpp"
+#include "util/check.hpp"
+#include "util/log.hpp"
+
+namespace es::sched {
+
+void EccAuditObserver::on_ecc_applied(sim::Time now, const JobRun& job,
+                                      const workload::Ecc& ecc,
+                                      EccOutcome outcome) {
+  (void)now;
+  (void)job;
+  (void)ecc;
+  ++dispatched_;
+  switch (outcome) {
+    case EccOutcome::kRejectedFinished:
+    case EccOutcome::kRejectedShape:
+    case EccOutcome::kRejectedBounds:
+      ++rejected_;
+      break;
+    default:
+      break;
+  }
+}
+
+void EccAuditObserver::on_ecc_unknown_job(sim::Time now,
+                                          const workload::Ecc& ecc) {
+  (void)now;
+  ES_LOG_WARN("ECC for unknown job %lld skipped",
+              static_cast<long long>(ecc.job_id));
+  ++unknown_;
+}
+
+void EccAuditObserver::on_collect(SimulationResult& result) const {
+  // The processor never sees skipped commands, so its ledger carries no
+  // unknown-job count; the audit deposits it into the merged stats.
+  result.ecc.unknown_job += unknown_;
+}
+
+void EccAuditObserver::on_paranoid_check(
+    const ParanoidSnapshot& snapshot) const {
+  // Every command the engine dispatched ran exactly one apply(), and every
+  // kRejected* outcome came from exactly one rejected++ inside it.
+  ES_ASSERT(snapshot.ecc != nullptr);
+  ES_ASSERT_MSG(snapshot.ecc->processed == dispatched_,
+                "t=%.3f cycle=%llu processed=%llu dispatched=%llu",
+                snapshot.now, static_cast<unsigned long long>(snapshot.cycle),
+                static_cast<unsigned long long>(snapshot.ecc->processed),
+                static_cast<unsigned long long>(dispatched_));
+  ES_ASSERT_MSG(snapshot.ecc->rejected == rejected_,
+                "t=%.3f cycle=%llu ledger=%llu audited=%llu", snapshot.now,
+                static_cast<unsigned long long>(snapshot.cycle),
+                static_cast<unsigned long long>(snapshot.ecc->rejected),
+                static_cast<unsigned long long>(rejected_));
+}
+
+}  // namespace es::sched

@@ -1,0 +1,78 @@
+#include "sched/attach/failure_stats_observer.hpp"
+
+#include "sched/metrics.hpp"
+#include "util/check.hpp"
+
+namespace es::sched {
+
+void FailureStatsObserver::on_node_down(sim::Time now, int procs) {
+  (void)now;
+  (void)procs;
+  ++outages_;
+}
+
+void FailureStatsObserver::on_preempt(sim::Time now, PreemptInfo& info) {
+  (void)now;
+  ++interruptions_;
+  // The unsaved part of the attempt is lost; with no CheckpointObserver
+  // ahead of us info.saved is 0 and this is the full partial run.
+  info.lost = static_cast<double>(info.job->alloc) *
+              (info.elapsed - info.saved);
+  lost_proc_seconds_ += info.lost;
+  // A requeued job restarts from its checkpoint (or from scratch without
+  // one), so the unsaved part of its partial run is wasted work here and
+  // now; an abandoned job's partial run is accounted by collect().
+  if (info.policy != fault::RequeuePolicy::kAbandon)
+    wasted_proc_seconds_ += info.lost;
+}
+
+void FailureStatsObserver::on_requeue(sim::Time now, const JobRun& job,
+                                      int alloc) {
+  (void)now;
+  (void)job;
+  (void)alloc;
+  ++requeues_;
+}
+
+void FailureStatsObserver::on_abandon(sim::Time now, const JobRun& job,
+                                      int alloc) {
+  (void)now;
+  (void)job;
+  (void)alloc;
+  ++abandoned_;
+}
+
+void FailureStatsObserver::on_collect(SimulationResult& result) const {
+  result.failure.outages = outages_;
+  result.failure.interruptions = interruptions_;
+  result.failure.requeues = requeues_;
+  result.failure.abandoned = abandoned_;
+  result.failure.lost_proc_seconds = lost_proc_seconds_;
+  result.failure.wasted_proc_seconds = wasted_proc_seconds_;
+}
+
+void FailureStatsObserver::on_paranoid_check(
+    const ParanoidSnapshot& snapshot) const {
+  // Every preemption bumped exactly one job's interruption count, every
+  // interruption ended in a requeue or an abandonment, and every
+  // abandonment parked the job in the finished set.
+  ES_ASSERT_MSG(interruptions_ == snapshot.interruptions,
+                "t=%.3f cycle=%llu observed=%llu recomputed=%llu",
+                snapshot.now, static_cast<unsigned long long>(snapshot.cycle),
+                static_cast<unsigned long long>(interruptions_),
+                static_cast<unsigned long long>(snapshot.interruptions));
+  ES_ASSERT_MSG(abandoned_ == snapshot.abandoned,
+                "t=%.3f cycle=%llu observed=%llu recomputed=%llu",
+                snapshot.now, static_cast<unsigned long long>(snapshot.cycle),
+                static_cast<unsigned long long>(abandoned_),
+                static_cast<unsigned long long>(snapshot.abandoned));
+  ES_ASSERT_MSG(requeues_ + abandoned_ == interruptions_,
+                "t=%.3f cycle=%llu requeues=%llu abandoned=%llu "
+                "interruptions=%llu",
+                snapshot.now, static_cast<unsigned long long>(snapshot.cycle),
+                static_cast<unsigned long long>(requeues_),
+                static_cast<unsigned long long>(abandoned_),
+                static_cast<unsigned long long>(interruptions_));
+}
+
+}  // namespace es::sched

@@ -1,0 +1,62 @@
+#include "sched/attach/watchdog_progress_observer.hpp"
+
+#include "util/check.hpp"
+
+namespace es::sched {
+
+void WatchdogProgressObserver::on_start(sim::Time now, const JobRun& job,
+                                        bool backfilled) {
+  (void)now;
+  (void)job;
+  (void)backfilled;
+  ++starts_;
+}
+
+void WatchdogProgressObserver::on_finish(sim::Time now, const JobRun& job) {
+  (void)now;
+  (void)job;
+  ++finishes_;
+}
+
+void WatchdogProgressObserver::on_cycle_end(const CycleInfo& info) {
+  // A cycle counts as progress when any job started or finished since the
+  // last one, or when there is simply nothing waiting to schedule (idle
+  // cycles are not a hang).  Everything else — arrivals piling up against
+  // a wedged policy, ECC churn that never seats a job — increments the
+  // stall counter until the abort flag trips.
+  const std::uint64_t progress = starts_ + finishes_;
+  if (progress != progress_marker_ ||
+      (info.batch_depth == 0 && info.dedicated_depth == 0)) {
+    progress_marker_ = progress;
+    stalled_cycles_ = 0;
+    return;
+  }
+  if (++stalled_cycles_ >= config_.no_progress_cycles) {
+    abort_->requested = true;
+    abort_->reason = sim::TerminationReason::kNoProgress;
+  }
+}
+
+void WatchdogProgressObserver::on_paranoid_check(
+    const ParanoidSnapshot& snapshot) const {
+  // Every start ends in exactly one of: still running, a finish (natural,
+  // killed or ECC-forced), or a preemption — so the progress counters must
+  // re-derive from job state alone.
+  ES_ASSERT_MSG(finishes_ == snapshot.finishes,
+                "t=%.3f cycle=%llu observed=%llu recomputed=%llu",
+                snapshot.now, static_cast<unsigned long long>(snapshot.cycle),
+                static_cast<unsigned long long>(finishes_),
+                static_cast<unsigned long long>(snapshot.finishes));
+  ES_ASSERT_MSG(
+      starts_ == snapshot.finishes + snapshot.active_jobs +
+                     snapshot.interruptions,
+      "t=%.3f cycle=%llu starts=%llu finishes=%llu active=%zu "
+      "interruptions=%llu",
+      snapshot.now, static_cast<unsigned long long>(snapshot.cycle),
+      static_cast<unsigned long long>(starts_),
+      static_cast<unsigned long long>(snapshot.finishes),
+      snapshot.active_jobs,
+      static_cast<unsigned long long>(snapshot.interruptions));
+}
+
+}  // namespace es::sched

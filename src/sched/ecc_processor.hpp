@@ -37,7 +37,8 @@ struct EccStats {
   std::uint64_t rejected = 0;
   std::uint64_t unknown_job = 0;   ///< commands naming a job id that is not
                                    ///< in the workload (skipped with a
-                                   ///< warning)
+                                   ///< warning; tallied by the engine's
+                                   ///< EccAuditObserver attachment)
   std::uint64_t after_finish = 0;  ///< commands arriving after the target
                                    ///< completed / was killed / abandoned
   std::uint64_t running_resizes = 0;  ///< EP/RP applied to running jobs
@@ -73,11 +74,9 @@ class EccProcessor {
   EccOutcome apply(const workload::Ecc& ecc, JobRun& job, sim::Time now,
                    int free_procs = 0);
 
-  /// Records a command whose job id resolved to nothing (hardened traces
-  /// can carry ECCs for dropped or mistyped submissions).  The engine skips
-  /// such commands; this keeps them visible in the run's statistics.
-  void note_unknown_job() { ++stats_.unknown_job; }
-
+  /// This ledger only covers commands that reached apply(); commands whose
+  /// job id resolved to nothing never get here — the EccAuditObserver
+  /// attachment counts those and merges them into the result's EccStats.
   const EccStats& stats() const { return stats_; }
 
  private:

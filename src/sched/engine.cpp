@@ -19,9 +19,30 @@ Engine::Engine(const EngineConfig& config, Scheduler& policy)
       ecc_processor_(config.machine_procs, config.granularity),
       failure_model_(config.failure, config.machine_procs,
                      config.granularity),
-      checkpoint_(config.checkpoint) {
+      checkpoint_attach_(config.checkpoint),
+      trace_attach_(config.record_trace),
+      progress_attach_(config.watchdog, &abort_),
+      cycle_stats_attach_(policy) {
   ecc_processor_.set_running_resize(config.allow_running_resize);
-  if (config.record_trace) trace_ = std::make_shared<ScheduleTrace>();
+  // Register the enabled attachments in the canonical chain order (see
+  // attach/observer.hpp): CheckpointObserver must precede
+  // FailureStatsObserver (preempt `saved` feeds `lost`), which must
+  // precede TraceObserver (the preempt record carries `lost`).  With the
+  // default config nothing registers and every dispatch site loops over
+  // an empty chain.  Each built-in registers with its kHookMask so hooks
+  // it does not override never virtual-dispatch to it.
+  if (config.checkpoint.enabled)
+    attachments_.add(&checkpoint_attach_, CheckpointObserver::kHookMask);
+  if (config.failure.enabled)
+    attachments_.add(&failure_attach_, FailureStatsObserver::kHookMask);
+  if (config.process_eccs)
+    attachments_.add(&ecc_audit_attach_, EccAuditObserver::kHookMask);
+  if (config.record_trace)
+    attachments_.add(&trace_attach_, TraceObserver::kHookMask);
+  if (config.watchdog.no_progress_cycles > 0)
+    attachments_.add(&progress_attach_, WatchdogProgressObserver::kHookMask);
+  if (config.collect_cycle_stats)
+    attachments_.add(&cycle_stats_attach_, CycleStatsObserver::kHookMask);
   // A process-unique epoch tags this engine's SchedulerContexts so policy
   // caches keyed on (epoch, active_version) can never confuse two runs.
   // Only uniqueness matters; the value never influences scheduling, so the
@@ -79,10 +100,41 @@ void Engine::reposition_active(JobRun* job) {
   insert_active(job);
 }
 
+CycleInfo Engine::cycle_info() const {
+  CycleInfo info;
+  info.now = sim_.now();
+  info.cycle = cycles_;
+  info.batch_depth = batch_queue_.size();
+  info.dedicated_depth = dedicated_queue_.size();
+  info.active_jobs = active_.size();
+  return info;
+}
+
+ParanoidSnapshot Engine::paranoid_snapshot() const {
+  ParanoidSnapshot snapshot;
+  snapshot.now = sim_.now();
+  snapshot.cycle = cycles_;
+  for (const auto& job : jobs_)
+    snapshot.interruptions += static_cast<std::uint64_t>(job->interruptions);
+  for (const JobRun* job : finished_) {
+    if (job->status == JobStatus::kAbandoned)
+      ++snapshot.abandoned;
+    else
+      ++snapshot.finishes;
+  }
+  snapshot.active_jobs = active_.size();
+  snapshot.cycles = cycles_;
+  snapshot.dp_delta = policy_->dp_counters() - dp_baseline_;
+  snapshot.ecc = &ecc_processor_.stats();
+  return snapshot;
+}
+
 void Engine::run_cycle() {
   ES_ASSERT(!in_cycle_);
   in_cycle_ = true;
   ++cycles_;
+  if (attachments_.has(Hook::kCycleBegin))
+    attachments_.on_cycle_begin(cycle_info());
   const auto cycle_start = std::chrono::steady_clock::now();
 
   SchedulerContext ctx;
@@ -106,25 +158,12 @@ void Engine::run_cycle() {
   policy_->cycle(ctx);
   cycle_seconds_ += seconds_since(cycle_start);
   in_cycle_ = false;
-  if (config_.watchdog.no_progress_cycles > 0) note_cycle_progress();
-  if (config_.paranoid) check_invariants();
-}
-
-void Engine::note_cycle_progress() {
-  // A cycle counts as progress when any job started or finished since the
-  // last one, or when there is simply nothing waiting to schedule (idle
-  // cycles are not a hang).  Everything else — arrivals piling up against
-  // a wedged policy, ECC churn that never seats a job — increments the
-  // stall counter until the watchdog aborts.
-  const std::uint64_t progress = starts_ + finishes_;
-  if (progress != progress_marker_ ||
-      (batch_queue_.empty() && dedicated_queue_.empty())) {
-    progress_marker_ = progress;
-    stalled_cycles_ = 0;
-    return;
+  if (attachments_.has(Hook::kCycleEnd))
+    attachments_.on_cycle_end(cycle_info());
+  if (config_.paranoid) {
+    check_invariants();
+    attachments_.on_paranoid_check(paranoid_snapshot());
   }
-  if (++stalled_cycles_ >= config_.watchdog.no_progress_cycles)
-    no_progress_tripped_ = true;
 }
 
 void Engine::check_invariants() const {
@@ -161,7 +200,8 @@ void Engine::check_invariants() const {
                         (prev_end == end && prev_active->spec.id < id),
                     "t=%.3f cycle=%llu job=%lld end=%.3f prev=%lld "
                     "prev_end=%.3f",
-                    now, cycle, id, end, prev_active->spec.id, prev_end);
+                    now, cycle, id, end,
+                    static_cast<long long>(prev_active->spec.id), prev_end);
     }
     prev_active = job;
     active_sum += job->alloc;
@@ -228,8 +268,7 @@ void Engine::move_dedicated_head_to_batch_head() {
   job->forced_priority = true;
   job->scount = std::numeric_limits<int>::max() / 2;
   batch_queue_.push_front(job);
-  if (trace_)
-    trace_->record(sim_.now(), TraceEventKind::kDedicatedMove, job->spec.id);
+  attachments_.on_dedicated_move(sim_.now(), *job);
 }
 
 void Engine::on_arrival(JobRun* job) {
@@ -246,9 +285,7 @@ void Engine::on_arrival(JobRun* job) {
   } else {
     batch_queue_.push_back(job);
   }
-  if (trace_)
-    trace_->record(sim_.now(), TraceEventKind::kArrival, job->spec.id,
-                   job->num);
+  attachments_.on_arrival(sim_.now(), *job);
   run_cycle();
 }
 
@@ -259,43 +296,16 @@ void Engine::on_dedicated_due(JobRun* job) {
   run_cycle();
 }
 
-void Engine::refresh_checkpoint_plan(JobRun* job) {
-  // An ECC that moved the job's time bounds changes how many periodic
-  // checkpoints the rest of the attempt will take; re-plan before the
-  // finish event is re-inserted so duration formulas stay coherent.
-  if (checkpoint_.enabled())
-    job->ckpt_overhead_planned =
-        checkpoint_.planned_overhead(job->remaining_work());
-}
-
 void Engine::on_ecc(const workload::Ecc& ecc) {
   const auto it = by_id_.find(ecc.job_id);
   if (it == by_id_.end()) {
-    ES_LOG_WARN("ECC for unknown job %lld skipped",
-                static_cast<long long>(ecc.job_id));
-    ecc_processor_.note_unknown_job();
+    attachments_.on_ecc_unknown_job(sim_.now(), ecc);
     return;
   }
   JobRun* job = it->second;
   const EccOutcome outcome =
       ecc_processor_.apply(ecc, *job, sim_.now(), machine_.free());
-  if (trace_) {
-    TraceEventKind kind;
-    switch (outcome) {
-      case EccOutcome::kResizedRunning:
-        kind = TraceEventKind::kResize;
-        break;
-      case EccOutcome::kRejectedFinished:
-      case EccOutcome::kRejectedShape:
-      case EccOutcome::kRejectedBounds:
-        kind = TraceEventKind::kEccRejected;
-        break;
-      default:
-        kind = TraceEventKind::kEccApplied;
-        break;
-    }
-    trace_->record(sim_.now(), kind, job->spec.id, job->num, ecc.amount);
-  }
+  attachments_.on_ecc_applied(sim_.now(), *job, ecc, outcome);
   switch (outcome) {
     case EccOutcome::kResizedRunning: {
       // The processor already scaled the remaining time work-conservingly
@@ -306,7 +316,7 @@ void Engine::on_ecc(const workload::Ecc& ecc) {
       utilization_.record(sim_.now(), machine_.used());
       const bool cancelled = sim_.cancel(job->finish_event);
       ES_ASSERT(cancelled);
-      refresh_checkpoint_plan(job);
+      attachments_.on_checkpoint_replan(*job);
       // Both the planned end (rescaled remaining time) and the allocation
       // changed: re-seat the job in the active order.
       reposition_active(job);
@@ -321,7 +331,7 @@ void Engine::on_ecc(const workload::Ecc& ecc) {
       // and re-seat the job under its new planned end.
       const bool cancelled = sim_.cancel(job->finish_event);
       ES_ASSERT(cancelled);
-      refresh_checkpoint_plan(job);
+      attachments_.on_checkpoint_replan(*job);
       reposition_active(job);
       const sim::Time finish =
           std::max(sim_.now(), job->start_time + job->run_duration());
@@ -332,7 +342,7 @@ void Engine::on_ecc(const workload::Ecc& ecc) {
     case EccOutcome::kCompletedJob: {
       const bool cancelled = sim_.cancel(job->finish_event);
       ES_ASSERT(cancelled);
-      refresh_checkpoint_plan(job);  // accounting: the run was cut short
+      attachments_.on_checkpoint_replan(*job);  // the run was cut short
       finish_job(job);
       break;
     }
@@ -368,7 +378,6 @@ void Engine::preempt_victim() {
   const bool cancelled = sim_.cancel(job->finish_event);
   ES_ASSERT(cancelled);
   machine_.release(job->spec.id);
-  ++failure_stats_.interruptions;
   ++job->interruptions;
   // Retry budget: past the cap a job is abandoned even under a requeue
   // policy (see FailureModelConfig::max_interruptions).
@@ -376,38 +385,19 @@ void Engine::preempt_victim() {
   if (config_.failure.max_interruptions > 0 &&
       job->interruptions >= config_.failure.max_interruptions)
     policy = fault::RequeuePolicy::kAbandon;
-  // Checkpoint recovery: a requeued job resumes from its last checkpoint,
-  // so the work banked there is saved rather than lost.  Abandoned jobs
-  // bank nothing — their checkpoints are never restored from.
-  const double elapsed = sim_.now() - job->start_time;
-  double saved = 0;
-  if (checkpoint_.enabled() && policy != fault::RequeuePolicy::kAbandon) {
-    saved = std::min(checkpoint_.banked_work(elapsed), job->remaining_work());
-    std::uint64_t taken =
-        static_cast<std::uint64_t>(checkpoint_.completed_count(elapsed));
-    if (checkpoint_.config().on_preempt) ++taken;
-    failure_stats_.checkpoints += taken;
-    failure_stats_.checkpoint_overhead_proc_seconds +=
-        static_cast<double>(job->alloc) * checkpoint_.overhead_spent(elapsed);
-    failure_stats_.saved_proc_seconds +=
-        static_cast<double>(job->alloc) * saved;
-    job->ckpt_progress += saved;
-  }
-  const double lost = static_cast<double>(job->alloc) * (elapsed - saved);
-  failure_stats_.lost_proc_seconds += lost;
-  // A requeued job restarts from its checkpoint (or from scratch without
-  // one), so the unsaved part of its partial run is wasted work here and
-  // now; an abandoned job's partial run is accounted by collect().
-  if (policy != fault::RequeuePolicy::kAbandon)
-    failure_stats_.wasted_proc_seconds += lost;
+  // The attachments do the preemption ledger work: CheckpointObserver
+  // banks the saved work into the job, FailureStatsObserver turns the
+  // unsaved remainder into lost/wasted work, TraceObserver records the
+  // final figure (chain order guarantees that sequence).
+  PreemptInfo info;
+  info.job = job;
+  info.elapsed = sim_.now() - job->start_time;
+  info.policy = policy;
+  attachments_.on_preempt(sim_.now(), info);
   utilization_.record(sim_.now(), machine_.used());
-  if (trace_)
-    trace_->record(sim_.now(), TraceEventKind::kPreempt, job->spec.id,
-                   job->alloc, lost);
 
   const int alloc = job->alloc;
   job->finish_event = {};
-  job->ckpt_overhead_planned = 0;  // re-planned at the next start
   switch (policy) {
     case fault::RequeuePolicy::kRequeueHead:
       // Front of the batch queue with saturated priority, like a moved
@@ -418,20 +408,14 @@ void Engine::preempt_victim() {
       job->forced_priority = true;
       job->scount = std::numeric_limits<int>::max() / 2;
       batch_queue_.push_front(job);
-      ++failure_stats_.requeues;
-      if (trace_)
-        trace_->record(sim_.now(), TraceEventKind::kRequeue, job->spec.id,
-                       alloc);
+      attachments_.on_requeue(sim_.now(), *job, alloc);
       break;
     case fault::RequeuePolicy::kRequeueTail:
       job->status = JobStatus::kWaiting;
       job->alloc = 0;
       job->start_time = -1;
       batch_queue_.push_back(job);
-      ++failure_stats_.requeues;
-      if (trace_)
-        trace_->record(sim_.now(), TraceEventKind::kRequeue, job->spec.id,
-                       alloc);
+      attachments_.on_requeue(sim_.now(), *job, alloc);
       break;
     case fault::RequeuePolicy::kAbandon:
       // Keeps its alloc/start_time so collect() sees the partial run.
@@ -439,10 +423,7 @@ void Engine::preempt_victim() {
       job->end_time = sim_.now();
       last_finish_ = std::max(last_finish_, job->end_time);
       finished_.push_back(job);
-      ++failure_stats_.abandoned;
-      if (trace_)
-        trace_->record(sim_.now(), TraceEventKind::kAbandon, job->spec.id,
-                       alloc);
+      attachments_.on_abandon(sim_.now(), *job, alloc);
       break;
   }
 }
@@ -453,14 +434,12 @@ void Engine::on_node_down(const fault::Outage& outage) {
   // overlap outages).
   const int procs = std::min(outage.procs, machine_.available());
   if (procs > 0) {
-    ++failure_stats_.outages;
     // Cover the lost capacity: first from the free pool, then by preempting
     // running jobs until the failed processors are idle.
     while (machine_.free() < procs) preempt_victim();
     machine_.take_offline(procs);
     utilization_.record_capacity(sim_.now(), machine_.available());
-    if (trace_)
-      trace_->record(sim_.now(), TraceEventKind::kNodeDown, 0, procs);
+    attachments_.on_node_down(sim_.now(), procs);
     sim_.at(std::max(outage.up, sim_.now()), sim::EventClass::kNodeUp,
             [this, procs](sim::Time) { on_node_up(procs); });
   } else {
@@ -473,7 +452,7 @@ void Engine::on_node_down(const fault::Outage& outage) {
 void Engine::on_node_up(int procs) {
   machine_.bring_online(procs);
   utilization_.record_capacity(sim_.now(), machine_.available());
-  if (trace_) trace_->record(sim_.now(), TraceEventKind::kNodeUp, 0, procs);
+  attachments_.on_node_up(sim_.now(), procs);
   if (!all_jobs_finished()) schedule_next_outage(sim_.now());
   run_cycle();
 }
@@ -484,6 +463,7 @@ void Engine::start_job(JobRun* job) {
   // dedicated jobs are moved to the batch queue first) — O(1) through the
   // intrusive links instead of a linear scan.
   ES_EXPECTS(job->in_batch_queue);
+  const bool backfilled = batch_queue_.front() != job;
   batch_queue_.erase(job);
 
   job->alloc = machine_.allocate(job->spec.id, job->num);
@@ -491,13 +471,10 @@ void Engine::start_job(JobRun* job) {
   job->start_time = sim_.now();
   // Plan checkpoint overhead before seating the job: it is part of the
   // (planned end, id) sort key insert_active files the job under.
-  refresh_checkpoint_plan(job);
+  attachments_.on_checkpoint_replan(*job);
   insert_active(job);
-  ++starts_;
   utilization_.record(sim_.now(), machine_.used());
-  if (trace_)
-    trace_->record(sim_.now(), TraceEventKind::kStart, job->spec.id,
-                   job->alloc);
+  attachments_.on_start(sim_.now(), *job, backfilled);
 
   const sim::Time finish = sim_.now() + job->run_duration();
   job->finish_event = sim_.at(finish, sim::EventClass::kJobFinish,
@@ -514,22 +491,8 @@ void Engine::finish_job(JobRun* job) {
   job->end_time = sim_.now();
   last_finish_ = std::max(last_finish_, job->end_time);
   finished_.push_back(job);
-  ++finishes_;
-  if (checkpoint_.enabled()) {
-    // The attempt ran to completion, so every planned periodic checkpoint
-    // was taken and its overhead paid on the job's full allocation.
-    failure_stats_.checkpoints += static_cast<std::uint64_t>(
-        checkpoint_.periodic_count(job->remaining_work()));
-    failure_stats_.checkpoint_overhead_proc_seconds +=
-        static_cast<double>(job->alloc) * job->ckpt_overhead_planned;
-  }
+  attachments_.on_finish(sim_.now(), *job);
   utilization_.record(sim_.now(), machine_.used());
-  if (trace_)
-    trace_->record(sim_.now(),
-                   job->status == JobStatus::kKilled
-                       ? TraceEventKind::kKill
-                       : TraceEventKind::kFinish,
-                   job->spec.id, job->alloc);
 }
 
 void Engine::on_finish(JobRun* job) {
@@ -598,7 +561,6 @@ SimulationResult Engine::run(const workload::Workload& workload) {
   }
 
   SimulationResult result = collect(workload);
-  result.trace = trace_;
   result.perf.dp = policy_->dp_counters() - dp_baseline_;
   result.perf.events = sim_.queue().counters();
   result.perf.cycle_seconds = cycle_seconds_;
@@ -618,8 +580,10 @@ void Engine::pump_events() {
   while (!sim_.idle()) {
     if (watchdog.exhausted(sim_, reason)) break;
     sim_.step();
-    if (no_progress_tripped_) {
-      reason = sim::TerminationReason::kNoProgress;
+    if (abort_.requested) {
+      // An attachment (the watchdog-progress observer) asked for a typed
+      // abort from inside the event loop.
+      reason = abort_.reason;
       break;
     }
   }
@@ -643,7 +607,7 @@ void Engine::warn_if_unbounded_retry(
   if (!config_.failure.enabled || !config_.failure.script.empty()) return;
   if (config_.failure.max_interruptions > 0) return;
   if (config_.requeue == fault::RequeuePolicy::kAbandon) return;
-  if (checkpoint_.enabled()) return;
+  if (config_.checkpoint.enabled) return;
   if (workload.jobs.empty()) return;
   double runtime_sum = 0;
   for (const workload::Job& job : workload.jobs)
@@ -676,7 +640,10 @@ SimulationResult Engine::collect(const workload::Workload& workload) const {
       static_cast<std::uint64_t>(jobs_.size() - finished_.size());
   result.offered_load = workload::offered_load(workload, machine_.total());
   result.ecc = ecc_processor_.stats();
-  result.failure = failure_stats_;
+  // Attachments deposit their ledgers (failure stats, checkpoint stats,
+  // the audit trace, cycle histograms, ECC skip counts) before the
+  // per-job loop adds the outcome-derived wasted/goodput work.
+  attachments_.on_collect(result);
 
   double wait_sum = 0, run_sum = 0, sd_sum = 0, bsd_sum = 0;
   double dedicated_delay_sum = 0;

@@ -14,13 +14,15 @@
 //   * (fault injection) the failure model chains NodeDown/NodeUp pairs: a
 //     NodeDown preempts enough running jobs to cover the lost capacity and
 //     applies the requeue policy; the paired NodeUp restores the processors
-//     and, while unfinished jobs remain, schedules the next outage;
-//   * (checkpoint recovery) with a CheckpointModel attached, a preempted
-//     job banks the work saved by its last checkpoint and resumes from
-//     remaining = runtime - banked instead of restarting from scratch;
-//   * (watchdog) with budgets configured, the event loop aborts gracefully
-//     — typed TerminationReason, partial metrics — instead of hanging on a
-//     pathological configuration.
+//     and, while unfinished jobs remain, schedules the next outage.
+//
+// The engine core does machine/queue/active-set mechanics only.  Every
+// cross-cutting concern — audit tracing, failure accounting, checkpoint
+// recovery bookkeeping, watchdog progress notes, ECC audits, cycle
+// statistics — is an EngineObserver on the attachment chain
+// (sched/attach/), registered at construction from the EngineConfig and
+// dispatched at each lifecycle site.  See sched/attach/observer.hpp for
+// the chain's ordering rules and docs/architecture.md for the map.
 #pragma once
 
 #include <memory>
@@ -29,59 +31,35 @@
 
 #include "cluster/machine.hpp"
 #include "cluster/utilization.hpp"
-#include "fault/checkpoint.hpp"
 #include "fault/failure_model.hpp"
+#include "sched/attach/checkpoint_observer.hpp"
+#include "sched/attach/cycle_stats_observer.hpp"
+#include "sched/attach/ecc_audit_observer.hpp"
+#include "sched/attach/failure_stats_observer.hpp"
+#include "sched/attach/observer.hpp"
+#include "sched/attach/trace_observer.hpp"
+#include "sched/attach/watchdog_progress_observer.hpp"
 #include "sched/ecc_processor.hpp"
+#include "sched/engine_config.hpp"
 #include "sched/metrics.hpp"
 #include "sched/scheduler.hpp"
-#include "sched/trace.hpp"
 #include "sim/simulation.hpp"
 #include "sim/watchdog.hpp"
 #include "workload/job.hpp"
 
 namespace es::sched {
 
-struct EngineConfig {
-  int machine_procs = 320;
-  int granularity = 32;
-  /// Process ECCs (the -E algorithm variants).  When false, ECCs in the
-  /// workload are ignored and jobs keep their submitted requirements.
-  bool process_eccs = false;
-  /// Allow EP/RP to resize *running* jobs work-conservingly (the paper's
-  /// section-VI resource-elasticity extension).  Requires process_eccs.
-  bool allow_running_resize = false;
-  /// Record the busy-processor timeline (needed by utilization metrics and
-  /// capacity-invariant tests; cheap, on by default).
-  bool keep_job_outcomes = true;
-  /// Record a full schedule audit trace (sched/trace.hpp), attached to the
-  /// result.  Off by default — it grows with the event count.
-  bool record_trace = false;
-  /// Re-verify structural invariants (ledger consistency, queue ordering,
-  /// status coherence) after every scheduling cycle.  O(queue) per cycle;
-  /// used by the test suite and for debugging new policies.
-  bool paranoid = false;
-  /// Fault injection: when `failure.enabled`, NodeDown/NodeUp events shrink
-  /// and restore machine capacity during the run (default: off, which keeps
-  /// every result bit-identical to the failure-free engine).
-  fault::FailureModelConfig failure;
-  /// What happens to running jobs preempted when capacity is lost.
-  fault::RequeuePolicy requeue = fault::RequeuePolicy::kRequeueHead;
-  /// Checkpoint/restart recovery: when enabled, preempted-then-requeued
-  /// jobs resume from their last checkpoint (remaining = runtime - banked)
-  /// instead of restarting from scratch, at the cost of periodic checkpoint
-  /// overhead.  Default: disabled, byte-identical to the seed engine.
-  fault::CheckpointConfig checkpoint;
-  /// Termination guardrails: event / sim-time / wall-clock budgets plus a
-  /// no-progress detector.  When any budget trips, the run aborts
-  /// gracefully and the result carries partial metrics tagged with a typed
-  /// TerminationReason.  Default: disabled (the exact seed event loop).
-  sim::WatchdogConfig watchdog;
-};
-
 /// One engine instance runs one workload with one policy.
 class Engine {
  public:
   Engine(const EngineConfig& config, Scheduler& policy);
+
+  /// Appends an external observer to the attachment chain, after the
+  /// config-selected built-ins.  Must be called before run(); the engine
+  /// does not take ownership.
+  void add_observer(EngineObserver* observer, HookMask mask = kAllHooks) {
+    attachments_.add(observer, mask);
+  }
 
   /// Runs the whole workload to completion and returns the metrics.
   SimulationResult run(const workload::Workload& workload);
@@ -104,12 +82,12 @@ class Engine {
   void remove_active(JobRun* job);
   void reposition_active(JobRun* job);
   void move_dedicated_head_to_batch_head();
-  void refresh_checkpoint_plan(JobRun* job);
   void warn_if_unbounded_retry(const workload::Workload& workload) const;
   void run_cycle();
-  void note_cycle_progress();
   void pump_events();
   void check_invariants() const;
+  CycleInfo cycle_info() const;
+  ParanoidSnapshot paranoid_snapshot() const;
   bool all_jobs_finished() const { return finished_.size() == jobs_.size(); }
   SimulationResult collect(const workload::Workload& workload) const;
 
@@ -120,9 +98,19 @@ class Engine {
   cluster::UtilizationTracker utilization_;
   EccProcessor ecc_processor_;
   fault::FailureModel failure_model_;
-  fault::CheckpointModel checkpoint_;
-  FailureStats failure_stats_;
-  std::shared_ptr<ScheduleTrace> trace_;  ///< null unless record_trace
+
+  // The lifecycle event bus.  Built-in attachments are plain members (no
+  // heap); the constructor registers the enabled ones with the chain in
+  // the canonical order (see attach/observer.hpp).  AbortFlag lets the
+  // watchdog-progress attachment abort the stepping event pump.
+  AbortFlag abort_;
+  CheckpointObserver checkpoint_attach_;
+  FailureStatsObserver failure_attach_;
+  EccAuditObserver ecc_audit_attach_;
+  TraceObserver trace_attach_;
+  WatchdogProgressObserver progress_attach_;
+  CycleStatsObserver cycle_stats_attach_;
+  AttachmentChain attachments_;
 
   std::vector<std::unique_ptr<JobRun>> jobs_;
   std::unordered_map<workload::JobId, JobRun*> by_id_;
@@ -150,14 +138,7 @@ class Engine {
   DpCounters dp_baseline_;
   double cycle_seconds_ = 0;
 
-  // Watchdog state.
   sim::TerminationReason termination_ = sim::TerminationReason::kCompleted;
-  std::uint64_t starts_ = 0;    ///< job starts so far (progress signal)
-  std::uint64_t finishes_ = 0;  ///< job completions so far (progress signal)
-  std::uint64_t progress_marker_ = 0;  ///< starts_ + finishes_ at the last
-                                       ///< cycle that made progress
-  int stalled_cycles_ = 0;
-  bool no_progress_tripped_ = false;
 };
 
 /// Convenience wrapper: one-shot run.

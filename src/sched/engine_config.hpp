@@ -1,0 +1,61 @@
+// The one engine configuration struct — the single source of truth for
+// every attachment knob, embedded verbatim by core::AlgorithmOptions and
+// flowing unchanged through factory -> experiment -> simrun/bench.
+//
+// Kept separate from engine.hpp so config consumers (the factory, the
+// experiment driver, CLI option parsing) can describe a run without
+// pulling in the engine, the scheduler interface or the event kernel.
+#pragma once
+
+#include "fault/checkpoint.hpp"
+#include "fault/failure_model.hpp"
+#include "sim/watchdog.hpp"
+
+namespace es::sched {
+
+struct EngineConfig {
+  int machine_procs = 320;
+  int granularity = 32;
+  /// Process ECCs (the -E algorithm variants).  When false, ECCs in the
+  /// workload are ignored and jobs keep their submitted requirements.
+  /// The factory path derives this from the algorithm name suffix.
+  bool process_eccs = false;
+  /// Allow EP/RP to resize *running* jobs work-conservingly (the paper's
+  /// section-VI resource-elasticity extension).  Requires process_eccs.
+  bool allow_running_resize = false;
+  /// Record the busy-processor timeline (needed by utilization metrics and
+  /// capacity-invariant tests; cheap, on by default).
+  bool keep_job_outcomes = true;
+  /// Attach a TraceObserver recording a full schedule audit trace
+  /// (sched/trace.hpp) to the result.  Off by default — it grows with the
+  /// event count.
+  bool record_trace = false;
+  /// Attach a CycleStatsObserver collecting per-cycle queue-depth /
+  /// backfill / DP-invocation histograms into PerfStats (surfaced by
+  /// `simrun --perf-report`).  Off by default.
+  bool collect_cycle_stats = false;
+  /// Re-verify structural invariants (ledger consistency, queue ordering,
+  /// status coherence) after every scheduling cycle, and cross-check every
+  /// attachment's accumulated stats against a from-scratch recomputation.
+  /// O(jobs) per cycle; used by the test suite and for debugging new
+  /// policies or observers.
+  bool paranoid = false;
+  /// Fault injection: when `failure.enabled`, NodeDown/NodeUp events shrink
+  /// and restore machine capacity during the run (default: off, which keeps
+  /// every result bit-identical to the failure-free engine).
+  fault::FailureModelConfig failure;
+  /// What happens to running jobs preempted when capacity is lost.
+  fault::RequeuePolicy requeue = fault::RequeuePolicy::kRequeueHead;
+  /// Checkpoint/restart recovery: when enabled, preempted-then-requeued
+  /// jobs resume from their last checkpoint (remaining = runtime - banked)
+  /// instead of restarting from scratch, at the cost of periodic checkpoint
+  /// overhead.  Default: disabled, byte-identical to the seed engine.
+  fault::CheckpointConfig checkpoint;
+  /// Termination guardrails: event / sim-time / wall-clock budgets plus a
+  /// no-progress detector.  When any budget trips, the run aborts
+  /// gracefully and the result carries partial metrics tagged with a typed
+  /// TerminationReason.  Default: disabled (the exact seed event loop).
+  sim::WatchdogConfig watchdog;
+};
+
+}  // namespace es::sched

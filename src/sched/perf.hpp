@@ -8,6 +8,7 @@
 // enabling them cannot perturb a schedule.
 #pragma once
 
+#include <bit>
 #include <cstdint>
 
 #include "sim/event_queue.hpp"
@@ -44,12 +45,60 @@ struct DpCounters {
   }
 };
 
+/// Per-cycle shape counters collected by the CycleStatsObserver attachment
+/// (sched/attach/cycle_stats_observer.hpp) when
+/// EngineConfig::collect_cycle_stats is set.  Plain tallies over fixed
+/// log2-bucketed histograms: POD arrays, no heap, no influence on the
+/// schedule.  Bucket b of a histogram counts cycles whose value v has
+/// std::bit_width(v) == b, i.e. bucket 0 holds v == 0, bucket 1 holds
+/// v == 1, bucket 2 holds 2..3, bucket 3 holds 4..7 and so on, with the
+/// last bucket absorbing everything larger.
+struct CycleStats {
+  static constexpr int kBuckets = 16;
+
+  std::uint64_t cycles = 0;           ///< scheduling cycles observed
+  std::uint64_t starts = 0;           ///< job starts observed
+  std::uint64_t backfill_starts = 0;  ///< starts past the batch-queue head
+  std::uint64_t max_queue_depth = 0;  ///< peak batch-queue depth at a cycle
+  std::uint64_t queue_depth[kBuckets] = {};  ///< batch depth at cycle begin
+  std::uint64_t dp_calls[kBuckets] = {};     ///< DP kernel calls per cycle
+
+  /// Histogram bucket for `value` (see the class comment for the ranges).
+  static int bucket_of(std::uint64_t value) {
+    const int width = static_cast<int>(std::bit_width(value));
+    return width < kBuckets ? width : kBuckets - 1;
+  }
+  /// Inclusive lower bound of bucket `b`: 0, 1, 2, 4, 8, ...
+  static std::uint64_t bucket_lo(int b) {
+    return b == 0 ? 0 : std::uint64_t{1} << (b - 1);
+  }
+  /// Inclusive upper bound of bucket `b`: 0, 1, 3, 7, 15, ...
+  static std::uint64_t bucket_hi(int b) {
+    return b == 0 ? 0 : (std::uint64_t{1} << b) - 1;
+  }
+
+  CycleStats& operator+=(const CycleStats& other) {
+    cycles += other.cycles;
+    starts += other.starts;
+    backfill_starts += other.backfill_starts;
+    max_queue_depth = max_queue_depth > other.max_queue_depth
+                          ? max_queue_depth
+                          : other.max_queue_depth;
+    for (int b = 0; b < kBuckets; ++b) {
+      queue_depth[b] += other.queue_depth[b];
+      dp_calls[b] += other.dp_calls[b];
+    }
+    return *this;
+  }
+};
+
 /// Per-run performance breakdown attached to SimulationResult.  Wall-clock
 /// fields are measurement, not simulation state: they vary run to run and
 /// never feed back into scheduling decisions or metrics CSVs.
 struct PerfStats {
   DpCounters dp;
   sim::EventQueueCounters events;  ///< kernel traffic for this run's queue
+  CycleStats cycle;  ///< all-zero unless EngineConfig::collect_cycle_stats
   double wall_seconds = 0;   ///< whole run() wall time
   double cycle_seconds = 0;  ///< wall time inside policy cycle() calls
 

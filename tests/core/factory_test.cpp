@@ -2,14 +2,46 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cctype>
+#include <string>
+
 namespace es::core {
 namespace {
+
+std::string lowered(std::string name) {
+  std::transform(name.begin(), name.end(), name.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return name;
+}
+
+std::string uppered(std::string name) {
+  std::transform(name.begin(), name.end(), name.begin(), [](unsigned char c) {
+    return static_cast<char>(std::toupper(c));
+  });
+  return name;
+}
 
 TEST(Factory, BuildsEveryTableThreeAlgorithm) {
   for (const std::string& name : algorithm_names()) {
     const Algorithm algorithm = make_algorithm(name);
     ASSERT_NE(algorithm.policy, nullptr) << name;
     EXPECT_EQ(algorithm.canonical_name, name);
+  }
+}
+
+TEST(Factory, EveryNameRoundTripsCaseInsensitively) {
+  // Lower-case, UPPER-CASE and mIxEd spellings of every published name
+  // must build the same algorithm and report the same canonical name.
+  for (const std::string& name : algorithm_names()) {
+    for (const std::string& spelling :
+         {lowered(name), uppered(name), lowered(name).substr(0, 1) + name.substr(1)}) {
+      EXPECT_TRUE(is_algorithm_name(spelling)) << spelling;
+      const Algorithm algorithm = make_algorithm(spelling);
+      ASSERT_NE(algorithm.policy, nullptr) << spelling;
+      EXPECT_EQ(algorithm.canonical_name, name) << spelling;
+    }
   }
 }
 
@@ -21,6 +53,16 @@ TEST(Factory, EccSuffixMapsToProcessorFlag) {
   EXPECT_TRUE(make_algorithm("Delayed-LOS-E").process_eccs);
   EXPECT_TRUE(make_algorithm("Hybrid-LOS-E").process_eccs);
   EXPECT_FALSE(make_algorithm("Hybrid-LOS").process_eccs);
+}
+
+TEST(Factory, SuffixStrippingSetsProcessEccsForEveryName) {
+  // Systematically: a name ends in -E/-DE (case-insensitive) if and only
+  // if the built algorithm processes ECCs.
+  for (const std::string& name : algorithm_names()) {
+    const std::string key = lowered(name);
+    const bool expect_eccs = key.ends_with("-e") || key.ends_with("-de");
+    EXPECT_EQ(make_algorithm(name).process_eccs, expect_eccs) << name;
+  }
 }
 
 TEST(Factory, DedicatedSupportMatchesTableThree) {
@@ -39,10 +81,35 @@ TEST(Factory, CaseInsensitive) {
   EXPECT_NE(make_algorithm("Easy-De").policy, nullptr);
 }
 
-TEST(Factory, UnknownNameYieldsNull) {
-  EXPECT_EQ(make_algorithm("NOPE").policy, nullptr);
-  EXPECT_EQ(make_algorithm("").policy, nullptr);
-  EXPECT_EQ(make_algorithm("-e").policy, nullptr);
+TEST(Factory, UnknownNameThrowsTypedError) {
+  EXPECT_THROW(make_algorithm("NOPE"), UnknownAlgorithmError);
+  EXPECT_THROW(make_algorithm(""), UnknownAlgorithmError);
+  EXPECT_THROW(make_algorithm("-e"), UnknownAlgorithmError);
+  EXPECT_THROW(make_algorithm("-de"), UnknownAlgorithmError);
+  EXPECT_THROW(make_algorithm("EASY "), UnknownAlgorithmError);
+  EXPECT_THROW(make_algorithm("EASY-DD"), UnknownAlgorithmError);
+  EXPECT_THROW(make_algorithm("LOS--E"), UnknownAlgorithmError);
+}
+
+TEST(Factory, UnknownNameErrorCarriesNameAndKnownList) {
+  try {
+    make_algorithm("NOPE");
+    FAIL() << "expected UnknownAlgorithmError";
+  } catch (const UnknownAlgorithmError& error) {
+    EXPECT_EQ(error.name(), "NOPE");
+    const std::string what = error.what();
+    EXPECT_NE(what.find("NOPE"), std::string::npos);
+    EXPECT_NE(what.find("Hybrid-LOS-E"), std::string::npos);
+  }
+}
+
+TEST(Factory, IsAlgorithmNameMatchesMakeAlgorithm) {
+  for (const std::string& name : algorithm_names())
+    EXPECT_TRUE(is_algorithm_name(name)) << name;
+  EXPECT_FALSE(is_algorithm_name("NOPE"));
+  EXPECT_FALSE(is_algorithm_name(""));
+  EXPECT_FALSE(is_algorithm_name("-e"));
+  EXPECT_FALSE(is_algorithm_name("easy-"));
 }
 
 TEST(Factory, OptionsPropagate) {
@@ -54,6 +121,16 @@ TEST(Factory, OptionsPropagate) {
   // that construction honours custom options without crashing.
   ASSERT_NE(algorithm.policy, nullptr);
   EXPECT_EQ(algorithm.canonical_name, "Delayed-LOS");
+}
+
+TEST(Factory, RunningResizeRequiresEccVariant) {
+  AlgorithmOptions options;
+  options.engine.allow_running_resize = true;
+  // The flag only takes effect for -E variants: resizing running jobs
+  // requires the ECC processor.
+  EXPECT_FALSE(make_algorithm("EASY", options).allow_running_resize);
+  EXPECT_TRUE(make_algorithm("EASY-E", options).allow_running_resize);
+  EXPECT_FALSE(make_algorithm("EASY-E").allow_running_resize);
 }
 
 TEST(Factory, ExtraBaselinesAvailable) {

@@ -200,7 +200,7 @@ TEST(Analysis, QueueStatsOnRealRun) {
   config.target_load = 0.9;
   const auto workload = workload::generate(config);
   core::AlgorithmOptions options;
-  options.record_trace = true;
+  options.engine.record_trace = true;
   const auto result = run_workload(workload, "EASY", options);
   ASSERT_NE(result.trace, nullptr);
   const QueueStats stats = queue_stats(*result.trace);

@@ -72,7 +72,7 @@ TEST(Experiment, OptimalSkipCountWithinRange) {
 TEST(Experiment, RunWorkloadRejectsUnknownAlgorithm) {
   workload::Workload workload;
   workload.machine_procs = 10;
-  EXPECT_DEATH(run_workload(workload, "NOPE"), "precondition");
+  EXPECT_THROW(run_workload(workload, "NOPE"), core::UnknownAlgorithmError);
 }
 
 }  // namespace

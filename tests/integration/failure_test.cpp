@@ -182,11 +182,11 @@ TEST(FailureInjection, StochasticFailuresAreBitDeterministic) {
   const auto workload = workload::generate(config);
 
   core::AlgorithmOptions options;
-  options.failure.enabled = true;
-  options.failure.seed = 42;
-  options.failure.mtbf = 3600;
-  options.failure.mttr = 900;
-  options.failure.max_nodes = 2;
+  options.engine.failure.enabled = true;
+  options.engine.failure.seed = 42;
+  options.engine.failure.mtbf = 3600;
+  options.engine.failure.mttr = 900;
+  options.engine.failure.max_nodes = 2;
 
   const auto a = run_scenario(workload, "EASY", options);
   const auto b = run_scenario(workload, "EASY", options);
@@ -211,10 +211,10 @@ TEST(FailureInjection, DisabledModelLeavesResultsUntouched) {
 
   const auto baseline = run_scenario(workload, "Delayed-LOS");
   core::AlgorithmOptions options;
-  options.failure.enabled = false;  // explicit, with non-default knobs below
-  options.failure.seed = 999;
-  options.failure.mtbf = 1;
-  options.requeue = fault::RequeuePolicy::kAbandon;
+  options.engine.failure.enabled = false;  // explicit, with non-default knobs below
+  options.engine.failure.seed = 999;
+  options.engine.failure.mtbf = 1;
+  options.engine.requeue = fault::RequeuePolicy::kAbandon;
   const auto with_config = run_scenario(workload, "Delayed-LOS", options);
 
   EXPECT_DOUBLE_EQ(baseline.result.mean_wait, with_config.result.mean_wait);

@@ -25,7 +25,7 @@ workload::Ecc proc_ecc(workload::JobId id, double issue, bool extend,
 
 core::AlgorithmOptions with_resize() {
   core::AlgorithmOptions options;
-  options.allow_running_resize = true;
+  options.engine.allow_running_resize = true;
   return options;
 }
 

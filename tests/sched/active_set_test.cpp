@@ -157,9 +157,9 @@ AuditedRun run_audited(const workload::Workload& workload,
   config.process_eccs = algo.process_eccs;
   config.allow_running_resize = algo.allow_running_resize;
   config.paranoid = true;  // engine-side invariants in the same run
-  config.failure = options.failure;
-  config.requeue = options.requeue;
-  config.checkpoint = options.checkpoint;
+  config.failure = options.engine.failure;
+  config.requeue = options.engine.requeue;
+  config.checkpoint = options.engine.checkpoint;
   AuditedRun run;
   run.result = simulate(config, auditor, workload);
   run.cycles = auditor.cycles_audited();
@@ -233,7 +233,7 @@ TEST(ActiveSet, RandomizedElasticChurnWithRunningResize) {
   config.p_extend_procs = 0.15;
   config.p_reduce_procs = 0.15;
   core::AlgorithmOptions options;
-  options.allow_running_resize = true;
+  options.engine.allow_running_resize = true;
   const auto run =
       run_audited(workload::generate(config), "Delayed-LOS-E", options);
   EXPECT_EQ(run.result.completed + run.result.killed, 150u);
@@ -248,11 +248,11 @@ TEST(ActiveSet, PreemptionRequeueHeadAndTailKeepOrder) {
   for (const auto requeue :
        {fault::RequeuePolicy::kRequeueHead, fault::RequeuePolicy::kRequeueTail}) {
     core::AlgorithmOptions options;
-    options.failure.enabled = true;
-    options.failure.mtbf = 2000;
-    options.failure.mttr = 500;
-    options.failure.max_nodes = 3;
-    options.requeue = requeue;
+    options.engine.failure.enabled = true;
+    options.engine.failure.mtbf = 2000;
+    options.engine.failure.mttr = 500;
+    options.engine.failure.max_nodes = 3;
+    options.engine.requeue = requeue;
     const auto run = run_audited(workload::generate(config), "EASY", options);
     EXPECT_GT(run.result.failure.interruptions, 0u)
         << "scenario must actually preempt to exercise remove_active";
@@ -269,14 +269,14 @@ TEST(ActiveSet, CheckpointResumeRequeueKeepsOrder) {
   config.seed = 5;
   config.target_load = 0.9;
   core::AlgorithmOptions options;
-  options.failure.enabled = true;
-  options.failure.mtbf = 1500;
-  options.failure.mttr = 400;
-  options.failure.max_nodes = 2;
-  options.checkpoint.enabled = true;
-  options.checkpoint.interval = 300;
-  options.checkpoint.overhead = 10;
-  options.checkpoint.on_preempt = true;
+  options.engine.failure.enabled = true;
+  options.engine.failure.mtbf = 1500;
+  options.engine.failure.mttr = 400;
+  options.engine.failure.max_nodes = 2;
+  options.engine.checkpoint.enabled = true;
+  options.engine.checkpoint.interval = 300;
+  options.engine.checkpoint.overhead = 10;
+  options.engine.checkpoint.on_preempt = true;
   const auto run = run_audited(workload::generate(config), "EASY", options);
   EXPECT_GT(run.result.failure.interruptions, 0u);
   EXPECT_EQ(run.result.completed + run.result.killed, 120u);

@@ -15,7 +15,7 @@ using es::testing::make_workload;
 
 core::AlgorithmOptions with_trace() {
   core::AlgorithmOptions options;
-  options.record_trace = true;
+  options.engine.record_trace = true;
   return options;
 }
 

@@ -12,12 +12,15 @@
 // across --jobs worker threads) and the seed-mean aggregate is printed —
 // byte-identical output whatever the thread count.
 //
-// Exit codes: 0 success, 1 usage error, 2 invalid flag combination,
-// 3 output I/O error, 4 watchdog abort (partial metrics were printed).
+// Exit codes: 0 success, 1 usage error, 2 invalid flag combination or
+// unknown algorithm, 3 output I/O error, 4 watchdog abort (partial metrics
+// were printed).
 #include <cstdio>
 #include <iostream>
 #include <ostream>
+#include <string>
 
+#include "core/factory.hpp"
 #include "exp/analysis.hpp"
 #include "exp/experiment.hpp"
 #include "sim/watchdog.hpp"
@@ -37,6 +40,42 @@ namespace {
 int flag_error(const char* flag, const char* message) {
   std::fprintf(stderr, "simrun: --%s: %s\n", flag, message);
   return 2;
+}
+
+// Human-friendly range label for one log2 histogram bucket: "[0]", "[1]",
+// "[2..3]", ..., "[32768+]" for the overflow bucket.
+std::string bucket_label(int b) {
+  const auto lo = es::sched::CycleStats::bucket_lo(b);
+  const auto hi = es::sched::CycleStats::bucket_hi(b);
+  if (lo == hi) return "[" + std::to_string(lo) + "]";
+  if (b == es::sched::CycleStats::kBuckets - 1)
+    return "[" + std::to_string(lo) + "+]";
+  return "[" + std::to_string(lo) + ".." + std::to_string(hi) + "]";
+}
+
+// Appends the CycleStatsObserver counters to a perf table: the summary
+// tallies plus one row per non-empty histogram bucket.  Everything here is
+// deterministic, so the parallel-vs-serial output diff stays byte-exact.
+void add_cycle_stats_rows(es::util::AsciiTable& table,
+                          const es::sched::CycleStats& cycle) {
+  table.cell("cycles observed")
+      .cell(static_cast<long long>(cycle.cycles)).end_row();
+  table.cell("job starts / backfilled")
+      .cell(std::to_string(cycle.starts) + " / " +
+            std::to_string(cycle.backfill_starts))
+      .end_row();
+  table.cell("max queue depth at cycle")
+      .cell(static_cast<long long>(cycle.max_queue_depth)).end_row();
+  for (int b = 0; b < es::sched::CycleStats::kBuckets; ++b) {
+    if (cycle.queue_depth[b] == 0) continue;
+    table.cell("queue depth " + bucket_label(b) + " cycles")
+        .cell(static_cast<long long>(cycle.queue_depth[b])).end_row();
+  }
+  for (int b = 0; b < es::sched::CycleStats::kBuckets; ++b) {
+    if (cycle.dp_calls[b] == 0) continue;
+    table.cell("DP calls/cycle " + bucket_label(b) + " cycles")
+        .cell(static_cast<long long>(cycle.dp_calls[b])).end_row();
+  }
 }
 
 }  // namespace
@@ -75,6 +114,9 @@ int main(int argc, char** argv) {
                &synthetic);
   cli.add_option("algorithm", "algorithm name (Table III, FCFS, CONS, Adaptive)",
                  &algorithm);
+  bool list_algorithms = false;
+  cli.add_flag("list-algorithms", "print every known algorithm name and exit",
+               &list_algorithms);
   cli.add_option("procs", "machine size (default 320)", &procs);
   cli.add_option("granularity", "allocation granularity (default 32)",
                  &granularity);
@@ -138,8 +180,22 @@ int main(int argc, char** argv) {
   if (!cli.parse(argc, argv)) return 1;
   es::util::set_log_level(es::util::parse_log_level(log_level));
 
+  if (list_algorithms) {
+    for (const std::string& name : es::core::algorithm_names())
+      std::printf("%s\n", name.c_str());
+    return 0;
+  }
+
   // Flag validation (exit 2): catch contradictory or degenerate settings
   // before spending any simulation time on them.
+  if (!es::core::is_algorithm_name(algorithm)) {
+    std::fprintf(stderr, "simrun: --algorithm: unknown algorithm '%s'\n",
+                 algorithm.c_str());
+    std::fprintf(stderr, "known names (try --list-algorithms):\n");
+    for (const std::string& name : es::core::algorithm_names())
+      std::fprintf(stderr, "  %s\n", name.c_str());
+    return 2;
+  }
   if (mtbf < 0)
     return flag_error("mtbf", "must be >= 0 (0 disables fault injection)");
   if (mtbf > 0 && mttr <= 0)
@@ -210,28 +266,31 @@ int main(int argc, char** argv) {
   es::core::AlgorithmOptions options;
   options.max_skip_count = cs;
   options.lookahead = lookahead;
-  options.record_trace = !trace_csv.empty();
+  options.engine.record_trace = !trace_csv.empty();
+  // The per-cycle histograms live behind a switch so the default run keeps
+  // its empty attachment chain; --perf-report is the opt-in.
+  options.engine.collect_cycle_stats = perf_report;
   if (mtbf > 0) {
-    options.failure.enabled = true;
-    options.failure.seed = fail_seed;
-    options.failure.mtbf = mtbf;
-    options.failure.mttr = mttr;
-    options.failure.min_nodes = fail_min_nodes;
-    options.failure.max_nodes = fail_max_nodes;
-    options.failure.max_interruptions = fail_retry_cap;
-    if (!es::fault::parse_requeue_policy(requeue, options.requeue))
+    options.engine.failure.enabled = true;
+    options.engine.failure.seed = fail_seed;
+    options.engine.failure.mtbf = mtbf;
+    options.engine.failure.mttr = mttr;
+    options.engine.failure.min_nodes = fail_min_nodes;
+    options.engine.failure.max_nodes = fail_max_nodes;
+    options.engine.failure.max_interruptions = fail_retry_cap;
+    if (!es::fault::parse_requeue_policy(requeue, options.engine.requeue))
       return flag_error("requeue", "expected head, tail or abandon");
   }
   if (ckpt_enabled) {
-    options.checkpoint.enabled = true;
-    options.checkpoint.interval = ckpt_interval;
-    options.checkpoint.overhead = ckpt_overhead;
-    options.checkpoint.on_preempt = ckpt_on_preempt;
+    options.engine.checkpoint.enabled = true;
+    options.engine.checkpoint.interval = ckpt_interval;
+    options.engine.checkpoint.overhead = ckpt_overhead;
+    options.engine.checkpoint.on_preempt = ckpt_on_preempt;
   }
-  options.watchdog.max_events = max_events;
-  options.watchdog.max_sim_time = max_sim_time;
-  options.watchdog.wall_budget = wall_budget;
-  options.watchdog.no_progress_cycles = no_progress_cycles;
+  options.engine.watchdog.max_events = max_events;
+  options.engine.watchdog.max_sim_time = max_sim_time;
+  options.engine.watchdog.wall_budget = wall_budget;
+  options.engine.watchdog.no_progress_cycles = no_progress_cycles;
   options.dp_cache = !no_dp_cache;
 
   if (replications > 1) {
@@ -263,6 +322,7 @@ int main(int argc, char** argv) {
       table.cell("events cancelled").cell(static_cast<long long>(aggregate.events.cancelled)).end_row();
       table.cell("events fired").cell(static_cast<long long>(aggregate.events.fired)).end_row();
       table.cell("peak pending events").cell(static_cast<long long>(aggregate.events.peak_pending)).end_row();
+      add_cycle_stats_rows(table, aggregate.cycle);
     }
     table.render(std::cout);
     return 0;
@@ -333,6 +393,7 @@ int main(int argc, char** argv) {
     perf_table.cell("events cancelled").cell(static_cast<long long>(perf.events.cancelled)).end_row();
     perf_table.cell("events fired").cell(static_cast<long long>(perf.events.fired)).end_row();
     perf_table.cell("peak pending events").cell(static_cast<long long>(perf.events.peak_pending)).end_row();
+    add_cycle_stats_rows(perf_table, perf.cycle);
     perf_table.cell("cycle wall (s)").cell(perf.cycle_seconds, 4).end_row();
     perf_table.cell("run wall (s)").cell(perf.wall_seconds, 4).end_row();
     perf_table.render(std::cout);
