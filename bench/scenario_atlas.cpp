@@ -1,0 +1,280 @@
+// scenario_atlas — differential fuzzing of every factory algorithm over
+// the hostile-scenario families, with the invariant oracle attached.
+//
+//   $ scenario_atlas                          # matrix: families x algorithms
+//   $ scenario_atlas --seeds 4                # more seeds per family
+//   $ scenario_atlas --corpus data/corpus     # replay the committed corpus
+//   $ scenario_atlas --fuzz-seconds 300       # time-boxed exploration
+//   $ scenario_atlas --write-corpus data/corpus --seeds 2
+//
+// Matrix and corpus modes run every scenario through every algorithm that
+// supports its job mix, apply the per-run oracle checks, then the
+// cross-algorithm sanity checks, and report each violation.  Fuzz mode
+// walks fresh (family, seed) pairs until the time budget runs out; each
+// scenario is persisted to <out>/inflight.scn *before* its first run so an
+// engine-contract abort (ES_EXPECTS) leaves a replayable crash file behind.
+// Violations observable as data are ddmin-shrunk and written as minimized
+// repro files (<out>/repro-*.scn) ready for `simrun --scenario` and for
+// promotion into data/corpus/.
+//
+// Exit codes: 0 all invariants hold, 1 usage error, 2 invalid flags,
+// 3 I/O error, 5 at least one violation was found.
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/factory.hpp"
+#include "fuzz/hostile.hpp"
+#include "fuzz/oracle.hpp"
+#include "fuzz/scenario.hpp"
+#include "fuzz/shrink.hpp"
+#include "util/cli.hpp"
+#include "util/log.hpp"
+
+namespace {
+
+using es::fuzz::RunReport;
+using es::fuzz::Scenario;
+using es::fuzz::Violation;
+
+int flag_error(const char* flag, const char* message) {
+  std::fprintf(stderr, "scenario_atlas: --%s: %s\n", flag, message);
+  return 2;
+}
+
+struct ScenarioVerdict {
+  std::size_t ran = 0;
+  std::size_t skipped = 0;
+  std::size_t violations = 0;
+  std::vector<RunReport> reports;
+  std::vector<Violation> cross;
+};
+
+// Runs one scenario through every factory algorithm and the cross checks,
+// printing each violation as it is found.
+ScenarioVerdict run_matrix_cell(const Scenario& scenario, bool verbose) {
+  ScenarioVerdict verdict;
+  for (const std::string& algorithm : es::core::algorithm_names()) {
+    RunReport report = es::fuzz::check_run(scenario, algorithm);
+    if (!report.ran) {
+      ++verdict.skipped;
+    } else {
+      ++verdict.ran;
+      for (const Violation& v : report.violations)
+        std::printf("  FAIL %-18s [%s] %s: %s\n", scenario.name.c_str(),
+                    algorithm.c_str(), v.check.c_str(), v.detail.c_str());
+      verdict.violations += report.violations.size();
+    }
+    verdict.reports.push_back(std::move(report));
+  }
+  verdict.cross = es::fuzz::check_cross(scenario, verdict.reports);
+  for (const Violation& v : verdict.cross)
+    std::printf("  FAIL %-18s [cross] %s: %s\n", scenario.name.c_str(),
+                v.check.c_str(), v.detail.c_str());
+  verdict.violations += verdict.cross.size();
+  if (verbose || verdict.violations > 0)
+    std::printf("%-24s %zu algorithms, %zu skipped, %zu violations\n",
+                scenario.name.c_str(), verdict.ran, verdict.skipped,
+                verdict.violations);
+  return verdict;
+}
+
+// Builds the shrink predicate chasing the first violation in `verdict`:
+// a per-run violation pins (algorithm, check); a cross violation re-runs
+// the whole panel and matches on the check name.
+es::fuzz::FailurePredicate make_predicate(const ScenarioVerdict& verdict) {
+  for (const RunReport& report : verdict.reports) {
+    if (report.violations.empty()) continue;
+    const std::string algorithm = report.algorithm;
+    const std::string check = report.violations.front().check;
+    return [algorithm, check](const Scenario& candidate) {
+      const RunReport rerun = es::fuzz::check_run(candidate, algorithm);
+      if (!rerun.ran) return false;
+      for (const Violation& v : rerun.violations)
+        if (v.check == check) return true;
+      return false;
+    };
+  }
+  const std::string check = verdict.cross.front().check;
+  return [check](const Scenario& candidate) {
+    std::vector<RunReport> reports;
+    for (const std::string& algorithm : es::core::algorithm_names())
+      reports.push_back(es::fuzz::check_run(candidate, algorithm));
+    for (const Violation& v : es::fuzz::check_cross(candidate, reports))
+      if (v.check == check) return true;
+    return false;
+  };
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string corpus_dir;
+  std::string write_corpus_dir;
+  std::string out_dir = "fuzz-out";
+  std::string log_level = "error";
+  unsigned long long seeds = 1;
+  unsigned long long base_seed = 1;
+  unsigned long long fuzz_seconds = 0;
+  unsigned long long shrink_budget = 200;
+  bool verbose = false;
+
+  es::util::CliParser cli("Adversarial scenario atlas: differential fuzzing "
+                          "of every algorithm over hostile workloads");
+  cli.add_option("corpus", "replay every *.scn in this directory instead of "
+                 "generating scenarios", &corpus_dir);
+  cli.add_option("write-corpus", "generate the (family x seed) matrix and "
+                 "save each scenario into this directory, then exit",
+                 &write_corpus_dir);
+  cli.add_option("fuzz-seconds", "time-boxed fuzz mode: walk fresh seeds "
+                 "until the wall budget expires (0 = matrix mode)",
+                 &fuzz_seconds);
+  cli.add_option("seeds", "matrix/write-corpus: seeds per family (default 1)",
+                 &seeds);
+  cli.add_option("seed", "first seed (default 1)", &base_seed);
+  cli.add_option("out", "fuzz mode: directory for crash files and minimized "
+                 "repros (default fuzz-out)", &out_dir);
+  cli.add_option("shrink-budget", "fuzz mode: max predicate evaluations per "
+                 "shrink (default 200)", &shrink_budget);
+  cli.add_flag("verbose", "print a line per scenario even when green",
+               &verbose);
+  cli.add_option("log", "log level: debug/info/warn/error/off", &log_level);
+  if (!cli.parse(argc, argv)) return 1;
+  es::util::set_log_level(es::util::parse_log_level(log_level));
+
+  if (seeds == 0) return flag_error("seeds", "must be >= 1");
+  if (!corpus_dir.empty() && !write_corpus_dir.empty())
+    return flag_error("write-corpus", "pick one of --corpus/--write-corpus");
+  if (fuzz_seconds > 0 && (!corpus_dir.empty() || !write_corpus_dir.empty()))
+    return flag_error("fuzz-seconds", "fuzz mode generates its own "
+                      "scenarios; drop --corpus/--write-corpus");
+
+  // --write-corpus: emit the seed corpus and exit.
+  if (!write_corpus_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(write_corpus_dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "scenario_atlas: cannot create %s: %s\n",
+                   write_corpus_dir.c_str(), ec.message().c_str());
+      return 3;
+    }
+    std::size_t written = 0;
+    for (const std::string& family : es::fuzz::family_names()) {
+      for (unsigned long long s = 0; s < seeds; ++s) {
+        const Scenario scenario =
+            es::fuzz::make_scenario(family, base_seed + s);
+        const std::string path =
+            write_corpus_dir + "/" + scenario.name + ".scn";
+        if (!es::fuzz::save_scenario(path, scenario)) {
+          std::fprintf(stderr, "scenario_atlas: cannot write %s\n",
+                       path.c_str());
+          return 3;
+        }
+        std::printf("[corpus] %s (%zu jobs, %zu ECCs)\n", path.c_str(),
+                    scenario.workload.jobs.size(),
+                    scenario.workload.eccs.size());
+        ++written;
+      }
+    }
+    std::printf("wrote %zu scenarios to %s\n", written,
+                write_corpus_dir.c_str());
+    return 0;
+  }
+
+  // --corpus: replay the committed corpus.
+  if (!corpus_dir.empty()) {
+    std::vector<std::string> paths;
+    try {
+      paths = es::fuzz::list_corpus(corpus_dir);
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "scenario_atlas: %s\n", error.what());
+      return 3;
+    }
+    if (paths.empty()) {
+      std::fprintf(stderr, "scenario_atlas: no *.scn files in %s\n",
+                   corpus_dir.c_str());
+      return 3;
+    }
+    std::size_t total = 0;
+    for (const std::string& path : paths) {
+      Scenario scenario;
+      try {
+        scenario = es::fuzz::load_scenario(path);
+      } catch (const es::fuzz::ScenarioError& error) {
+        std::fprintf(stderr, "scenario_atlas: %s\n", error.what());
+        return 2;
+      } catch (const std::exception& error) {
+        std::fprintf(stderr, "scenario_atlas: %s\n", error.what());
+        return 3;
+      }
+      total += run_matrix_cell(scenario, verbose).violations;
+    }
+    std::printf("corpus replay: %zu scenarios, %zu violations\n",
+                paths.size(), total);
+    return total == 0 ? 0 : 5;
+  }
+
+  // --fuzz-seconds: time-boxed exploration with crash triage + shrinking.
+  if (fuzz_seconds > 0) {
+    std::error_code ec;
+    std::filesystem::create_directories(out_dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "scenario_atlas: cannot create %s: %s\n",
+                   out_dir.c_str(), ec.message().c_str());
+      return 3;
+    }
+    const std::string inflight = out_dir + "/inflight.scn";
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::seconds(fuzz_seconds);
+    const std::vector<std::string>& families = es::fuzz::family_names();
+    std::size_t iterations = 0, failures = 0;
+    for (unsigned long long i = 0;
+         std::chrono::steady_clock::now() < deadline; ++i) {
+      const std::string& family = families[i % families.size()];
+      const unsigned long long seed = base_seed + i / families.size();
+      const Scenario scenario = es::fuzz::make_scenario(family, seed);
+      // Persist before running: if an engine contract aborts the process,
+      // this file is the replayable crash evidence.
+      if (!es::fuzz::save_scenario(inflight, scenario)) {
+        std::fprintf(stderr, "scenario_atlas: cannot write %s\n",
+                     inflight.c_str());
+        return 3;
+      }
+      const ScenarioVerdict verdict = run_matrix_cell(scenario, verbose);
+      ++iterations;
+      if (verdict.violations == 0) continue;
+      ++failures;
+      const std::string raw =
+          out_dir + "/fail-" + scenario.name + ".scn";
+      es::fuzz::save_scenario(raw, scenario);
+      const es::fuzz::ShrinkResult shrunk = es::fuzz::shrink(
+          scenario, make_predicate(verdict),
+          static_cast<std::size_t>(shrink_budget));
+      const std::string repro =
+          out_dir + "/repro-" + scenario.name + ".scn";
+      es::fuzz::save_scenario(repro, shrunk.scenario);
+      std::printf("  [shrink] %s: %zu events removed in %zu tests -> %s\n",
+                  scenario.name.c_str(), shrunk.removed, shrunk.tests,
+                  repro.c_str());
+    }
+    std::filesystem::remove(inflight, ec);
+    std::printf("fuzz: %zu scenarios explored, %zu failing (repros in %s)\n",
+                iterations, failures, out_dir.c_str());
+    return failures == 0 ? 0 : 5;
+  }
+
+  // Default: the (family x seed) matrix.
+  std::size_t total = 0, cells = 0;
+  for (const std::string& family : es::fuzz::family_names()) {
+    for (unsigned long long s = 0; s < seeds; ++s) {
+      const Scenario scenario = es::fuzz::make_scenario(family, base_seed + s);
+      total += run_matrix_cell(scenario, verbose).violations;
+      ++cells;
+    }
+  }
+  std::printf("atlas matrix: %zu scenarios x %zu algorithms, %zu violations\n",
+              cells, es::core::algorithm_names().size(), total);
+  return total == 0 ? 0 : 5;
+}

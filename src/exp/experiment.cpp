@@ -27,6 +27,22 @@ sched::SimulationResult run_workload(const workload::Workload& workload,
   return sched::simulate(config, *algo.policy, workload);
 }
 
+sched::SimulationResult run_workload(const workload::Workload& workload,
+                                     const std::string& algorithm,
+                                     const core::AlgorithmOptions& options,
+                                     sched::EngineObserver* observer,
+                                     sched::HookMask mask) {
+  core::Algorithm algo = core::make_algorithm(algorithm, options);
+  sched::EngineConfig config = options.engine;
+  config.machine_procs = workload.machine_procs;
+  config.granularity = workload.granularity;
+  config.process_eccs = algo.process_eccs;
+  config.allow_running_resize = algo.allow_running_resize;
+  sched::Engine engine(config, *algo.policy);
+  if (observer != nullptr) engine.add_observer(observer, mask);
+  return engine.run(workload);
+}
+
 sched::SimulationResult run_once(const RunSpec& spec) {
   const workload::Workload workload = workload::generate(spec.workload);
   return run_workload(workload, spec.algorithm, spec.options);

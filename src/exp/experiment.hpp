@@ -51,6 +51,16 @@ sched::SimulationResult run_workload(const workload::Workload& workload,
                                      const std::string& algorithm,
                                      const core::AlgorithmOptions& options = {});
 
+/// Same, with an external observer appended to the engine's attachment
+/// chain after the config-selected built-ins (the invariant-oracle mount
+/// point; see fuzz::OracleObserver).  The observer is not owned and must
+/// outlive the call.
+sched::SimulationResult run_workload(const workload::Workload& workload,
+                                     const std::string& algorithm,
+                                     const core::AlgorithmOptions& options,
+                                     sched::EngineObserver* observer,
+                                     sched::HookMask mask = sched::kAllHooks);
+
 /// Generates the spec's workload (with its seed) and runs it.
 sched::SimulationResult run_once(const RunSpec& spec);
 

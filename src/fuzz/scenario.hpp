@@ -1,0 +1,108 @@
+// Adversarial scenario atlas: serialized, replayable hostile scenarios.
+//
+// A Scenario is one fully materialized simulation setup — the workload
+// (jobs + ECCs, embedded as CWF lines) plus every engine knob that shapes a
+// run (requeue policy, fault injection, checkpointing, watchdog budgets).
+// Scenarios are the unit the atlas fuzzes, the shrinker minimizes, the
+// corpus under data/corpus/ commits, and `simrun --scenario` replays.
+//
+// Design rule: the workload is always *materialized*, never a generator
+// recipe.  A corpus file must replay bit-identically forever, and recipe
+// replay would silently invalidate the corpus every time a generator
+// changes.  The (family, seed) provenance is kept as metadata only.
+//
+// File format (text, line-oriented, "# " comments):
+//
+//   # elastisched scenario v1
+//   scenario-version = 1
+//   name = ecc_storm-7
+//   family = ecc_storm
+//   seed = 7
+//   expect-completion = 1
+//   procs = 320
+//   granularity = 32
+//   requeue = head
+//   fail-seed = 9            # stochastic outage knobs (fail-mtbf > 0
+//   fail-mtbf = 3600         # enables them; "outage" lines below override
+//   fail-mttr = 900          # with a deterministic script)
+//   fail-min-nodes = 1
+//   fail-max-nodes = 4
+//   fail-retry-cap = 3
+//   outage = 1000 1600 64    # down up procs (repeatable; scripted mode)
+//   ckpt-interval = 300
+//   ckpt-overhead = 10
+//   ckpt-on-preempt = 0
+//   max-events = 2000000     # watchdog budgets (0 = unlimited)
+//   max-sim-time = 0
+//   no-progress-cycles = 50000
+//   workload:
+//   <CWF lines until end of file>
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/factory.hpp"
+#include "sched/engine_config.hpp"
+#include "workload/job.hpp"
+
+namespace es::fuzz {
+
+/// Thrown by the load/parse paths on malformed scenario text.  Carries a
+/// line-located message; I/O failures (unreadable file) are reported
+/// separately so CLI front-ends can keep their exit-code conventions
+/// (2 validation, 3 I/O).
+class ScenarioError : public std::runtime_error {
+ public:
+  explicit ScenarioError(const std::string& message)
+      : std::runtime_error(message) {}
+};
+
+/// One replayable hostile scenario.
+struct Scenario {
+  std::string name;    ///< unique-ish label, e.g. "ecc_storm-7"
+  std::string family;  ///< generating family, or "repro" for minimized cases
+  std::uint64_t seed = 0;  ///< family seed (provenance; replay never re-rolls)
+  /// When set (the default), the oracle treats any watchdog abort as a
+  /// stuck-queue / livelock violation.  Families that deliberately run into
+  /// their budgets clear it.
+  bool expect_completion = true;
+
+  workload::Workload workload;  ///< materialized jobs + ECCs
+  /// Engine knobs: requeue, failure (script or stochastic), checkpoint,
+  /// watchdog.  machine_procs/granularity mirror the workload's and are
+  /// re-synced on load/save.
+  sched::EngineConfig engine;
+
+  /// Algorithm options carrying this scenario's engine config, ready for
+  /// exp::run_workload (which overrides machine shape from the workload and
+  /// the ECC flags from the algorithm name).
+  core::AlgorithmOptions options() const;
+
+  std::size_t event_weight() const {
+    return workload.jobs.size() + workload.eccs.size() +
+           engine.failure.script.size();
+  }
+};
+
+/// Renders the scenario in the file format above.
+std::string format_scenario(const Scenario& scenario);
+
+/// Parses scenario text.  Throws ScenarioError on malformed content
+/// (unknown keys, bad values, CWF lines that fail to parse).
+Scenario parse_scenario(const std::string& text);
+
+/// Load from disk.  Throws ScenarioError on malformed content and
+/// std::runtime_error on I/O failure (missing/unreadable file).
+Scenario load_scenario(const std::string& path);
+
+/// Save to disk (atomic write).  Returns false on I/O failure.
+bool save_scenario(const std::string& path, const Scenario& scenario);
+
+/// All "*.scn" files under `dir`, sorted by filename for deterministic
+/// replay order.  Throws std::runtime_error if the directory is unreadable.
+std::vector<std::string> list_corpus(const std::string& dir);
+
+}  // namespace es::fuzz

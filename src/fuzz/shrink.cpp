@@ -1,0 +1,133 @@
+#include "fuzz/shrink.hpp"
+
+#include <set>
+#include <vector>
+
+namespace es::fuzz {
+
+namespace {
+
+/// Rebuilds the scenario with only the index-selected jobs, dropping the
+/// ECCs of removed jobs with them.
+Scenario keep_jobs(const Scenario& scenario, const std::vector<std::size_t>& kept) {
+  Scenario out = scenario;
+  out.workload.jobs.clear();
+  std::set<workload::JobId> ids;
+  for (const std::size_t index : kept) {
+    out.workload.jobs.push_back(scenario.workload.jobs[index]);
+    ids.insert(scenario.workload.jobs[index].id);
+  }
+  out.workload.eccs.clear();
+  for (const workload::Ecc& ecc : scenario.workload.eccs)
+    if (ids.count(ecc.job_id)) out.workload.eccs.push_back(ecc);
+  out.workload.normalize();
+  return out;
+}
+
+Scenario keep_eccs(const Scenario& scenario, const std::vector<std::size_t>& kept) {
+  Scenario out = scenario;
+  out.workload.eccs.clear();
+  for (const std::size_t index : kept)
+    out.workload.eccs.push_back(scenario.workload.eccs[index]);
+  out.workload.normalize();
+  return out;
+}
+
+Scenario keep_outages(const Scenario& scenario,
+                      const std::vector<std::size_t>& kept) {
+  Scenario out = scenario;
+  out.engine.failure.script.clear();
+  for (const std::size_t index : kept)
+    out.engine.failure.script.push_back(scenario.engine.failure.script[index]);
+  // An emptied script must not fall back to the stochastic regime: a
+  // scripted scenario without outages is simply failure-free.
+  if (out.engine.failure.script.empty() &&
+      !scenario.engine.failure.script.empty())
+    out.engine.failure.enabled = false;
+  return out;
+}
+
+/// ddmin-style chunk removal over `count` items.  `build` materializes the
+/// scenario for a kept-index subset; returns the smallest kept set on which
+/// the predicate still fails.
+std::vector<std::size_t> ddmin(
+    std::size_t count, const FailurePredicate& still_fails,
+    const std::function<Scenario(const std::vector<std::size_t>&)>& build,
+    std::size_t budget, std::size_t& tests) {
+  std::vector<std::size_t> kept(count);
+  for (std::size_t i = 0; i < count; ++i) kept[i] = i;
+
+  std::size_t chunk = (count + 1) / 2;
+  while (!kept.empty() && chunk >= 1) {
+    bool reduced = false;
+    for (std::size_t start = 0; start < kept.size();) {
+      if (tests >= budget) return kept;
+      std::vector<std::size_t> candidate;
+      candidate.reserve(kept.size());
+      for (std::size_t i = 0; i < kept.size(); ++i)
+        if (i < start || i >= start + chunk) candidate.push_back(kept[i]);
+      ++tests;
+      if (still_fails(build(candidate))) {
+        kept = std::move(candidate);
+        reduced = true;
+        // The window now holds the next items; retry the same start.
+      } else {
+        start += chunk;
+      }
+    }
+    if (chunk == 1) {
+      if (!reduced) break;  // a full singleton pass removed nothing more
+    } else {
+      chunk = (chunk + 1) / 2;
+    }
+  }
+  return kept;
+}
+
+}  // namespace
+
+ShrinkResult shrink(const Scenario& scenario,
+                    const FailurePredicate& still_fails, std::size_t budget) {
+  ShrinkResult result;
+  result.scenario = scenario;
+  const std::size_t original = scenario.event_weight();
+
+  // Jobs first (each removal also drops its ECCs — the biggest lever),
+  // then the surviving ECCs, then scripted outages.
+  {
+    const Scenario& base = result.scenario;
+    const std::vector<std::size_t> kept = ddmin(
+        base.workload.jobs.size(), still_fails,
+        [&base](const std::vector<std::size_t>& indices) {
+          return keep_jobs(base, indices);
+        },
+        budget, result.tests);
+    result.scenario = keep_jobs(base, kept);
+  }
+  {
+    const Scenario base = result.scenario;
+    const std::vector<std::size_t> kept = ddmin(
+        base.workload.eccs.size(), still_fails,
+        [&base](const std::vector<std::size_t>& indices) {
+          return keep_eccs(base, indices);
+        },
+        budget, result.tests);
+    result.scenario = keep_eccs(base, kept);
+  }
+  {
+    const Scenario base = result.scenario;
+    const std::vector<std::size_t> kept = ddmin(
+        base.engine.failure.script.size(), still_fails,
+        [&base](const std::vector<std::size_t>& indices) {
+          return keep_outages(base, indices);
+        },
+        budget, result.tests);
+    result.scenario = keep_outages(base, kept);
+  }
+
+  result.scenario.name = scenario.name + "-min";
+  result.removed = original - result.scenario.event_weight();
+  return result;
+}
+
+}  // namespace es::fuzz

@@ -1,0 +1,39 @@
+// Delta-debugging scenario minimizer.
+//
+// Given a scenario on which some predicate holds (an oracle violation, a
+// cross-algorithm mismatch), shrink() searches for a smaller scenario on
+// which it still holds: ddmin-style chunk removal over the job list (each
+// job taking its ECCs with it), then over the surviving ECCs, then over
+// scripted outages.  The result is what gets written as a minimized,
+// replayable repro file.
+//
+// The predicate runs real simulations, so shrinking an engine *crash*
+// (ES_EXPECTS aborts the process) cannot happen in-process; the atlas
+// handles crashes by persisting the unshrunk scenario before each run and
+// shrinks only violations it can observe as data.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "fuzz/scenario.hpp"
+
+namespace es::fuzz {
+
+/// Returns true when the scenario still exhibits the failure being chased.
+using FailurePredicate = std::function<bool(const Scenario&)>;
+
+struct ShrinkResult {
+  Scenario scenario;        ///< smallest failing scenario found
+  std::size_t tests = 0;    ///< predicate evaluations spent
+  std::size_t removed = 0;  ///< events removed from the original
+};
+
+/// Minimizes `scenario` under `still_fails`.  The input scenario must
+/// satisfy the predicate; the returned one does too.  `budget` caps the
+/// number of predicate evaluations (each one typically runs a full
+/// simulation per algorithm under test).
+ShrinkResult shrink(const Scenario& scenario, const FailurePredicate& still_fails,
+                    std::size_t budget = 400);
+
+}  // namespace es::fuzz

@@ -19,6 +19,9 @@ void EccAuditObserver::on_ecc_applied(sim::Time now, const JobRun& job,
     case EccOutcome::kRejectedBounds:
       ++rejected_;
       break;
+    case EccOutcome::kSkippedConflict:
+      ++conflicts_;
+      break;
     default:
       break;
   }
@@ -53,6 +56,11 @@ void EccAuditObserver::on_paranoid_check(
                 static_cast<unsigned long long>(snapshot.cycle),
                 static_cast<unsigned long long>(snapshot.ecc->rejected),
                 static_cast<unsigned long long>(rejected_));
+  ES_ASSERT_MSG(snapshot.ecc->conflicts == conflicts_,
+                "t=%.3f cycle=%llu ledger=%llu audited=%llu", snapshot.now,
+                static_cast<unsigned long long>(snapshot.cycle),
+                static_cast<unsigned long long>(snapshot.ecc->conflicts),
+                static_cast<unsigned long long>(conflicts_));
 }
 
 }  // namespace es::sched

@@ -29,6 +29,8 @@ class EccAuditObserver final : public EngineObserver {
   std::uint64_t unknown_ = 0;     ///< commands skipped: job id not found
   std::uint64_t dispatched_ = 0;  ///< commands the processor applied
   std::uint64_t rejected_ = 0;    ///< dispatches with a kRejected* outcome
+  std::uint64_t conflicts_ = 0;   ///< same-instant contradictory/duplicate
+                                  ///< commands the conflict shield skipped
 };
 
 }  // namespace es::sched

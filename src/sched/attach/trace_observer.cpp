@@ -32,6 +32,7 @@ void TraceObserver::on_ecc_applied(sim::Time now, const JobRun& job,
     case EccOutcome::kRejectedFinished:
     case EccOutcome::kRejectedShape:
     case EccOutcome::kRejectedBounds:
+    case EccOutcome::kSkippedConflict:
       kind = TraceEventKind::kEccRejected;
       break;
     default:

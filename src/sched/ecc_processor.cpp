@@ -1,6 +1,7 @@
 #include "sched/ecc_processor.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/check.hpp"
 
@@ -73,7 +74,28 @@ EccOutcome EccProcessor::resize(const workload::Ecc& ecc, JobRun& job,
 EccOutcome EccProcessor::apply(const workload::Ecc& ecc, JobRun& job,
                                sim::Time now, int free_procs) {
   ++stats_.processed;
-  ES_EXPECTS(ecc.amount >= 0);
+  // Commands are external input (CWF lines, fuzzed scenarios): a malformed
+  // amount is rejected, never asserted.
+  if (!std::isfinite(ecc.amount) || ecc.amount < 0) {
+    ++stats_.rejected;
+    return EccOutcome::kRejectedBounds;
+  }
+
+  // Same-instant conflict shield: the first command per (job, instant,
+  // dimension) wins; contradictory or duplicate followers are skipped so
+  // resolution is deterministic and independent of file order.
+  if (ecc.job_id != group_job_ || now != group_time_) {
+    group_job_ = ecc.job_id;
+    group_time_ = now;
+    group_time_dim_ = false;
+    group_proc_dim_ = false;
+  }
+  bool& claimed = ecc.time_dimension() ? group_time_dim_ : group_proc_dim_;
+  if (claimed) {
+    ++stats_.conflicts;
+    return EccOutcome::kSkippedConflict;
+  }
+  claimed = true;
 
   if (job.status == JobStatus::kCompleted ||
       job.status == JobStatus::kKilled ||

@@ -26,7 +26,10 @@ enum class EccOutcome {
   kRejectedFinished,  ///< target already completed/killed
   kRejectedShape,     ///< EP/RP on a running job (rigid mode)
   kRejectedBounds,    ///< would leave the job with no time / invalid size,
-                      ///< or a growth that does not fit the free pool
+                      ///< a growth that does not fit the free pool, or a
+                      ///< malformed (negative / non-finite) amount
+  kSkippedConflict,   ///< contradicts an earlier same-instant command for
+                      ///< the same job in the same dimension (first wins)
 };
 
 /// Statistics over all processed commands.
@@ -42,6 +45,10 @@ struct EccStats {
   std::uint64_t after_finish = 0;  ///< commands arriving after the target
                                    ///< completed / was killed / abandoned
   std::uint64_t running_resizes = 0;  ///< EP/RP applied to running jobs
+  std::uint64_t conflicts = 0;  ///< same-instant contradictory/duplicate
+                                ///< commands skipped (first per job and
+                                ///< dimension wins; counted separately
+                                ///< from `rejected`)
   double time_added = 0;    ///< net seconds added by ET
   double time_removed = 0;  ///< net seconds removed by RT
   double procs_added = 0;   ///< net processors added by EP
@@ -71,6 +78,17 @@ class EccProcessor {
   /// the engine whether to reschedule the job's finish event
   /// (kAppliedRunning), resize its allocation and reschedule
   /// (kResizedRunning), or finish it immediately (kCompletedJob).
+  ///
+  /// Same-instant conflict shield: when several commands target the same
+  /// job at the same issue instant, the first one per dimension (time for
+  /// ET/RT, processors for EP/RP) wins and the rest return
+  /// kSkippedConflict — a contradictory extend/reduce pair or a duplicate
+  /// in one CWF batch must not see order-dependent partial application.
+  /// The engine dispatches commands in normalized (issue, job id) order,
+  /// so same-group commands reach apply() contiguously.
+  ///
+  /// Malformed amounts (negative or non-finite) are rejected with
+  /// kRejectedBounds rather than asserted: commands are external input.
   EccOutcome apply(const workload::Ecc& ecc, JobRun& job, sim::Time now,
                    int free_procs = 0);
 
@@ -87,6 +105,12 @@ class EccProcessor {
   int granularity_;
   bool running_resize_ = false;
   EccStats stats_;
+  // Same-instant conflict-shield state: the (job, instant) group of the
+  // last command and which dimensions it already claimed.
+  workload::JobId group_job_ = 0;
+  sim::Time group_time_ = -1;
+  bool group_time_dim_ = false;
+  bool group_proc_dim_ = false;
 };
 
 }  // namespace es::sched

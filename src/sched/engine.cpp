@@ -350,6 +350,7 @@ void Engine::on_ecc(const workload::Ecc& ecc) {
     case EccOutcome::kRejectedFinished:
     case EccOutcome::kRejectedShape:
     case EccOutcome::kRejectedBounds:
+    case EccOutcome::kSkippedConflict:
       break;
   }
   run_cycle();

@@ -30,7 +30,11 @@ void Workload::normalize() {
     if (a.arr != b.arr) return a.arr < b.arr;
     return a.id < b.id;
   });
-  std::sort(eccs.begin(), eccs.end(), [](const Ecc& a, const Ecc& b) {
+  // Stable: commands tied on (issue, job) keep their file/generation order.
+  // The engine dispatches same-instant commands in workload order and
+  // resolves conflicts first-wins, so an unstable sort here would let the
+  // winner of a contradictory pair flip between two normalize() calls.
+  std::stable_sort(eccs.begin(), eccs.end(), [](const Ecc& a, const Ecc& b) {
     if (a.issue != b.issue) return a.issue < b.issue;
     return a.job_id < b.job_id;
   });

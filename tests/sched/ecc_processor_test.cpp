@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 namespace es::sched {
 namespace {
 
@@ -93,7 +95,7 @@ TEST(EccProcessor, RejectsFinishedJob) {
   EXPECT_EQ(processor.apply(ecc(workload::EccType::kExtendTime, 10), job, 0),
             EccOutcome::kRejectedFinished);
   job.status = JobStatus::kKilled;
-  EXPECT_EQ(processor.apply(ecc(workload::EccType::kReduceTime, 10), job, 0),
+  EXPECT_EQ(processor.apply(ecc(workload::EccType::kReduceTime, 10), job, 1),
             EccOutcome::kRejectedFinished);
 }
 
@@ -103,13 +105,13 @@ TEST(EccProcessor, ResizesQueuedJobOnly) {
   EXPECT_EQ(processor.apply(ecc(workload::EccType::kExtendProcs, 32), queued, 0),
             EccOutcome::kAppliedQueued);
   EXPECT_EQ(queued.num, 96);
-  EXPECT_EQ(processor.apply(ecc(workload::EccType::kReduceProcs, 64), queued, 0),
+  EXPECT_EQ(processor.apply(ecc(workload::EccType::kReduceProcs, 64), queued, 1),
             EccOutcome::kAppliedQueued);
   EXPECT_EQ(queued.num, 32);
 
   JobRun running = running_job(0, 100, 64);
   EXPECT_EQ(
-      processor.apply(ecc(workload::EccType::kExtendProcs, 32), running, 0),
+      processor.apply(ecc(workload::EccType::kExtendProcs, 32), running, 2),
       EccOutcome::kRejectedShape);
   EXPECT_EQ(running.num, 64);
 }
@@ -119,8 +121,8 @@ TEST(EccProcessor, ResizeClampsToMachine) {
   JobRun job = waiting_job(100, 300);
   processor.apply(ecc(workload::EccType::kExtendProcs, 500), job, 0);
   EXPECT_EQ(job.num, 320);
-  // Another extension is a no-op -> rejected by bounds.
-  EXPECT_EQ(processor.apply(ecc(workload::EccType::kExtendProcs, 5), job, 0),
+  // A later extension is a no-op -> rejected by bounds.
+  EXPECT_EQ(processor.apply(ecc(workload::EccType::kExtendProcs, 5), job, 1),
             EccOutcome::kRejectedBounds);
 }
 
@@ -128,10 +130,10 @@ TEST(EccProcessor, StatsAccumulate) {
   EccProcessor processor(320, 32);
   JobRun job = waiting_job(100);
   processor.apply(ecc(workload::EccType::kExtendTime, 60), job, 0);
-  processor.apply(ecc(workload::EccType::kReduceTime, 40), job, 0);
+  processor.apply(ecc(workload::EccType::kReduceTime, 40), job, 1);
   JobRun done = waiting_job();
   done.status = JobStatus::kCompleted;
-  processor.apply(ecc(workload::EccType::kExtendTime, 5), done, 0);
+  processor.apply(ecc(workload::EccType::kExtendTime, 5), done, 2);
   const EccStats& stats = processor.stats();
   EXPECT_EQ(stats.processed, 3u);
   EXPECT_EQ(stats.extensions, 1u);
@@ -139,6 +141,102 @@ TEST(EccProcessor, StatsAccumulate) {
   EXPECT_EQ(stats.rejected, 1u);
   EXPECT_DOUBLE_EQ(stats.time_added, 60);
   EXPECT_DOUBLE_EQ(stats.time_removed, 40);
+}
+
+TEST(EccProcessorConflict, SameInstantContradictoryTimePairFirstWins) {
+  EccProcessor processor(320, 32);
+  JobRun job = waiting_job(100);
+  EXPECT_EQ(processor.apply(ecc(workload::EccType::kExtendTime, 60), job, 10),
+            EccOutcome::kAppliedQueued);
+  // The contradictory reduction arrives at the exact same instant: skipped,
+  // deterministically, whatever order the file listed them in.
+  EXPECT_EQ(processor.apply(ecc(workload::EccType::kReduceTime, 30), job, 10),
+            EccOutcome::kSkippedConflict);
+  EXPECT_DOUBLE_EQ(job.req_time, 160);
+  EXPECT_EQ(processor.stats().conflicts, 1u);
+  EXPECT_EQ(processor.stats().rejected, 0u);
+}
+
+TEST(EccProcessorConflict, SameInstantDuplicateSkipped) {
+  EccProcessor processor(320, 32);
+  JobRun job = waiting_job(100);
+  processor.apply(ecc(workload::EccType::kExtendTime, 60), job, 10);
+  EXPECT_EQ(processor.apply(ecc(workload::EccType::kExtendTime, 60), job, 10),
+            EccOutcome::kSkippedConflict);
+  EXPECT_DOUBLE_EQ(job.req_time, 160);  // applied once, not twice
+  EXPECT_EQ(processor.stats().conflicts, 1u);
+}
+
+TEST(EccProcessorConflict, IndependentDimensionsBothApply) {
+  EccProcessor processor(320, 32);
+  JobRun job = waiting_job(100, 64);
+  // Time and processor dimensions are independent axes: one same-instant
+  // command per axis is legitimate elasticity, not a conflict.
+  EXPECT_EQ(processor.apply(ecc(workload::EccType::kExtendTime, 60), job, 10),
+            EccOutcome::kAppliedQueued);
+  EXPECT_EQ(processor.apply(ecc(workload::EccType::kExtendProcs, 32), job, 10),
+            EccOutcome::kAppliedQueued);
+  EXPECT_DOUBLE_EQ(job.req_time, 160);
+  EXPECT_EQ(job.num, 96);
+  EXPECT_EQ(processor.stats().conflicts, 0u);
+}
+
+TEST(EccProcessorConflict, DistinctInstantsBothApply) {
+  EccProcessor processor(320, 32);
+  JobRun job = waiting_job(100);
+  processor.apply(ecc(workload::EccType::kExtendTime, 60), job, 10);
+  EXPECT_EQ(processor.apply(ecc(workload::EccType::kReduceTime, 30), job, 20),
+            EccOutcome::kAppliedQueued);
+  EXPECT_DOUBLE_EQ(job.req_time, 130);
+  EXPECT_EQ(processor.stats().conflicts, 0u);
+}
+
+TEST(EccProcessorConflict, DistinctJobsSameInstantBothApply) {
+  EccProcessor processor(320, 32);
+  JobRun first = waiting_job(100);
+  JobRun second = waiting_job(100);
+  second.spec.id = 2;
+  workload::Ecc for_second = ecc(workload::EccType::kExtendTime, 60);
+  for_second.job_id = 2;
+  processor.apply(ecc(workload::EccType::kExtendTime, 60), first, 10);
+  EXPECT_EQ(processor.apply(for_second, second, 10),
+            EccOutcome::kAppliedQueued);
+  EXPECT_DOUBLE_EQ(second.req_time, 160);
+  EXPECT_EQ(processor.stats().conflicts, 0u);
+}
+
+TEST(EccProcessorConflict, ConflictShieldClaimsEvenWhenFirstIsRejected) {
+  EccProcessor processor(320, 32);
+  JobRun job = waiting_job(100);
+  job.status = JobStatus::kCompleted;
+  // The first command owns the (job, instant, dimension) slot even though
+  // the job already finished; a same-instant follower is still a conflict,
+  // keeping resolution independent of per-command outcomes.
+  EXPECT_EQ(processor.apply(ecc(workload::EccType::kExtendTime, 60), job, 10),
+            EccOutcome::kRejectedFinished);
+  EXPECT_EQ(processor.apply(ecc(workload::EccType::kReduceTime, 30), job, 10),
+            EccOutcome::kSkippedConflict);
+  EXPECT_EQ(processor.stats().conflicts, 1u);
+}
+
+TEST(EccProcessorConflict, MalformedAmountsRejectedNotAsserted) {
+  EccProcessor processor(320, 32);
+  JobRun job = waiting_job(100);
+  EXPECT_EQ(processor.apply(ecc(workload::EccType::kExtendTime, -5), job, 10),
+            EccOutcome::kRejectedBounds);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(processor.apply(ecc(workload::EccType::kReduceTime, nan), job, 10),
+            EccOutcome::kRejectedBounds);
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(processor.apply(ecc(workload::EccType::kExtendProcs, inf), job, 10),
+            EccOutcome::kRejectedBounds);
+  EXPECT_DOUBLE_EQ(job.req_time, 100);  // untouched
+  EXPECT_EQ(processor.stats().rejected, 3u);
+  // A malformed command never claims a conflict-shield slot: the next valid
+  // same-instant command still applies.
+  EXPECT_EQ(processor.apply(ecc(workload::EccType::kExtendTime, 60), job, 10),
+            EccOutcome::kAppliedQueued);
+  EXPECT_EQ(processor.stats().conflicts, 0u);
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 //   $ simrun --synthetic --num-jobs 500 --p-small 0.2 --load 0.9
 //            --algorithm Delayed-LOS --cs 7 --per-job jobs.csv
 //   $ simrun --synthetic --replications 8 --jobs 4   # 8 seeds, 4 threads
+//   $ simrun --scenario repro.scn --algorithm LOS-E  # replay a fuzz repro
 //
 // Prints the paper's three metrics plus diagnostics; optionally dumps
 // per-job outcomes as CSV for plotting.  CSV outputs are written atomically
@@ -23,6 +24,7 @@
 #include "core/factory.hpp"
 #include "exp/analysis.hpp"
 #include "exp/experiment.hpp"
+#include "fuzz/scenario.hpp"
 #include "sim/watchdog.hpp"
 #include "util/atomic_file.hpp"
 #include "util/cli.hpp"
@@ -108,10 +110,16 @@ int main(int argc, char** argv) {
   double max_sim_time = 0.0, wall_budget = 0.0;
   int no_progress_cycles = 0;
 
+  std::string scenario_path;
+
   es::util::CliParser cli("Run one scheduling simulation");
   cli.add_option("trace", "SWF/CWF trace to replay", &trace);
   cli.add_flag("synthetic", "generate a synthetic workload instead",
                &synthetic);
+  cli.add_option("scenario", "replay a serialized atlas scenario (*.scn) "
+                 "through --algorithm; the file carries the workload and "
+                 "the failure/checkpoint/requeue/watchdog knobs",
+                 &scenario_path);
   cli.add_option("algorithm", "algorithm name (Table III, FCFS, CONS, Adaptive)",
                  &algorithm);
   bool list_algorithms = false;
@@ -229,12 +237,40 @@ int main(int argc, char** argv) {
   if (replications > 1 && !trace.empty())
     return flag_error("replications", "derived seeds only vary synthetic "
                       "workloads; a fixed trace would repeat the same run");
+  if (!scenario_path.empty() && (synthetic || !trace.empty()))
+    return flag_error("scenario", "a scenario file already carries its "
+                      "workload; drop --trace/--synthetic");
+  if (!scenario_path.empty() && replications > 1)
+    return flag_error("replications", "a scenario describes one fixed run; "
+                      "use --replications 1");
   if (parallel_jobs == 0) parallel_jobs = es::util::hardware_parallelism();
   es::util::set_global_parallelism(parallel_jobs);
 
   es::workload::GeneratorConfig generator_config;
   es::workload::Workload workload;
-  if (synthetic || trace.empty()) {
+  es::fuzz::Scenario scenario;
+  const bool have_scenario = !scenario_path.empty();
+  if (have_scenario) {
+    // Malformed content is a validation failure (2); an unreadable file is
+    // an I/O failure (3) — the same conventions as the CSV outputs.
+    try {
+      scenario = es::fuzz::load_scenario(scenario_path);
+    } catch (const es::fuzz::ScenarioError& error) {
+      std::fprintf(stderr, "simrun: --scenario: %s\n", error.what());
+      return 2;
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "simrun: --scenario: %s\n", error.what());
+      return 3;
+    }
+    workload = scenario.workload;
+    std::printf("Scenario %s [%s seed %llu]: %zu jobs, %zu ECCs, "
+                "offered load %.3f\n",
+                scenario.name.c_str(), scenario.family.c_str(),
+                static_cast<unsigned long long>(scenario.seed),
+                workload.jobs.size(), workload.eccs.size(),
+                es::workload::offered_load(workload,
+                                           workload.machine_procs));
+  } else if (synthetic || trace.empty()) {
     generator_config.machine_procs = procs;
     generator_config.num_jobs = static_cast<std::size_t>(num_jobs);
     generator_config.seed = seed;
@@ -292,6 +328,25 @@ int main(int argc, char** argv) {
   options.engine.watchdog.wall_budget = wall_budget;
   options.engine.watchdog.no_progress_cycles = no_progress_cycles;
   options.dp_cache = !no_dp_cache;
+  if (have_scenario) {
+    // The scenario owns the run-shaping knobs; CLI watchdog flags override
+    // its budgets when explicitly set (e.g. to re-bound a runaway repro).
+    options.engine.failure = scenario.engine.failure;
+    options.engine.requeue = scenario.engine.requeue;
+    options.engine.checkpoint = scenario.engine.checkpoint;
+    if (max_events == 0)
+      options.engine.watchdog.max_events = scenario.engine.watchdog.max_events;
+    if (max_sim_time == 0)
+      options.engine.watchdog.max_sim_time =
+          scenario.engine.watchdog.max_sim_time;
+    if (no_progress_cycles == 0)
+      options.engine.watchdog.no_progress_cycles =
+          scenario.engine.watchdog.no_progress_cycles;
+  }
+  if (workload.dedicated_count() > 0 &&
+      !es::core::make_algorithm(algorithm).policy->supports_dedicated())
+    return flag_error("algorithm", "this workload contains dedicated jobs; "
+                      "pick a dedicated-aware (-D/Hybrid) algorithm");
 
   if (replications > 1) {
     // Seed-mean aggregate mode: N derived seeds fanned across the worker
@@ -357,7 +412,7 @@ int main(int argc, char** argv) {
   table.cell("termination").cell(es::sim::to_string(result.termination)).end_row();
   if (result.termination != es::sim::TerminationReason::kCompleted)
     table.cell("unfinished jobs").cell(static_cast<long long>(result.unfinished)).end_row();
-  if (mtbf > 0) {
+  if (options.engine.failure.enabled) {
     const auto& failure = result.failure;
     table.cell("outages").cell(static_cast<long long>(failure.outages)).end_row();
     table.cell("jobs interrupted / requeued")
@@ -369,7 +424,7 @@ int main(int argc, char** argv) {
     table.cell("down proc-seconds").cell(failure.down_proc_seconds, 0).end_row();
     table.cell("goodput proc-seconds").cell(failure.goodput_proc_seconds, 0).end_row();
     table.cell("wasted proc-seconds").cell(failure.wasted_proc_seconds, 0).end_row();
-    if (ckpt_enabled) {
+    if (options.engine.checkpoint.enabled) {
       table.cell("checkpoints taken").cell(static_cast<long long>(failure.checkpoints)).end_row();
       table.cell("checkpoint overhead proc-seconds")
           .cell(failure.checkpoint_overhead_proc_seconds, 0).end_row();
