@@ -15,12 +15,14 @@
 
 #include <cstdio>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <sys/stat.h>
 
 #include "core/factory.hpp"
 #include "exp/report.hpp"
 #include "exp/sweep.hpp"
+#include "sched/metrics.hpp"
 #include "util/cli.hpp"
 #include "util/thread_pool.hpp"
 
@@ -115,6 +117,55 @@ inline void save_csv(const BenchOptions& options, const std::string& name,
   if (exp::write_sweep_gnuplot(gp_path, name + ".csv", name, sweep,
                                algorithms))
     std::printf("[gnuplot] %s\n", gp_path.c_str());
+}
+
+/// Serializes every *deterministic* field of a result — per-job outcomes
+/// with full-precision times, the headline metrics, the ECC/failure
+/// ledgers and the event counters — as CSV text.  Wall-clock measurements
+/// are excluded, so two runs of the same simulation (or an uninterrupted
+/// run vs a snapshot/kill/restore run) must produce byte-identical text.
+inline std::string result_fingerprint_csv(
+    const sched::SimulationResult& result) {
+  std::ostringstream out;
+  char line[512];
+  std::snprintf(line, sizeof(line),
+                "summary,%.17g,%.17g,%.17g,%.17g,%.17g,%.17g,%llu,%llu\n",
+                result.utilization, result.mean_wait, result.slowdown,
+                result.mean_per_job_slowdown, result.mean_bounded_slowdown,
+                result.makespan,
+                static_cast<unsigned long long>(result.completed),
+                static_cast<unsigned long long>(result.killed));
+  out << line;
+  std::snprintf(line, sizeof(line),
+                "counts,%llu,%llu,%llu,%llu,%llu,%llu,%llu\n",
+                static_cast<unsigned long long>(result.cycles),
+                static_cast<unsigned long long>(result.events),
+                static_cast<unsigned long long>(result.perf.events.scheduled),
+                static_cast<unsigned long long>(result.perf.events.cancelled),
+                static_cast<unsigned long long>(result.perf.events.fired),
+                static_cast<unsigned long long>(result.ecc.processed),
+                static_cast<unsigned long long>(result.ecc.conflicts));
+  out << line;
+  std::snprintf(line, sizeof(line),
+                "failure,%llu,%llu,%llu,%llu,%.17g,%.17g,%.17g,%llu\n",
+                static_cast<unsigned long long>(result.failure.outages),
+                static_cast<unsigned long long>(result.failure.interruptions),
+                static_cast<unsigned long long>(result.failure.requeues),
+                static_cast<unsigned long long>(result.failure.abandoned),
+                result.failure.lost_proc_seconds,
+                result.failure.wasted_proc_seconds,
+                result.failure.saved_proc_seconds,
+                static_cast<unsigned long long>(result.failure.checkpoints));
+  out << line;
+  for (const sched::JobOutcome& job : result.jobs) {
+    std::snprintf(line, sizeof(line),
+                  "job,%lld,%d,%d,%d,%d,%.17g,%.17g,%.17g,%.17g,%.17g\n",
+                  static_cast<long long>(job.id), job.dedicated ? 1 : 0,
+                  job.killed ? 1 : 0, job.interruptions, job.procs,
+                  job.arrival, job.started, job.finished, job.wait, job.run);
+    out << line;
+  }
+  return out.str();
 }
 
 /// The paper's load grid for Figs 7-11.

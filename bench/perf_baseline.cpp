@@ -25,6 +25,10 @@
 //      CycleStatsObserver attachment enabled vs the default empty chain,
 //      with the metrics CSVs byte-compared — the lifecycle event bus must
 //      leave the science untouched and cost at most a couple percent.
+//   7. crash recovery (PR 7): every factory algorithm run uninterrupted,
+//      then snapshotted every cycle, killed mid-run and resumed from the
+//      last snapshot, with the full deterministic result serialization
+//      byte-compared — snapshot/restore must be invisible in the science.
 //
 // Counters and equivalence verdicts in the JSON are deterministic; every
 // *_seconds / *_per_second field is measurement and varies run to run.  CI
@@ -39,6 +43,7 @@
 #include "exp/experiment.hpp"
 #include "reference_event_queue.hpp"
 #include "sim/event_queue.hpp"
+#include "snap/snapshot.hpp"
 #include "util/atomic_file.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
@@ -340,6 +345,80 @@ int main(int argc, char** argv) {
       chain_off_seconds > 0 ? chain_on_seconds / chain_off_seconds - 1.0
                             : 0.0;
 
+  // --- leg 7: crash-recovery equivalence -------------------------------
+  // For every factory algorithm: one uninterrupted run, then the same run
+  // snapshotted every cycle, killed mid-flight by an event-budget watchdog
+  // and resumed from the last snapshot taken before the kill.  The resumed
+  // result must serialize byte-identically to the uninterrupted one —
+  // snapshot/restore is only correct if it is invisible in the science.
+  // Dedicated-aware algorithms get a heterogeneous workload with fault
+  // injection and checkpointing on top, so the restore path covers the
+  // failure RNG, requeues and checkpoint banks too.
+  const auto crash_equivalent = [](const std::string& name,
+                                   const es::workload::Workload& crash_load,
+                                   const es::core::AlgorithmOptions& base) {
+    const es::sched::SimulationResult uninterrupted =
+        es::exp::run_workload(crash_load, name, base);
+    const std::string expected =
+        es::bench::result_fingerprint_csv(uninterrupted);
+
+    es::core::AlgorithmOptions killed = base;
+    killed.engine.snapshot.every_cycles = 1;
+    killed.engine.watchdog.max_events = uninterrupted.events / 2 + 1;
+    std::string last_snapshot;
+    (void)es::exp::run_workload_prepared(
+        crash_load, name, killed, [&last_snapshot](es::sched::Engine& engine) {
+          engine.set_snapshot_sink([&last_snapshot](const std::string& image) {
+            last_snapshot = image;
+          });
+        });
+    if (last_snapshot.empty()) return false;
+    es::snap::SnapshotReader reader(last_snapshot);
+    const es::sched::SimulationResult resumed =
+        es::exp::resume_workload(crash_load, name, base, reader);
+    return es::bench::result_fingerprint_csv(resumed) == expected;
+  };
+
+  es::workload::GeneratorConfig crash_config =
+      es::bench::base_workload(options);
+  crash_config.num_jobs = options.quick ? 120 : 300;
+  crash_config.p_small = 0.5;
+  crash_config.p_extend = 0.2;
+  crash_config.p_reduce = 0.2;
+  crash_config.target_load = 0.9;
+  const es::workload::Workload crash_batch =
+      es::workload::generate(crash_config);
+  crash_config.p_dedicated = 0.4;
+  crash_config.seed = options.seed + 17;
+  const es::workload::Workload crash_hetero =
+      es::workload::generate(crash_config);
+  es::core::AlgorithmOptions crash_hetero_algo = algo;
+  crash_hetero_algo.engine.failure.enabled = true;
+  crash_hetero_algo.engine.failure.seed = 11;
+  crash_hetero_algo.engine.failure.mtbf = 40000;
+  crash_hetero_algo.engine.failure.mttr = 4000;
+  crash_hetero_algo.engine.failure.max_nodes = 2;
+  crash_hetero_algo.engine.checkpoint.enabled = true;
+  crash_hetero_algo.engine.checkpoint.interval = 2000;
+  crash_hetero_algo.engine.checkpoint.overhead = 30;
+
+  bool crash_identical = true;
+  int crash_algorithms = 0;
+  for (const std::string& name : es::core::algorithm_names()) {
+    const bool dedicated_aware =
+        es::core::make_algorithm(name).policy->supports_dedicated();
+    const es::workload::Workload& crash_load =
+        dedicated_aware ? crash_hetero : crash_batch;
+    const es::core::AlgorithmOptions& crash_algo =
+        dedicated_aware ? crash_hetero_algo : algo;
+    ++crash_algorithms;
+    if (!crash_equivalent(name, crash_load, crash_algo)) {
+      std::printf("crash recovery: %s DIVERGED after kill/restore\n",
+                  name.c_str());
+      crash_identical = false;
+    }
+  }
+
   std::printf("campaign: serial %.3fs, parallel(%d) %.3fs, speedup %.2fx, "
               "csv identical: %s\n",
               serial_seconds, parallel_jobs, parallel_seconds, speedup,
@@ -370,6 +449,9 @@ int main(int argc, char** argv) {
               "csv identical: %s\n",
               chain_off_seconds, chain_on_seconds, 100.0 * chain_overhead,
               chain_identical ? "yes" : "NO");
+  std::printf("crash recovery: %d algorithms snapshot/kill/restore, "
+              "results identical: %s\n",
+              crash_algorithms, crash_identical ? "yes" : "NO");
 
   const std::string out_path = "BENCH_PR5.json";
   const bool ok = es::util::write_file_atomic(
@@ -422,6 +504,9 @@ int main(int argc, char** argv) {
             << ", \"on_seconds\": " << chain_on_seconds
             << ", \"overhead\": " << chain_overhead
             << ", \"csv_identical\": " << (chain_identical ? "true" : "false")
+            << "},\n"
+            << "  \"crash_recovery\": {\"algorithms\": " << crash_algorithms
+            << ", \"identical\": " << (crash_identical ? "true" : "false")
             << "}\n"
             << "}\n";
         return out.good();
@@ -435,7 +520,7 @@ int main(int argc, char** argv) {
   // parallel campaign, the DP cache, the slab kernel and the observer
   // chain must all leave the simulated science untouched.
   return (csv_identical && cache_identical && golden_identical &&
-          chain_identical)
+          chain_identical && crash_identical)
              ? 0
              : 1;
 }

@@ -4,11 +4,30 @@
 #include <limits>
 
 #include "exp/analysis.hpp"
+#include "snap/snapshot.hpp"
 #include "util/check.hpp"
 #include "util/stats.hpp"
 #include "util/thread_pool.hpp"
 
 namespace es::exp {
+
+namespace {
+
+/// One config spine: the options carry the EngineConfig verbatim; only
+/// the machine shape (owned by the workload) and the name-derived ECC
+/// flags are overridden.
+sched::EngineConfig engine_config(const workload::Workload& workload,
+                                  const core::Algorithm& algo,
+                                  const core::AlgorithmOptions& options) {
+  sched::EngineConfig config = options.engine;
+  config.machine_procs = workload.machine_procs;
+  config.granularity = workload.granularity;
+  config.process_eccs = algo.process_eccs;
+  config.allow_running_resize = algo.allow_running_resize;
+  return config;
+}
+
+}  // namespace
 
 sched::SimulationResult run_workload(const workload::Workload& workload,
                                      const std::string& algorithm,
@@ -16,15 +35,8 @@ sched::SimulationResult run_workload(const workload::Workload& workload,
   // make_algorithm throws UnknownAlgorithmError for bad names, so the
   // policy is always valid here.
   core::Algorithm algo = core::make_algorithm(algorithm, options);
-  // One config spine: the options carry the EngineConfig verbatim; only
-  // the machine shape (owned by the workload) and the name-derived ECC
-  // flags are overridden.
-  sched::EngineConfig config = options.engine;
-  config.machine_procs = workload.machine_procs;
-  config.granularity = workload.granularity;
-  config.process_eccs = algo.process_eccs;
-  config.allow_running_resize = algo.allow_running_resize;
-  return sched::simulate(config, *algo.policy, workload);
+  return sched::simulate(engine_config(workload, algo, options), *algo.policy,
+                         workload);
 }
 
 sched::SimulationResult run_workload(const workload::Workload& workload,
@@ -33,14 +45,28 @@ sched::SimulationResult run_workload(const workload::Workload& workload,
                                      sched::EngineObserver* observer,
                                      sched::HookMask mask) {
   core::Algorithm algo = core::make_algorithm(algorithm, options);
-  sched::EngineConfig config = options.engine;
-  config.machine_procs = workload.machine_procs;
-  config.granularity = workload.granularity;
-  config.process_eccs = algo.process_eccs;
-  config.allow_running_resize = algo.allow_running_resize;
-  sched::Engine engine(config, *algo.policy);
+  sched::Engine engine(engine_config(workload, algo, options), *algo.policy);
   if (observer != nullptr) engine.add_observer(observer, mask);
   return engine.run(workload);
+}
+
+sched::SimulationResult run_workload_prepared(
+    const workload::Workload& workload, const std::string& algorithm,
+    const core::AlgorithmOptions& options,
+    const std::function<void(sched::Engine&)>& prepare) {
+  core::Algorithm algo = core::make_algorithm(algorithm, options);
+  sched::Engine engine(engine_config(workload, algo, options), *algo.policy);
+  if (prepare) prepare(engine);
+  return engine.run(workload);
+}
+
+sched::SimulationResult resume_workload(const workload::Workload& workload,
+                                        const std::string& algorithm,
+                                        const core::AlgorithmOptions& options,
+                                        snap::SnapshotReader& reader) {
+  core::Algorithm algo = core::make_algorithm(algorithm, options);
+  sched::Engine engine(engine_config(workload, algo, options), *algo.policy);
+  return engine.resume(workload, reader);
 }
 
 sched::SimulationResult run_once(const RunSpec& spec) {

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -10,6 +11,10 @@
 #include "sched/engine.hpp"
 #include "sched/metrics.hpp"
 #include "workload/generator.hpp"
+
+namespace es::snap {
+class SnapshotReader;
+}  // namespace es::snap
 
 namespace es::exp {
 
@@ -60,6 +65,24 @@ sched::SimulationResult run_workload(const workload::Workload& workload,
                                      const core::AlgorithmOptions& options,
                                      sched::EngineObserver* observer,
                                      sched::HookMask mask = sched::kAllHooks);
+
+/// Same as run_workload, with a caller hook invoked on the configured
+/// engine just before the run starts — the mount point for snapshot sinks
+/// and other engine-level wiring the options struct cannot express.
+sched::SimulationResult run_workload_prepared(
+    const workload::Workload& workload, const std::string& algorithm,
+    const core::AlgorithmOptions& options,
+    const std::function<void(sched::Engine&)>& prepare);
+
+/// Restores a crash-consistent snapshot (taken by an engine running this
+/// exact workload/algorithm/options combination) and continues the run to
+/// completion.  The returned metrics are byte-identical to the
+/// uninterrupted run's.  Throws snap::SnapshotError on a corrupt,
+/// version-incompatible or mismatched snapshot.
+sched::SimulationResult resume_workload(const workload::Workload& workload,
+                                        const std::string& algorithm,
+                                        const core::AlgorithmOptions& options,
+                                        snap::SnapshotReader& reader);
 
 /// Generates the spec's workload (with its seed) and runs it.
 sched::SimulationResult run_once(const RunSpec& spec);

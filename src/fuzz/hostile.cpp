@@ -321,12 +321,60 @@ Scenario make_checkpoint_churn(std::uint64_t seed) {
   return scenario;
 }
 
+Scenario make_crash_restart(std::uint64_t seed) {
+  util::Rng rng = family_rng("crash_restart", seed);
+  Scenario scenario = base_scenario("crash_restart", seed);
+
+  // The whole feature surface in one trace — elastic commands, sometimes
+  // dedicated reservations, failure churn with checkpoint banking — i.e.
+  // everything a snapshot has to round-trip.  The oracle treats this
+  // family specially: every run is re-executed with snapshot capture,
+  // killed at event boundaries and resumed, and the resumed result must
+  // match the uninterrupted one exactly (check_run's restore-equivalence
+  // differential).
+  workload::GeneratorConfig config =
+      base_generator(rng, 50 + static_cast<std::size_t>(rng.uniform_int(0, 40)));
+  config.p_small = rng.uniform(0.3, 0.7);
+  config.p_extend = rng.uniform(0.1, 0.4);
+  config.p_reduce = rng.uniform(0.1, 0.4);
+  config.p_extend_procs = rng.uniform(0.0, 0.3);
+  config.p_reduce_procs = rng.uniform(0.0, 0.3);
+  if (rng.bernoulli(0.4)) config.p_dedicated = rng.uniform(0.2, 0.5);
+  config.target_load = rng.uniform(0.7, 1.1);
+  workload::Workload workload = workload::generate(config);
+  quantize(workload);
+
+  if (rng.bernoulli(0.6)) {
+    fault::FailureModelConfig& failure = scenario.engine.failure;
+    failure.enabled = true;
+    failure.seed = rng.next_u64();
+    failure.mtbf = round_duration(rng.uniform(3600.0, 14400.0));
+    failure.mttr = round_duration(rng.uniform(300.0, 1800.0));
+    failure.min_nodes = 1;
+    failure.max_nodes = static_cast<int>(rng.uniform_int(1, 3));
+    failure.max_interruptions = static_cast<int>(rng.uniform_int(2, 5));
+    scenario.engine.requeue = pick_requeue(rng);
+    if (rng.bernoulli(0.5)) {
+      fault::CheckpointConfig& ckpt = scenario.engine.checkpoint;
+      ckpt.enabled = true;
+      ckpt.interval = round_duration(rng.uniform(120.0, 1200.0));
+      ckpt.overhead = round_time(rng.uniform(0.0, 45.0));
+      ckpt.on_preempt = rng.bernoulli(0.5);
+    }
+  }
+  scenario.workload = std::move(workload);
+  scenario.engine.machine_procs = scenario.workload.machine_procs;
+  scenario.engine.granularity = scenario.workload.granularity;
+  return scenario;
+}
+
 }  // namespace
 
 const std::vector<std::string>& family_names() {
   static const std::vector<std::string> names = {
       "flash_crowd",      "heavy_tail",           "ecc_storm",
       "outage_cascade",   "dedicated_saturation", "checkpoint_churn",
+      "crash_restart",
   };
   return names;
 }
@@ -338,6 +386,7 @@ Scenario make_scenario(const std::string& family, std::uint64_t seed) {
   if (family == "outage_cascade") return make_outage_cascade(seed);
   if (family == "dedicated_saturation") return make_dedicated_saturation(seed);
   if (family == "checkpoint_churn") return make_checkpoint_churn(seed);
+  if (family == "crash_restart") return make_crash_restart(seed);
   throw ScenarioError("unknown hostile family '" + family + "'");
 }
 

@@ -8,6 +8,8 @@
 
 #include "core/factory.hpp"
 #include "exp/experiment.hpp"
+#include "sched/engine.hpp"
+#include "snap/snapshot.hpp"
 
 namespace es::fuzz {
 
@@ -29,6 +31,69 @@ std::string fmt(const char* format, ...) {
   std::vsnprintf(buffer, sizeof(buffer), format, args);
   va_end(args);
   return buffer;
+}
+
+/// Exact equivalence of every deterministic result field.  Returns an
+/// empty string when the results match, else a description of the first
+/// difference.  Doubles are compared bit-for-bit (==): a resumed run is
+/// supposed to replay the identical floating-point operation sequence.
+std::string diff_results(const sched::SimulationResult& a,
+                         const sched::SimulationResult& b) {
+  if (a.completed != b.completed || a.killed != b.killed ||
+      a.abandoned != b.abandoned || a.unfinished != b.unfinished)
+    return fmt("outcome counts differ (completed %llu/%llu killed %llu/%llu)",
+               static_cast<unsigned long long>(a.completed),
+               static_cast<unsigned long long>(b.completed),
+               static_cast<unsigned long long>(a.killed),
+               static_cast<unsigned long long>(b.killed));
+  if (a.cycles != b.cycles || a.events != b.events)
+    return fmt("cycles/events differ (%llu/%llu vs %llu/%llu)",
+               static_cast<unsigned long long>(a.cycles),
+               static_cast<unsigned long long>(a.events),
+               static_cast<unsigned long long>(b.cycles),
+               static_cast<unsigned long long>(b.events));
+  if (a.utilization != b.utilization || a.mean_wait != b.mean_wait ||
+      a.slowdown != b.slowdown || a.makespan != b.makespan ||
+      a.first_arrival != b.first_arrival || a.last_finish != b.last_finish)
+    return fmt("headline metrics differ (util %.17g vs %.17g, wait %.17g "
+               "vs %.17g)",
+               a.utilization, b.utilization, a.mean_wait, b.mean_wait);
+  if (a.ecc.processed != b.ecc.processed ||
+      a.ecc.conflicts != b.ecc.conflicts)
+    return fmt("ECC ledger differs (processed %llu vs %llu)",
+               static_cast<unsigned long long>(a.ecc.processed),
+               static_cast<unsigned long long>(b.ecc.processed));
+  if (a.failure.outages != b.failure.outages ||
+      a.failure.interruptions != b.failure.interruptions ||
+      a.failure.requeues != b.failure.requeues ||
+      a.failure.abandoned != b.failure.abandoned ||
+      a.failure.checkpoints != b.failure.checkpoints ||
+      a.failure.lost_proc_seconds != b.failure.lost_proc_seconds ||
+      a.failure.wasted_proc_seconds != b.failure.wasted_proc_seconds ||
+      a.failure.saved_proc_seconds != b.failure.saved_proc_seconds ||
+      a.failure.goodput_proc_seconds != b.failure.goodput_proc_seconds)
+    return fmt("failure ledger differs (outages %llu vs %llu, requeues "
+               "%llu vs %llu)",
+               static_cast<unsigned long long>(a.failure.outages),
+               static_cast<unsigned long long>(b.failure.outages),
+               static_cast<unsigned long long>(a.failure.requeues),
+               static_cast<unsigned long long>(b.failure.requeues));
+  if (a.jobs.size() != b.jobs.size())
+    return fmt("outcome rows differ (%zu vs %zu)", a.jobs.size(),
+               b.jobs.size());
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    const sched::JobOutcome& x = a.jobs[i];
+    const sched::JobOutcome& y = b.jobs[i];
+    if (x.id != y.id || x.killed != y.killed || x.abandoned != y.abandoned ||
+        x.interruptions != y.interruptions || x.procs != y.procs ||
+        x.arrival != y.arrival || x.started != y.started ||
+        x.finished != y.finished || x.wait != y.wait || x.run != y.run)
+      return fmt("job %lld outcome differs (started %.17g vs %.17g, "
+                 "finished %.17g vs %.17g)",
+                 static_cast<long long>(x.id), x.started, y.started,
+                 x.finished, y.finished);
+  }
+  return std::string();
 }
 
 }  // namespace
@@ -312,6 +377,48 @@ RunReport check_run(const Scenario& scenario, const std::string& algorithm) {
     violation("ecc-dispatch",
               fmt("non-ECC algorithm processed %llu commands",
                   static_cast<unsigned long long>(result.ecc.processed)));
+
+  // Restore-equivalence differential (crash_restart family only): re-run
+  // with snapshot-every-cycle capture, kill at two event boundaries, resume
+  // from the last pre-kill snapshot, and require every deterministic result
+  // field to match the uninterrupted run bit for bit.
+  if (scenario.family == "crash_restart") {
+    for (const std::uint64_t kill :
+         {result.events / 3 + 1, (2 * result.events) / 3 + 1}) {
+      core::AlgorithmOptions killed_options = scenario.options();
+      killed_options.engine.snapshot.every_cycles = 1;
+      killed_options.engine.watchdog.max_events = kill;
+      std::string image;
+      (void)exp::run_workload_prepared(
+          scenario.workload, algorithm, killed_options,
+          [&image](sched::Engine& engine) {
+            engine.set_snapshot_sink(
+                [&image](const std::string& bytes) { image = bytes; });
+          });
+      sched::SimulationResult resumed;
+      if (image.empty()) {
+        // Killed before the first snapshot; recovery is a fresh run.
+        resumed =
+            exp::run_workload(scenario.workload, algorithm, scenario.options());
+      } else {
+        try {
+          snap::SnapshotReader reader(image);
+          resumed = exp::resume_workload(scenario.workload, algorithm,
+                                         scenario.options(), reader);
+        } catch (const snap::SnapshotError& error) {
+          violation("crash-restart-reject",
+                    fmt("own snapshot at %llu events rejected on resume: %s",
+                        static_cast<unsigned long long>(kill), error.what()));
+          continue;
+        }
+      }
+      const std::string diff = diff_results(result, resumed);
+      if (!diff.empty())
+        violation("crash-restart-divergence",
+                  fmt("kill at %llu events: %s",
+                      static_cast<unsigned long long>(kill), diff.c_str()));
+    }
+  }
   return report;
 }
 

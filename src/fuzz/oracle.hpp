@@ -25,7 +25,10 @@
 //     unknown-job); without one, none are;
 //   * liveness: a scenario expected to complete must terminate without
 //     tripping a watchdog budget, and the machine must not sit idle with
-//     runnable batch work across many consecutive scheduling cycles.
+//     runnable batch work across many consecutive scheduling cycles;
+//   * crash restart (crash_restart family only): killing the run at an
+//     event boundary and resuming from the engine's own snapshot must
+//     reproduce the uninterrupted result bit for bit.
 //
 // Cross-algorithm sanity (check_cross): every algorithm saw the same job
 // set with the same arrival horizon and offered load; algorithms that

@@ -3,8 +3,12 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstring>
 #include <limits>
+#include <optional>
 
+#include "snap/ring.hpp"
+#include "snap/snapshot.hpp"
 #include "util/check.hpp"
 #include "util/log.hpp"
 #include "workload/load.hpp"
@@ -51,6 +55,10 @@ Engine::Engine(const EngineConfig& config, Scheduler& policy)
   run_epoch_ = next_epoch.fetch_add(1, std::memory_order_relaxed);
 }
 
+// Out of line so the unique_ptr<snap::SnapshotRing> member can destroy its
+// (header-incomplete) pointee.
+Engine::~Engine() = default;
+
 namespace {
 
 double seconds_since(std::chrono::steady_clock::time_point start) {
@@ -66,6 +74,89 @@ bool active_before(const JobRun* a, const JobRun* b) {
   const double eb = b->start_time + b->estimated_duration();
   if (ea != eb) return ea < eb;
   return a->spec.id < b->spec.id;
+}
+
+/// FNV-1a accumulator for the run fingerprint a restore validates against.
+struct Fingerprint {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+
+  void bytes(const void* data, std::size_t size) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+      hash ^= p[i];
+      hash *= 0x100000001b3ULL;
+    }
+  }
+  void u64(std::uint64_t v) { bytes(&v, sizeof(v)); }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void i32(std::int32_t v) { i64(v); }
+  void f64(double v) {
+    std::uint64_t b = 0;
+    std::memcpy(&b, &v, sizeof(b));
+    u64(b);
+  }
+  void boolean(bool v) { u64(v ? 1 : 0); }
+  void str(const std::string& s) {
+    u64(s.size());
+    bytes(s.data(), s.size());
+  }
+};
+
+/// Hash over everything that must agree between the snapshotting run and
+/// the resuming run for divergence-free resume: machine shape, the
+/// behaviour-steering config knobs, the policy, and the full workload.
+/// Watchdog budgets and the snapshot policy itself are deliberately
+/// excluded — the resumed process may run with different guardrails.
+std::uint64_t run_fingerprint(const EngineConfig& config,
+                              const Scheduler& policy,
+                              const workload::Workload& workload) {
+  Fingerprint fp;
+  fp.i32(config.machine_procs);
+  fp.i32(config.granularity);
+  fp.boolean(config.process_eccs);
+  fp.boolean(config.allow_running_resize);
+  fp.i32(static_cast<std::int32_t>(config.requeue));
+  fp.boolean(config.checkpoint.enabled);
+  fp.f64(config.checkpoint.interval);
+  fp.f64(config.checkpoint.overhead);
+  fp.boolean(config.checkpoint.on_preempt);
+  fp.boolean(config.failure.enabled);
+  fp.u64(config.failure.seed);
+  fp.f64(config.failure.mtbf);
+  fp.f64(config.failure.mttr);
+  fp.i32(config.failure.min_nodes);
+  fp.i32(config.failure.max_nodes);
+  fp.i32(config.failure.max_interruptions);
+  fp.u64(config.failure.script.size());
+  for (const fault::Outage& outage : config.failure.script) {
+    fp.f64(outage.down);
+    fp.f64(outage.up);
+    fp.i32(outage.procs);
+  }
+  fp.str(policy.name());
+  fp.u64(workload.jobs.size());
+  for (const workload::Job& job : workload.jobs) {
+    fp.i64(job.id);
+    fp.f64(job.arr);
+    fp.i32(job.num);
+    fp.f64(job.dur);
+    fp.f64(job.actual);
+    fp.i32(static_cast<std::int32_t>(job.type));
+    fp.f64(job.start);
+  }
+  fp.u64(workload.eccs.size());
+  for (const workload::Ecc& ecc : workload.eccs) {
+    fp.f64(ecc.issue);
+    fp.i64(ecc.job_id);
+    fp.i32(static_cast<std::int32_t>(ecc.type));
+    fp.f64(ecc.amount);
+  }
+  return fp.hash;
+}
+
+[[noreturn]] void snapshot_corrupt(const std::string& what) {
+  throw snap::SnapshotError(snap::SnapshotErrorKind::kCorrupt,
+                            "corrupt snapshot: " + what);
 }
 
 }  // namespace
@@ -322,8 +413,10 @@ void Engine::on_ecc(const workload::Ecc& ecc) {
       reposition_active(job);
       const sim::Time finish =
           std::max(sim_.now(), job->start_time + job->run_duration());
-      job->finish_event = sim_.at(finish, sim::EventClass::kJobFinish,
-                                  [this, job](sim::Time) { on_finish(job); });
+      job->finish_event =
+          sim_.at(finish, sim::EventClass::kJobFinish,
+                  [this, job](sim::Time) { on_finish(job); },
+                  static_cast<std::uint64_t>(job->spec.id));
       break;
     }
     case EccOutcome::kAppliedRunning: {
@@ -335,8 +428,10 @@ void Engine::on_ecc(const workload::Ecc& ecc) {
       reposition_active(job);
       const sim::Time finish =
           std::max(sim_.now(), job->start_time + job->run_duration());
-      job->finish_event = sim_.at(finish, sim::EventClass::kJobFinish,
-                                  [this, job](sim::Time) { on_finish(job); });
+      job->finish_event =
+          sim_.at(finish, sim::EventClass::kJobFinish,
+                  [this, job](sim::Time) { on_finish(job); },
+                  static_cast<std::uint64_t>(job->spec.id));
       break;
     }
     case EccOutcome::kCompletedJob: {
@@ -359,6 +454,10 @@ void Engine::on_ecc(const workload::Ecc& ecc) {
 void Engine::schedule_next_outage(sim::Time from) {
   fault::Outage outage;
   if (!failure_model_.next(from, outage)) return;
+  // Mirror the closure's payload for the snapshot path: the outage chain
+  // keeps at most one NodeDown pending, so a single slot suffices.
+  has_pending_outage_ = true;
+  pending_outage_ = outage;
   sim_.at(std::max(outage.down, sim_.now()), sim::EventClass::kNodeDown,
           [this, outage](sim::Time) { on_node_down(outage); });
 }
@@ -430,6 +529,7 @@ void Engine::preempt_victim() {
 }
 
 void Engine::on_node_down(const fault::Outage& outage) {
+  has_pending_outage_ = false;  // this event is no longer pending
   if (all_jobs_finished()) return;  // run is over; let the queue drain
   // Never take more than what is still in service (a scripted storm may
   // overlap outages).
@@ -442,7 +542,8 @@ void Engine::on_node_down(const fault::Outage& outage) {
     utilization_.record_capacity(sim_.now(), machine_.available());
     attachments_.on_node_down(sim_.now(), procs);
     sim_.at(std::max(outage.up, sim_.now()), sim::EventClass::kNodeUp,
-            [this, procs](sim::Time) { on_node_up(procs); });
+            [this, procs](sim::Time) { on_node_up(procs); },
+            static_cast<std::uint64_t>(procs));
   } else {
     // Nothing left to fail right now; keep the outage chain alive.
     schedule_next_outage(outage.up);
@@ -479,7 +580,8 @@ void Engine::start_job(JobRun* job) {
 
   const sim::Time finish = sim_.now() + job->run_duration();
   job->finish_event = sim_.at(finish, sim::EventClass::kJobFinish,
-                              [this, job](sim::Time) { on_finish(job); });
+                              [this, job](sim::Time) { on_finish(job); },
+                              static_cast<std::uint64_t>(job->spec.id));
 }
 
 void Engine::finish_job(JobRun* job) {
@@ -501,10 +603,8 @@ void Engine::on_finish(JobRun* job) {
   run_cycle();
 }
 
-SimulationResult Engine::run(const workload::Workload& workload) {
+void Engine::build_jobs(const workload::Workload& workload) {
   ES_EXPECTS(jobs_.empty());  // one run per engine instance
-  const auto run_start = std::chrono::steady_clock::now();
-  dp_baseline_ = policy_->dp_counters();
   jobs_.reserve(workload.jobs.size());
   for (const workload::Job& spec : workload.jobs) {
     ES_EXPECTS(spec.num >= 1);
@@ -525,31 +625,13 @@ SimulationResult Engine::run(const workload::Workload& workload) {
     const auto [pos, inserted] = by_id_.emplace(spec.id, ptr);
     (void)pos;
     ES_EXPECTS(inserted);  // duplicate job IDs are a malformed workload
-
-    sim_.at(spec.arr, sim::EventClass::kJobArrival,
-            [this, ptr](sim::Time) { on_arrival(ptr); });
-    if (spec.dedicated() && spec.start > spec.arr) {
-      sim_.at(spec.start, sim::EventClass::kDedicatedDue,
-              [this, ptr](sim::Time) { on_dedicated_due(ptr); });
-    }
   }
-  if (config_.process_eccs) {
-    for (const workload::Ecc& ecc : workload.eccs) {
-      sim_.at(ecc.issue, sim::EventClass::kEccArrival,
-              [this, ecc](sim::Time) { on_ecc(ecc); });
-    }
-  }
-  first_arrival_ =
-      workload.jobs.empty() ? 0 : workload.jobs.front().arr;
-  utilization_.record(first_arrival_, 0);
-  if (failure_model_.enabled() && !workload.jobs.empty()) {
-    utilization_.record_capacity(first_arrival_, machine_.available());
-    schedule_next_outage(first_arrival_);
-  }
+  workload_fingerprint_ = run_fingerprint(config_, *policy_, workload);
+}
 
-  warn_if_unbounded_retry(workload);
-  pump_events();
-
+SimulationResult Engine::finish_run(
+    const workload::Workload& workload,
+    std::chrono::steady_clock::time_point run_start) {
   if (termination_ == sim::TerminationReason::kCompleted) {
     // Every job must have completed: the scheduler invariant tests rely on
     // it.  A watchdog abort leaves the run mid-flight by design, so the
@@ -569,17 +651,57 @@ SimulationResult Engine::run(const workload::Workload& workload) {
   return result;
 }
 
+SimulationResult Engine::run(const workload::Workload& workload) {
+  ES_EXPECTS(!restored_);  // a restored engine continues via resume()
+  const auto run_start = std::chrono::steady_clock::now();
+  dp_baseline_ = policy_->dp_counters();
+  build_jobs(workload);
+  for (const auto& owned : jobs_) {
+    JobRun* ptr = owned.get();
+    const workload::Job& spec = ptr->spec;
+    sim_.at(spec.arr, sim::EventClass::kJobArrival,
+            [this, ptr](sim::Time) { on_arrival(ptr); },
+            static_cast<std::uint64_t>(spec.id));
+    if (spec.dedicated() && spec.start > spec.arr) {
+      sim_.at(spec.start, sim::EventClass::kDedicatedDue,
+              [this, ptr](sim::Time) { on_dedicated_due(ptr); },
+              static_cast<std::uint64_t>(spec.id));
+    }
+  }
+  if (config_.process_eccs) {
+    for (std::size_t i = 0; i < workload.eccs.size(); ++i) {
+      const workload::Ecc& ecc = workload.eccs[i];
+      sim_.at(ecc.issue, sim::EventClass::kEccArrival,
+              [this, ecc](sim::Time) { on_ecc(ecc); },
+              static_cast<std::uint64_t>(i));
+    }
+  }
+  first_arrival_ =
+      workload.jobs.empty() ? 0 : workload.jobs.front().arr;
+  utilization_.record(first_arrival_, 0);
+  if (failure_model_.enabled() && !workload.jobs.empty()) {
+    utilization_.record_capacity(first_arrival_, machine_.available());
+    schedule_next_outage(first_arrival_);
+  }
+
+  warn_if_unbounded_retry(workload);
+  pump_events();
+  return finish_run(workload, run_start);
+}
+
 void Engine::pump_events() {
-  if (!config_.watchdog.enabled()) {
+  const bool snapshotting = config_.snapshot.every_cycles > 0;
+  if (!config_.watchdog.enabled() && !snapshotting) {
     // The exact seed event loop: no per-event budget checks on the fast
-    // path when no budget is configured.
+    // path when no budget or snapshot cadence is configured.
     sim_.run();
     return;
   }
-  sim::Watchdog watchdog(config_.watchdog);
+  std::optional<sim::Watchdog> watchdog;
+  if (config_.watchdog.enabled()) watchdog.emplace(config_.watchdog);
   sim::TerminationReason reason = sim::TerminationReason::kCompleted;
   while (!sim_.idle()) {
-    if (watchdog.exhausted(sim_, reason)) break;
+    if (watchdog && watchdog->exhausted(sim_, reason)) break;
     sim_.step();
     if (abort_.requested) {
       // An attachment (the watchdog-progress observer) asked for a typed
@@ -587,6 +709,9 @@ void Engine::pump_events() {
       reason = abort_.reason;
       break;
     }
+    // Snapshots land only here, *between* events: the engine is never
+    // mid-cycle, so the serialized state is a consistent event boundary.
+    if (snapshotting) maybe_snapshot();
   }
   termination_ = reason;
   if (termination_ != sim::TerminationReason::kCompleted) {
@@ -597,6 +722,451 @@ void Engine::pump_events() {
         static_cast<unsigned long long>(sim_.events_processed()),
         finished_.size(), jobs_.size());
   }
+}
+
+void Engine::maybe_snapshot() {
+  if (cycles_ - last_snapshot_cycle_ < config_.snapshot.every_cycles) return;
+  last_snapshot_cycle_ = cycles_;
+  snap::SnapshotWriter writer;
+  snapshot(writer);
+  const std::string image = writer.finish();
+  ++snapshots_taken_;
+  if (snapshot_sink_) snapshot_sink_(image);
+  if (!config_.snapshot.dir.empty()) {
+    if (!ring_)
+      ring_ = std::make_unique<snap::SnapshotRing>(config_.snapshot.dir,
+                                                   config_.snapshot.keep);
+    ring_->commit(image);
+  }
+}
+
+JobRun* Engine::job_by_id(workload::JobId id) const {
+  const auto it = by_id_.find(id);
+  if (it == by_id_.end())
+    snapshot_corrupt("unknown job id " + std::to_string(id));
+  return it->second;
+}
+
+void Engine::snapshot(snap::SnapshotWriter& writer) const {
+  ES_EXPECTS(!in_cycle_);  // only valid at an event boundary
+
+  writer.begin_section("META");
+  writer.u64(workload_fingerprint_);
+  writer.u64(jobs_.size());
+  writer.end_section();
+
+  // Clock + event-queue allocator/counters.  next_seq must round-trip so
+  // post-restore schedule() calls draw the sequence numbers the original
+  // run would have drawn — same-instant tie-breaking depends on them.
+  writer.begin_section("CLCK");
+  writer.f64(sim_.now());
+  writer.u64(sim_.events_processed());
+  writer.u64(sim_.queue().next_seq());
+  const sim::EventQueueCounters& counters = sim_.queue().counters();
+  writer.u64(counters.scheduled);
+  writer.u64(counters.cancelled);
+  writer.u64(counters.fired);
+  writer.u64(counters.peak_pending);
+  writer.end_section();
+
+  // Pending events as (time, class, original seq, semantic tag) — the
+  // callbacks are rebuilt from the tags on restore.
+  writer.begin_section("EVTS");
+  const std::vector<sim::PendingEvent> pending = sim_.queue().pending_events();
+  writer.u64(pending.size());
+  for (const sim::PendingEvent& event : pending) {
+    writer.f64(event.time);
+    writer.i32(event.cls);
+    writer.u64(event.seq);
+    writer.u64(event.tag);
+  }
+  writer.end_section();
+
+  // Per-job runtime state, in jobs_ (= workload) order.  Immutable specs
+  // are rebuilt from the workload; container membership is restored from
+  // the ORDR section; finish events from EVTS.
+  writer.begin_section("JOBS");
+  writer.u64(jobs_.size());
+  for (const auto& job : jobs_) {
+    writer.f64(job->req_time);
+    writer.f64(job->actual_time);
+    writer.i32(job->num);
+    writer.i32(job->alloc);
+    writer.f64(job->req_start);
+    writer.i32(job->scount);
+    writer.boolean(job->forced_priority);
+    writer.i32(job->interruptions);
+    writer.f64(job->ckpt_progress);
+    writer.f64(job->ckpt_overhead_planned);
+    writer.u8(static_cast<std::uint8_t>(job->status));
+    writer.f64(job->start_time);
+    writer.f64(job->end_time);
+    writer.i32(job->frenum);
+  }
+  writer.end_section();
+
+  // Container order: batch FIFO (intrusive links), dedicated list, active
+  // array (sorted by planned end) and the completion order.
+  writer.begin_section("ORDR");
+  writer.u64(batch_queue_.size());
+  for (const JobRun* job : batch_queue_) writer.i64(job->spec.id);
+  writer.u64(dedicated_queue_.size());
+  for (const JobRun* job : dedicated_queue_) writer.i64(job->spec.id);
+  writer.u64(active_.size());
+  for (const JobRun* job : active_) writer.i64(job->spec.id);
+  writer.u64(finished_.size());
+  for (const JobRun* job : finished_) writer.i64(job->spec.id);
+  writer.end_section();
+
+  writer.begin_section("MACH");
+  const cluster::MachineState machine_state = machine_.save_state();
+  writer.i32(machine_state.free);
+  writer.i32(machine_state.offline);
+  writer.u64(machine_state.allocations.size());
+  for (const auto& [job, procs] : machine_state.allocations) {
+    writer.i64(job);
+    writer.i32(procs);
+  }
+  writer.end_section();
+
+  writer.begin_section("UTIL");
+  const cluster::UtilizationState util_state = utilization_.save_state();
+  writer.i32(util_state.busy);
+  writer.f64(util_state.first);
+  writer.f64(util_state.last);
+  writer.boolean(util_state.started);
+  writer.f64(util_state.integral);
+  writer.u64(util_state.steps.size());
+  for (const auto& [time, busy] : util_state.steps) {
+    writer.f64(time);
+    writer.i32(busy);
+  }
+  writer.u64(util_state.capacity_steps.size());
+  for (const auto& [time, available] : util_state.capacity_steps) {
+    writer.f64(time);
+    writer.i32(available);
+  }
+  writer.end_section();
+
+  writer.begin_section("ECCP");
+  const EccProcessor::State ecc_state = ecc_processor_.save_state();
+  writer.u64(ecc_state.stats.processed);
+  writer.u64(ecc_state.stats.extensions);
+  writer.u64(ecc_state.stats.reductions);
+  writer.u64(ecc_state.stats.rejected);
+  writer.u64(ecc_state.stats.unknown_job);
+  writer.u64(ecc_state.stats.after_finish);
+  writer.u64(ecc_state.stats.running_resizes);
+  writer.u64(ecc_state.stats.conflicts);
+  writer.f64(ecc_state.stats.time_added);
+  writer.f64(ecc_state.stats.time_removed);
+  writer.f64(ecc_state.stats.procs_added);
+  writer.f64(ecc_state.stats.procs_removed);
+  writer.i64(ecc_state.group_job);
+  writer.f64(ecc_state.group_time);
+  writer.boolean(ecc_state.group_time_dim);
+  writer.boolean(ecc_state.group_proc_dim);
+  writer.end_section();
+
+  // Failure model draw position + the payload of the (at most one) pending
+  // outage-chain event.
+  writer.begin_section("FAIL");
+  writer.boolean(has_pending_outage_);
+  writer.f64(pending_outage_.down);
+  writer.f64(pending_outage_.up);
+  writer.i32(pending_outage_.procs);
+  const fault::FailureModel::State fail_state = failure_model_.save_state();
+  for (const std::uint64_t word : fail_state.rng.s) writer.u64(word);
+  writer.f64(fail_state.rng.cached_normal);
+  writer.boolean(fail_state.rng.has_cached_normal);
+  writer.u64(fail_state.script_index);
+  writer.f64(fail_state.cursor);
+  writer.end_section();
+
+  // Engine scalars.  DP counters are policy-cumulative (the policy object
+  // outlives engines), so the snapshot stores the *delta* accumulated by
+  // this run; restore re-anchors the baseline below the resuming policy's
+  // own counter.
+  writer.begin_section("ENGN");
+  writer.u64(cycles_);
+  writer.f64(first_arrival_);
+  writer.f64(last_finish_);
+  const DpCounters dp_delta = policy_->dp_counters() - dp_baseline_;
+  writer.u64(dp_delta.calls);
+  writer.u64(dp_delta.fast_path);
+  writer.u64(dp_delta.cache_hits);
+  writer.u64(dp_delta.table_runs);
+  writer.u64(dp_delta.table_cells);
+  writer.end_section();
+
+  // Every built-in attachment is a plain member that exists whether or not
+  // it is registered, so all six ledgers serialize unconditionally — the
+  // layout never depends on which observers the config enabled.
+  writer.begin_section("ATCH");
+  checkpoint_attach_.save_state(writer);
+  failure_attach_.save_state(writer);
+  ecc_audit_attach_.save_state(writer);
+  trace_attach_.save_state(writer);
+  progress_attach_.save_state(writer);
+  cycle_stats_attach_.save_state(writer);
+  writer.end_section();
+
+  // Policy cross-cycle state (empty for every memoryless factory policy;
+  // the AdaptiveSelector writes its sliding window).
+  writer.begin_section("POLI");
+  policy_->save_state(writer);
+  writer.end_section();
+}
+
+void Engine::restore(const workload::Workload& workload,
+                     snap::SnapshotReader& reader) {
+  ES_EXPECTS(!restored_ && jobs_.empty());  // first call on a fresh engine
+
+  build_jobs(workload);
+
+  reader.open_section("META");
+  const std::uint64_t fingerprint = reader.u64();
+  const std::uint64_t job_count = reader.u64();
+  if (fingerprint != workload_fingerprint_)
+    throw snap::SnapshotError(
+        snap::SnapshotErrorKind::kMismatch,
+        "snapshot belongs to a different run (workload/config/policy "
+        "fingerprint disagrees)");
+  if (job_count != jobs_.size())
+    snapshot_corrupt("job count disagrees with the workload");
+
+  reader.open_section("JOBS");
+  if (reader.u64() != jobs_.size())
+    snapshot_corrupt("JOBS count disagrees with META");
+  for (const auto& job : jobs_) {
+    job->req_time = reader.f64();
+    job->actual_time = reader.f64();
+    job->num = reader.i32();
+    job->alloc = reader.i32();
+    job->req_start = reader.f64();
+    job->scount = reader.i32();
+    job->forced_priority = reader.boolean();
+    job->interruptions = reader.i32();
+    job->ckpt_progress = reader.f64();
+    job->ckpt_overhead_planned = reader.f64();
+    const std::uint8_t status = reader.u8();
+    if (status > static_cast<std::uint8_t>(JobStatus::kAbandoned))
+      snapshot_corrupt("job status out of range");
+    job->status = static_cast<JobStatus>(status);
+    job->start_time = reader.f64();
+    job->end_time = reader.f64();
+    job->frenum = reader.i32();
+  }
+
+  reader.open_section("ORDR");
+  const std::uint64_t batch_count = reader.u64();
+  for (std::uint64_t i = 0; i < batch_count; ++i) {
+    JobRun* job = job_by_id(reader.i64());
+    if (job->in_batch_queue) snapshot_corrupt("job enqueued twice");
+    batch_queue_.push_back(job);
+  }
+  const std::uint64_t dedicated_count = reader.u64();
+  for (std::uint64_t i = 0; i < dedicated_count; ++i)
+    dedicated_queue_.push_back(job_by_id(reader.i64()));
+  const std::uint64_t active_count = reader.u64();
+  for (std::uint64_t i = 0; i < active_count; ++i) {
+    JobRun* job = job_by_id(reader.i64());
+    if (job->active_index >= 0) snapshot_corrupt("job active twice");
+    job->active_index = static_cast<std::ptrdiff_t>(active_.size());
+    active_.push_back(job);
+  }
+  const std::uint64_t finished_count = reader.u64();
+  for (std::uint64_t i = 0; i < finished_count; ++i)
+    finished_.push_back(job_by_id(reader.i64()));
+
+  reader.open_section("MACH");
+  cluster::MachineState machine_state;
+  machine_state.free = reader.i32();
+  machine_state.offline = reader.i32();
+  const std::uint64_t allocation_count = reader.u64();
+  machine_state.allocations.reserve(allocation_count);
+  for (std::uint64_t i = 0; i < allocation_count; ++i) {
+    const cluster::JobId job = reader.i64();
+    const int procs = reader.i32();
+    machine_state.allocations.emplace_back(job, procs);
+  }
+  machine_.restore_state(machine_state);
+
+  reader.open_section("UTIL");
+  cluster::UtilizationState util_state;
+  util_state.busy = reader.i32();
+  util_state.first = reader.f64();
+  util_state.last = reader.f64();
+  util_state.started = reader.boolean();
+  util_state.integral = reader.f64();
+  const std::uint64_t step_count = reader.u64();
+  util_state.steps.reserve(step_count);
+  for (std::uint64_t i = 0; i < step_count; ++i) {
+    const sim::Time time = reader.f64();
+    util_state.steps.emplace_back(time, reader.i32());
+  }
+  const std::uint64_t capacity_count = reader.u64();
+  util_state.capacity_steps.reserve(capacity_count);
+  for (std::uint64_t i = 0; i < capacity_count; ++i) {
+    const sim::Time time = reader.f64();
+    util_state.capacity_steps.emplace_back(time, reader.i32());
+  }
+  utilization_.restore_state(util_state);
+
+  reader.open_section("ECCP");
+  EccProcessor::State ecc_state;
+  ecc_state.stats.processed = reader.u64();
+  ecc_state.stats.extensions = reader.u64();
+  ecc_state.stats.reductions = reader.u64();
+  ecc_state.stats.rejected = reader.u64();
+  ecc_state.stats.unknown_job = reader.u64();
+  ecc_state.stats.after_finish = reader.u64();
+  ecc_state.stats.running_resizes = reader.u64();
+  ecc_state.stats.conflicts = reader.u64();
+  ecc_state.stats.time_added = reader.f64();
+  ecc_state.stats.time_removed = reader.f64();
+  ecc_state.stats.procs_added = reader.f64();
+  ecc_state.stats.procs_removed = reader.f64();
+  ecc_state.group_job = reader.i64();
+  ecc_state.group_time = reader.f64();
+  ecc_state.group_time_dim = reader.boolean();
+  ecc_state.group_proc_dim = reader.boolean();
+  ecc_processor_.restore_state(ecc_state);
+
+  reader.open_section("FAIL");
+  has_pending_outage_ = reader.boolean();
+  pending_outage_.down = reader.f64();
+  pending_outage_.up = reader.f64();
+  pending_outage_.procs = reader.i32();
+  fault::FailureModel::State fail_state;
+  for (std::uint64_t& word : fail_state.rng.s) word = reader.u64();
+  fail_state.rng.cached_normal = reader.f64();
+  fail_state.rng.has_cached_normal = reader.boolean();
+  fail_state.script_index = reader.u64();
+  fail_state.cursor = reader.f64();
+  failure_model_.restore_state(fail_state);
+
+  reader.open_section("ENGN");
+  cycles_ = reader.u64();
+  first_arrival_ = reader.f64();
+  last_finish_ = reader.f64();
+  DpCounters dp_delta;
+  dp_delta.calls = reader.u64();
+  dp_delta.fast_path = reader.u64();
+  dp_delta.cache_hits = reader.u64();
+  dp_delta.table_runs = reader.u64();
+  dp_delta.table_cells = reader.u64();
+  // Re-anchor mod 2^64: baseline = current − delta, so the final
+  // (counters − baseline) report equals delta + whatever the resumed run
+  // adds — exactly the uninterrupted run's figure.
+  dp_baseline_ = policy_->dp_counters() - dp_delta;
+
+  // Rebuild the pending event set: each saved (class, tag) pair maps back
+  // to the closure the original run had scheduled.  Events are replayed in
+  // saved (seq) order; restore_meta afterwards overwrites the counters the
+  // replay inflated and re-seats the sequence allocator.
+  reader.open_section("CLCK");
+  const sim::Time now = reader.f64();
+  const std::uint64_t processed = reader.u64();
+  const std::uint64_t next_seq = reader.u64();
+  sim::EventQueueCounters counters;
+  counters.scheduled = reader.u64();
+  counters.cancelled = reader.u64();
+  counters.fired = reader.u64();
+  counters.peak_pending = reader.u64();
+
+  reader.open_section("EVTS");
+  const std::uint64_t event_count = reader.u64();
+  bool saw_outage_event = false;
+  for (std::uint64_t i = 0; i < event_count; ++i) {
+    const sim::Time time = reader.f64();
+    const std::int32_t cls_raw = reader.i32();
+    const std::uint64_t seq = reader.u64();
+    const std::uint64_t tag = reader.u64();
+    if (seq >= next_seq) snapshot_corrupt("event seq beyond allocator");
+    const auto cls = static_cast<sim::EventClass>(cls_raw);
+    switch (cls) {
+      case sim::EventClass::kJobFinish: {
+        JobRun* job = job_by_id(static_cast<workload::JobId>(tag));
+        if (job->status != JobStatus::kRunning)
+          snapshot_corrupt("finish event for a job that is not running");
+        if (job->finish_event.valid())
+          snapshot_corrupt("duplicate finish event");
+        job->finish_event = sim_.restore_event(
+            time, cls, [this, job](sim::Time) { on_finish(job); }, tag, seq);
+        break;
+      }
+      case sim::EventClass::kJobArrival: {
+        JobRun* job = job_by_id(static_cast<workload::JobId>(tag));
+        sim_.restore_event(
+            time, cls, [this, job](sim::Time) { on_arrival(job); }, tag, seq);
+        break;
+      }
+      case sim::EventClass::kDedicatedDue: {
+        JobRun* job = job_by_id(static_cast<workload::JobId>(tag));
+        sim_.restore_event(
+            time, cls, [this, job](sim::Time) { on_dedicated_due(job); }, tag,
+            seq);
+        break;
+      }
+      case sim::EventClass::kEccArrival: {
+        if (tag >= workload.eccs.size())
+          snapshot_corrupt("ECC event index out of range");
+        const workload::Ecc ecc = workload.eccs[tag];
+        sim_.restore_event(
+            time, cls, [this, ecc](sim::Time) { on_ecc(ecc); }, tag, seq);
+        break;
+      }
+      case sim::EventClass::kNodeDown: {
+        if (!has_pending_outage_ || saw_outage_event)
+          snapshot_corrupt("NodeDown event without a pending outage");
+        saw_outage_event = true;
+        const fault::Outage outage = pending_outage_;
+        sim_.restore_event(
+            time, cls, [this, outage](sim::Time) { on_node_down(outage); },
+            tag, seq);
+        break;
+      }
+      case sim::EventClass::kNodeUp: {
+        const int procs = static_cast<int>(tag);
+        if (procs <= 0 || procs > machine_.total())
+          snapshot_corrupt("NodeUp processor count out of range");
+        sim_.restore_event(
+            time, cls, [this, procs](sim::Time) { on_node_up(procs); }, tag,
+            seq);
+        break;
+      }
+      default:
+        snapshot_corrupt("unknown event class");
+    }
+  }
+  if (has_pending_outage_ && !saw_outage_event)
+    snapshot_corrupt("pending outage without its NodeDown event");
+  sim_.restore_clock(now, processed);
+  sim_.restore_queue_meta(next_seq, counters);
+
+  reader.open_section("ATCH");
+  checkpoint_attach_.restore_state(reader);
+  failure_attach_.restore_state(reader);
+  ecc_audit_attach_.restore_state(reader);
+  trace_attach_.restore_state(reader);
+  progress_attach_.restore_state(reader);
+  cycle_stats_attach_.restore_state(reader);
+
+  reader.open_section("POLI");
+  policy_->restore_state(reader);
+
+  last_snapshot_cycle_ = cycles_;
+  restored_ = true;
+}
+
+SimulationResult Engine::resume(const workload::Workload& workload,
+                                snap::SnapshotReader& reader) {
+  const auto run_start = std::chrono::steady_clock::now();
+  restore(workload, reader);
+  warn_if_unbounded_retry(workload);
+  pump_events();
+  return finish_run(workload, run_start);
 }
 
 void Engine::warn_if_unbounded_retry(

@@ -25,7 +25,10 @@
 // the chain's ordering rules and docs/architecture.md for the map.
 #pragma once
 
+#include <chrono>
+#include <functional>
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -47,12 +50,19 @@
 #include "sim/watchdog.hpp"
 #include "workload/job.hpp"
 
+namespace es::snap {
+class SnapshotWriter;
+class SnapshotReader;
+class SnapshotRing;
+}  // namespace es::snap
+
 namespace es::sched {
 
 /// One engine instance runs one workload with one policy.
 class Engine {
  public:
   Engine(const EngineConfig& config, Scheduler& policy);
+  ~Engine();
 
   /// Appends an external observer to the attachment chain, after the
   /// config-selected built-ins.  Must be called before run(); the engine
@@ -63,6 +73,40 @@ class Engine {
 
   /// Runs the whole workload to completion and returns the metrics.
   SimulationResult run(const workload::Workload& workload);
+
+  // --- crash-consistent snapshot/restore ----------------------------------
+
+  /// Serializes the engine's complete mid-run state into `writer`: clock,
+  /// pending events (with their original sequence numbers), per-job runtime
+  /// state, queue/active/finished order, machine and utilization ledgers,
+  /// ECC-processor cursor and conflict shield, failure-model RNG stream,
+  /// every enabled attachment ledger, and policy cross-cycle state.  Only
+  /// valid between events (never from inside a scheduler cycle).
+  void snapshot(snap::SnapshotWriter& writer) const;
+
+  /// Restores a snapshot taken by an engine running `workload` with an
+  /// equivalent configuration.  Must be the first call on a fresh engine.
+  /// Throws snap::SnapshotError: kMismatch when the snapshot belongs to a
+  /// different (workload, machine, policy, fault-config) combination,
+  /// kCorrupt when the content is structurally damaged.
+  void restore(const workload::Workload& workload,
+               snap::SnapshotReader& reader);
+
+  /// restore() + event pump + collect: continues the interrupted run to
+  /// completion and returns metrics identical to the uninterrupted run.
+  SimulationResult resume(const workload::Workload& workload,
+                          snap::SnapshotReader& reader);
+
+  /// Receives every periodic snapshot image (in addition to the disk ring,
+  /// when SnapshotPolicy::dir is set).  Used by the crash-recovery
+  /// harnesses to capture kill-point snapshots without filesystem traffic.
+  using SnapshotSink = std::function<void(const std::string&)>;
+  void set_snapshot_sink(SnapshotSink sink) {
+    snapshot_sink_ = std::move(sink);
+  }
+
+  /// Periodic snapshots taken so far (tests/diagnostics).
+  std::uint64_t snapshots_taken() const { return snapshots_taken_; }
 
   /// The machine, exposed for tests that inspect the final state.
   const cluster::Machine& machine() const { return machine_; }
@@ -85,11 +129,23 @@ class Engine {
   void warn_if_unbounded_retry(const workload::Workload& workload) const;
   void run_cycle();
   void pump_events();
+  void maybe_snapshot();
   void check_invariants() const;
   CycleInfo cycle_info() const;
   ParanoidSnapshot paranoid_snapshot() const;
   bool all_jobs_finished() const { return finished_.size() == jobs_.size(); }
   SimulationResult collect(const workload::Workload& workload) const;
+
+  /// Creates the JobRun shells and the id index from the workload (shared
+  /// by run() and restore(); schedules no events) and computes the
+  /// workload/config fingerprint restore validates against.
+  void build_jobs(const workload::Workload& workload);
+  /// Post-pump bookkeeping shared by run() and resume(): completed-run
+  /// postconditions, metric collection, perf counters.
+  SimulationResult finish_run(
+      const workload::Workload& workload,
+      std::chrono::steady_clock::time_point run_start);
+  JobRun* job_by_id(workload::JobId id) const;
 
   EngineConfig config_;
   Scheduler* policy_;
@@ -139,6 +195,19 @@ class Engine {
   double cycle_seconds_ = 0;
 
   sim::TerminationReason termination_ = sim::TerminationReason::kCompleted;
+
+  // Snapshot/restore machinery.  `pending_outage_` mirrors the payload of
+  // the (at most one) scheduled NodeDown event — callbacks cannot
+  // serialize, so the outage travels through the snapshot and the restore
+  // path rebuilds the closure from it.
+  std::uint64_t workload_fingerprint_ = 0;
+  bool has_pending_outage_ = false;
+  fault::Outage pending_outage_{};
+  bool restored_ = false;
+  SnapshotSink snapshot_sink_;
+  std::unique_ptr<snap::SnapshotRing> ring_;
+  std::uint64_t last_snapshot_cycle_ = 0;
+  std::uint64_t snapshots_taken_ = 0;
 };
 
 /// Convenience wrapper: one-shot run.

@@ -7,11 +7,30 @@
 // pulling in the engine, the scheduler interface or the event kernel.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
 #include "fault/checkpoint.hpp"
 #include "fault/failure_model.hpp"
 #include "sim/watchdog.hpp"
 
 namespace es::sched {
+
+/// Crash-consistency: periodic engine snapshots during the run.  Disabled
+/// by default (zero `every_cycles`), which keeps the event pump on the
+/// exact seed fast path.  Deliberately *excluded* from the restore
+/// fingerprint — a resumed run may snapshot on a different cadence (or not
+/// at all) without being a different simulation.
+struct SnapshotPolicy {
+  /// Serialize the full engine state every N scheduling cycles (0 = off).
+  std::uint64_t every_cycles = 0;
+  /// Snapshot-ring directory; empty = no disk ring (an in-memory sink
+  /// registered via Engine::set_snapshot_sink still receives snapshots).
+  std::string dir;
+  /// Ring retention: newest K generations are kept on disk.
+  std::size_t keep = 3;
+};
 
 struct EngineConfig {
   int machine_procs = 320;
@@ -56,6 +75,9 @@ struct EngineConfig {
   /// gracefully and the result carries partial metrics tagged with a typed
   /// TerminationReason.  Default: disabled (the exact seed event loop).
   sim::WatchdogConfig watchdog;
+  /// Periodic crash-consistent snapshots (see SnapshotPolicy).  Default:
+  /// disabled.
+  SnapshotPolicy snapshot;
 };
 
 }  // namespace es::sched

@@ -17,6 +17,11 @@
 #include "sched/perf.hpp"
 #include "sim/time.hpp"
 
+namespace es::snap {
+class SnapshotWriter;
+class SnapshotReader;
+}  // namespace es::snap
+
 namespace es::sched {
 
 /// View of the system at one scheduling cycle.
@@ -95,6 +100,18 @@ class Scheduler {
   /// On by default; the off switch exists so tests and benchmarks can prove
   /// cached and uncached runs schedule identically.
   virtual void set_dp_cache(bool /*enabled*/) {}
+
+  /// Serializes policy state that influences *future* scheduling decisions
+  /// into the open snapshot section.  Most policies are stateless across
+  /// cycles (tunables are reconstructed from config; DP caches are keyed on
+  /// (run_epoch, active_version) and rebuild deterministically), so the
+  /// default writes nothing.  Policies with semantic cross-cycle state —
+  /// the adaptive selector's sliding decision window — must override both
+  /// hooks or a restored run would silently diverge.
+  virtual void save_state(snap::SnapshotWriter& /*writer*/) const {}
+
+  /// Restores state written by save_state() from the open section.
+  virtual void restore_state(snap::SnapshotReader& /*reader*/) {}
 };
 
 }  // namespace es::sched

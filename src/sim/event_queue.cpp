@@ -8,7 +8,13 @@
 
 namespace es::sim {
 
-EventHandle EventQueue::schedule(Time at, EventClass cls, Callback fn) {
+EventHandle EventQueue::schedule(Time at, EventClass cls, Callback fn,
+                                 std::uint64_t tag) {
+  return restore_event(at, cls, std::move(fn), tag, next_seq_++);
+}
+
+EventHandle EventQueue::restore_event(Time at, EventClass cls, Callback fn,
+                                      std::uint64_t tag, std::uint64_t seq) {
   ES_EXPECTS(fn != nullptr);
   std::uint32_t slot;
   if (!free_.empty()) {
@@ -22,14 +28,36 @@ EventHandle EventQueue::schedule(Time at, EventClass cls, Callback fn) {
   }
   Record& record = records_[slot];
   record.fn = std::move(fn);
-  heap_.push_back(HeapItem{at, static_cast<std::int32_t>(cls), next_seq_++,
-                           slot, record.generation});
+  record.tag = tag;
+  heap_.push_back(HeapItem{at, static_cast<std::int32_t>(cls), seq, slot,
+                           record.generation});
   std::push_heap(heap_.begin(), heap_.end(), Later{});
   ++live_;
   ++counters_.scheduled;
   counters_.peak_pending = std::max<std::uint64_t>(counters_.peak_pending,
                                                    live_);
   return EventHandle{make_id(slot, record.generation)};
+}
+
+std::vector<PendingEvent> EventQueue::pending_events() const {
+  std::vector<PendingEvent> pending;
+  pending.reserve(live_);
+  for (const HeapItem& item : heap_) {
+    if (!armed(item)) continue;  // cancelled residue awaiting skim
+    pending.push_back(PendingEvent{item.time, item.cls, item.seq,
+                                   records_[item.slot].tag});
+  }
+  std::sort(pending.begin(), pending.end(),
+            [](const PendingEvent& a, const PendingEvent& b) {
+              return a.seq < b.seq;
+            });
+  return pending;
+}
+
+void EventQueue::restore_meta(std::uint64_t next_seq,
+                              const EventQueueCounters& counters) {
+  next_seq_ = next_seq;
+  counters_ = counters;
 }
 
 void EventQueue::retire(std::uint32_t slot) {

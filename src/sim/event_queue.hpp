@@ -51,13 +51,27 @@ struct EventQueueCounters {
   }
 };
 
+/// Snapshot view of one live (armed) event.  Callbacks cannot serialize, so
+/// restore works from the semantic `tag` the scheduler attached at
+/// schedule() time; `seq` is preserved so same-instant tie-breaking after
+/// restore matches the original run exactly.
+struct PendingEvent {
+  Time time{};
+  std::int32_t cls = 0;
+  std::uint64_t seq = 0;
+  std::uint64_t tag = 0;
+};
+
 /// Min-heap of events with deterministic tie-breaking and lazy cancellation.
 class EventQueue {
  public:
   using Callback = std::function<void(Time)>;
 
   /// Schedules `fn` at absolute time `at`.  Returns a handle for cancel().
-  EventHandle schedule(Time at, EventClass cls, Callback fn);
+  /// `tag` is an opaque caller-defined descriptor carried alongside the
+  /// callback so the event can be re-established after a snapshot restore.
+  EventHandle schedule(Time at, EventClass cls, Callback fn,
+                       std::uint64_t tag = 0);
 
   /// Cancels a pending event.  Returns false if the event already fired,
   /// was already cancelled, or the handle is invalid.
@@ -82,12 +96,34 @@ class EventQueue {
   /// Lifetime traffic counters (see EventQueueCounters).
   const EventQueueCounters& counters() const { return counters_; }
 
+  // --- snapshot/restore support -------------------------------------------
+
+  /// All live events sorted by insertion sequence (a stable, deterministic
+  /// serialization order).  Cancelled heap residue is excluded.
+  std::vector<PendingEvent> pending_events() const;
+
+  /// Re-inserts an event with its *original* sequence number during restore.
+  /// Preserving seq (and restoring next_seq via restore_meta) is what makes
+  /// post-restore tie-breaking — and every later schedule() — byte-identical
+  /// to the uninterrupted run.  Precondition: only valid on a queue that has
+  /// never allocated a sequence >= `seq` organically.
+  EventHandle restore_event(Time at, EventClass cls, Callback fn,
+                            std::uint64_t tag, std::uint64_t seq);
+
+  /// Restores the sequence allocator and lifetime counters after the
+  /// pending set has been re-established with restore_event().
+  void restore_meta(std::uint64_t next_seq, const EventQueueCounters& counters);
+
+  /// Next insertion sequence number (serialized into snapshots).
+  std::uint64_t next_seq() const { return next_seq_; }
+
  private:
   // One slab slot.  `generation` starts at 1 (so a default EventHandle or a
   // forged id with generation 0 never matches) and is bumped every time the
   // record retires — fire and cancel both invalidate outstanding handles.
   struct Record {
     Callback fn;
+    std::uint64_t tag = 0;  ///< caller's restore descriptor, valid while armed
     std::uint32_t generation = 1;
   };
 

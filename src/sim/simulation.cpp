@@ -6,16 +6,16 @@
 
 namespace es::sim {
 
-EventHandle Simulation::at(Time when, EventClass cls,
-                           EventQueue::Callback fn) {
+EventHandle Simulation::at(Time when, EventClass cls, EventQueue::Callback fn,
+                           std::uint64_t tag) {
   ES_EXPECTS(when >= now_);
-  return queue_.schedule(when, cls, std::move(fn));
+  return queue_.schedule(when, cls, std::move(fn), tag);
 }
 
 EventHandle Simulation::after(Time delay, EventClass cls,
-                              EventQueue::Callback fn) {
+                              EventQueue::Callback fn, std::uint64_t tag) {
   ES_EXPECTS(delay >= 0);
-  return queue_.schedule(now_ + delay, cls, std::move(fn));
+  return queue_.schedule(now_ + delay, cls, std::move(fn), tag);
 }
 
 bool Simulation::step() {

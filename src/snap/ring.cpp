@@ -1,0 +1,109 @@
+#include "snap/ring.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+
+#include "snap/snapshot.hpp"
+
+namespace es::snap {
+
+namespace {
+
+constexpr char kPrefix[] = "snap-";
+constexpr char kSuffix[] = ".essnap";
+
+std::string generation_name(std::uint64_t generation) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%s%08llu%s", kPrefix,
+                static_cast<unsigned long long>(generation), kSuffix);
+  return buf;
+}
+
+/// Parses "snap-NNNNNNNN.essnap" into a generation number, or nullopt.
+std::optional<std::uint64_t> parse_generation(const std::string& name) {
+  const std::size_t prefix_len = sizeof(kPrefix) - 1;
+  const std::size_t suffix_len = sizeof(kSuffix) - 1;
+  if (name.size() <= prefix_len + suffix_len) return std::nullopt;
+  if (name.compare(0, prefix_len, kPrefix) != 0) return std::nullopt;
+  if (name.compare(name.size() - suffix_len, suffix_len, kSuffix) != 0) {
+    return std::nullopt;
+  }
+  std::uint64_t generation = 0;
+  for (std::size_t i = prefix_len; i < name.size() - suffix_len; ++i) {
+    const char c = name[i];
+    if (c < '0' || c > '9') return std::nullopt;
+    generation = generation * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return generation;
+}
+
+}  // namespace
+
+std::vector<SnapshotEntry> list_snapshots(const std::string& dir) {
+  std::vector<SnapshotEntry> entries;
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec) {
+    throw SnapshotError(SnapshotErrorKind::kIo,
+                        "cannot list snapshot directory: " + dir);
+  }
+  for (const auto& de : it) {
+    if (!de.is_regular_file(ec) || ec) continue;
+    const std::string name = de.path().filename().string();
+    if (const auto generation = parse_generation(name)) {
+      entries.push_back(SnapshotEntry{*generation, de.path().string()});
+    }
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const SnapshotEntry& a, const SnapshotEntry& b) {
+              return a.generation < b.generation;
+            });
+  return entries;
+}
+
+std::optional<SnapshotEntry> latest_intact(const std::string& dir) {
+  std::vector<SnapshotEntry> entries = list_snapshots(dir);
+  for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+    try {
+      (void)read_snapshot_file(it->path);  // full frame + CRC validation
+      return *it;
+    } catch (const SnapshotError&) {
+      continue;  // torn/corrupt/unreadable generation: fall back
+    }
+  }
+  return std::nullopt;
+}
+
+SnapshotRing::SnapshotRing(std::string dir, std::size_t keep)
+    : dir_(std::move(dir)), keep_(std::max<std::size_t>(keep, 1)) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) {
+    throw SnapshotError(SnapshotErrorKind::kIo,
+                        "cannot create snapshot directory: " + dir_);
+  }
+  for (const SnapshotEntry& e : list_snapshots(dir_)) {
+    next_generation_ = std::max(next_generation_, e.generation + 1);
+  }
+}
+
+std::string SnapshotRing::commit(const std::string& bytes) {
+  const std::string path =
+      (std::filesystem::path(dir_) / generation_name(next_generation_))
+          .string();
+  write_snapshot_file(path, bytes);
+  ++next_generation_;
+
+  std::vector<SnapshotEntry> entries = list_snapshots(dir_);
+  if (entries.size() > keep_) {
+    for (std::size_t i = 0; i + keep_ < entries.size(); ++i) {
+      std::error_code ec;
+      std::filesystem::remove(entries[i].path, ec);
+    }
+  }
+  return path;
+}
+
+}  // namespace es::snap

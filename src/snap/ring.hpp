@@ -1,0 +1,58 @@
+// Snapshot-ring retention: a directory of generation-numbered snapshot
+// files, keeping the newest K and recovering from the newest *intact* one.
+//
+// Each commit writes `snap-NNNNNNNN.essnap` (monotonic generation number,
+// zero-padded so lexicographic order is generation order) via the durable
+// atomic writer, then prunes generations beyond the retention count.  On
+// recovery, latest_intact() walks the ring newest-first and fully validates
+// each candidate (header, frames, CRCs); a torn or bit-flipped newest
+// generation therefore falls back gracefully to the previous one instead of
+// aborting the restore.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace es::snap {
+
+/// One on-disk snapshot generation.
+struct SnapshotEntry {
+  std::uint64_t generation = 0;
+  std::string path;
+};
+
+/// Generation-numbered snapshot files in `dir`, oldest first.  Files not
+/// matching the `snap-NNNNNNNN.essnap` pattern are ignored.
+std::vector<SnapshotEntry> list_snapshots(const std::string& dir);
+
+/// Path of the newest snapshot in `dir` that passes full validation, or
+/// nullopt when none does.  Throws SnapshotError(kIo) only when the
+/// directory itself is unreadable; unreadable/corrupt individual files are
+/// skipped (that is the point of the ring).
+std::optional<SnapshotEntry> latest_intact(const std::string& dir);
+
+/// Writes successive generations into a directory and prunes old ones.
+class SnapshotRing {
+ public:
+  /// `keep` is clamped to >= 1.  The directory is created if missing; the
+  /// next generation number continues past any snapshots already present.
+  SnapshotRing(std::string dir, std::size_t keep);
+
+  /// Durably commits `bytes` as the next generation and prunes the ring to
+  /// the retention count.  Returns the committed path.  Throws
+  /// SnapshotError(kIo) when the write fails; pruning errors are ignored
+  /// (stale files only cost disk, never correctness).
+  std::string commit(const std::string& bytes);
+
+  const std::string& dir() const { return dir_; }
+  std::uint64_t next_generation() const { return next_generation_; }
+
+ private:
+  std::string dir_;
+  std::size_t keep_;
+  std::uint64_t next_generation_ = 1;
+};
+
+}  // namespace es::snap

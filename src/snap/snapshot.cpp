@@ -1,0 +1,326 @@
+#include "snap/snapshot.hpp"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "util/atomic_file.hpp"
+
+namespace es::snap {
+
+namespace {
+
+constexpr char kEndTag[5] = "SEND";
+
+/// Reflected IEEE 802.3 CRC32 table, generated once at startup.
+const std::array<std::uint32_t, 256>& crc_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+std::uint32_t tag_value(const char (&tag)[5]) {
+  std::uint32_t v = 0;
+  std::memcpy(&v, tag, 4);
+  return v;
+}
+
+std::string tag_name(std::uint32_t tag) {
+  char buf[5] = {};
+  std::memcpy(buf, &tag, 4);
+  for (char& c : buf) {
+    if (c != 0 && (c < 0x20 || c > 0x7E)) c = '?';
+  }
+  return std::string(buf);
+}
+
+void put_u32(std::string& out, std::uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((value >> (8 * i)) & 0xFF));
+  }
+}
+
+void put_u64(std::string& out, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((value >> (8 * i)) & 0xFF));
+  }
+}
+
+std::uint32_t get_u32(const char* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t get_u64(const char* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+[[noreturn]] void corrupt(const std::string& what) {
+  throw SnapshotError(SnapshotErrorKind::kCorrupt, "corrupt snapshot: " + what);
+}
+
+}  // namespace
+
+const char* to_string(SnapshotErrorKind kind) {
+  switch (kind) {
+    case SnapshotErrorKind::kIo: return "io";
+    case SnapshotErrorKind::kCorrupt: return "corrupt";
+    case SnapshotErrorKind::kVersion: return "version-mismatch";
+    case SnapshotErrorKind::kMismatch: return "run-mismatch";
+  }
+  return "unknown";
+}
+
+std::uint32_t crc32(const void* data, std::size_t size) {
+  const auto& table = crc_table();
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) {
+    c = table[(c ^ p[i]) & 0xFF] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+// ---------------------------------------------------------------------------
+// SnapshotWriter
+
+void SnapshotWriter::begin_section(const char (&tag)[5]) {
+  if (finished_ || in_section_) {
+    throw SnapshotError(SnapshotErrorKind::kIo,
+                        "snapshot writer misuse: begin_section");
+  }
+  if (out_.empty()) {
+    put_u32(out_, kMagic);
+    put_u32(out_, kFormatVersion);
+  }
+  put_u32(out_, tag_value(tag));
+  put_u64(out_, 0);  // payload length, patched by end_section
+  section_start_ = out_.size();
+  in_section_ = true;
+}
+
+void SnapshotWriter::end_section() {
+  if (!in_section_) {
+    throw SnapshotError(SnapshotErrorKind::kIo,
+                        "snapshot writer misuse: end_section");
+  }
+  const std::size_t payload_size = out_.size() - section_start_;
+  // Patch the length field written by begin_section.
+  std::string len;
+  put_u64(len, payload_size);
+  out_.replace(section_start_ - 8, 8, len);
+  put_u32(out_, crc32(out_.data() + section_start_, payload_size));
+  in_section_ = false;
+  ++sections_;
+}
+
+void SnapshotWriter::raw(const void* data, std::size_t size) {
+  if (!in_section_) {
+    throw SnapshotError(SnapshotErrorKind::kIo,
+                        "snapshot writer misuse: write outside section");
+  }
+  out_.append(static_cast<const char*>(data), size);
+}
+
+void SnapshotWriter::u8(std::uint8_t value) { raw(&value, 1); }
+
+void SnapshotWriter::u32(std::uint32_t value) {
+  std::string tmp;
+  put_u32(tmp, value);
+  raw(tmp.data(), tmp.size());
+}
+
+void SnapshotWriter::u64(std::uint64_t value) {
+  std::string tmp;
+  put_u64(tmp, value);
+  raw(tmp.data(), tmp.size());
+}
+
+void SnapshotWriter::f64(double value) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  u64(bits);
+}
+
+void SnapshotWriter::str(const std::string& value) {
+  u64(value.size());
+  raw(value.data(), value.size());
+}
+
+std::string SnapshotWriter::finish() {
+  if (in_section_ || finished_) {
+    throw SnapshotError(SnapshotErrorKind::kIo,
+                        "snapshot writer misuse: finish");
+  }
+  if (out_.empty()) {  // snapshot with zero sections is still well-formed
+    put_u32(out_, kMagic);
+    put_u32(out_, kFormatVersion);
+  }
+  const std::uint32_t body_sections = sections_;
+  begin_section(kEndTag);
+  u64(body_sections);
+  end_section();
+  finished_ = true;
+  return std::move(out_);
+}
+
+// ---------------------------------------------------------------------------
+// SnapshotReader
+
+SnapshotReader::SnapshotReader(std::string bytes) : bytes_(std::move(bytes)) {
+  if (bytes_.size() < 8) corrupt("shorter than header");
+  if (get_u32(bytes_.data()) != kMagic) corrupt("bad magic");
+  const std::uint32_t version = get_u32(bytes_.data() + 4);
+  if (version != kFormatVersion) {
+    throw SnapshotError(
+        SnapshotErrorKind::kVersion,
+        "snapshot format version " + std::to_string(version) +
+            " unsupported (expected " + std::to_string(kFormatVersion) + ")");
+  }
+
+  std::size_t pos = 8;
+  bool saw_end = false;
+  std::uint64_t declared_sections = 0;
+  while (pos < bytes_.size()) {
+    if (bytes_.size() - pos < 12) corrupt("torn section frame");
+    const std::uint32_t tag = get_u32(bytes_.data() + pos);
+    const std::uint64_t len = get_u64(bytes_.data() + pos + 4);
+    pos += 12;
+    if (len > bytes_.size() - pos || bytes_.size() - pos - len < 4) {
+      corrupt("truncated section '" + tag_name(tag) + "'");
+    }
+    const std::size_t begin = pos;
+    pos += len;
+    const std::uint32_t stored_crc = get_u32(bytes_.data() + pos);
+    pos += 4;
+    if (crc32(bytes_.data() + begin, len) != stored_crc) {
+      corrupt("CRC mismatch in section '" + tag_name(tag) + "'");
+    }
+    if (tag == tag_value(kEndTag)) {
+      if (len != 8) corrupt("malformed end marker");
+      declared_sections = get_u64(bytes_.data() + begin);
+      saw_end = true;
+      break;
+    }
+    sections_.push_back(Section{tag, begin, static_cast<std::size_t>(len)});
+  }
+  if (!saw_end) corrupt("missing end marker (truncated file)");
+  if (pos != bytes_.size()) corrupt("trailing bytes after end marker");
+  if (declared_sections != sections_.size()) {
+    corrupt("section count mismatch");
+  }
+}
+
+const SnapshotReader::Section* SnapshotReader::find(std::uint32_t tag) const {
+  for (const Section& s : sections_) {
+    if (s.tag == tag) return &s;
+  }
+  return nullptr;
+}
+
+bool SnapshotReader::has_section(const char (&tag)[5]) const {
+  return find(tag_value(tag)) != nullptr;
+}
+
+void SnapshotReader::open_section(const char (&tag)[5]) {
+  const Section* s = find(tag_value(tag));
+  if (s == nullptr) corrupt("missing section '" + std::string(tag, 4) + "'");
+  current_ = s;
+  cursor_ = s->begin;
+}
+
+std::size_t SnapshotReader::remaining() const {
+  if (current_ == nullptr) return 0;
+  return current_->begin + current_->size - cursor_;
+}
+
+void SnapshotReader::need(std::size_t bytes) const {
+  if (current_ == nullptr) corrupt("read with no open section");
+  if (remaining() < bytes) {
+    corrupt("section '" + tag_name(current_->tag) + "' underruns");
+  }
+}
+
+std::uint8_t SnapshotReader::u8() {
+  need(1);
+  return static_cast<std::uint8_t>(
+      static_cast<unsigned char>(bytes_[cursor_++]));
+}
+
+std::uint32_t SnapshotReader::u32() {
+  need(4);
+  const std::uint32_t v = get_u32(bytes_.data() + cursor_);
+  cursor_ += 4;
+  return v;
+}
+
+std::uint64_t SnapshotReader::u64() {
+  need(8);
+  const std::uint64_t v = get_u64(bytes_.data() + cursor_);
+  cursor_ += 8;
+  return v;
+}
+
+double SnapshotReader::f64() {
+  const std::uint64_t bits = u64();
+  double v = 0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string SnapshotReader::str() {
+  const std::uint64_t len = u64();
+  need(len);
+  std::string v = bytes_.substr(cursor_, len);
+  cursor_ += len;
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// File I/O
+
+void write_snapshot_file(const std::string& path, const std::string& bytes) {
+  const bool ok = util::write_file_atomic(path, [&](std::ostream& out) {
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    return out.good();
+  });
+  if (!ok) {
+    throw SnapshotError(SnapshotErrorKind::kIo,
+                        "failed to write snapshot: " + path);
+  }
+}
+
+SnapshotReader read_snapshot_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw SnapshotError(SnapshotErrorKind::kIo,
+                        "cannot open snapshot: " + path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) {
+    throw SnapshotError(SnapshotErrorKind::kIo,
+                        "read error on snapshot: " + path);
+  }
+  return SnapshotReader(buf.str());
+}
+
+}  // namespace es::snap

@@ -1,9 +1,53 @@
 #include "util/atomic_file.hpp"
 
+#include <atomic>
 #include <cstdio>
 #include <fstream>
+#include <string>
+
+#ifndef _WIN32
+#include <fcntl.h>
+#include <unistd.h>
+#endif
 
 namespace es::util {
+
+namespace {
+
+std::atomic<std::uint64_t> fsync_count{0};
+
+/// fsync() the file or directory at `path`.  Returns false when the sync
+/// demonstrably failed; a platform without the POSIX calls degrades to the
+/// pre-durability behaviour (rename-only atomicity).
+bool sync_path(const std::string& path, bool directory) {
+#ifndef _WIN32
+  const int flags = directory ? (O_RDONLY | O_DIRECTORY) : O_RDONLY;
+  const int fd = ::open(path.c_str(), flags);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  if (ok) fsync_count.fetch_add(1, std::memory_order_relaxed);
+  return ok;
+#else
+  (void)path;
+  (void)directory;
+  return true;
+#endif
+}
+
+/// Directory containing `path` ("." when the path has no separator).
+std::string parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+}  // namespace
+
+std::uint64_t atomic_file_fsyncs() {
+  return fsync_count.load(std::memory_order_relaxed);
+}
 
 bool write_file_atomic(const std::string& path,
                        const std::function<bool(std::ostream&)>& producer) {
@@ -23,13 +67,24 @@ bool write_file_atomic(const std::string& path,
       return false;
     }
   }
+  // Data must be on disk before the rename makes it reachable; otherwise a
+  // crash after the rename but before writeback commits the *name* of an
+  // empty/torn file.
+  if (!sync_path(temp, /*directory=*/false)) {
+    std::remove(temp.c_str());
+    return false;
+  }
   // POSIX rename over an existing target is atomic on the same filesystem,
   // and the temp file is a sibling of the target by construction.
   if (std::rename(temp.c_str(), path.c_str()) != 0) {
     std::remove(temp.c_str());
     return false;
   }
-  return true;
+  // The rename itself is a directory mutation; fsync the directory so the
+  // committed name survives a crash.  The content is already durable, so a
+  // failure here (e.g. an exotic filesystem) leaves the write merely
+  // non-durable, not torn — still report it to the caller.
+  return sync_path(parent_dir(path), /*directory=*/true);
 }
 
 }  // namespace es::util

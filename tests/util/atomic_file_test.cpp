@@ -84,6 +84,28 @@ TEST_F(AtomicFileTest, AbortedProducerLeavesNoFileWhenNoneExisted) {
   EXPECT_FALSE(exists(path_ + ".tmp"));
 }
 
+TEST_F(AtomicFileTest, SuccessfulWriteIssuesBothFsyncs) {
+  // Durability contract: data fsync before the rename, directory fsync
+  // after.  The counter proves the path is exercised, not silently skipped.
+  const std::uint64_t before = atomic_file_fsyncs();
+  ASSERT_TRUE(write_file_atomic(path_, [](std::ostream& out) {
+    out << "durable";
+    return true;
+  }));
+  EXPECT_GE(atomic_file_fsyncs(), before + 2);
+}
+
+TEST_F(AtomicFileTest, AbortedProducerSkipsTheDirectoryFsync) {
+  const std::uint64_t before = atomic_file_fsyncs();
+  EXPECT_FALSE(write_file_atomic(path_, [](std::ostream& out) {
+    out << "partial";
+    return false;
+  }));
+  // No rename happened, so at most the (discarded) temp file was synced;
+  // the directory fsync that commits a rename must not have run twice.
+  EXPECT_LE(atomic_file_fsyncs(), before + 1);
+}
+
 TEST_F(AtomicFileTest, UnwritableDirectoryFails) {
   const std::string bogus =
       ::testing::TempDir() + "no-such-dir-xyz/out.csv";

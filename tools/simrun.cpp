@@ -13,10 +13,18 @@
 // across --jobs worker threads) and the seed-mean aggregate is printed —
 // byte-identical output whatever the thread count.
 //
+// Crash recovery: --snapshot-every N serializes the full engine state every
+// N scheduling cycles into --snapshot-dir (a ring of --snapshot-keep
+// generations, each written atomically with fsync-before-rename);
+// --restore-from <file-or-dir> resumes an interrupted run from a snapshot
+// (a directory is scanned for its newest *intact* generation) and produces
+// byte-identical results to the uninterrupted run.
+//
 // Exit codes: 0 success, 1 usage error, 2 invalid flag combination or
 // unknown algorithm, 3 output I/O error, 4 watchdog abort (partial metrics
-// were printed).
+// were printed), 6 corrupt / version-incompatible / mismatched snapshot.
 #include <cstdio>
+#include <filesystem>
 #include <iostream>
 #include <ostream>
 #include <string>
@@ -26,6 +34,8 @@
 #include "exp/experiment.hpp"
 #include "fuzz/scenario.hpp"
 #include "sim/watchdog.hpp"
+#include "snap/ring.hpp"
+#include "snap/snapshot.hpp"
 #include "util/atomic_file.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
@@ -109,6 +119,10 @@ int main(int argc, char** argv) {
   unsigned long long max_events = 0;
   double max_sim_time = 0.0, wall_budget = 0.0;
   int no_progress_cycles = 0;
+  unsigned long long snapshot_every = 0;
+  std::string snapshot_dir;
+  int snapshot_keep = 3;
+  std::string restore_from;
 
   std::string scenario_path;
 
@@ -177,6 +191,17 @@ int main(int argc, char** argv) {
   cli.add_option("no-progress-cycles", "watchdog: abort after this many "
                  "consecutive scheduler cycles without a job start or finish "
                  "while work is queued (0 = disabled)", &no_progress_cycles);
+  cli.add_option("snapshot-every", "crash recovery: serialize the engine "
+                 "state every N scheduling cycles (0 = disabled)",
+                 &snapshot_every);
+  cli.add_option("snapshot-dir", "crash recovery: directory holding the "
+                 "snapshot ring (required with --snapshot-every)",
+                 &snapshot_dir);
+  cli.add_option("snapshot-keep", "crash recovery: ring retention — newest "
+                 "K snapshot generations kept (default 3)", &snapshot_keep);
+  cli.add_option("restore-from", "crash recovery: resume from this snapshot "
+                 "file, or scan this directory for the newest intact "
+                 "generation", &restore_from);
   bool profile = false;
   std::string trace_csv;
   cli.add_option("per-job", "write per-job outcomes to this CSV", &per_job_csv);
@@ -226,8 +251,22 @@ int main(int argc, char** argv) {
     return flag_error("wall-budget", "must be >= 0 (0 = unlimited)");
   if (no_progress_cycles < 0)
     return flag_error("no-progress-cycles", "must be >= 0 (0 = disabled)");
+  if (snapshot_every > 0 && snapshot_dir.empty())
+    return flag_error("snapshot-every", "needs --snapshot-dir to hold the "
+                      "snapshot ring");
+  if (!snapshot_dir.empty() && snapshot_every == 0)
+    return flag_error("snapshot-dir", "has no effect without "
+                      "--snapshot-every > 0");
+  if (snapshot_keep < 1)
+    return flag_error("snapshot-keep", "must be >= 1");
   if (replications < 1)
     return flag_error("replications", "must be >= 1");
+  if (!restore_from.empty() && replications > 1)
+    return flag_error("restore-from", "a snapshot captures one single run; "
+                      "use --replications 1");
+  if ((snapshot_every > 0) && replications > 1)
+    return flag_error("snapshot-every", "periodic snapshots describe a "
+                      "single run; use --replications 1");
   if (parallel_jobs < 0)
     return flag_error("jobs", "must be >= 0 (0 = all cores, 1 = serial)");
   if (replications > 1 && (!per_job_csv.empty() || !trace_csv.empty()))
@@ -327,6 +366,9 @@ int main(int argc, char** argv) {
   options.engine.watchdog.max_sim_time = max_sim_time;
   options.engine.watchdog.wall_budget = wall_budget;
   options.engine.watchdog.no_progress_cycles = no_progress_cycles;
+  options.engine.snapshot.every_cycles = snapshot_every;
+  options.engine.snapshot.dir = snapshot_dir;
+  options.engine.snapshot.keep = static_cast<std::size_t>(snapshot_keep);
   options.dp_cache = !no_dp_cache;
   if (have_scenario) {
     // The scenario owns the run-shaping knobs; CLI watchdog flags override
@@ -383,7 +425,37 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  const auto result = es::exp::run_workload(workload, algorithm, options);
+  es::sched::SimulationResult result;
+  if (!restore_from.empty()) {
+    // Resume an interrupted run.  kIo maps to the I/O exit code (3) like
+    // the CSV outputs; everything else — torn frames, CRC mismatches,
+    // version skew, a snapshot of a different run — is exit 6, so crash
+    // tooling can tell "retry with the previous generation" from "disk is
+    // broken".
+    try {
+      std::string snapshot_path = restore_from;
+      std::error_code directory_check;
+      if (std::filesystem::is_directory(restore_from, directory_check)) {
+        const auto newest = es::snap::latest_intact(restore_from);
+        if (!newest) {
+          std::fprintf(stderr,
+                       "simrun: --restore-from: no intact snapshot in %s\n",
+                       restore_from.c_str());
+          return 6;
+        }
+        snapshot_path = newest->path;
+      }
+      auto reader = es::snap::read_snapshot_file(snapshot_path);
+      std::printf("Resuming from snapshot %s\n", snapshot_path.c_str());
+      result = es::exp::resume_workload(workload, algorithm, options, reader);
+    } catch (const es::snap::SnapshotError& error) {
+      std::fprintf(stderr, "simrun: --restore-from: %s (%s)\n", error.what(),
+                   es::snap::to_string(error.kind()));
+      return error.kind() == es::snap::SnapshotErrorKind::kIo ? 3 : 6;
+    }
+  } else {
+    result = es::exp::run_workload(workload, algorithm, options);
+  }
 
   es::util::AsciiTable table("simrun — " + algorithm);
   table.set_columns({"metric", "value"});
