@@ -13,6 +13,8 @@
 // sub-millisecond.  The ablation bench quantifies this choice.
 #pragma once
 
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <iostream>
 #include <sstream>
@@ -20,11 +22,14 @@
 #include <sys/stat.h>
 
 #include "core/factory.hpp"
+#include "exp/experiment.hpp"
 #include "exp/report.hpp"
 #include "exp/sweep.hpp"
 #include "sched/metrics.hpp"
 #include "util/cli.hpp"
+#include "util/rss.hpp"
 #include "util/thread_pool.hpp"
+#include "workload/source.hpp"
 
 namespace es::bench {
 
@@ -166,6 +171,87 @@ inline std::string result_fingerprint_csv(
     out << line;
   }
   return out.str();
+}
+
+// --- scale-bench harness (scale_10k, scale_1m) --------------------------
+//
+// Both scale benches run the same science — the paper's P_S = 0.5 batch
+// workload at a fixed offered load — and differ only in trace length and
+// ingestion mode.  The helpers below parameterize that shared shape so the
+// 10k table and the million-job soak measure the same thing.
+
+/// The scale benches' workload point: base geometry (M = 320) with the
+/// trace length, job mix and offered load of one cell.
+inline workload::GeneratorConfig scale_workload(const BenchOptions& options,
+                                                std::size_t num_jobs,
+                                                double load,
+                                                double p_small = 0.5) {
+  workload::GeneratorConfig config = base_workload(options);
+  config.num_jobs = num_jobs;
+  config.p_small = p_small;
+  config.target_load = load;
+  return config;
+}
+
+/// One timed simulation leg.  Wall time covers workload production *and*
+/// simulation — for the streamed leg the two are interleaved by design, so
+/// the materialized leg charges generation too to keep the comparison fair.
+struct ScaleLeg {
+  double wall_seconds = 0;
+  std::uint64_t events_fired = 0;
+  double events_per_second = 0;
+  /// Process-global high water at the end of the leg (util::peak_rss_bytes
+  /// is monotonic: run the leg whose footprint you care about first).
+  std::uint64_t peak_rss_bytes = 0;
+  sched::SimulationResult result;
+};
+
+/// Runs one leg.  `streamed` pulls the synthetic trace through a
+/// GeneratorSource in bounded chunks (the engine never holds more than the
+/// in-flight jobs); otherwise the full workload materializes up front.
+inline ScaleLeg run_scale_leg(
+    const workload::GeneratorConfig& config, const std::string& algorithm,
+    const core::AlgorithmOptions& options, bool streamed,
+    std::size_t chunk_jobs = workload::GeneratorSource::kDefaultChunkJobs) {
+  ScaleLeg leg;
+  const auto t0 = std::chrono::steady_clock::now();
+  if (streamed) {
+    workload::GeneratorSource source(config, chunk_jobs);
+    leg.result = exp::run_source(source, algorithm, options);
+  } else {
+    exp::RunSpec spec;
+    spec.workload = config;
+    spec.algorithm = algorithm;
+    spec.options = options;
+    leg.result = exp::run_once(spec);
+  }
+  leg.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  leg.events_fired = leg.result.perf.events.fired;
+  leg.events_per_second =
+      leg.wall_seconds > 0
+          ? static_cast<double>(leg.events_fired) / leg.wall_seconds
+          : 0.0;
+  leg.peak_rss_bytes = util::peak_rss_bytes();
+  return leg;
+}
+
+/// A replicated, seed-averaged scale point (scale_10k's table cells).
+struct ScalePoint {
+  exp::Aggregate aggregate;
+  double wall_seconds = 0;
+};
+
+inline ScalePoint run_scale_point(const exp::RunSpec& spec,
+                                  int replications) {
+  ScalePoint point;
+  const auto t0 = std::chrono::steady_clock::now();
+  point.aggregate = exp::run_replicated(spec, replications);
+  point.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return point;
 }
 
 /// The paper's load grid for Figs 7-11.

@@ -29,6 +29,18 @@
 //      then snapshotted every cycle, killed mid-run and resumed from the
 //      last snapshot, with the full deterministic result serialization
 //      byte-compared — snapshot/restore must be invisible in the science.
+//   8. blocked-parallel DP (PR 8): wide Basic_DP instances (capacities past
+//      the blocking threshold, the granularity-1 large-machine regime)
+//      filled serially and through the thread pool, with every selection
+//      compared element for element — the tiled double-buffered fill must
+//      be invisible in the selections — plus the cells/second of each.
+//   9. streamed ingestion (PR 8): every factory algorithm run materialized
+//      (Engine::run) and pulled through a bounded-chunk JobSource
+//      (Engine::run_streamed) over the same workload — the leg-7 fault +
+//      checkpoint + ECC traces — with the full deterministic result
+//      serialization byte-compared, plus a GeneratorSource leg proving the
+//      never-materialized synthetic path (chunked generation with load
+//      calibration) is equally invisible.
 //
 // Counters and equivalence verdicts in the JSON are deterministic; every
 // *_seconds / *_per_second field is measurement and varies run to run.  CI
@@ -419,6 +431,104 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --- leg 8: blocked-parallel DP equivalence + throughput --------------
+  // Wide knapsack instances: n x cols tables past the blocking threshold,
+  // the shape a granularity-1 many-thousand-processor machine poses.  The
+  // serial and pooled fills must select identically on every instance;
+  // cells/second measures what the tiling buys on this host.
+  const int dp_instances = options.quick ? 4 : 12;
+  bool parallel_dp_identical = true;
+  double dp_serial_seconds = 0;
+  double dp_parallel_seconds = 0;
+  std::uint64_t dp_cells = 0;
+  {
+    es::util::Rng rng(options.seed + 99);
+    std::vector<std::vector<int>> instances;
+    std::vector<int> capacities;
+    for (int k = 0; k < dp_instances; ++k) {
+      const int capacity =
+          8191 + static_cast<int>(rng.uniform_int(0, 12000));
+      const int n = 50 + static_cast<int>(rng.uniform_int(0, 200));
+      std::vector<int> weights;
+      weights.reserve(static_cast<std::size_t>(n));
+      for (int i = 0; i < n; ++i)
+        weights.push_back(
+            static_cast<int>(rng.uniform_int(1, capacity / 2)));
+      dp_cells += static_cast<std::uint64_t>(n) *
+                  (static_cast<std::uint64_t>(capacity) + 1);
+      instances.push_back(std::move(weights));
+      capacities.push_back(capacity);
+    }
+    std::vector<std::vector<int>> serial_selected;
+    es::util::set_global_parallelism(1);
+    t0 = std::chrono::steady_clock::now();
+    for (int k = 0; k < dp_instances; ++k) {
+      es::core::DpWorkspace ws;
+      serial_selected.push_back(es::core::detail::basic_dp_table(
+          instances[static_cast<std::size_t>(k)],
+          capacities[static_cast<std::size_t>(k)], ws));
+    }
+    dp_serial_seconds = seconds_since(t0);
+    es::util::set_global_parallelism(parallel_jobs);
+    t0 = std::chrono::steady_clock::now();
+    for (int k = 0; k < dp_instances; ++k) {
+      es::core::DpWorkspace ws;
+      const auto parallel = es::core::detail::basic_dp_table(
+          instances[static_cast<std::size_t>(k)],
+          capacities[static_cast<std::size_t>(k)], ws);
+      if (parallel != serial_selected[static_cast<std::size_t>(k)])
+        parallel_dp_identical = false;
+    }
+    dp_parallel_seconds = seconds_since(t0);
+    es::util::set_global_parallelism(1);
+  }
+  const double parallel_dp_speedup =
+      dp_parallel_seconds > 0 ? dp_serial_seconds / dp_parallel_seconds : 0.0;
+
+  // --- leg 9: streamed-ingestion equivalence ----------------------------
+  // The leg-7 workloads again (ECCs everywhere; faults, checkpoints and
+  // dedicated jobs on the heterogeneous trace), each algorithm run once
+  // materialized and once through a deliberately small-chunk
+  // MaterializedSource so refill boundaries land mid-backlog.  The
+  // GeneratorSource leg streams the synthetic trace without materializing
+  // it at all — chunked generation plus load calibration must reproduce
+  // generate() bit for bit.
+  bool streamed_identical = true;
+  bool generator_stream_identical = true;
+  int streamed_algorithms = 0;
+  for (const std::string& name : es::core::algorithm_names()) {
+    const bool dedicated_aware =
+        es::core::make_algorithm(name).policy->supports_dedicated();
+    const es::workload::Workload& stream_load =
+        dedicated_aware ? crash_hetero : crash_batch;
+    const es::core::AlgorithmOptions& stream_algo =
+        dedicated_aware ? crash_hetero_algo : algo;
+    const std::string expected = es::bench::result_fingerprint_csv(
+        es::exp::run_workload(stream_load, name, stream_algo));
+    es::workload::MaterializedSource source(stream_load, 64);
+    const std::string streamed = es::bench::result_fingerprint_csv(
+        es::exp::run_source(source, name, stream_algo));
+    ++streamed_algorithms;
+    if (streamed != expected) {
+      std::printf("streamed ingestion: %s DIVERGED from materialized\n",
+                  name.c_str());
+      streamed_identical = false;
+    }
+  }
+  {
+    // crash_batch's exact generator configuration (crash_config was
+    // re-seeded for the heterogeneous trace afterwards).
+    es::workload::GeneratorConfig gen_config = crash_config;
+    gen_config.p_dedicated = 0;
+    gen_config.seed = options.seed;
+    es::workload::GeneratorSource source(gen_config, 128);
+    generator_stream_identical =
+        es::bench::result_fingerprint_csv(
+            es::exp::run_source(source, "Delayed-LOS", algo)) ==
+        es::bench::result_fingerprint_csv(
+            es::exp::run_workload(crash_batch, "Delayed-LOS", algo));
+  }
+
   std::printf("campaign: serial %.3fs, parallel(%d) %.3fs, speedup %.2fx, "
               "csv identical: %s\n",
               serial_seconds, parallel_jobs, parallel_seconds, speedup,
@@ -452,6 +562,15 @@ int main(int argc, char** argv) {
   std::printf("crash recovery: %d algorithms snapshot/kill/restore, "
               "results identical: %s\n",
               crash_algorithms, crash_identical ? "yes" : "NO");
+  std::printf("parallel dp: %d wide instances (%.1fM cells), serial %.3fs "
+              "vs pooled %.3fs (%.2fx), selections identical: %s\n",
+              dp_instances, static_cast<double>(dp_cells) / 1e6,
+              dp_serial_seconds, dp_parallel_seconds, parallel_dp_speedup,
+              parallel_dp_identical ? "yes" : "NO");
+  std::printf("streamed ingestion: %d algorithms materialized vs streamed, "
+              "results identical: %s; generator stream identical: %s\n",
+              streamed_algorithms, streamed_identical ? "yes" : "NO",
+              generator_stream_identical ? "yes" : "NO");
 
   const std::string out_path = "BENCH_PR5.json";
   const bool ok = es::util::write_file_atomic(
@@ -507,7 +626,19 @@ int main(int argc, char** argv) {
             << "},\n"
             << "  \"crash_recovery\": {\"algorithms\": " << crash_algorithms
             << ", \"identical\": " << (crash_identical ? "true" : "false")
-            << "}\n"
+            << "},\n"
+            << "  \"parallel_dp\": {\"instances\": " << dp_instances
+            << ", \"cells\": " << dp_cells
+            << ", \"serial_seconds\": " << dp_serial_seconds
+            << ", \"parallel_seconds\": " << dp_parallel_seconds
+            << ", \"speedup\": " << parallel_dp_speedup
+            << ", \"selections_identical\": "
+            << (parallel_dp_identical ? "true" : "false") << "},\n"
+            << "  \"streamed_ingestion\": {\"algorithms\": "
+            << streamed_algorithms << ", \"identical\": "
+            << (streamed_identical ? "true" : "false")
+            << ", \"generator_identical\": "
+            << (generator_stream_identical ? "true" : "false") << "}\n"
             << "}\n";
         return out.good();
       });
@@ -520,7 +651,8 @@ int main(int argc, char** argv) {
   // parallel campaign, the DP cache, the slab kernel and the observer
   // chain must all leave the simulated science untouched.
   return (csv_identical && cache_identical && golden_identical &&
-          chain_identical && crash_identical)
+          chain_identical && crash_identical && parallel_dp_identical &&
+          streamed_identical && generator_stream_identical)
              ? 0
              : 1;
 }

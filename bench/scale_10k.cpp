@@ -6,8 +6,8 @@
 // identical offered load; the interesting question is whether the
 // *ordering* and rough relative gaps persist, and it also serves as a
 // throughput soak test (the 10k run still takes well under a second).
-#include <chrono>
-
+// The million-job extension of this experiment lives in scale_1m, built on
+// the same scale_workload/run_scale_* harness.
 #include "bench_common.hpp"
 #include "util/table.hpp"
 
@@ -34,28 +34,18 @@ int main(int argc, char** argv) {
                        "sim ms"});
     for (const char* algorithm : {"EASY", "LOS", "Delayed-LOS"}) {
       for (std::size_t jobs : {std::size_t{500}, big}) {
-        es::workload::GeneratorConfig config =
-            es::bench::base_workload(options);
-        config.num_jobs = jobs;
-        config.p_small = 0.5;
-        config.target_load = load;
         es::exp::RunSpec spec;
-        spec.workload = config;
+        spec.workload = es::bench::scale_workload(options, jobs, load);
         spec.algorithm = algorithm;
         spec.options = es::bench::algo_options(options);
-        const auto wall_start = std::chrono::steady_clock::now();
-        const auto result =
-            es::exp::run_replicated(spec, options.replications);
-        const auto wall_ms =
-            std::chrono::duration_cast<std::chrono::milliseconds>(
-                std::chrono::steady_clock::now() - wall_start)
-                .count();
+        const es::bench::ScalePoint point =
+            es::bench::run_scale_point(spec, options.replications);
         table.cell(algorithm)
             .cell(static_cast<long long>(jobs))
-            .cell(100.0 * result.utilization, 2)
-            .cell(result.mean_wait, 0)
-            .cell(result.slowdown, 3)
-            .cell(static_cast<long long>(wall_ms));
+            .cell(100.0 * point.aggregate.utilization, 2)
+            .cell(point.aggregate.mean_wait, 0)
+            .cell(point.aggregate.slowdown, 3)
+            .cell(static_cast<long long>(point.wall_seconds * 1000.0));
         table.end_row();
       }
     }

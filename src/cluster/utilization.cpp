@@ -11,19 +11,25 @@ UtilizationTracker::UtilizationTracker(int capacity) : capacity_(capacity) {
   ES_EXPECTS(capacity > 0);
 }
 
+void UtilizationTracker::set_bounded(bool bounded) {
+  ES_EXPECTS(!started_);  // mode must be fixed before the first record
+  bounded_ = bounded;
+}
+
 void UtilizationTracker::record(sim::Time at, int busy) {
   ES_EXPECTS(busy >= 0 && busy <= capacity_);
   if (!started_) {
     started_ = true;
     first_ = last_ = at;
     busy_ = busy;
-    steps_.push_back({at, busy});
+    if (!bounded_) steps_.push_back({at, busy});
     return;
   }
   ES_EXPECTS(at >= last_);
   integral_ += static_cast<double>(busy_) * (at - last_);
   last_ = at;
   busy_ = busy;
+  if (bounded_) return;
   if (!steps_.empty() && steps_.back().time == at) {
     steps_.back().busy = busy;  // coalesce same-instant updates
   } else {
@@ -64,6 +70,20 @@ double UtilizationTracker::busy_proc_seconds(sim::Time from,
                                              sim::Time to) const {
   ES_EXPECTS(from <= to);
   if (!started_) return 0.0;
+  if (bounded_) {
+    // The incremental integral_ holds exactly the segment terms
+    // integrate(steps_, last_, first_, last_) would sum (one per record, in
+    // record order — same-instant records contribute an exact +0.0), so a
+    // [first_, >= last_] query reproduces the retained-mode double bit for
+    // bit.  A query ending inside the recorded range (watchdog-aborted
+    // streaming runs only) cannot be truncated without the steps; return
+    // the integral through last_ as a documented over-approximation.
+    ES_EXPECTS(from <= first_);
+    if (to <= first_) return 0.0;
+    double sum = integral_;
+    if (to > last_) sum += static_cast<double>(busy_) * (to - last_);
+    return sum;
+  }
   return integrate(steps_, last_, from, to);
 }
 

@@ -32,6 +32,18 @@ class UtilizationTracker {
   /// `at` must be non-decreasing across calls; busy in [0, capacity].
   void record(sim::Time at, int busy);
 
+  /// Bounded mode for streaming runs: stop retaining the per-record step
+  /// list (a million-job run would otherwise hold millions of steps) and
+  /// answer busy_proc_seconds from the incremental integral instead.  The
+  /// incremental accumulator adds exactly the per-segment terms integrate()
+  /// sums, in the same left-to-right order, so queries over
+  /// [first record, >= last record] are bitwise identical to the retained
+  /// mode.  Restrictions: queries must start at the first record, querying
+  /// inside the recorded range (only watchdog-aborted runs do) returns the
+  /// integral through the last record — a documented over-approximation —
+  /// and save_state() is unsupported.  Must be set before the first record.
+  void set_bounded(bool bounded);
+
   /// Records that from `at` onwards `available` processors are in service
   /// (node failures shrink this below capacity; repairs restore it).  Only
   /// called when a failure model is active: with no capacity records the
@@ -80,6 +92,7 @@ class UtilizationTracker {
                           sim::Time from, sim::Time to);
 
   int capacity_;
+  bool bounded_ = false;  ///< no steps_ retention (streaming runs)
   int busy_ = 0;
   sim::Time first_ = 0.0;
   sim::Time last_ = 0.0;

@@ -40,6 +40,9 @@ class DelayedLos : public sched::Scheduler {
 
   sched::DpCounters dp_counters() const override { return ws_.counters; }
   void set_dp_cache(bool enabled) override { ws_.cache_enabled = enabled; }
+  void set_dp_cache_slots(std::size_t slots) override {
+    ws_.set_cache_slots(slots);
+  }
 
  private:
   int max_skip_count_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/check.hpp"
+#include "util/thread_pool.hpp"
 
 namespace es::core {
 namespace {
@@ -56,13 +57,61 @@ bool fits_entirely(std::span<const int> weights,
   return true;
 }
 
+/// Canonical cache key: items the table fill can never select — weight 0,
+/// weight over capacity, or (reservation) shadow weight over the shadow
+/// capacity — are skipped by the fill, produce no keep bits, and are never
+/// read at backtrack, so zeroing them out changes nothing about the
+/// selection.  Keying the cache on the normalized weights lets instances
+/// that differ only in ineligible items share one entry — common under
+/// high load, where most of a deep queue exceeds the few free grains.
+/// Item count and capacities stay in the key: the tie-break encoding
+/// depends on n, and eligibility depends on the capacities.
+void normalize_key(std::span<const int> weights,
+                   std::span<const int> shadow_weights, int capacity,
+                   int shadow_capacity, std::vector<int>& key_weights,
+                   std::vector<int>& key_shadows) {
+  const std::size_t n = weights.size();
+  key_weights.resize(n);
+  key_shadows.resize(shadow_weights.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const int w = weights[i];
+    const int s = shadow_weights.empty() ? 0 : shadow_weights[i];
+    const bool skipped = w == 0 || w > capacity || s > shadow_capacity;
+    key_weights[i] = skipped ? 0 : w;
+    if (!shadow_weights.empty()) key_shadows[i] = skipped ? 0 : s;
+  }
+}
+
+/// FNV-1a over the full instance key.  A prescreen only: equal
+/// fingerprints still take the element-wise compare, so a collision can
+/// cost a redundant scan but never a wrong answer.
+std::uint64_t instance_fingerprint(bool reservation,
+                                   std::span<const int> weights,
+                                   std::span<const int> shadow_weights,
+                                   int capacity, int shadow_capacity) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  const auto mix = [&hash](std::uint64_t v) {
+    hash ^= v;
+    hash *= 0x100000001b3ULL;
+  };
+  mix(reservation ? 1 : 0);
+  mix(static_cast<std::uint64_t>(capacity));
+  mix(static_cast<std::uint64_t>(shadow_capacity));
+  mix(weights.size());
+  for (const int w : weights) mix(static_cast<std::uint64_t>(w));
+  for (const int s : shadow_weights) mix(static_cast<std::uint64_t>(s));
+  return hash;
+}
+
 /// Exact-key cache probe.  `shadow_weights` is empty for basic_dp lookups.
 const std::vector<int>* cache_find(const DpWorkspace& ws, bool reservation,
+                                   std::uint64_t fingerprint,
                                    std::span<const int> weights,
                                    std::span<const int> shadow_weights,
                                    int capacity, int shadow_capacity) {
   for (const DpWorkspace::CacheEntry& entry : ws.cache) {
-    if (!entry.used || entry.reservation != reservation) continue;
+    if (!entry.used || entry.fingerprint != fingerprint) continue;
+    if (entry.reservation != reservation) continue;
     if (entry.capacity != capacity ||
         entry.shadow_capacity != shadow_capacity)
       continue;
@@ -78,16 +127,17 @@ const std::vector<int>* cache_find(const DpWorkspace& ws, bool reservation,
   return nullptr;
 }
 
-void cache_store(DpWorkspace& ws, bool reservation,
+void cache_store(DpWorkspace& ws, bool reservation, std::uint64_t fingerprint,
                  std::span<const int> weights,
                  std::span<const int> shadow_weights, int capacity,
                  int shadow_capacity, const std::vector<int>& selected) {
   DpWorkspace::CacheEntry& entry = ws.cache[ws.cache_clock];
-  ws.cache_clock = (ws.cache_clock + 1) % DpWorkspace::kCacheSlots;
+  ws.cache_clock = (ws.cache_clock + 1) % ws.cache.size();
   entry.used = true;
   entry.reservation = reservation;
   entry.capacity = capacity;
   entry.shadow_capacity = shadow_capacity;
+  entry.fingerprint = fingerprint;
   entry.weights.assign(weights.begin(), weights.end());
   entry.shadow_weights.assign(shadow_weights.begin(), shadow_weights.end());
   entry.selected = selected;
@@ -97,14 +147,93 @@ void cache_store(DpWorkspace& ws, bool reservation,
 
 namespace detail {
 
+namespace {
+
+/// Column width of one parallel block.  Large enough that a block's fill
+/// amortizes the pool dispatch, and a multiple of 64 so every block's keep
+/// bits land in its own words (the row stride is also 64-aligned).
+constexpr std::size_t kBlockCols = 8192;
+
+/// Blocked double-buffered fill for wide Basic_DP tables.  Row i is
+/// computed from row i-1 (`prev` -> `cur`) tile by tile; tiles are
+/// independent because cell c only reads prev[c] and prev[c - w].  Each
+/// tile writes a disjoint cur range and — because both the tile origin and
+/// the keep-row stride are multiples of 64 — disjoint keep words, so the
+/// tiles of one row can fan out across the thread pool race-free.  The
+/// recurrence is the exact in-place recurrence of the serial fill (the
+/// descending in-place loop reads only not-yet-written cells, i.e. the
+/// previous row), so selections are identical by construction; the
+/// equivalence is additionally gated by tests and the perf_baseline
+/// parallel-DP leg.
+std::vector<int> basic_dp_table_blocked(std::span<const int> weights,
+                                        int capacity, DpWorkspace& ws) {
+  const std::size_t n = weights.size();
+  const std::int64_t base = priority_base(n);
+  const std::size_t cols = static_cast<std::size_t>(capacity) + 1;
+  const std::size_t stride = (cols + 63) & ~std::size_t{63};
+  const std::size_t blocks = (cols + kBlockCols - 1) / kBlockCols;
+
+  ws.value.assign(cols, 0);
+  ws.value2.assign(cols, 0);
+  keep_clear(ws, n * stride);
+  ++ws.counters.table_runs;
+  ws.counters.table_cells += n * cols;  // logical cells, same as serial
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const int w = weights[i];
+    ES_EXPECTS(w >= 0);
+    if (w == 0 || w > capacity) continue;  // row carries over: no swap
+    const std::size_t sw = static_cast<std::size_t>(w);
+    const std::int64_t v = item_value(w, i, n, base);
+    const std::int64_t* prev = ws.value.data();
+    std::int64_t* cur = ws.value2.data();
+    util::parallel_for_each(blocks, [&](std::size_t block) {
+      const std::size_t lo = block * kBlockCols;
+      const std::size_t hi = std::min(cols, lo + kBlockCols);
+      std::size_t c = lo;
+      for (const std::size_t skip = std::min(hi, sw); c < skip; ++c)
+        cur[c] = prev[c];
+      for (; c < hi; ++c) {
+        const std::int64_t candidate = prev[c - sw] + v;
+        if (candidate > prev[c]) {
+          cur[c] = candidate;
+          keep_set(ws, i * stride + c);
+        } else {
+          cur[c] = prev[c];
+        }
+      }
+    });
+    std::swap(ws.value, ws.value2);
+  }
+
+  std::vector<int> selected;
+  std::size_t c = cols - 1;
+  for (std::size_t i = n; i-- > 0;) {
+    if (keep_get(ws, i * stride + c)) {
+      selected.push_back(static_cast<int>(i));
+      c -= static_cast<std::size_t>(weights[i]);
+    }
+  }
+  std::reverse(selected.begin(), selected.end());
+  return selected;
+}
+
+}  // namespace
+
 std::vector<int> basic_dp_table(std::span<const int> weights, int capacity,
                                 DpWorkspace& ws) {
   ES_EXPECTS(capacity >= 0);
   const std::size_t n = weights.size();
   if (n == 0 || capacity == 0) return {};
-  const std::int64_t base = priority_base(n);
   const std::size_t cols = static_cast<std::size_t>(capacity) + 1;
 
+  // Wide tables (far beyond the BlueGene/P 11-column shape) go through the
+  // blocked fill, parallel when a pool is up.  Narrow tables keep the
+  // in-place single-buffer loop — better locality, no barrier per row.
+  if (cols >= kBlockCols && util::global_parallelism() > 1)
+    return basic_dp_table_blocked(weights, capacity, ws);
+
+  const std::int64_t base = priority_base(n);
   ws.value.assign(cols, 0);
   keep_clear(ws, n * cols);
   ++ws.counters.table_runs;
@@ -210,16 +339,19 @@ std::vector<int> basic_dp(std::span<const int> weights, int capacity,
     return selected;
   }
   if (ws.cache_enabled) {
+    normalize_key(weights, {}, capacity, 0, ws.key_weights, ws.key_shadows);
+    const std::uint64_t fp =
+        instance_fingerprint(false, ws.key_weights, {}, capacity, 0);
     if (const std::vector<int>* hit =
-            cache_find(ws, false, weights, {}, capacity, 0)) {
+            cache_find(ws, false, fp, ws.key_weights, {}, capacity, 0)) {
       ++ws.counters.cache_hits;
       return *hit;
     }
+    selected = detail::basic_dp_table(weights, capacity, ws);
+    cache_store(ws, false, fp, ws.key_weights, {}, capacity, 0, selected);
+    return selected;
   }
-  selected = detail::basic_dp_table(weights, capacity, ws);
-  if (ws.cache_enabled)
-    cache_store(ws, false, weights, {}, capacity, 0, selected);
-  return selected;
+  return detail::basic_dp_table(weights, capacity, ws);
 }
 
 std::vector<int> reservation_dp(std::span<const int> weights,
@@ -242,18 +374,24 @@ std::vector<int> reservation_dp(std::span<const int> weights,
     return selected;
   }
   if (ws.cache_enabled) {
-    if (const std::vector<int>* hit = cache_find(
-            ws, true, weights, shadow_weights, capacity, shadow_capacity)) {
+    normalize_key(weights, shadow_weights, capacity, shadow_capacity,
+                  ws.key_weights, ws.key_shadows);
+    const std::uint64_t fp = instance_fingerprint(
+        true, ws.key_weights, ws.key_shadows, capacity, shadow_capacity);
+    if (const std::vector<int>* hit =
+            cache_find(ws, true, fp, ws.key_weights, ws.key_shadows,
+                       capacity, shadow_capacity)) {
       ++ws.counters.cache_hits;
       return *hit;
     }
+    selected = detail::reservation_dp_table(weights, shadow_weights, capacity,
+                                            shadow_capacity, ws);
+    cache_store(ws, true, fp, ws.key_weights, ws.key_shadows, capacity,
+                shadow_capacity, selected);
+    return selected;
   }
-  selected = detail::reservation_dp_table(weights, shadow_weights, capacity,
-                                          shadow_capacity, ws);
-  if (ws.cache_enabled)
-    cache_store(ws, true, weights, shadow_weights, capacity, shadow_capacity,
-                selected);
-  return selected;
+  return detail::reservation_dp_table(weights, shadow_weights, capacity,
+                                      shadow_capacity, ws);
 }
 
 }  // namespace es::core

@@ -16,22 +16,37 @@
 // the machine granularity — 32 on BlueGene/P), which keeps the DP tables
 // tiny; callers convert.  A reusable workspace avoids per-cycle allocation.
 //
-// Hot-path structure (PR 3): every call resolves through, in order,
+// Hot-path structure (PR 3, widened PR 8): every call resolves through,
+// in order,
 //  1. the *fast path* — when the total eligible demand fits the capacity
 //     (and, for Reservation_DP, the total shadow demand fits the shadow
 //     capacity), the optimum is "take everything", no table needed;
-//  2. the *result cache* — an exact-key memo of recent (weights, shadows,
-//     capacities) -> selection pairs.  Scheduling events that do not change
-//     the eligible set (an arrival too large to fit, an ECC on a queued
-//     job, a dedicated wake-up) re-pose the identical instance, which the
-//     cache answers in O(n) instead of O(n * capacity^2);
+//  2. the *result cache* — a memo of recent (weights, shadows,
+//     capacities) -> selection pairs, keyed on the *normalized* instance:
+//     items the fill can never select (weight 0, weight over capacity,
+//     shadow weight over shadow capacity) are zeroed in the key, so
+//     scheduling events that only perturb ineligible jobs — an arrival too
+//     large for the free grains, an ECC resize of an already-too-big
+//     queued job — re-pose the same key and the cache answers in O(n)
+//     instead of O(n * capacity^2).  The compare on normalized weights is
+//     still exact (a hit is always sound); entries carry a FNV-1a
+//     fingerprint of the key, so a probe is one hash compare per slot and
+//     the element-wise compare runs only on fingerprint agreement — which
+//     let the cache grow from 8 to 256 slots (the 8-slot round-robin
+//     evicted instances long before the schedule re-posed them: ~1.7% hit
+//     rate on the PR 5 baseline);
 //  3. the full table fill, with the keep table bitpacked (1 bit per cell,
 //     8x smaller than the byte table it replaces) for cache residency.
-// All three paths return bit-identical selections; the kernels stay pure
+//     Basic_DP tables wider than a threshold run *blocked*: the column
+//     range is tiled into 64-aligned blocks filled double-buffered, and
+//     the blocks fan out across util::ThreadPool when the global
+//     parallelism is > 1 — each block writes disjoint value cells and
+//     disjoint keep words, so the fill is race-free and the backtrack
+//     reads the same table the serial fill would have produced.
+// All paths return bit-identical selections; the kernels stay pure
 // functions of their arguments.
 #pragma once
 
-#include <array>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -42,25 +57,39 @@ namespace es::core {
 
 /// Reusable DP buffers, result cache and counters; one per policy instance.
 struct DpWorkspace {
-  std::vector<std::int64_t> value;  ///< dp table, flattened
-  std::vector<std::uint64_t> keep;  ///< per-item take decisions, bitpacked
+  std::vector<std::int64_t> value;   ///< dp table, flattened
+  std::vector<std::int64_t> value2;  ///< previous row, blocked fills only
+  std::vector<std::uint64_t> keep;   ///< per-item take decisions, bitpacked
+  std::vector<int> key_weights;      ///< normalized-cache-key scratch
+  std::vector<int> key_shadows;      ///< (ineligible items zeroed out)
 
-  /// Exact-key memo of recent instances.  Entries store full copies of the
-  /// inputs and are compared element-wise, so a hit is always sound (no
-  /// fingerprint collisions); kSlots bounds both memory and probe cost.
+  /// Memo of recent instances, keyed on the normalized weights (ineligible
+  /// items zeroed — see normalize_key in dp.cpp).  Entries store full
+  /// copies of the key and are compared element-wise on fingerprint
+  /// agreement, so a hit is always sound (no fingerprint collisions); the
+  /// slot count bounds both memory and probe cost.
   struct CacheEntry {
     bool used = false;
     bool reservation = false;  ///< reservation_dp (vs basic_dp) instance
     int capacity = 0;
     int shadow_capacity = 0;
+    std::uint64_t fingerprint = 0;  ///< FNV-1a over the full instance key
     std::vector<int> weights;
     std::vector<int> shadow_weights;  ///< empty for basic_dp entries
     std::vector<int> selected;
   };
-  static constexpr std::size_t kCacheSlots = 8;
-  std::array<CacheEntry, kCacheSlots> cache;
+  static constexpr std::size_t kDefaultCacheSlots = 256;
+  std::vector<CacheEntry> cache =
+      std::vector<CacheEntry>(kDefaultCacheSlots);
   std::size_t cache_clock = 0;  ///< round-robin eviction cursor
   bool cache_enabled = true;    ///< AlgorithmOptions::dp_cache
+
+  /// Resizes (and clears) the result cache.  Slot count is clamped to
+  /// >= 1; AlgorithmOptions::dp_cache_slots plumbs through here.
+  void set_cache_slots(std::size_t slots) {
+    cache.assign(slots > 0 ? slots : 1, CacheEntry{});
+    cache_clock = 0;
+  }
 
   sched::DpCounters counters;
 };

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "core/dp.hpp"
 #include "sched/engine_config.hpp"
 #include "sched/scheduler.hpp"
 
@@ -32,6 +33,9 @@ struct AlgorithmOptions {
   /// Cached runs schedule bit-identically to uncached ones; the switch
   /// exists so tests and perf baselines can prove it.
   bool dp_cache = true;
+  /// Result-cache slot count (see DpWorkspace::set_cache_slots).  Values
+  /// < 1 are clamped to 1 inside the workspace.
+  int dp_cache_slots = static_cast<int>(DpWorkspace::kDefaultCacheSlots);
   /// The one engine configuration, flowing unchanged factory ->
   /// experiment -> simrun/bench.  The run paths override the machine
   /// shape from the workload and process_eccs / allow_running_resize

@@ -16,8 +16,8 @@ void AdaptiveSelector::observe_arrivals(const sched::SchedulerContext& ctx) {
   // arrival-ordered in generated and archive workloads, so a high-water
   // mark identifies the unseen ones.
   for (const sched::JobRun* job : *ctx.batch) {
-    if (job->spec.id <= last_seen_id_) continue;
-    last_seen_id_ = std::max(last_seen_id_, job->spec.id);
+    if (job->id <= last_seen_id_) continue;
+    last_seen_id_ = std::max(last_seen_id_, job->id);
     window_.push_back(job->num <= options_.small_threshold);
     if (window_.size() > options_.window) window_.pop_front();
   }

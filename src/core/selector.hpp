@@ -48,6 +48,9 @@ class AdaptiveSelector : public sched::Scheduler {
     return delayed_.dp_counters();
   }
   void set_dp_cache(bool enabled) override { delayed_.set_dp_cache(enabled); }
+  void set_dp_cache_slots(std::size_t slots) override {
+    delayed_.set_dp_cache_slots(slots);
+  }
 
   /// The selector is the one factory policy with semantic cross-cycle
   /// state: the sliding arrival window, its high-water mark, and the last

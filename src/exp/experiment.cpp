@@ -27,6 +27,18 @@ sched::EngineConfig engine_config(const workload::Workload& workload,
   return config;
 }
 
+/// Streaming variant: the machine shape comes from the source.
+sched::EngineConfig engine_config(const workload::JobSource& source,
+                                  const core::Algorithm& algo,
+                                  const core::AlgorithmOptions& options) {
+  sched::EngineConfig config = options.engine;
+  config.machine_procs = source.machine_procs();
+  config.granularity = source.granularity();
+  config.process_eccs = algo.process_eccs;
+  config.allow_running_resize = algo.allow_running_resize;
+  return config;
+}
+
 }  // namespace
 
 sched::SimulationResult run_workload(const workload::Workload& workload,
@@ -48,6 +60,14 @@ sched::SimulationResult run_workload(const workload::Workload& workload,
   sched::Engine engine(engine_config(workload, algo, options), *algo.policy);
   if (observer != nullptr) engine.add_observer(observer, mask);
   return engine.run(workload);
+}
+
+sched::SimulationResult run_source(workload::JobSource& source,
+                                   const std::string& algorithm,
+                                   const core::AlgorithmOptions& options) {
+  core::Algorithm algo = core::make_algorithm(algorithm, options);
+  sched::Engine engine(engine_config(source, algo, options), *algo.policy);
+  return engine.run_streamed(source);
 }
 
 sched::SimulationResult run_workload_prepared(

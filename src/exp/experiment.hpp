@@ -66,6 +66,15 @@ sched::SimulationResult run_workload(const workload::Workload& workload,
                                      sched::EngineObserver* observer,
                                      sched::HookMask mask = sched::kAllHooks);
 
+/// Runs a pull-based job source under a named algorithm without ever
+/// materializing the workload: the engine holds only the jobs in flight
+/// (see Engine::run_streamed).  The machine is shaped by the source.
+/// Metrics are byte-identical to run_workload on the materialized
+/// equivalent; snapshots/restore/paranoid mode are unavailable.
+sched::SimulationResult run_source(workload::JobSource& source,
+                                   const std::string& algorithm,
+                                   const core::AlgorithmOptions& options = {});
+
 /// Same as run_workload, with a caller hook invoked on the configured
 /// engine just before the run starts — the mount point for snapshot sinks
 /// and other engine-level wiring the options struct cannot express.

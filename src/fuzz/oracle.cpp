@@ -133,18 +133,18 @@ void OracleObserver::on_start(sim::Time now, const sched::JobRun& job,
                               bool backfilled) {
   (void)backfilled;
   ++starts_;
-  const auto [it, inserted] = running_alloc_.emplace(job.spec.id, job.alloc);
+  const auto [it, inserted] = running_alloc_.emplace(job.id, job.alloc);
   (void)it;
   if (!inserted) {
     violation("double-start",
               fmt("t=%.3f job %lld started while already running", now,
-                  static_cast<long long>(job.spec.id)));
+                  static_cast<long long>(job.id)));
     return;
   }
   if (job.alloc < job.num || job.alloc % granularity_ != 0)
     violation("bad-allocation",
               fmt("t=%.3f job %lld alloc=%d for num=%d granularity=%d", now,
-                  static_cast<long long>(job.spec.id), job.alloc, job.num,
+                  static_cast<long long>(job.id), job.alloc, job.num,
                   granularity_));
   busy_ += job.alloc;
   check_capacity(now);
@@ -152,11 +152,11 @@ void OracleObserver::on_start(sim::Time now, const sched::JobRun& job,
 }
 
 void OracleObserver::on_finish(sim::Time now, const sched::JobRun& job) {
-  const auto it = running_alloc_.find(job.spec.id);
+  const auto it = running_alloc_.find(job.id);
   if (it == running_alloc_.end()) {
     violation("finish-without-start",
               fmt("t=%.3f job %lld", now,
-                  static_cast<long long>(job.spec.id)));
+                  static_cast<long long>(job.id)));
     return;
   }
   busy_ -= it->second;
@@ -171,11 +171,11 @@ void OracleObserver::on_ecc_applied(sim::Time now, const sched::JobRun& job,
   (void)ecc;
   ++ecc_events_;
   if (outcome != sched::EccOutcome::kResizedRunning) return;
-  const auto it = running_alloc_.find(job.spec.id);
+  const auto it = running_alloc_.find(job.id);
   if (it == running_alloc_.end()) {
     violation("resize-not-running",
               fmt("t=%.3f job %lld resized while not tracked running", now,
-                  static_cast<long long>(job.spec.id)));
+                  static_cast<long long>(job.id)));
     return;
   }
   busy_ += job.alloc - it->second;
@@ -205,7 +205,7 @@ void OracleObserver::on_node_up(sim::Time now, int procs) {
 }
 
 void OracleObserver::on_preempt(sim::Time now, sched::PreemptInfo& info) {
-  const workload::JobId id = info.job->spec.id;
+  const workload::JobId id = info.job->id;
   const auto it = running_alloc_.find(id);
   if (it == running_alloc_.end()) {
     violation("preempt-without-start",

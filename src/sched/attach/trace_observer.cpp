@@ -5,20 +5,20 @@
 namespace es::sched {
 
 void TraceObserver::on_arrival(sim::Time now, const JobRun& job) {
-  trace_->record(now, TraceEventKind::kArrival, job.spec.id, job.num);
+  trace_->record(now, TraceEventKind::kArrival, job.id, job.num);
 }
 
 void TraceObserver::on_start(sim::Time now, const JobRun& job,
                              bool backfilled) {
   (void)backfilled;
-  trace_->record(now, TraceEventKind::kStart, job.spec.id, job.alloc);
+  trace_->record(now, TraceEventKind::kStart, job.id, job.alloc);
 }
 
 void TraceObserver::on_finish(sim::Time now, const JobRun& job) {
   trace_->record(now,
                  job.status == JobStatus::kKilled ? TraceEventKind::kKill
                                                   : TraceEventKind::kFinish,
-                 job.spec.id, job.alloc);
+                 job.id, job.alloc);
 }
 
 void TraceObserver::on_ecc_applied(sim::Time now, const JobRun& job,
@@ -39,7 +39,7 @@ void TraceObserver::on_ecc_applied(sim::Time now, const JobRun& job,
       kind = TraceEventKind::kEccApplied;
       break;
   }
-  trace_->record(now, kind, job.spec.id, job.num, ecc.amount);
+  trace_->record(now, kind, job.id, job.num, ecc.amount);
 }
 
 void TraceObserver::on_node_down(sim::Time now, int procs) {
@@ -53,20 +53,20 @@ void TraceObserver::on_node_up(sim::Time now, int procs) {
 void TraceObserver::on_preempt(sim::Time now, PreemptInfo& info) {
   // Fires after CheckpointObserver/FailureStatsObserver filled saved/lost
   // (chain order), so the record carries the final lost-work figure.
-  trace_->record(now, TraceEventKind::kPreempt, info.job->spec.id,
+  trace_->record(now, TraceEventKind::kPreempt, info.job->id,
                  info.job->alloc, info.lost);
 }
 
 void TraceObserver::on_requeue(sim::Time now, const JobRun& job, int alloc) {
-  trace_->record(now, TraceEventKind::kRequeue, job.spec.id, alloc);
+  trace_->record(now, TraceEventKind::kRequeue, job.id, alloc);
 }
 
 void TraceObserver::on_abandon(sim::Time now, const JobRun& job, int alloc) {
-  trace_->record(now, TraceEventKind::kAbandon, job.spec.id, alloc);
+  trace_->record(now, TraceEventKind::kAbandon, job.id, alloc);
 }
 
 void TraceObserver::on_dedicated_move(sim::Time now, const JobRun& job) {
-  trace_->record(now, TraceEventKind::kDedicatedMove, job.spec.id);
+  trace_->record(now, TraceEventKind::kDedicatedMove, job.id);
 }
 
 void TraceObserver::on_collect(SimulationResult& result) const {

@@ -11,6 +11,7 @@
 #include "snap/snapshot.hpp"
 #include "util/check.hpp"
 #include "util/log.hpp"
+#include "util/rss.hpp"
 #include "workload/load.hpp"
 
 namespace es::sched {
@@ -73,7 +74,7 @@ bool active_before(const JobRun* a, const JobRun* b) {
   const double ea = a->start_time + a->estimated_duration();
   const double eb = b->start_time + b->estimated_duration();
   if (ea != eb) return ea < eb;
-  return a->spec.id < b->spec.id;
+  return a->id < b->id;
 }
 
 /// FNV-1a accumulator for the run fingerprint a restore validates against.
@@ -168,18 +169,20 @@ void Engine::insert_active(JobRun* job) {
   const auto pos = it - active_.begin();
   active_.insert(it, job);
   for (auto i = pos; i < static_cast<std::ptrdiff_t>(active_.size()); ++i)
-    active_[static_cast<std::size_t>(i)]->active_index = i;
+    active_[static_cast<std::size_t>(i)]->active_index =
+        static_cast<std::int32_t>(i);
   ++active_version_;
 }
 
 void Engine::remove_active(JobRun* job) {
-  const auto pos = job->active_index;
+  const std::ptrdiff_t pos = job->active_index;
   ES_ASSERT(pos >= 0 && pos < static_cast<std::ptrdiff_t>(active_.size()) &&
             active_[static_cast<std::size_t>(pos)] == job);
   active_.erase(active_.begin() + pos);
   job->active_index = -1;
   for (auto i = pos; i < static_cast<std::ptrdiff_t>(active_.size()); ++i)
-    active_[static_cast<std::size_t>(i)]->active_index = i;
+    active_[static_cast<std::size_t>(i)]->active_index =
+        static_cast<std::int32_t>(i);
   ++active_version_;
 }
 
@@ -205,8 +208,9 @@ ParanoidSnapshot Engine::paranoid_snapshot() const {
   ParanoidSnapshot snapshot;
   snapshot.now = sim_.now();
   snapshot.cycle = cycles_;
-  for (const auto& job : jobs_)
-    snapshot.interruptions += static_cast<std::uint64_t>(job->interruptions);
+  for (const JobRun* job : jobs_)
+    snapshot.interruptions +=
+        static_cast<std::uint64_t>(arena_.cold(*job).interruptions);
   for (const JobRun* job : finished_) {
     if (job->status == JobStatus::kAbandoned)
       ++snapshot.abandoned;
@@ -269,17 +273,17 @@ void Engine::check_invariants() const {
   const JobRun* prev_active = nullptr;
   for (std::size_t i = 0; i < active_.size(); ++i) {
     const JobRun* job = active_[i];
-    const long long id = job->spec.id;
+    const long long id = job->id;
     ES_ASSERT_MSG(job->status == JobStatus::kRunning,
                   "t=%.3f cycle=%llu job=%lld", now, cycle, id);
-    ES_ASSERT_MSG(job->alloc == machine_.allocated(job->spec.id),
+    ES_ASSERT_MSG(job->alloc == machine_.allocated(job->id),
                   "t=%.3f cycle=%llu job=%lld alloc=%d ledger=%d", now, cycle,
-                  id, job->alloc, machine_.allocated(job->spec.id));
-    ES_ASSERT_MSG(job->start_time >= job->spec.arr,
+                  id, job->alloc, machine_.allocated(job->id));
+    ES_ASSERT_MSG(job->start_time >= job->arr,
                   "t=%.3f cycle=%llu job=%lld start=%.3f arr=%.3f", now,
-                  cycle, id, job->start_time, job->spec.arr);
-    ES_ASSERT_MSG(job->active_index == static_cast<std::ptrdiff_t>(i),
-                  "t=%.3f cycle=%llu job=%lld index=%td slot=%zu", now, cycle,
+                  cycle, id, job->start_time, job->arr);
+    ES_ASSERT_MSG(job->active_index == static_cast<std::int32_t>(i),
+                  "t=%.3f cycle=%llu job=%lld index=%d slot=%zu", now, cycle,
                   id, job->active_index, i);
     ES_ASSERT_MSG(!job->in_batch_queue, "t=%.3f cycle=%llu job=%lld", now,
                   cycle, id);
@@ -288,11 +292,11 @@ void Engine::check_invariants() const {
           prev_active->start_time + prev_active->estimated_duration();
       const double end = job->start_time + job->estimated_duration();
       ES_ASSERT_MSG(prev_end < end ||
-                        (prev_end == end && prev_active->spec.id < id),
+                        (prev_end == end && prev_active->id < id),
                     "t=%.3f cycle=%llu job=%lld end=%.3f prev=%lld "
                     "prev_end=%.3f",
                     now, cycle, id, end,
-                    static_cast<long long>(prev_active->spec.id), prev_end);
+                    static_cast<long long>(prev_active->id), prev_end);
     }
     prev_active = job;
     active_sum += job->alloc;
@@ -317,7 +321,7 @@ void Engine::check_invariants() const {
   double last_arr = -1;
   std::size_t batch_count = 0;
   for (const JobRun* job : batch_queue_) {
-    const long long id = job->spec.id;
+    const long long id = job->id;
     ++batch_count;
     ES_ASSERT_MSG(job->in_batch_queue && job->active_index < 0,
                   "t=%.3f cycle=%llu job=%lld", now, cycle, id);
@@ -325,11 +329,11 @@ void Engine::check_invariants() const {
                   "t=%.3f cycle=%llu job=%lld", now, cycle, id);
     if (in_prefix && job->forced_priority) continue;
     in_prefix = false;
-    if (job->interruptions > 0) continue;
-    ES_ASSERT_MSG(job->spec.arr >= last_arr,
+    if (arena_.cold(*job).interruptions > 0) continue;
+    ES_ASSERT_MSG(job->arr >= last_arr,
                   "t=%.3f cycle=%llu job=%lld arr=%.3f last=%.3f", now, cycle,
-                  id, job->spec.arr, last_arr);
-    last_arr = job->spec.arr;
+                  id, job->arr, last_arr);
+    last_arr = job->arr;
   }
   ES_ASSERT_MSG(batch_count == batch_queue_.size(),
                 "t=%.3f cycle=%llu walked=%zu size=%zu", now, cycle,
@@ -338,7 +342,7 @@ void Engine::check_invariants() const {
   // Dedicated list: waiting, sorted by requested start.
   double last_start = -1;
   for (const JobRun* job : dedicated_queue_) {
-    const long long id = job->spec.id;
+    const long long id = job->id;
     ES_ASSERT_MSG(job->status == JobStatus::kWaiting,
                   "t=%.3f cycle=%llu job=%lld", now, cycle, id);
     ES_ASSERT_MSG(job->dedicated(), "t=%.3f cycle=%llu job=%lld", now, cycle,
@@ -363,6 +367,14 @@ void Engine::move_dedicated_head_to_batch_head() {
 }
 
 void Engine::on_arrival(JobRun* job) {
+  if (streaming_) {
+    // Refill when the last scheduled arrival fires: every event the next
+    // chunk schedules is then strictly in the future, so the heap order is
+    // identical to the fully-materialized schedule (see source.hpp for the
+    // chunk-boundary contracts that make this safe at equal timestamps).
+    ES_ASSERT(arrivals_pending_ > 0);
+    if (--arrivals_pending_ == 0 && !source_exhausted_) load_next_chunk();
+  }
   ES_ASSERT(job->status == JobStatus::kWaiting);
   if (job->dedicated()) {
     // Keep W^d sorted by (requested start, arrival).
@@ -370,7 +382,7 @@ void Engine::on_arrival(JobRun* job) {
         dedicated_queue_.begin(), dedicated_queue_.end(), job,
         [](const JobRun* a, const JobRun* b) {
           if (a->req_start != b->req_start) return a->req_start < b->req_start;
-          return a->spec.arr < b->spec.arr;
+          return a->arr < b->arr;
         });
     dedicated_queue_.insert(it, job);
   } else {
@@ -394,6 +406,11 @@ void Engine::on_ecc(const workload::Ecc& ecc) {
     return;
   }
   JobRun* job = it->second;
+  if (streaming_ && config_.process_eccs) {
+    JobRunCold& cold = arena_.cold(*job);
+    ES_ASSERT(cold.ecc_pending > 0);
+    --cold.ecc_pending;
+  }
   const EccOutcome outcome =
       ecc_processor_.apply(ecc, *job, sim_.now(), machine_.free());
   attachments_.on_ecc_applied(sim_.now(), *job, ecc, outcome);
@@ -402,8 +419,8 @@ void Engine::on_ecc(const workload::Ecc& ecc) {
       // The processor already scaled the remaining time work-conservingly
       // and set the new allocation; mirror it in the machine ledger and
       // move the completion event.
-      machine_.resize(job->spec.id, job->num);
-      ES_ASSERT(machine_.allocated(job->spec.id) == job->alloc);
+      machine_.resize(job->id, job->num);
+      ES_ASSERT(machine_.allocated(job->id) == job->alloc);
       utilization_.record(sim_.now(), machine_.used());
       const bool cancelled = sim_.cancel(job->finish_event);
       ES_ASSERT(cancelled);
@@ -416,7 +433,7 @@ void Engine::on_ecc(const workload::Ecc& ecc) {
       job->finish_event =
           sim_.at(finish, sim::EventClass::kJobFinish,
                   [this, job](sim::Time) { on_finish(job); },
-                  static_cast<std::uint64_t>(job->spec.id));
+                  static_cast<std::uint64_t>(job->id));
       break;
     }
     case EccOutcome::kAppliedRunning: {
@@ -431,7 +448,7 @@ void Engine::on_ecc(const workload::Ecc& ecc) {
       job->finish_event =
           sim_.at(finish, sim::EventClass::kJobFinish,
                   [this, job](sim::Time) { on_finish(job); },
-                  static_cast<std::uint64_t>(job->spec.id));
+                  static_cast<std::uint64_t>(job->id));
       break;
     }
     case EccOutcome::kCompletedJob: {
@@ -448,6 +465,10 @@ void Engine::on_ecc(const workload::Ecc& ecc) {
     case EccOutcome::kSkippedConflict:
       break;
   }
+  // A finished job whose last pending command just dispatched can retire
+  // now (kCompletedJob released inside finish_job; `job` may dangle here
+  // only on paths that did not touch it).
+  if (streaming_ && outcome != EccOutcome::kCompletedJob) maybe_release(job);
   run_cycle();
 }
 
@@ -471,19 +492,20 @@ void Engine::preempt_victim() {
                              [](const JobRun* a, const JobRun* b) {
                                if (a->start_time != b->start_time)
                                  return a->start_time < b->start_time;
-                               return a->spec.id < b->spec.id;
+                               return a->id < b->id;
                              });
   JobRun* job = *it;
   remove_active(job);
   const bool cancelled = sim_.cancel(job->finish_event);
   ES_ASSERT(cancelled);
-  machine_.release(job->spec.id);
-  ++job->interruptions;
+  machine_.release(job->id);
+  JobRunCold& cold = arena_.cold(*job);
+  ++cold.interruptions;
   // Retry budget: past the cap a job is abandoned even under a requeue
   // policy (see FailureModelConfig::max_interruptions).
   fault::RequeuePolicy policy = config_.requeue;
   if (config_.failure.max_interruptions > 0 &&
-      job->interruptions >= config_.failure.max_interruptions)
+      cold.interruptions >= config_.failure.max_interruptions)
     policy = fault::RequeuePolicy::kAbandon;
   // The attachments do the preemption ledger work: CheckpointObserver
   // banks the saved work into the job, FailureStatsObserver turns the
@@ -520,10 +542,14 @@ void Engine::preempt_victim() {
     case fault::RequeuePolicy::kAbandon:
       // Keeps its alloc/start_time so collect() sees the partial run.
       job->status = JobStatus::kAbandoned;
-      job->end_time = sim_.now();
-      last_finish_ = std::max(last_finish_, job->end_time);
-      finished_.push_back(job);
+      cold.end_time = sim_.now();
+      last_finish_ = std::max(last_finish_, cold.end_time);
+      if (streaming_)
+        retire_streamed(job);
+      else
+        finished_.push_back(job);
       attachments_.on_abandon(sim_.now(), *job, alloc);
+      if (streaming_) maybe_release(job);
       break;
   }
 }
@@ -568,7 +594,7 @@ void Engine::start_job(JobRun* job) {
   const bool backfilled = batch_queue_.front() != job;
   batch_queue_.erase(job);
 
-  job->alloc = machine_.allocate(job->spec.id, job->num);
+  job->alloc = machine_.allocate(job->id, job->num);
   job->status = JobStatus::kRunning;
   job->start_time = sim_.now();
   // Plan checkpoint overhead before seating the job: it is part of the
@@ -581,21 +607,28 @@ void Engine::start_job(JobRun* job) {
   const sim::Time finish = sim_.now() + job->run_duration();
   job->finish_event = sim_.at(finish, sim::EventClass::kJobFinish,
                               [this, job](sim::Time) { on_finish(job); },
-                              static_cast<std::uint64_t>(job->spec.id));
+                              static_cast<std::uint64_t>(job->id));
 }
 
 void Engine::finish_job(JobRun* job) {
   ES_EXPECTS(job->status == JobStatus::kRunning);
-  machine_.release(job->spec.id);
+  machine_.release(job->id);
   remove_active(job);
 
   job->status = job->actual_time > job->req_time ? JobStatus::kKilled
                                                  : JobStatus::kCompleted;
-  job->end_time = sim_.now();
-  last_finish_ = std::max(last_finish_, job->end_time);
-  finished_.push_back(job);
+  JobRunCold& cold = arena_.cold(*job);
+  cold.end_time = sim_.now();
+  last_finish_ = std::max(last_finish_, cold.end_time);
+  if (streaming_)
+    retire_streamed(job);
+  else
+    finished_.push_back(job);
   attachments_.on_finish(sim_.now(), *job);
   utilization_.record(sim_.now(), machine_.used());
+  // Release only after the attachments read the record; `job` dangles past
+  // this point once no scheduled command still targets it.
+  if (streaming_) maybe_release(job);
 }
 
 void Engine::on_finish(JobRun* job) {
@@ -603,25 +636,30 @@ void Engine::on_finish(JobRun* job) {
   run_cycle();
 }
 
+JobRun* Engine::build_job(const workload::Job& spec) {
+  ES_EXPECTS(spec.num >= 1);
+  ES_EXPECTS(machine_.allocation_for(spec.num) <= machine_.total());
+  ES_EXPECTS(spec.dur > 0);
+  if (spec.dedicated()) {
+    ES_EXPECTS(policy_->supports_dedicated());
+    ES_EXPECTS(spec.start >= 0);
+  }
+  JobRun* run = arena_.claim();
+  run->id = spec.id;
+  run->arr = spec.arr;
+  run->req_time = spec.dur;
+  run->actual_time = spec.actual_runtime();
+  run->num = spec.num;
+  run->req_start = spec.start;
+  return run;
+}
+
 void Engine::build_jobs(const workload::Workload& workload) {
   ES_EXPECTS(jobs_.empty());  // one run per engine instance
   jobs_.reserve(workload.jobs.size());
   for (const workload::Job& spec : workload.jobs) {
-    ES_EXPECTS(spec.num >= 1);
-    ES_EXPECTS(machine_.allocation_for(spec.num) <= machine_.total());
-    ES_EXPECTS(spec.dur > 0);
-    if (spec.dedicated()) {
-      ES_EXPECTS(policy_->supports_dedicated());
-      ES_EXPECTS(spec.start >= 0);
-    }
-    auto run = std::make_unique<JobRun>();
-    run->spec = spec;
-    run->req_time = spec.dur;
-    run->actual_time = spec.actual_runtime();
-    run->num = spec.num;
-    run->req_start = spec.start;
-    JobRun* ptr = run.get();
-    jobs_.push_back(std::move(run));
+    JobRun* ptr = build_job(spec);
+    jobs_.push_back(ptr);
     const auto [pos, inserted] = by_id_.emplace(spec.id, ptr);
     (void)pos;
     ES_EXPECTS(inserted);  // duplicate job IDs are a malformed workload
@@ -648,6 +686,7 @@ SimulationResult Engine::finish_run(
   result.perf.events = sim_.queue().counters();
   result.perf.cycle_seconds = cycle_seconds_;
   result.perf.wall_seconds = seconds_since(run_start);
+  result.perf.peak_rss_bytes = util::peak_rss_bytes();
   return result;
 }
 
@@ -656,16 +695,14 @@ SimulationResult Engine::run(const workload::Workload& workload) {
   const auto run_start = std::chrono::steady_clock::now();
   dp_baseline_ = policy_->dp_counters();
   build_jobs(workload);
-  for (const auto& owned : jobs_) {
-    JobRun* ptr = owned.get();
-    const workload::Job& spec = ptr->spec;
-    sim_.at(spec.arr, sim::EventClass::kJobArrival,
+  for (JobRun* ptr : jobs_) {
+    sim_.at(ptr->arr, sim::EventClass::kJobArrival,
             [this, ptr](sim::Time) { on_arrival(ptr); },
-            static_cast<std::uint64_t>(spec.id));
-    if (spec.dedicated() && spec.start > spec.arr) {
-      sim_.at(spec.start, sim::EventClass::kDedicatedDue,
+            static_cast<std::uint64_t>(ptr->id));
+    if (ptr->dedicated() && ptr->req_start > ptr->arr) {
+      sim_.at(ptr->req_start, sim::EventClass::kDedicatedDue,
               [this, ptr](sim::Time) { on_dedicated_due(ptr); },
-              static_cast<std::uint64_t>(spec.id));
+              static_cast<std::uint64_t>(ptr->id));
     }
   }
   if (config_.process_eccs) {
@@ -687,6 +724,163 @@ SimulationResult Engine::run(const workload::Workload& workload) {
   warn_if_unbounded_retry(workload);
   pump_events();
   return finish_run(workload, run_start);
+}
+
+SimulationResult Engine::run_streamed(workload::JobSource& source) {
+  ES_EXPECTS(!restored_);  // a restored engine continues via resume()
+  ES_EXPECTS(jobs_.empty() && jobs_built_ == 0);  // one run per engine
+  // Snapshots would need the retired-job history; streaming trades that
+  // capability away for bounded memory.  Paranoid mode hashes finished_.
+  ES_EXPECTS(config_.snapshot.every_cycles == 0 && !snapshot_sink_);
+  ES_EXPECTS(!config_.paranoid);
+  ES_EXPECTS(source.machine_procs() == config_.machine_procs);
+  const auto run_start = std::chrono::steady_clock::now();
+  dp_baseline_ = policy_->dp_counters();
+  streaming_ = true;
+  source_ = &source;
+  source_exhausted_ = false;
+  utilization_.set_bounded(true);
+  load_next_chunk();
+  // Mirrors run(): the utilization baseline lands at the first arrival even
+  // though later chunks are scheduled after it (records are time-ordered
+  // because refills fire at the last scheduled arrival).
+  utilization_.record(first_arrival_, 0);
+  if (failure_model_.enabled() && jobs_built_ > 0) {
+    utilization_.record_capacity(first_arrival_, machine_.available());
+    schedule_next_outage(first_arrival_);
+  }
+  pump_events();
+  if (termination_ == sim::TerminationReason::kCompleted) {
+    ES_ENSURES(batch_queue_.empty());
+    ES_ENSURES(dedicated_queue_.empty());
+    ES_ENSURES(active_.empty());
+    ES_ENSURES(source_exhausted_ && jobs_retired_ == jobs_built_);
+    ES_ENSURES(arena_.live() == 0 && by_id_.empty());
+    ES_ENSURES(machine_.offline() == 0);  // every outage was repaired
+  }
+  SimulationResult result = collect_streamed();
+  result.perf.dp = policy_->dp_counters() - dp_baseline_;
+  result.perf.events = sim_.queue().counters();
+  result.perf.cycle_seconds = cycle_seconds_;
+  result.perf.wall_seconds = seconds_since(run_start);
+  result.perf.peak_rss_bytes = util::peak_rss_bytes();
+  return result;
+}
+
+bool Engine::load_next_chunk() {
+  ES_ASSERT(streaming_ && source_ != nullptr);
+  if (!source_->next_chunk(chunk_)) {
+    source_exhausted_ = true;
+    return false;
+  }
+  ES_EXPECTS(!chunk_.jobs.empty());
+  ES_EXPECTS(chunk_.ecc_counts.size() == chunk_.jobs.size());
+  for (std::size_t i = 0; i < chunk_.jobs.size(); ++i) {
+    const workload::Job& spec = chunk_.jobs[i];
+    // The refill fires at the last scheduled arrival, so every new event is
+    // at or after now; the source's tie-group contract guarantees strictly
+    // later arrivals, keeping heap order identical to the materialized run.
+    ES_EXPECTS(spec.arr >= sim_.now());
+    if (jobs_built_ == 0) {
+      first_arrival_ = spec.arr;
+      stream_span_origin_ = spec.arr;
+      stream_span_last_ = spec.arr;
+    }
+    // Streaming replay of workload::offered_load(), term for term in job
+    // order.
+    stream_proc_seconds_ +=
+        static_cast<double>(spec.num) * spec.actual_runtime();
+    const sim::Time begin = spec.dedicated() && spec.start >= 0
+                                ? std::max(spec.arr, spec.start)
+                                : spec.arr;
+    stream_span_last_ =
+        std::max(stream_span_last_, begin + spec.actual_runtime());
+    JobRun* ptr = build_job(spec);
+    const auto [pos, inserted] = by_id_.emplace(spec.id, ptr);
+    (void)pos;
+    ES_EXPECTS(inserted);  // duplicate live job IDs: malformed workload
+    if (config_.process_eccs)
+      arena_.cold(*ptr).ecc_pending = chunk_.ecc_counts[i];
+    ++jobs_built_;
+    ++arrivals_pending_;
+    sim_.at(ptr->arr, sim::EventClass::kJobArrival,
+            [this, ptr](sim::Time) { on_arrival(ptr); },
+            static_cast<std::uint64_t>(ptr->id));
+    if (ptr->dedicated() && ptr->req_start > ptr->arr) {
+      sim_.at(ptr->req_start, sim::EventClass::kDedicatedDue,
+              [this, ptr](sim::Time) { on_dedicated_due(ptr); },
+              static_cast<std::uint64_t>(ptr->id));
+    }
+  }
+  if (config_.process_eccs) {
+    for (const workload::Ecc& ecc : chunk_.eccs) {
+      // Chunk windows concatenate to the normalize() order, so the running
+      // counter reproduces run()'s index-in-workload event tags.
+      ES_ASSERT(ecc.issue >= sim_.now());
+      sim_.at(ecc.issue, sim::EventClass::kEccArrival,
+              [this, ecc](sim::Time) { on_ecc(ecc); }, eccs_scheduled_++);
+    }
+  }
+  return true;
+}
+
+void Engine::retire_streamed(JobRun* job) {
+  const JobOutcome outcome = outcome_of(job);
+  fold_outcome(outcome, stream_result_, stream_sums_, &stream_wasted_);
+  if (config_.keep_job_outcomes) stream_outcomes_.push_back(outcome);
+  ++jobs_retired_;
+}
+
+void Engine::maybe_release(JobRun* job) {
+  if (!streaming_) return;
+  if (job->status == JobStatus::kWaiting || job->status == JobStatus::kRunning)
+    return;
+  // Late commands must still find the record so the EccProcessor's
+  // rejected-after-finish audit matches the materialized run.
+  if (config_.process_eccs && arena_.cold(*job).ecc_pending > 0) return;
+  const std::size_t erased = by_id_.erase(job->id);
+  ES_ASSERT(erased == 1);
+  (void)erased;
+  arena_.release(job);
+}
+
+SimulationResult Engine::collect_streamed() {
+  SimulationResult result;
+  result.completed = 0;
+  result.killed = 0;
+  result.first_arrival = first_arrival_;
+  result.last_finish = last_finish_;
+  result.makespan = last_finish_ - first_arrival_;
+  result.cycles = cycles_;
+  result.events = sim_.events_processed();
+  result.termination = termination_;
+  result.unfinished = jobs_built_ - jobs_retired_;
+  result.offered_load = streamed_offered_load();
+  result.ecc = ecc_processor_.stats();
+  attachments_.on_collect(result);
+  // Replay the per-job counters folded at retire time.  The wasted-work
+  // terms were deferred because FailureStatsObserver::on_collect assigns
+  // the failure ledger; adding them here, in completion order, reproduces
+  // the collect() loop's sums bit for bit.
+  result.completed = stream_result_.completed;
+  result.killed = stream_result_.killed;
+  result.abandoned = stream_result_.abandoned;
+  result.dedicated_on_time = stream_result_.dedicated_on_time;
+  result.max_wait = stream_result_.max_wait;
+  for (const double work : stream_wasted_)
+    result.failure.wasted_proc_seconds += work;
+  result.failure.goodput_proc_seconds =
+      stream_result_.failure.goodput_proc_seconds;
+  if (config_.keep_job_outcomes) result.jobs = std::move(stream_outcomes_);
+  finalize_aggregate(result, stream_sums_);
+  return result;
+}
+
+double Engine::streamed_offered_load() const {
+  if (jobs_built_ == 0) return 0.0;
+  const double span = stream_span_last_ - stream_span_origin_;
+  if (span <= 0) return 0.0;
+  return stream_proc_seconds_ / (span * machine_.total());
 }
 
 void Engine::pump_events() {
@@ -715,12 +909,20 @@ void Engine::pump_events() {
   }
   termination_ = reason;
   if (termination_ != sim::TerminationReason::kCompleted) {
+    // Streaming runs count jobs built so far (the source may hold more);
+    // materialized runs count the full workload.
+    const std::uint64_t done =
+        streaming_ ? jobs_retired_
+                   : static_cast<std::uint64_t>(finished_.size());
+    const std::uint64_t total =
+        streaming_ ? jobs_built_ : static_cast<std::uint64_t>(jobs_.size());
     ES_LOG_WARN(
-        "watchdog abort (%s) at t=%.3f after %llu events: %zu/%zu jobs "
+        "watchdog abort (%s) at t=%.3f after %llu events: %llu/%llu jobs "
         "finished; reporting partial metrics",
         sim::to_string(termination_), sim_.now(),
         static_cast<unsigned long long>(sim_.events_processed()),
-        finished_.size(), jobs_.size());
+        static_cast<unsigned long long>(done),
+        static_cast<unsigned long long>(total));
   }
 }
 
@@ -787,7 +989,8 @@ void Engine::snapshot(snap::SnapshotWriter& writer) const {
   // the ORDR section; finish events from EVTS.
   writer.begin_section("JOBS");
   writer.u64(jobs_.size());
-  for (const auto& job : jobs_) {
+  for (const JobRun* job : jobs_) {
+    const JobRunCold& cold = arena_.cold(*job);
     writer.f64(job->req_time);
     writer.f64(job->actual_time);
     writer.i32(job->num);
@@ -795,12 +998,12 @@ void Engine::snapshot(snap::SnapshotWriter& writer) const {
     writer.f64(job->req_start);
     writer.i32(job->scount);
     writer.boolean(job->forced_priority);
-    writer.i32(job->interruptions);
+    writer.i32(cold.interruptions);
     writer.f64(job->ckpt_progress);
     writer.f64(job->ckpt_overhead_planned);
     writer.u8(static_cast<std::uint8_t>(job->status));
     writer.f64(job->start_time);
-    writer.f64(job->end_time);
+    writer.f64(cold.end_time);
     writer.i32(job->frenum);
   }
   writer.end_section();
@@ -809,13 +1012,13 @@ void Engine::snapshot(snap::SnapshotWriter& writer) const {
   // array (sorted by planned end) and the completion order.
   writer.begin_section("ORDR");
   writer.u64(batch_queue_.size());
-  for (const JobRun* job : batch_queue_) writer.i64(job->spec.id);
+  for (const JobRun* job : batch_queue_) writer.i64(job->id);
   writer.u64(dedicated_queue_.size());
-  for (const JobRun* job : dedicated_queue_) writer.i64(job->spec.id);
+  for (const JobRun* job : dedicated_queue_) writer.i64(job->id);
   writer.u64(active_.size());
-  for (const JobRun* job : active_) writer.i64(job->spec.id);
+  for (const JobRun* job : active_) writer.i64(job->id);
   writer.u64(finished_.size());
-  for (const JobRun* job : finished_) writer.i64(job->spec.id);
+  for (const JobRun* job : finished_) writer.i64(job->id);
   writer.end_section();
 
   writer.begin_section("MACH");
@@ -938,7 +1141,8 @@ void Engine::restore(const workload::Workload& workload,
   reader.open_section("JOBS");
   if (reader.u64() != jobs_.size())
     snapshot_corrupt("JOBS count disagrees with META");
-  for (const auto& job : jobs_) {
+  for (JobRun* job : jobs_) {
+    JobRunCold& cold = arena_.cold(*job);
     job->req_time = reader.f64();
     job->actual_time = reader.f64();
     job->num = reader.i32();
@@ -946,7 +1150,7 @@ void Engine::restore(const workload::Workload& workload,
     job->req_start = reader.f64();
     job->scount = reader.i32();
     job->forced_priority = reader.boolean();
-    job->interruptions = reader.i32();
+    cold.interruptions = reader.i32();
     job->ckpt_progress = reader.f64();
     job->ckpt_overhead_planned = reader.f64();
     const std::uint8_t status = reader.u8();
@@ -954,7 +1158,7 @@ void Engine::restore(const workload::Workload& workload,
       snapshot_corrupt("job status out of range");
     job->status = static_cast<JobStatus>(status);
     job->start_time = reader.f64();
-    job->end_time = reader.f64();
+    cold.end_time = reader.f64();
     job->frenum = reader.i32();
   }
 
@@ -972,7 +1176,7 @@ void Engine::restore(const workload::Workload& workload,
   for (std::uint64_t i = 0; i < active_count; ++i) {
     JobRun* job = job_by_id(reader.i64());
     if (job->active_index >= 0) snapshot_corrupt("job active twice");
-    job->active_index = static_cast<std::ptrdiff_t>(active_.size());
+    job->active_index = static_cast<std::int32_t>(active_.size());
     active_.push_back(job);
   }
   const std::uint64_t finished_count = reader.u64();
@@ -1197,6 +1401,66 @@ void Engine::warn_if_unbounded_retry(
       config_.failure.mtbf, mean_runtime);
 }
 
+JobOutcome Engine::outcome_of(const JobRun* job) const {
+  const JobRunCold& cold = arena_.cold(*job);
+  JobOutcome outcome;
+  outcome.id = job->id;
+  outcome.dedicated = job->dedicated();
+  outcome.killed = job->status == JobStatus::kKilled;
+  outcome.abandoned = job->status == JobStatus::kAbandoned;
+  outcome.interruptions = cold.interruptions;
+  outcome.procs = job->alloc;
+  outcome.arrival = job->arr;
+  outcome.started = job->start_time;
+  outcome.finished = cold.end_time;
+  outcome.run = cold.end_time - job->start_time;
+  outcome.wait = job->dedicated()
+                     ? std::max(0.0, job->start_time - job->req_start)
+                     : job->start_time - job->arr;
+  return outcome;
+}
+
+// One finished job's contribution to the aggregate metrics.  Shared by the
+// materializing collect() loop and the streaming retire path, which folds
+// each job the moment it finishes; the floating-point operation order per
+// accumulator is identical either way, so the two modes produce
+// byte-identical metrics for the same completion order.
+void Engine::fold_outcome(const JobOutcome& outcome, SimulationResult& result,
+                          FoldSums& sums, std::vector<double>* defer_wasted) {
+  ++sums.count;
+  if (outcome.dedicated) {
+    sums.dedicated_delay_sum += outcome.wait;
+    if (outcome.wait == 0) ++result.dedicated_on_time;
+    ++sums.dedicated_count;
+  }
+  sums.wait_sum += outcome.wait;
+  sums.run_sum += outcome.run;
+  const double run_floor = std::max(outcome.run, 1e-9);
+  sums.sd_sum += (outcome.wait + outcome.run) / run_floor;
+  sums.bsd_sum += (outcome.wait + outcome.run) / std::max(outcome.run, 10.0);
+  result.max_wait = std::max(result.max_wait, outcome.wait);
+  const double work = static_cast<double>(outcome.procs) * outcome.run;
+  if (outcome.abandoned) {
+    ++result.abandoned;
+    // FailureStatsObserver::on_collect *assigns* the wasted-work ledger, so
+    // the streaming path defers these terms and replays them after the
+    // attachments run — same terms, same order, so byte-identical sums.
+    if (defer_wasted)
+      defer_wasted->push_back(work);
+    else
+      result.failure.wasted_proc_seconds += work;
+  } else if (outcome.killed) {
+    ++result.killed;
+    if (defer_wasted)
+      defer_wasted->push_back(work);
+    else
+      result.failure.wasted_proc_seconds += work;
+  } else {
+    ++result.completed;
+    result.failure.goodput_proc_seconds += work;
+  }
+}
+
 SimulationResult Engine::collect(const workload::Workload& workload) const {
   SimulationResult result;
   result.completed = 0;
@@ -1216,62 +1480,33 @@ SimulationResult Engine::collect(const workload::Workload& workload) const {
   // per-job loop adds the outcome-derived wasted/goodput work.
   attachments_.on_collect(result);
 
-  double wait_sum = 0, run_sum = 0, sd_sum = 0, bsd_sum = 0;
-  double dedicated_delay_sum = 0;
-  std::uint64_t dedicated_count = 0;
+  FoldSums sums;
   for (const JobRun* job : finished_) {
-    JobOutcome outcome;
-    outcome.id = job->spec.id;
-    outcome.dedicated = job->dedicated();
-    outcome.killed = job->status == JobStatus::kKilled;
-    outcome.abandoned = job->status == JobStatus::kAbandoned;
-    outcome.interruptions = job->interruptions;
-    outcome.procs = job->alloc;
-    outcome.arrival = job->spec.arr;
-    outcome.started = job->start_time;
-    outcome.finished = job->end_time;
-    outcome.run = job->end_time - job->start_time;
-    if (job->dedicated()) {
-      outcome.wait = std::max(0.0, job->start_time - job->req_start);
-      dedicated_delay_sum += outcome.wait;
-      if (outcome.wait == 0) ++result.dedicated_on_time;
-      ++dedicated_count;
-    } else {
-      outcome.wait = job->start_time - job->spec.arr;
-    }
-    wait_sum += outcome.wait;
-    run_sum += outcome.run;
-    const double run_floor = std::max(outcome.run, 1e-9);
-    sd_sum += (outcome.wait + outcome.run) / run_floor;
-    bsd_sum += (outcome.wait + outcome.run) / std::max(outcome.run, 10.0);
-    result.max_wait = std::max(result.max_wait, outcome.wait);
-    const double work = static_cast<double>(outcome.procs) * outcome.run;
-    if (outcome.abandoned) {
-      ++result.abandoned;
-      result.failure.wasted_proc_seconds += work;
-    } else if (outcome.killed) {
-      ++result.killed;
-      result.failure.wasted_proc_seconds += work;
-    } else {
-      ++result.completed;
-      result.failure.goodput_proc_seconds += work;
-    }
+    const JobOutcome outcome = outcome_of(job);
+    fold_outcome(outcome, result, sums);
     if (config_.keep_job_outcomes) result.jobs.push_back(outcome);
   }
-  const double n = static_cast<double>(finished_.size());
+  finalize_aggregate(result, sums);
+  return result;
+}
+
+void Engine::finalize_aggregate(SimulationResult& result,
+                                const FoldSums& sums) const {
+  const double n = static_cast<double>(sums.count);
   if (n > 0) {
-    result.mean_wait = wait_sum / n;
-    result.mean_run = run_sum / n;
-    result.mean_per_job_slowdown = sd_sum / n;
-    result.mean_bounded_slowdown = bsd_sum / n;
+    result.mean_wait = sums.wait_sum / n;
+    result.mean_run = sums.run_sum / n;
+    result.mean_per_job_slowdown = sums.sd_sum / n;
+    result.mean_bounded_slowdown = sums.bsd_sum / n;
     // Paper definition: ratio of averages.
-    result.slowdown = result.mean_run > 0
-                          ? (result.mean_wait + result.mean_run) / result.mean_run
-                          : 0.0;
+    result.slowdown =
+        result.mean_run > 0
+            ? (result.mean_wait + result.mean_run) / result.mean_run
+            : 0.0;
   }
-  if (dedicated_count > 0)
+  if (sums.dedicated_count > 0)
     result.mean_dedicated_delay =
-        dedicated_delay_sum / static_cast<double>(dedicated_count);
+        sums.dedicated_delay_sum / static_cast<double>(sums.dedicated_count);
   result.utilization =
       utilization_.mean_utilization(first_arrival_, last_finish_);
   if (failure_model_.enabled() && last_finish_ > first_arrival_) {
@@ -1280,7 +1515,6 @@ SimulationResult Engine::collect(const workload::Workload& workload) const {
             (last_finish_ - first_arrival_) -
         utilization_.available_proc_seconds(first_arrival_, last_finish_);
   }
-  return result;
 }
 
 SimulationResult simulate(const EngineConfig& config, Scheduler& policy,

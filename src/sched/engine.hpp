@@ -44,11 +44,13 @@
 #include "sched/attach/watchdog_progress_observer.hpp"
 #include "sched/ecc_processor.hpp"
 #include "sched/engine_config.hpp"
+#include "sched/job_arena.hpp"
 #include "sched/metrics.hpp"
 #include "sched/scheduler.hpp"
 #include "sim/simulation.hpp"
 #include "sim/watchdog.hpp"
 #include "workload/job.hpp"
+#include "workload/source.hpp"
 
 namespace es::snap {
 class SnapshotWriter;
@@ -73,6 +75,19 @@ class Engine {
 
   /// Runs the whole workload to completion and returns the metrics.
   SimulationResult run(const workload::Workload& workload);
+
+  /// Streaming variant: drains a JobSource chunk by chunk instead of a
+  /// materialized workload, holding only the jobs in flight.  Arrivals of
+  /// the next chunk are scheduled when the last scheduled arrival fires;
+  /// finished jobs are folded into the metrics immediately and their arena
+  /// records retired once their last command has dispatched.  For the same
+  /// trace the result is byte-identical to run() (see workload/source.hpp
+  /// for the ordering contracts that guarantee it), with two exceptions on
+  /// watchdog-aborted runs only: `unfinished` counts built-not-finished
+  /// jobs (not-yet-generated ones are unknown) and `utilization` integrates
+  /// through the last record.  Snapshots, paranoid mode and restore are
+  /// incompatible with retired job state and are rejected.
+  SimulationResult run_streamed(workload::JobSource& source);
 
   // --- crash-consistent snapshot/restore ----------------------------------
 
@@ -133,8 +148,46 @@ class Engine {
   void check_invariants() const;
   CycleInfo cycle_info() const;
   ParanoidSnapshot paranoid_snapshot() const;
-  bool all_jobs_finished() const { return finished_.size() == jobs_.size(); }
+  bool all_jobs_finished() const {
+    return streaming_ ? source_exhausted_ && jobs_retired_ == jobs_built_
+                      : finished_.size() == jobs_.size();
+  }
   SimulationResult collect(const workload::Workload& workload) const;
+
+  /// Running sums behind the mean metrics; see fold_outcome().
+  struct FoldSums {
+    double wait_sum = 0;
+    double run_sum = 0;
+    double sd_sum = 0;
+    double bsd_sum = 0;
+    double dedicated_delay_sum = 0;
+    std::uint64_t dedicated_count = 0;
+    std::uint64_t count = 0;
+  };
+  JobOutcome outcome_of(const JobRun* job) const;
+  static void fold_outcome(const JobOutcome& outcome, SimulationResult& result,
+                           FoldSums& sums,
+                           std::vector<double>* defer_wasted = nullptr);
+  /// The shared collect() epilogue: means from the fold sums, utilization,
+  /// downtime.  Identical arithmetic for both run modes.
+  void finalize_aggregate(SimulationResult& result,
+                          const FoldSums& sums) const;
+  JobRun* build_job(const workload::Job& spec);
+
+  // --- streaming-mode internals (see run_streamed) -------------------------
+
+  /// Pulls and schedules the next chunk; returns false at end of stream.
+  bool load_next_chunk();
+  /// Folds a finished job into the streaming accumulators (same op order as
+  /// the collect() loop) — does not release the record.
+  void retire_streamed(JobRun* job);
+  /// Releases a finished job's record once no scheduled command still
+  /// targets it.  No-op outside streaming mode or while commands pend.
+  void maybe_release(JobRun* job);
+  SimulationResult collect_streamed();
+  /// Streaming replay of workload::offered_load(): same accumulator order
+  /// over jobs in build (= workload) order.
+  double streamed_offered_load() const;
 
   /// Creates the JobRun shells and the id index from the workload (shared
   /// by run() and restore(); schedules no events) and computes the
@@ -168,7 +221,8 @@ class Engine {
   CycleStatsObserver cycle_stats_attach_;
   AttachmentChain attachments_;
 
-  std::vector<std::unique_ptr<JobRun>> jobs_;
+  JobRunArena arena_;          ///< owns every JobRun (and its cold fields)
+  std::vector<JobRun*> jobs_;  ///< arena records in workload order
   std::unordered_map<workload::JobId, JobRun*> by_id_;
   JobQueue batch_queue_;                  ///< intrusive FIFO (W^b)
   std::vector<JobRun*> dedicated_queue_;  ///< sorted by (req_start, arr)
@@ -195,6 +249,27 @@ class Engine {
   double cycle_seconds_ = 0;
 
   sim::TerminationReason termination_ = sim::TerminationReason::kCompleted;
+
+  // Streaming-mode state.  jobs_/finished_ stay empty in this mode; the
+  // fold accumulators replace the collect()-time loop and `stream_result_`
+  // carries the counter fields fold_outcome() increments.  Wasted-work
+  // terms are deferred (FailureStatsObserver::on_collect *assigns* the
+  // failure ledger, so per-job wasted work must be replayed after it).
+  bool streaming_ = false;
+  workload::JobSource* source_ = nullptr;
+  bool source_exhausted_ = true;
+  workload::SourceChunk chunk_;           ///< reused pull buffer
+  std::size_t arrivals_pending_ = 0;      ///< scheduled, not yet fired
+  std::uint64_t jobs_built_ = 0;
+  std::uint64_t jobs_retired_ = 0;
+  std::uint64_t eccs_scheduled_ = 0;      ///< event tags, as run() numbers them
+  FoldSums stream_sums_;
+  SimulationResult stream_result_;
+  std::vector<double> stream_wasted_;
+  std::vector<JobOutcome> stream_outcomes_;  ///< only if keep_job_outcomes
+  double stream_proc_seconds_ = 0;        ///< offered-load accumulators
+  sim::Time stream_span_origin_ = 0;
+  sim::Time stream_span_last_ = 0;
 
   // Snapshot/restore machinery.  `pending_outage_` mirrors the payload of
   // the (at most one) scheduled NodeDown event — callbacks cannot

@@ -101,6 +101,10 @@ struct PerfStats {
   CycleStats cycle;  ///< all-zero unless EngineConfig::collect_cycle_stats
   double wall_seconds = 0;   ///< whole run() wall time
   double cycle_seconds = 0;  ///< wall time inside policy cycle() calls
+  /// Process peak RSS in bytes at run end (util::peak_rss_bytes).
+  /// Process-global high-water: attribute to a run only when it is the
+  /// first/only run in the process.  0 where the OS lacks the counter.
+  std::uint64_t peak_rss_bytes = 0;
 
   /// Fraction of kernel calls answered from the result cache.
   double dp_cache_hit_rate() const {

@@ -101,6 +101,11 @@ class Scheduler {
   /// cached and uncached runs schedule identically.
   virtual void set_dp_cache(bool /*enabled*/) {}
 
+  /// Resizes the DP result cache (no-op for policies without DP kernels).
+  /// More slots survive longer between re-posed instances; probe cost is a
+  /// fingerprint compare per slot.  Resizing clears the cache.
+  virtual void set_dp_cache_slots(std::size_t /*slots*/) {}
+
   /// Serializes policy state that influences *future* scheduling decisions
   /// into the open snapshot section.  Most policies are stateless across
   /// cycles (tunables are reconstructed from config; DP caches are keyed on

@@ -1,0 +1,20 @@
+// Process memory high-water observability.
+//
+// The million-job scale benches and the streaming-ingestion acceptance
+// gates need the peak resident set size to show memory stays bounded; the
+// kernel already tracks the high-water mark, so reading it costs one
+// syscall and cannot perturb a run.
+#pragma once
+
+#include <cstdint>
+
+namespace es::util {
+
+/// Peak resident set size of the calling process in bytes, as accounted by
+/// the OS since process start (`getrusage` ru_maxrss).  Process-global and
+/// monotonic: a reading attributes memory to everything run so far, so
+/// measure the leg of interest first.  Returns 0 on platforms without the
+/// counter.
+std::uint64_t peak_rss_bytes();
+
+}  // namespace es::util

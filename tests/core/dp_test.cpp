@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace es::core {
 namespace {
@@ -308,7 +309,8 @@ TEST(DpCache, EvictionKeepsAnswersCorrect) {
   // only ever cost extra table fills, never wrong selections.
   DpWorkspace ws;
   for (int extra = 0;
-       extra < static_cast<int>(DpWorkspace::kCacheSlots) + 4; ++extra) {
+       extra < static_cast<int>(DpWorkspace::kDefaultCacheSlots) + 4;
+       ++extra) {
     const std::vector<int> weights{7, 4, 6, 2 + extra};
     const auto chosen = basic_dp(weights, 10, ws);
     DpWorkspace fresh;
@@ -330,6 +332,127 @@ TEST(DpCounters, EveryCallIsCounted) {
   EXPECT_EQ(ws.counters.table_runs, 1u);
   EXPECT_EQ(ws.counters.cache_hits, 1u);
   EXPECT_GT(ws.counters.table_cells, 0u);
+}
+
+TEST(DpCache, ResizingClearsAndStillAnswersCorrectly) {
+  DpWorkspace ws;
+  const std::vector<int> weights{7, 4, 6};
+  const auto first = basic_dp(weights, 10, ws);
+  ws.set_cache_slots(2);  // shrink: previous entries must be gone
+  EXPECT_EQ(basic_dp(weights, 10, ws), first);
+  EXPECT_EQ(ws.counters.cache_hits, 0u);
+  EXPECT_EQ(ws.counters.table_runs, 2u);
+  // With 2 slots, a third distinct instance evicts the oldest; answers stay
+  // correct regardless.
+  for (int cap = 8; cap <= 12; ++cap) {
+    DpWorkspace fresh;
+    fresh.cache_enabled = false;
+    EXPECT_EQ(basic_dp(weights, cap, ws), basic_dp(weights, cap, fresh));
+  }
+  ws.set_cache_slots(0);  // clamps to one slot, never zero
+  EXPECT_EQ(basic_dp(weights, 10, ws), first);
+}
+
+TEST(DpCache, SurvivesMoreDistinctInstancesThanEightSlots) {
+  // Regression for the widened cache: a working set of 32 instances
+  // (distinct capacities, so distinct keys even after normalization)
+  // cycled twice must hit on every instance the second time around — the
+  // old 8-slot cache evicted each one long before it was re-posed.
+  DpWorkspace ws;
+  const std::vector<int> weights{20, 14, 16, 13};  // total 63: never fast
+  for (int k = 0; k < 32; ++k) basic_dp(weights, 11 + k, ws);
+  EXPECT_EQ(ws.counters.cache_hits, 0u);
+  for (int k = 0; k < 32; ++k) basic_dp(weights, 11 + k, ws);
+  EXPECT_EQ(ws.counters.cache_hits, 32u);
+}
+
+TEST(DpCache, NormalizedKeySharesEntriesAcrossIneligibleItems) {
+  // Two instances differing only in items over capacity (which the fill
+  // can never select) share one cache entry and one selection.
+  DpWorkspace ws;
+  const std::vector<int> a{7, 4, 11, 6};
+  const std::vector<int> b{7, 4, 99, 6};  // item 2 still ineligible
+  const auto first = basic_dp(a, 10, ws);
+  EXPECT_EQ(ws.counters.table_runs, 1u);
+  EXPECT_EQ(basic_dp(b, 10, ws), first);
+  EXPECT_EQ(ws.counters.cache_hits, 1u);
+  EXPECT_EQ(ws.counters.table_runs, 1u);
+  // But an item crossing the eligibility boundary changes the key.
+  const std::vector<int> c{7, 4, 9, 6};
+  basic_dp(c, 10, ws);
+  EXPECT_EQ(ws.counters.table_runs, 2u);
+  // Sanity: the shared answer is what an uncached fill computes for b.
+  DpWorkspace fresh;
+  fresh.cache_enabled = false;
+  EXPECT_EQ(first, basic_dp(b, 10, fresh));
+}
+
+class BlockedDpTest : public ::testing::Test {
+ protected:
+  void TearDown() override { util::set_global_parallelism(1); }
+};
+
+TEST_F(BlockedDpTest, WideTableSelectsIdenticallyUnderParallelFill) {
+  // Capacities past the blocking threshold, filled serial vs parallel: the
+  // blocked double-buffered fill must reproduce the in-place fill's
+  // selection bit for bit (same optimum AND same tie-breaks).
+  util::Rng rng(505);
+  for (int round = 0; round < 6; ++round) {
+    const int capacity = 8191 + static_cast<int>(rng.uniform_int(0, 9000));
+    const int n = 8 + static_cast<int>(rng.uniform_int(0, 24));
+    std::vector<int> weights;
+    for (int i = 0; i < n; ++i)
+      weights.push_back(static_cast<int>(rng.uniform_int(0, capacity / 2)));
+    util::set_global_parallelism(1);
+    DpWorkspace serial_ws;
+    const auto serial = detail::basic_dp_table(weights, capacity, serial_ws);
+    util::set_global_parallelism(4);
+    DpWorkspace parallel_ws;
+    const auto parallel =
+        detail::basic_dp_table(weights, capacity, parallel_ws);
+    ASSERT_EQ(parallel, serial) << "round " << round;
+    // Logical work accounting must not depend on the fill strategy.
+    EXPECT_EQ(parallel_ws.counters.table_cells,
+              serial_ws.counters.table_cells);
+  }
+}
+
+TEST_F(BlockedDpTest, NarrowTablesStaySerialAndIdentical) {
+  // Below the width threshold the pool must not engage; selections across
+  // parallelism settings are trivially identical because the same code runs.
+  util::Rng rng(606);
+  for (int round = 0; round < 20; ++round) {
+    const int capacity = 1 + static_cast<int>(rng.uniform_int(0, 100));
+    std::vector<int> weights;
+    const int n = 1 + static_cast<int>(rng.uniform_int(0, 12));
+    for (int i = 0; i < n; ++i)
+      weights.push_back(static_cast<int>(rng.uniform_int(0, 20)));
+    util::set_global_parallelism(1);
+    DpWorkspace a;
+    const auto serial = detail::basic_dp_table(weights, capacity, a);
+    util::set_global_parallelism(4);
+    DpWorkspace b;
+    ASSERT_EQ(detail::basic_dp_table(weights, capacity, b), serial);
+    ASSERT_EQ(total(weights, serial), brute_force_best(weights, capacity));
+  }
+}
+
+TEST_F(BlockedDpTest, ParallelFillHandlesSkippedAndBoundaryItems) {
+  // Zero-weight and over-capacity items interleaved with weights that land
+  // exactly on block boundaries (multiples of the 8192 block width).
+  const int capacity = 3 * 8192;
+  const std::vector<int> weights{0,    8192, capacity + 1, 1,
+                                 8191, 0,    16384,        3};
+  util::set_global_parallelism(1);
+  DpWorkspace serial_ws;
+  const auto serial = detail::basic_dp_table(weights, capacity, serial_ws);
+  util::set_global_parallelism(4);
+  DpWorkspace parallel_ws;
+  ASSERT_EQ(detail::basic_dp_table(weights, capacity, parallel_ws), serial);
+  for (int index : serial) {
+    EXPECT_NE(weights[static_cast<std::size_t>(index)], 0);
+    EXPECT_LE(weights[static_cast<std::size_t>(index)], capacity);
+  }
 }
 
 TEST(ReservationDp, WorkspaceReuseIsClean) {

@@ -44,7 +44,7 @@ std::vector<std::pair<double, workload::JobId>> signature_of(
   std::vector<std::pair<double, workload::JobId>> signature;
   signature.reserve(active.size());
   for (const JobRun* job : active)
-    signature.emplace_back(planned_end(*job), job->spec.id);
+    signature.emplace_back(planned_end(*job), job->id);
   return signature;
 }
 
@@ -102,7 +102,7 @@ class ActiveOrderAuditor : public Scheduler {
                 const double ea = planned_end(*a);
                 const double eb = planned_end(*b);
                 if (ea != eb) return ea < eb;
-                return a->spec.id < b->spec.id;
+                return a->id < b->id;
               });
     for (std::size_t i = 0; i < active.size(); ++i) {
       EXPECT_EQ(active[i], resorted[i])
@@ -110,12 +110,12 @@ class ActiveOrderAuditor : public Scheduler {
           << "re-sort at position " << i << " (t=" << ctx.now << ")";
       EXPECT_EQ(active[i]->active_index, static_cast<std::ptrdiff_t>(i))
           << where << ": stale back-reference for job "
-          << active[i]->spec.id;
+          << active[i]->id;
       EXPECT_EQ(active[i]->status, JobStatus::kRunning)
-          << where << ": non-running job " << active[i]->spec.id
+          << where << ": non-running job " << active[i]->id
           << " in the active set";
       EXPECT_FALSE(active[i]->in_batch_queue)
-          << where << ": job " << active[i]->spec.id
+          << where << ": job " << active[i]->id
           << " is simultaneously active and batch-queued";
     }
     // The intrusive batch queue must stay disjoint from the active set and
@@ -124,10 +124,10 @@ class ActiveOrderAuditor : public Scheduler {
     for (JobRun* job : *ctx.batch) {
       EXPECT_TRUE(job->in_batch_queue);
       EXPECT_EQ(job->active_index, -1)
-          << where << ": queued job " << job->spec.id
+          << where << ": queued job " << job->id
           << " still holds an active index";
       EXPECT_EQ(job->queue_prev, prev)
-          << where << ": broken intrusive link before job " << job->spec.id;
+          << where << ": broken intrusive link before job " << job->id;
       prev = job;
     }
   }

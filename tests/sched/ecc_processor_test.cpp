@@ -9,7 +9,7 @@ namespace {
 
 JobRun waiting_job(double req_time = 100, int num = 8) {
   JobRun job;
-  job.spec.id = 1;
+  job.id = 1;
   job.req_time = req_time;
   job.actual_time = req_time;
   job.num = num;
@@ -195,7 +195,7 @@ TEST(EccProcessorConflict, DistinctJobsSameInstantBothApply) {
   EccProcessor processor(320, 32);
   JobRun first = waiting_job(100);
   JobRun second = waiting_job(100);
-  second.spec.id = 2;
+  second.id = 2;
   workload::Ecc for_second = ecc(workload::EccType::kExtendTime, 60);
   for_second.job_id = 2;
   processor.apply(ecc(workload::EccType::kExtendTime, 60), first, 10);

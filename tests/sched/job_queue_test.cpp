@@ -18,7 +18,7 @@ namespace {
 
 std::vector<workload::JobId> ids_of(const JobQueue& queue) {
   std::vector<workload::JobId> ids;
-  for (const JobRun* job : queue) ids.push_back(job->spec.id);
+  for (const JobRun* job : queue) ids.push_back(job->id);
   return ids;
 }
 
@@ -26,7 +26,7 @@ class JobQueueTest : public ::testing::Test {
  protected:
   JobQueueTest() {
     for (std::size_t i = 0; i < jobs_.size(); ++i)
-      jobs_[i].spec.id = static_cast<workload::JobId>(i + 1);
+      jobs_[i].id = static_cast<workload::JobId>(i + 1);
   }
 
   JobQueue queue_;
@@ -111,12 +111,12 @@ TEST_F(JobQueueTest, MembershipFlagTracksQueueState) {
 TEST_F(JobQueueTest, IteratorIsForwardIterator) {
   for (JobRun& job : jobs_) queue_.push_back(&job);
   auto it = queue_.begin();
-  EXPECT_EQ((*it)->spec.id, 1);
+  EXPECT_EQ((*it)->id, 1);
   auto copy = it++;
-  EXPECT_EQ((*copy)->spec.id, 1);
-  EXPECT_EQ((*it)->spec.id, 2);
+  EXPECT_EQ((*copy)->id, 1);
+  EXPECT_EQ((*it)->id, 2);
   ++it;
-  EXPECT_EQ((*it)->spec.id, 3);
+  EXPECT_EQ((*it)->id, 3);
   // A snapshot built from iterators matches iteration order — the pattern
   // EASY uses to scan backfill candidates.
   std::vector<JobRun*> snapshot(queue_.begin(), queue_.end());

@@ -18,7 +18,7 @@ class ReservationTest : public ::testing::Test {
   JobRun* add_active(workload::JobId id, int procs, double started,
                      double req_time, double now) {
     auto job = std::make_unique<JobRun>();
-    job->spec.id = id;
+    job->id = id;
     job->num = procs;
     job->req_time = req_time;
     job->actual_time = req_time;
@@ -34,14 +34,12 @@ class ReservationTest : public ::testing::Test {
   JobRun* add_waiting(workload::JobId id, int procs, double req_time,
                       bool dedicated = false, double start = -1) {
     auto job = std::make_unique<JobRun>();
-    job->spec.id = id;
+    job->id = id;
     job->num = procs;
     job->req_time = req_time;
     job->actual_time = req_time;
-    job->req_start = start;
+    job->req_start = start;  // >= 0 marks the job dedicated
     if (dedicated) {
-      job->spec.type = workload::JobType::kDedicated;
-      job->spec.start = start;
       dedicated_.push_back(job.get());
     } else {
       batch_.push_back(job.get());
@@ -58,7 +56,7 @@ class ReservationTest : public ::testing::Test {
                 const double ea = a->start_time + a->req_time;
                 const double eb = b->start_time + b->req_time;
                 if (ea != eb) return ea < eb;
-                return a->spec.id < b->spec.id;
+                return a->id < b->id;
               });
     SchedulerContext ctx;
     ctx.now = now;

@@ -104,6 +104,7 @@ int main(int argc, char** argv) {
   int replications = 1;
   int parallel_jobs = 1;
   bool perf_report = false;
+  bool streamed = false;
   bool no_dp_cache = false;
   unsigned long long seed = 1;
   double p_small = 0.5, p_dedicated = 0.0, p_extend = 0.0, p_reduce = 0.0;
@@ -150,6 +151,11 @@ int main(int argc, char** argv) {
   cli.add_flag("perf-report", "print hot-path counters (DP calls, cache "
                "hits, fast-path exits; event-queue scheduled/cancelled/"
                "fired, peak pending) and wall timings", &perf_report);
+  cli.add_flag("streamed", "pull the workload through the engine in bounded "
+               "chunks instead of materializing it (synthetic workloads "
+               "stream straight from the generator); results are "
+               "byte-identical, memory stays flat at million-job scale",
+               &streamed);
   cli.add_flag("no-dp-cache", "disable the knapsack memo cache (schedules "
                "are identical either way; for perf comparison)",
                &no_dp_cache);
@@ -282,6 +288,18 @@ int main(int argc, char** argv) {
   if (!scenario_path.empty() && replications > 1)
     return flag_error("replications", "a scenario describes one fixed run; "
                       "use --replications 1");
+  if (streamed && !restore_from.empty())
+    return flag_error("streamed", "a streaming run keeps no retired-job "
+                      "history to restore into; drop --restore-from");
+  if (streamed && snapshot_every > 0)
+    return flag_error("streamed", "snapshots need the full job table; "
+                      "drop --snapshot-every or --streamed");
+  if (streamed && !scenario_path.empty())
+    return flag_error("streamed", "scenario files are materialized repros; "
+                      "drop --scenario or --streamed");
+  if (streamed && replications > 1)
+    return flag_error("streamed", "the seed-mean aggregate path "
+                      "materializes its workloads; use --replications 1");
   if (parallel_jobs == 0) parallel_jobs = es::util::hardware_parallelism();
   es::util::set_global_parallelism(parallel_jobs);
 
@@ -318,10 +336,19 @@ int main(int argc, char** argv) {
     generator_config.p_extend = p_extend;
     generator_config.p_reduce = p_reduce;
     generator_config.target_load = load;
-    workload = es::workload::generate(generator_config);
-    std::printf("Synthetic workload: %zu jobs, offered load %.3f\n",
-                workload.jobs.size(),
-                es::workload::offered_load(workload, procs));
+    if (streamed) {
+      // Never materialize: the jobs flow straight from the generator into
+      // the engine in bounded chunks.  The machine shape still has to be
+      // on the (empty) workload for the reporting epilogue.
+      workload.machine_procs = procs;
+      workload.granularity = generator_config.size.unit;
+      std::printf("Synthetic workload (streamed): %d jobs\n", num_jobs);
+    } else {
+      workload = es::workload::generate(generator_config);
+      std::printf("Synthetic workload: %zu jobs, offered load %.3f\n",
+                  workload.jobs.size(),
+                  es::workload::offered_load(workload, procs));
+    }
   } else {
     workload = es::workload::load_cwf_workload(trace);
     workload.machine_procs = procs;
@@ -389,6 +416,11 @@ int main(int argc, char** argv) {
       !es::core::make_algorithm(algorithm).policy->supports_dedicated())
     return flag_error("algorithm", "this workload contains dedicated jobs; "
                       "pick a dedicated-aware (-D/Hybrid) algorithm");
+  if (streamed && (synthetic || trace.empty()) && p_dedicated > 0 &&
+      !es::core::make_algorithm(algorithm).policy->supports_dedicated())
+    return flag_error("algorithm", "streamed synthetic workloads with "
+                      "--p-dedicated > 0 need a dedicated-aware (-D/Hybrid) "
+                      "algorithm");
 
   if (replications > 1) {
     // Seed-mean aggregate mode: N derived seeds fanned across the worker
@@ -452,6 +484,17 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "simrun: --restore-from: %s (%s)\n", error.what(),
                    es::snap::to_string(error.kind()));
       return error.kind() == es::snap::SnapshotErrorKind::kIo ? 3 : 6;
+    }
+  } else if (streamed) {
+    if (synthetic || trace.empty()) {
+      es::workload::GeneratorSource source(generator_config);
+      result = es::exp::run_source(source, algorithm, options);
+    } else {
+      // Trace replay: the file is already parsed (CWF needs the whole file
+      // for its backward command references), but the engine still runs
+      // with the bounded streaming state.
+      es::workload::MaterializedSource source(workload);
+      result = es::exp::run_source(source, algorithm, options);
     }
   } else {
     result = es::exp::run_workload(workload, algorithm, options);
@@ -523,6 +566,12 @@ int main(int argc, char** argv) {
     add_cycle_stats_rows(perf_table, perf.cycle);
     perf_table.cell("cycle wall (s)").cell(perf.cycle_seconds, 4).end_row();
     perf_table.cell("run wall (s)").cell(perf.wall_seconds, 4).end_row();
+    if (perf.peak_rss_bytes > 0) {
+      perf_table.cell("peak RSS (MiB)")
+          .cell(static_cast<double>(perf.peak_rss_bytes) / (1024.0 * 1024.0),
+                1)
+          .end_row();
+    }
     perf_table.render(std::cout);
   }
 
