@@ -16,14 +16,18 @@
 
 namespace {
 
+// range(1) selects the ordering tier: 1 = calendar band (default), 0 =
+// heap-only (the pre-PR9 kernel) — the in-binary before/after pair.
 void BM_EventQueueScheduleAndRun(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
+  const bool band = state.range(1) != 0;
   es::util::Rng rng(1);
   std::vector<double> times;
   times.reserve(n);
   for (std::size_t i = 0; i < n; ++i) times.push_back(rng.uniform(0, 1e6));
   for (auto _ : state) {
     es::sim::EventQueue queue;
+    queue.set_band_enabled(band);
     std::uint64_t sum = 0;
     for (double t : times)
       queue.schedule(t, es::sim::EventClass::kOther,
@@ -34,13 +38,50 @@ void BM_EventQueueScheduleAndRun(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(n));
 }
-BENCHMARK(BM_EventQueueScheduleAndRun)->Arg(1000)->Arg(10000)->Arg(100000);
+BENCHMARK(BM_EventQueueScheduleAndRun)
+    ->ArgsProduct({{1000, 10000, 100000}, {1, 0}});
+
+// The engine's real access pattern is a sliding window — events are
+// scheduled near the clock as it advances, not all up-front.  This is the
+// case the calendar band accelerates most.
+void BM_EventQueueSlidingWindow(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const bool band = state.range(1) != 0;
+  es::util::Rng rng(3);
+  std::vector<double> delays;
+  delays.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) delays.push_back(rng.uniform(0, 100));
+  for (auto _ : state) {
+    es::sim::EventQueue queue;
+    queue.set_band_enabled(band);
+    std::uint64_t sum = 0;
+    constexpr std::size_t kWindow = 1024;
+    std::size_t next = 0;
+    double now = 0;
+    while (next < kWindow && next < n)
+      queue.schedule(delays[next++], es::sim::EventClass::kOther,
+                     [&sum](es::sim::Time) { ++sum; });
+    while (!queue.empty()) {
+      now = queue.pop_and_run();
+      if (next < n)
+        queue.schedule(now + delays[next++], es::sim::EventClass::kOther,
+                       [&sum](es::sim::Time) { ++sum; });
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EventQueueSlidingWindow)
+    ->ArgsProduct({{10000, 100000}, {1, 0}});
 
 void BM_EventQueueCancellationHeavy(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
+  const bool band = state.range(1) != 0;
   es::util::Rng rng(2);
   for (auto _ : state) {
     es::sim::EventQueue queue;
+    queue.set_band_enabled(band);
     std::vector<es::sim::EventHandle> handles;
     handles.reserve(n);
     for (std::size_t i = 0; i < n; ++i)
@@ -54,7 +95,8 @@ void BM_EventQueueCancellationHeavy(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(n));
 }
-BENCHMARK(BM_EventQueueCancellationHeavy)->Arg(1000)->Arg(10000);
+BENCHMARK(BM_EventQueueCancellationHeavy)
+    ->ArgsProduct({{1000, 10000}, {1, 0}});
 
 void BM_ReferenceQueueScheduleAndRun(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

@@ -41,17 +41,30 @@
 //      serialization byte-compared, plus a GeneratorSource leg proving the
 //      never-materialized synthetic path (chunked generation with load
 //      calibration) is equally invisible.
+//  10. event-throughput levers (PR 9): the granularity-1 wide-machine
+//      campaign shape with the calendar event queue, the SIMD DP rows and
+//      speculative DP all reverted vs the shipping defaults — fingerprints
+//      byte-compared (hard gate) — plus an *advisory* throughput check:
+//      when the committed BENCH_PR9.json was recorded on this same host
+//      profile (host_cores and threads both equal) and the lever-on leg
+//      lands more than 20% below its events/s, a ::warning:: annotation is
+//      emitted.  Never a failure: wall time on shared runners is too noisy
+//      to gate the build, but the annotation makes a creeping regression
+//      visible on the PR.
 //
 // Counters and equivalence verdicts in the JSON are deterministic; every
 // *_seconds / *_per_second field is measurement and varies run to run.  CI
 // uploads the file as an artifact; the committed copy records the numbers
 // of one representative host.
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
 
 #include "bench_common.hpp"
+#include "core/dp.hpp"
 #include "exp/experiment.hpp"
 #include "reference_event_queue.hpp"
 #include "sim/event_queue.hpp"
@@ -75,6 +88,16 @@ std::string slurp(const std::string& path) {
   std::ostringstream out;
   out << in.rdbuf();
   return out.str();
+}
+
+/// Minimal field scan for the flat JSON records this repo writes: the
+/// number following the first `"key":` at or after `from`, NaN if absent.
+double json_number_after(const std::string& text, const std::string& key,
+                         std::size_t from = 0) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = text.find(needle, from);
+  if (at == std::string::npos) return std::nan("");
+  return std::strtod(text.c_str() + at + needle.size(), nullptr);
 }
 
 /// Events/sec of `queue` under the micro_sim schedule-then-drain workload
@@ -137,6 +160,11 @@ int main(int argc, char** argv) {
 #else
   std::string golden_path = "data/golden/kernel_equivalence.csv";
 #endif
+#ifdef ES_PR9_BASELINE
+  std::string pr9_baseline_path = ES_PR9_BASELINE;
+#else
+  std::string pr9_baseline_path = "BENCH_PR9.json";
+#endif
   {
     es::util::CliParser cli(
         "Perf baseline: campaign parallelism + DP hot path + event kernel "
@@ -157,6 +185,10 @@ int main(int argc, char** argv) {
     cli.add_option("golden",
                    "kernel-equivalence golden CSV to byte-compare against",
                    &golden_path);
+    cli.add_option("pr9-baseline",
+                   "committed BENCH_PR9.json for the advisory throughput "
+                   "gate",
+                   &pr9_baseline_path);
     cli.add_flag("quick", "fast mode: fewer points and seeds",
                  &options.quick);
     if (!cli.parse(argc, argv)) return 0;
@@ -529,6 +561,53 @@ int main(int argc, char** argv) {
             es::exp::run_workload(crash_batch, "Delayed-LOS", algo));
   }
 
+  // --- leg 10: PR 9 event-throughput levers -----------------------------
+  // Same shape and sizing as the committed BENCH_PR9.json campaign leg so
+  // the measured events/s is comparable to the recorded baseline: at load
+  // 1.0 the backlog — and with it the per-event cost — grows with trace
+  // length, so comparing across different N would be meaningless.
+  const std::string pr9_text = slurp(pr9_baseline_path);
+  const double base_cores = json_number_after(pr9_text, "host_cores");
+  const double base_threads = json_number_after(pr9_text, "threads");
+  const double base_jobs = json_number_after(pr9_text, "num_jobs");
+  const std::size_t after_at = pr9_text.find("\"after\"");
+  const double base_eps =
+      after_at == std::string::npos
+          ? std::nan("")
+          : json_number_after(pr9_text, "events_per_second", after_at);
+  const std::size_t lever_jobs =
+      base_jobs > 0 ? static_cast<std::size_t>(base_jobs)
+                    : (options.quick ? 10000u : 50000u);
+  es::workload::GeneratorConfig lever_config =
+      es::bench::scale_workload(options, lever_jobs, 1.0, 0.2);
+  lever_config.machine_procs = 4096;
+  es::core::AlgorithmOptions lever_on = algo;
+  lever_on.engine.keep_job_outcomes = false;
+  lever_on.engine.granularity = 1;
+  lever_on.engine.machine_procs = 4096;
+  es::core::AlgorithmOptions lever_off = lever_on;
+  lever_off.engine.calendar_event_queue = false;
+  lever_off.engine.speculative_dp = false;
+  es::util::set_global_parallelism(options.parallel_jobs);
+  es::core::set_dp_simd_enabled(false);
+  const es::bench::ScaleLeg levers_off_leg =
+      es::bench::run_scale_leg(lever_config, "Delayed-LOS", lever_off, true);
+  es::core::set_dp_simd_enabled(true);
+  const es::bench::ScaleLeg levers_on_leg =
+      es::bench::run_scale_leg(lever_config, "Delayed-LOS", lever_on, true);
+  es::util::set_global_parallelism(1);
+  const bool levers_identical =
+      es::bench::result_fingerprint_csv(levers_off_leg.result) ==
+      es::bench::result_fingerprint_csv(levers_on_leg.result);
+  const bool profile_matches =
+      !std::isnan(base_cores) && !std::isnan(base_threads) &&
+      static_cast<int>(base_cores) ==
+          static_cast<int>(es::util::hardware_parallelism()) &&
+      static_cast<int>(base_threads) == options.parallel_jobs;
+  const bool throughput_regressed =
+      profile_matches && base_eps > 0 &&
+      levers_on_leg.events_per_second < 0.8 * base_eps;
+
   std::printf("campaign: serial %.3fs, parallel(%d) %.3fs, speedup %.2fx, "
               "csv identical: %s\n",
               serial_seconds, parallel_jobs, parallel_seconds, speedup,
@@ -571,6 +650,30 @@ int main(int argc, char** argv) {
               "results identical: %s; generator stream identical: %s\n",
               streamed_algorithms, streamed_identical ? "yes" : "NO",
               generator_stream_identical ? "yes" : "NO");
+  std::printf("event-throughput levers: off %.0f ev/s, on %.0f ev/s "
+              "(%.2fx), results identical: %s\n",
+              levers_off_leg.events_per_second,
+              levers_on_leg.events_per_second,
+              levers_off_leg.events_per_second > 0
+                  ? levers_on_leg.events_per_second /
+                        levers_off_leg.events_per_second
+                  : 0.0,
+              levers_identical ? "yes" : "NO");
+  if (throughput_regressed) {
+    // GitHub Actions annotation; plain (if odd-looking) text elsewhere.
+    std::printf("::warning title=campaign throughput regression::"
+                "granularity-1 campaign leg measured %.0f events/s, more "
+                "than 20%% below the committed BENCH_PR9.json baseline "
+                "%.0f (same host profile: %d cores, %d threads)\n",
+                levers_on_leg.events_per_second, base_eps,
+                static_cast<int>(base_cores), static_cast<int>(base_threads));
+  } else if (!profile_matches) {
+    std::printf("advisory throughput gate: skipped (baseline %s: "
+                "host profile %s vs this host %u cores / %d threads)\n",
+                pr9_baseline_path.c_str(),
+                std::isnan(base_cores) ? "not found" : "differs",
+                es::util::hardware_parallelism(), options.parallel_jobs);
+  }
 
   const std::string out_path = "BENCH_PR5.json";
   const bool ok = es::util::write_file_atomic(
@@ -638,7 +741,19 @@ int main(int argc, char** argv) {
             << streamed_algorithms << ", \"identical\": "
             << (streamed_identical ? "true" : "false")
             << ", \"generator_identical\": "
-            << (generator_stream_identical ? "true" : "false") << "}\n"
+            << (generator_stream_identical ? "true" : "false") << "},\n"
+            << "  \"event_throughput\": {\"num_jobs\": " << lever_jobs
+            << ", \"levers_off_events_per_second\": "
+            << levers_off_leg.events_per_second
+            << ", \"levers_on_events_per_second\": "
+            << levers_on_leg.events_per_second << ", \"identical\": "
+            << (levers_identical ? "true" : "false")
+            << ", \"baseline_events_per_second\": "
+            << (base_eps > 0 ? base_eps : 0.0)
+            << ", \"baseline_profile_matches\": "
+            << (profile_matches ? "true" : "false")
+            << ", \"regressed_over_20pct\": "
+            << (throughput_regressed ? "true" : "false") << "}\n"
             << "}\n";
         return out.good();
       });
@@ -650,9 +765,11 @@ int main(int argc, char** argv) {
   // The equivalences are correctness gates, not just measurements: the
   // parallel campaign, the DP cache, the slab kernel and the observer
   // chain must all leave the simulated science untouched.
+  // The advisory throughput check is deliberately absent here.
   return (csv_identical && cache_identical && golden_identical &&
           chain_identical && crash_identical && parallel_dp_identical &&
-          streamed_identical && generator_stream_identical)
+          streamed_identical && generator_stream_identical &&
+          levers_identical)
              ? 0
              : 1;
 }

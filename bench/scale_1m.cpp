@@ -22,12 +22,23 @@
 //      (deliberately off in the full-length legs — the ledger itself is
 //      O(N) memory), streamed vs materialized fingerprints must match down
 //      to every per-job line.
+//   5. campaign (PR 9): the granularity-1, 4096-processor, load-1.0 point —
+//      the wide-machine regime where the event-throughput levers bite —
+//      run twice: *before* (binary heap, scalar DP rows, no speculation)
+//      and *after* (calendar band, vector rows, speculative pipelining
+//      when --jobs > 1).  The two runs must produce byte-identical result
+//      fingerprints; the events/s and DP ns/invocation delta is the PR 9
+//      headline, recorded in BENCH_PR9.json.
 //
-// Exit status gates the two parity verdicts; throughput and RSS are
-// measurements, recorded in BENCH_PR8.json for the trajectory.
+// Exit status gates the three parity verdicts; throughput and RSS are
+// measurements, recorded in BENCH_PR8.json / BENCH_PR9.json for the
+// trajectory.  Every BENCH record carries `host_cores` and `threads`: the
+// PR 8 record was taken on a 1-core host, which made its speedup figure
+// meaningless without that provenance.
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "core/dp.hpp"
 #include "util/atomic_file.hpp"
 #include "util/table.hpp"
 
@@ -82,6 +93,59 @@ int main(int argc, char** argv) {
       es::bench::result_fingerprint_csv(parity_streamed.result) ==
       es::bench::result_fingerprint_csv(parity_materialized.result);
 
+  // Leg 5 (PR 9): granularity-1 on a 4096-processor machine at load 1.0 —
+  // every processor is its own allocation grain, so DP capacities run to
+  // 4096 columns and the event rate is the bottleneck.  Run the identical
+  // workload twice: "before" reverts every PR 9 lever (binary-heap event
+  // queue, scalar DP rows, no speculation); "after" is the shipping
+  // default.  p_small 0.2 biases toward wide jobs, the widest-table shape.
+  const std::size_t campaign_jobs = options.quick ? 20000 : 200000;
+  es::workload::GeneratorConfig campaign_config =
+      es::bench::scale_workload(options, campaign_jobs, 1.0, 0.2);
+  campaign_config.machine_procs = 4096;
+  es::core::AlgorithmOptions campaign = es::bench::algo_options(options);
+  campaign.engine.keep_job_outcomes = false;
+  campaign.engine.granularity = 1;
+  campaign.engine.machine_procs = 4096;
+
+  es::core::AlgorithmOptions campaign_off = campaign;
+  campaign_off.engine.calendar_event_queue = false;
+  campaign_off.engine.speculative_dp = false;
+  es::core::set_dp_simd_enabled(false);
+  const es::bench::ScaleLeg campaign_before = es::bench::run_scale_leg(
+      campaign_config, "Delayed-LOS", campaign_off, true);
+  es::core::set_dp_simd_enabled(true);
+  const es::bench::ScaleLeg campaign_after =
+      es::bench::run_scale_leg(campaign_config, "Delayed-LOS", campaign, true);
+  const bool campaign_identical =
+      es::bench::result_fingerprint_csv(campaign_before.result) ==
+      es::bench::result_fingerprint_csv(campaign_after.result);
+
+  // The speculative pipeline only opens with a worker pool; when this bench
+  // ran serially (the default), run the after-configuration once more on a
+  // 2-thread pool so the record always carries live speculation counters
+  // and their parity proof.  On a 1-core host this leg oversubscribes: its
+  // wall time documents the pipeline's determinism, not its throughput.
+  const unsigned threads = es::util::global_parallelism();
+  unsigned pipelined_threads = threads;
+  es::bench::ScaleLeg campaign_pipelined = campaign_after;
+  if (threads <= 1) {
+    pipelined_threads = 2;
+    es::util::set_global_parallelism(2);
+    campaign_pipelined = es::bench::run_scale_leg(campaign_config,
+                                                  "Delayed-LOS", campaign,
+                                                  true);
+    es::util::set_global_parallelism(static_cast<int>(threads));
+  }
+  const bool pipelined_identical =
+      es::bench::result_fingerprint_csv(campaign_pipelined.result) ==
+      es::bench::result_fingerprint_csv(campaign_before.result);
+  const auto dp_ns = [](const es::bench::ScaleLeg& leg) {
+    const auto& dp = leg.result.perf.dp;
+    if (dp.table_runs == 0) return 0.0;
+    return 1e9 * dp.table_seconds / static_cast<double>(dp.table_runs);
+  };
+
   const auto mib = [](std::uint64_t bytes) {
     return static_cast<double>(bytes) / (1024.0 * 1024.0);
   };
@@ -103,6 +167,9 @@ int main(int argc, char** argv) {
   row("materialized", big, materialized);
   row("parity streamed", parity_jobs, parity_streamed);
   row("parity materialized", parity_jobs, parity_materialized);
+  row("campaign g=1 before", campaign_jobs, campaign_before);
+  row("campaign g=1 after", campaign_jobs, campaign_after);
+  row("campaign pipelined", campaign_jobs, campaign_pipelined);
   table.render(std::cout);
 
   // PR 5's scale leg measured 1.30372e6 events/s at 10k jobs on the
@@ -122,6 +189,25 @@ int main(int argc, char** argv) {
   std::printf("parity: full-length %s, per-job (N=%zu) %s\n",
               full_identical ? "byte-identical" : "DIVERGED", parity_jobs,
               per_job_identical ? "byte-identical" : "DIVERGED");
+  std::printf(
+      "campaign g=1 p=4096: %.0f -> %.0f events/s (%.2fx), DP %.1f -> %.1f "
+      "ns/invocation, results %s\n",
+      campaign_before.events_per_second, campaign_after.events_per_second,
+      campaign_before.events_per_second > 0
+          ? campaign_after.events_per_second /
+                campaign_before.events_per_second
+          : 0.0,
+      dp_ns(campaign_before), dp_ns(campaign_after),
+      campaign_identical ? "byte-identical" : "DIVERGED");
+  const auto& spec = campaign_pipelined.result.perf.dp;
+  std::printf(
+      "campaign pipelined (threads %u): %llu launched, %llu hits, %llu "
+      "discarded, results %s (host_cores %u, bench threads %u)\n",
+      pipelined_threads, static_cast<unsigned long long>(spec.spec_launched),
+      static_cast<unsigned long long>(spec.spec_hits),
+      static_cast<unsigned long long>(spec.spec_discarded),
+      pipelined_identical ? "byte-identical" : "DIVERGED",
+      es::util::hardware_parallelism(), threads);
 
   const std::string out_path = "BENCH_PR8.json";
   const bool ok = es::util::write_file_atomic(out_path, [&](std::ostream&
@@ -130,6 +216,7 @@ int main(int argc, char** argv) {
         << "  \"bench\": \"scale_1m\",\n"
         << "  \"pr\": 8,\n"
         << "  \"host_cores\": " << es::util::hardware_parallelism() << ",\n"
+        << "  \"threads\": " << threads << ",\n"
         << "  \"workload\": {\"num_jobs\": " << big
         << ", \"target_load\": " << load
         << ", \"p_small\": 0.5, \"algorithm\": \"Delayed-LOS\", "
@@ -162,5 +249,62 @@ int main(int argc, char** argv) {
     return 3;
   }
   std::printf("[json] %s\n", out_path.c_str());
-  return (full_identical && per_job_identical) ? 0 : 1;
+
+  // PR 9 record: the campaign leg before/after with full provenance.  The
+  // levers that need concurrency (speculative DP) only engage when
+  // `threads` > 1 — a record with threads == 1 measures the event queue and
+  // SIMD rows alone, and says nothing about the pipelined configuration.
+  const std::string pr9_path = "BENCH_PR9.json";
+  const auto leg_json = [&](std::ostream& out, const char* name,
+                            const es::bench::ScaleLeg& leg) {
+    const auto& dp = leg.result.perf.dp;
+    out << "  \"" << name << "\": {\"wall_seconds\": " << leg.wall_seconds
+        << ", \"events_fired\": " << leg.events_fired
+        << ", \"events_per_second\": " << leg.events_per_second
+        << ", \"dp_table_runs\": " << dp.table_runs
+        << ", \"dp_table_seconds\": " << dp.table_seconds
+        << ", \"dp_ns_per_invocation\": " << dp_ns(leg)
+        << ", \"spec_launched\": " << dp.spec_launched
+        << ", \"spec_hits\": " << dp.spec_hits
+        << ", \"spec_discarded\": " << dp.spec_discarded << "}";
+  };
+  const bool ok9 = es::util::write_file_atomic(pr9_path, [&](std::ostream&
+                                                                 out) {
+    out << "{\n"
+        << "  \"bench\": \"scale_1m\",\n"
+        << "  \"pr\": 9,\n"
+        << "  \"host_cores\": " << es::util::hardware_parallelism() << ",\n"
+        << "  \"threads\": " << threads << ",\n"
+        << "  \"campaign\": {\"num_jobs\": " << campaign_jobs
+        << ", \"target_load\": 1.0, \"p_small\": 0.2, \"granularity\": 1, "
+           "\"machine_procs\": 4096, \"algorithm\": \"Delayed-LOS\"},\n";
+    leg_json(out, "before", campaign_before);
+    out << ",\n";
+    leg_json(out, "after", campaign_after);
+    out << ",\n";
+    leg_json(out, "after_pipelined", campaign_pipelined);
+    out << ",\n"
+        << "  \"pipelined_threads\": " << pipelined_threads << ",\n"
+        << "  \"speedup\": "
+        << (campaign_before.events_per_second > 0
+                ? campaign_after.events_per_second /
+                      campaign_before.events_per_second
+                : 0.0)
+        << ",\n"
+        << "  \"parity\": {\"campaign_identical\": "
+        << (campaign_identical ? "true" : "false")
+        << ", \"pipelined_identical\": "
+        << (pipelined_identical ? "true" : "false") << "}\n"
+        << "}\n";
+    return out.good();
+  });
+  if (!ok9) {
+    std::fprintf(stderr, "scale_1m: cannot write %s\n", pr9_path.c_str());
+    return 3;
+  }
+  std::printf("[json] %s\n", pr9_path.c_str());
+  return (full_identical && per_job_identical && campaign_identical &&
+          pipelined_identical)
+             ? 0
+             : 1;
 }

@@ -13,13 +13,6 @@ Machine::Machine(int total, int granularity)
   ES_EXPECTS(total % granularity == 0);
 }
 
-int Machine::allocation_for(int procs) const {
-  ES_EXPECTS(procs > 0);
-  const int rounded =
-      ((procs + granularity_ - 1) / granularity_) * granularity_;
-  return rounded;
-}
-
 int Machine::allocate(JobId job, int procs) {
   const int occupied = allocation_for(procs);
   ES_EXPECTS(occupied <= free_);

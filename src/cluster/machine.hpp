@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "sim/time.hpp"
+#include "util/check.hpp"
 
 namespace es::cluster {
 
@@ -38,8 +39,12 @@ class Machine {
   Machine(int total, int granularity = 1);
 
   /// Processors a request for `procs` actually occupies: the request rounded
-  /// up to the allocation granularity.
-  int allocation_for(int procs) const;
+  /// up to the allocation granularity.  Inline: the scheduler's eligibility
+  /// scans call this once per scanned job per cycle.
+  int allocation_for(int procs) const {
+    ES_EXPECTS(procs > 0);
+    return ((procs + granularity_ - 1) / granularity_) * granularity_;
+  }
 
   /// True if a job of `procs` processors fits in the free pool right now.
   bool fits(int procs) const { return allocation_for(procs) <= free_; }

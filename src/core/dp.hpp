@@ -53,6 +53,10 @@
 
 #include "sched/perf.hpp"
 
+namespace es::sched {
+struct JobRun;
+}
+
 namespace es::core {
 
 /// Reusable DP buffers, result cache and counters; one per policy instance.
@@ -63,6 +67,14 @@ struct DpWorkspace {
   std::vector<int> key_weights;      ///< normalized-cache-key scratch
   std::vector<int> key_shadows;      ///< (ineligible items zeroed out)
 
+  /// Per-cycle eligibility-scan scratch, reused by the LOS-family policies
+  /// so the hot scheduling cycle performs no heap allocation.  The scans
+  /// never nest (a step runs exactly one DP), so one set per workspace
+  /// suffices.
+  std::vector<sched::JobRun*> eligible_scratch;
+  std::vector<int> weights_scratch;
+  std::vector<int> shadows_scratch;
+
   /// Memo of recent instances, keyed on the normalized weights (ineligible
   /// items zeroed — see normalize_key in dp.cpp).  Entries store full
   /// copies of the key and are compared element-wise on fingerprint
@@ -71,6 +83,10 @@ struct DpWorkspace {
   struct CacheEntry {
     bool used = false;
     bool reservation = false;  ///< reservation_dp (vs basic_dp) instance
+    /// Inserted by the speculative pipeline (warm_basic_dp_cache) and not
+    /// yet probed.  A hit on such an entry counts in both cache_hits and
+    /// spec_hits; eviction while still set counts in spec_discarded.
+    bool speculative = false;
     int capacity = 0;
     int shadow_capacity = 0;
     std::uint64_t fingerprint = 0;  ///< FNV-1a over the full instance key
@@ -81,6 +97,13 @@ struct DpWorkspace {
   static constexpr std::size_t kDefaultCacheSlots = 256;
   std::vector<CacheEntry> cache =
       std::vector<CacheEntry>(kDefaultCacheSlots);
+  /// Fingerprint of each cache slot, mirrored out of CacheEntry so the
+  /// probe scans one dense word array (2 KiB at the default slot count)
+  /// instead of striding across the fat entries; a slot's entry is touched
+  /// only on fingerprint agreement.  Invariant: cache_fps[i] ==
+  /// cache[i].fingerprint whenever cache[i].used.
+  std::vector<std::uint64_t> cache_fps =
+      std::vector<std::uint64_t>(kDefaultCacheSlots, 0);
   std::size_t cache_clock = 0;  ///< round-robin eviction cursor
   bool cache_enabled = true;    ///< AlgorithmOptions::dp_cache
 
@@ -88,6 +111,7 @@ struct DpWorkspace {
   /// >= 1; AlgorithmOptions::dp_cache_slots plumbs through here.
   void set_cache_slots(std::size_t slots) {
     cache.assign(slots > 0 ? slots : 1, CacheEntry{});
+    cache_fps.assign(cache.size(), 0);
     cache_clock = 0;
   }
 
@@ -108,6 +132,38 @@ std::vector<int> reservation_dp(std::span<const int> weights,
                                 std::span<const int> shadow_weights,
                                 int capacity, int shadow_capacity,
                                 DpWorkspace& ws);
+
+/// Instruction-set tier of the Basic_DP row update.  The kernel is compiled
+/// with explicit AVX2 / SSE4.2 blocks (per-function target attributes, so
+/// the rest of the binary stays baseline-ISA) and picks the widest tier the
+/// host supports at runtime.  Every tier computes the identical max/keep
+/// recurrence, so selections are bit-identical across tiers — gated by the
+/// dp tests, micro_dp, and the perf_baseline equivalence legs.
+enum class DpSimdLevel { kScalar = 0, kSse42 = 1, kAvx2 = 2 };
+
+/// The tier table fills will actually use: the widest supported one, or
+/// kScalar when vectorization is disabled (set_dp_simd_enabled(false),
+/// building with ES_DP_SIMD off, or a non-x86 host).
+DpSimdLevel dp_simd_level();
+
+/// Force-scalar toggle for differential tests and before/after benchmarks
+/// (`simrun --no-dp-simd`).  Thread-safe; takes effect on the next fill.
+void set_dp_simd_enabled(bool enabled);
+bool dp_simd_enabled();
+
+/// Human-readable tier name ("scalar", "sse4.2", "avx2").
+const char* dp_simd_level_name(DpSimdLevel level);
+
+/// Inserts a speculatively precomputed Basic_DP result into `ws`'s result
+/// cache, keyed exactly as basic_dp() would key the same instance, and
+/// marks the entry speculative.  `selected` must be the table-fill
+/// selection for (weights, capacity) — the caller computed it off-thread
+/// on a scratch workspace.  Call on the owning (main) thread only: the
+/// workspace is not thread-safe.  Pure cache warming — a later basic_dp()
+/// call either hits the exact-keyed entry (identical selection to the fill
+/// it skipped) or ignores it, so scheduling decisions cannot change.
+void warm_basic_dp_cache(std::span<const int> weights, int capacity,
+                         const std::vector<int>& selected, DpWorkspace& ws);
 
 namespace detail {
 

@@ -1,0 +1,49 @@
+#include "core/dp_speculator.hpp"
+
+#include <thread>
+#include <utility>
+
+#include "util/thread_pool.hpp"
+
+namespace es::core {
+
+bool DpSpeculator::launch(const std::vector<int>& weights,
+                          int capacity_grains) {
+  if (state_.load(std::memory_order_acquire) != kIdle) return false;
+  weights_ = weights;
+  capacity_ = capacity_grains;
+  state_.store(kRunning, std::memory_order_release);
+  const bool submitted = util::pool_try_submit([this] {
+    selected_ = detail::basic_dp_table(weights_, capacity_, fill_ws_);
+    state_.store(kDone, std::memory_order_release);
+  });
+  if (!submitted) {
+    // No pool (or we are a pool worker): nothing was queued, undo.
+    state_.store(kIdle, std::memory_order_relaxed);
+    return false;
+  }
+  return true;
+}
+
+void DpSpeculator::settle(DpWorkspace& ws) {
+  if (state_.load(std::memory_order_acquire) != kDone) return;
+  warm_basic_dp_cache(weights_, capacity_, selected_, ws);
+  state_.store(kIdle, std::memory_order_relaxed);
+}
+
+void DpSpeculator::drain(DpWorkspace& ws) {
+  wait();
+  if (state_.load(std::memory_order_acquire) == kDone) {
+    ++ws.counters.spec_discarded;
+    state_.store(kIdle, std::memory_order_relaxed);
+  }
+}
+
+void DpSpeculator::wait() {
+  // Spin-yield: the fill is short (one table) and this runs only at run
+  // end or destruction, never in the per-cycle hot path.
+  while (state_.load(std::memory_order_acquire) == kRunning)
+    std::this_thread::yield();
+}
+
+}  // namespace es::core

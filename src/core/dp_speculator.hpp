@@ -1,0 +1,74 @@
+// Speculative cycle pipelining (tentpole lever 3): while the engine drains
+// events between scheduling cycles, precompute the *next* cycle's Basic_DP
+// table on the global util::ThreadPool and warm the policy's result cache
+// with it.
+//
+// Safety argument, in order of the data flow:
+//  * launch() hands the fill a value copy of the predicted instance — no
+//    pointers into engine or policy state cross the thread boundary.
+//  * The fill runs on a private scratch workspace; its counters and timing
+//    are discarded (spec fills are excluded from table_seconds by design).
+//  * settle() runs on the owning thread and merely inserts the finished
+//    (instance, selection) pair into the policy cache via
+//    warm_basic_dp_cache, marked speculative.  The cache is exact-keyed, so
+//    a later basic_dp() call either hits the identical instance (returning
+//    the identical selection the fill it skipped would have produced) or
+//    ignores the entry.  Scheduling decisions therefore cannot change —
+//    only wall time and the diagnostic spec_* counters, which are excluded
+//    from result fingerprints and snapshot serialization.
+//  * At most one speculation is in flight; the state machine is a single
+//    atomic (idle -> running -> done -> idle) with release/acquire pairing
+//    on the done transition, so the owner reads the fill's output only
+//    after the worker finished writing it.
+#pragma once
+
+#include <atomic>
+#include <vector>
+
+#include "core/dp.hpp"
+
+namespace es::core {
+
+/// One in-flight speculative Basic_DP fill; owned by a policy instance.
+class DpSpeculator {
+ public:
+  DpSpeculator() = default;
+  ~DpSpeculator() { wait(); }
+  DpSpeculator(const DpSpeculator&) = delete;
+  DpSpeculator& operator=(const DpSpeculator&) = delete;
+
+  /// True when nothing is in flight or awaiting settle.
+  bool idle() const {
+    return state_.load(std::memory_order_acquire) == kIdle;
+  }
+
+  /// Starts an off-thread fill for (weights, capacity_grains).  Returns
+  /// false — leaving all state untouched — when a previous speculation has
+  /// not settled or the global pool is unavailable (serial mode, or the
+  /// caller is itself a pool worker running a campaign replication).
+  bool launch(const std::vector<int>& weights, int capacity_grains);
+
+  /// Non-blocking: if the in-flight fill completed, warm `ws`'s result
+  /// cache with it and return to idle.  Call before each cycle.
+  void settle(DpWorkspace& ws);
+
+  /// Run-end barrier: block until any in-flight fill completes, then drop
+  /// the result (counted in ws.counters.spec_discarded).  The fill task
+  /// captures `this`, so owners must drain before reuse across runs.
+  void drain(DpWorkspace& ws);
+
+ private:
+  void wait();
+
+  static constexpr int kIdle = 0;
+  static constexpr int kRunning = 1;
+  static constexpr int kDone = 2;
+
+  std::atomic<int> state_{kIdle};
+  std::vector<int> weights_;
+  int capacity_ = 0;
+  std::vector<int> selected_;
+  DpWorkspace fill_ws_;  ///< off-thread scratch; counters/timing discarded
+};
+
+}  // namespace es::core

@@ -16,9 +16,13 @@ ReservationDpOutcome run_reservation_dp(sched::SchedulerContext& ctx,
   ES_ASSERT(m % grain == 0);
 
   // Eligible = first `lookahead` queue jobs that fit the free pool.
-  std::vector<sched::JobRun*> eligible;
-  std::vector<int> weights;
-  std::vector<int> shadow_weights;
+  // Workspace scratch: the scan runs every cycle and must not allocate.
+  std::vector<sched::JobRun*>& eligible = ws.eligible_scratch;
+  std::vector<int>& weights = ws.weights_scratch;
+  std::vector<int>& shadow_weights = ws.shadows_scratch;
+  eligible.clear();
+  weights.clear();
+  shadow_weights.clear();
   int scanned = 0;
   for (sched::JobRun* job : *ctx.batch) {
     if (scanned++ >= lookahead) break;

@@ -52,6 +52,14 @@ class AdaptiveSelector : public sched::Scheduler {
     delayed_.set_dp_cache_slots(slots);
   }
 
+  /// Speculate only while delegating to Delayed-LOS; EASY has no DP kernel,
+  /// so a speculation launched from an EASY phase could never hit.
+  void speculate(const sched::SchedulerContext& ctx) override {
+    if (!using_easy_) delayed_.speculate(ctx);
+  }
+  void settle_speculation() override { delayed_.settle_speculation(); }
+  void finish_speculation() override { delayed_.finish_speculation(); }
+
   /// The selector is the one factory policy with semantic cross-cycle
   /// state: the sliding arrival window, its high-water mark, and the last
   /// delegate choice all steer future cycles, so they must survive a

@@ -12,6 +12,7 @@
 #include "util/check.hpp"
 #include "util/log.hpp"
 #include "util/rss.hpp"
+#include "util/thread_pool.hpp"
 #include "workload/load.hpp"
 
 namespace es::sched {
@@ -28,6 +29,7 @@ Engine::Engine(const EngineConfig& config, Scheduler& policy)
       trace_attach_(config.record_trace),
       progress_attach_(config.watchdog, &abort_),
       cycle_stats_attach_(policy) {
+  sim_.set_calendar_band(config.calendar_event_queue);
   ecc_processor_.set_running_resize(config.allow_running_resize);
   // Register the enabled attachments in the canonical chain order (see
   // attach/observer.hpp): CheckpointObserver must precede
@@ -250,8 +252,20 @@ void Engine::run_cycle() {
     move_dedicated_head_to_batch_head();
   };
 
+  // Fold any speculative DP result in *before* the policy runs, so a
+  // correctly predicted instance hits the cache inside this cycle.
+  policy_->settle_speculation();
   policy_->cycle(ctx);
   cycle_seconds_ += seconds_since(cycle_start);
+  // Speculative cycle pipelining: while the event pump drains toward the
+  // next cycle, let the policy precompute the next cycle's DP table on the
+  // worker pool.  Pure cache warming — decisions are byte-identical either
+  // way (the speculate contract in sched/scheduler.hpp).  Skipped on pool
+  // workers (campaign replications): submission would be refused there, so
+  // the prediction scan would be pure per-cycle overhead.
+  if (config_.speculative_dp && util::global_parallelism() > 1 &&
+      !util::on_pool_worker())
+    policy_->speculate(ctx);
   in_cycle_ = false;
   if (attachments_.has(Hook::kCycleEnd))
     attachments_.on_cycle_end(cycle_info());
@@ -670,6 +684,10 @@ void Engine::build_jobs(const workload::Workload& workload) {
 SimulationResult Engine::finish_run(
     const workload::Workload& workload,
     std::chrono::steady_clock::time_point run_start) {
+  // Run-end barrier: an in-flight speculation predicted *this* run's next
+  // cycle and must not leak into a later run (or survive into the perf
+  // delta uncounted — drain books it as spec_discarded).
+  policy_->finish_speculation();
   if (termination_ == sim::TerminationReason::kCompleted) {
     // Every job must have completed: the scheduler invariant tests rely on
     // it.  A watchdog abort leaves the run mid-flight by design, so the
@@ -750,6 +768,7 @@ SimulationResult Engine::run_streamed(workload::JobSource& source) {
     schedule_next_outage(first_arrival_);
   }
   pump_events();
+  policy_->finish_speculation();  // run-end barrier, as in finish_run()
   if (termination_ == sim::TerminationReason::kCompleted) {
     ES_ENSURES(batch_queue_.empty());
     ES_ENSURES(dedicated_queue_.empty());
@@ -1358,6 +1377,10 @@ void Engine::restore(const workload::Workload& workload,
   cycle_stats_attach_.restore_state(reader);
 
   reader.open_section("POLI");
+  // A speculation launched before the snapshot was taken predicted a cycle
+  // the restored run will recompute; drain it so the resumed run starts
+  // from a quiescent policy.
+  policy_->finish_speculation();
   policy_->restore_state(reader);
 
   last_snapshot_cycle_ = cycles_;

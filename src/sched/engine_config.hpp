@@ -45,6 +45,17 @@ struct EngineConfig {
   /// Record the busy-processor timeline (needed by utilization metrics and
   /// capacity-invariant tests; cheap, on by default).
   bool keep_job_outcomes = true;
+  /// Order pending events through the two-tier calendar band (PR 9) instead
+  /// of the plain binary heap.  Both structures realize the same strict
+  /// (time, class, seq) order, so results are byte-identical either way;
+  /// the switch exists for differential tests and before/after benchmarks.
+  bool calendar_event_queue = true;
+  /// Precompute the next cycle's DP table on the worker pool while the
+  /// event queue drains (speculative cycle pipelining).  Pure cache
+  /// warming keyed on the exact DP inputs — selections never change, only
+  /// where they were computed.  Requires global parallelism > 1 to do
+  /// anything.
+  bool speculative_dp = true;
   /// Attach a TraceObserver recording a full schedule audit trace
   /// (sched/trace.hpp) to the result.  Off by default — it grows with the
   /// event count.

@@ -106,6 +106,25 @@ class Scheduler {
   /// fingerprint compare per slot.  Resizing clears the cache.
   virtual void set_dp_cache_slots(std::size_t /*slots*/) {}
 
+  /// Opportunistically precompute work for the *next* cycle off-thread
+  /// while the engine drains events (speculative cycle pipelining).  The
+  /// engine calls this after cycle() when EngineConfig::speculative_dp is
+  /// set and a thread pool is up.  Implementations must only *warm caches*
+  /// — a speculation, hit or missed, may never change a scheduling
+  /// decision.  Default: no speculation.
+  virtual void speculate(const SchedulerContext& /*ctx*/) {}
+
+  /// Folds any completed speculation into policy state; the engine calls
+  /// this immediately before every cycle().  Must be cheap when nothing is
+  /// in flight.
+  virtual void settle_speculation() {}
+
+  /// Run-end barrier: block until in-flight speculation completes and
+  /// discard it.  The engine calls this when a run finishes (and before a
+  /// snapshot restore) so no speculative task outlives the run it was
+  /// predicted from.
+  virtual void finish_speculation() {}
+
   /// Serializes policy state that influences *future* scheduling decisions
   /// into the open snapshot section.  Most policies are stateless across
   /// cycles (tunables are reconstructed from config; DP caches are keyed on

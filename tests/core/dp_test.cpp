@@ -455,6 +455,138 @@ TEST_F(BlockedDpTest, ParallelFillHandlesSkippedAndBoundaryItems) {
   }
 }
 
+class SimdDpTest : public ::testing::Test {
+ protected:
+  // Every test flips the process-wide SIMD toggle; always restore the
+  // default (enabled — the runtime probe still decides the actual tier).
+  void TearDown() override { set_dp_simd_enabled(true); }
+};
+
+TEST_F(SimdDpTest, DisabledTogglesReportScalar) {
+  set_dp_simd_enabled(false);
+  EXPECT_EQ(dp_simd_level(), DpSimdLevel::kScalar);
+  EXPECT_FALSE(dp_simd_enabled());
+  set_dp_simd_enabled(true);
+  EXPECT_TRUE(dp_simd_enabled());
+  // The enabled tier is whatever the host supports — just require a name.
+  EXPECT_NE(dp_simd_level_name(dp_simd_level()), nullptr);
+}
+
+TEST_F(SimdDpTest, VectorRowFillSelectsIdenticallyToScalar) {
+  // The tentpole contract for the vector kernels: across random instances
+  // wide enough to cross the SIMD width gate (capacity >= 128 grains), the
+  // widest supported tier and the forced-scalar fill must produce the same
+  // selection bit for bit — same optimum AND same tie-breaks — with the
+  // same logical cell count.
+  util::Rng rng(707);
+  for (int round = 0; round < 25; ++round) {
+    const int capacity = 128 + static_cast<int>(rng.uniform_int(0, 4000));
+    const int n = 4 + static_cast<int>(rng.uniform_int(0, 40));
+    std::vector<int> weights;
+    for (int i = 0; i < n; ++i)
+      weights.push_back(static_cast<int>(rng.uniform_int(0, capacity)));
+    set_dp_simd_enabled(false);
+    DpWorkspace scalar_ws;
+    const auto scalar = detail::basic_dp_table(weights, capacity, scalar_ws);
+    set_dp_simd_enabled(true);
+    DpWorkspace simd_ws;
+    const auto simd = detail::basic_dp_table(weights, capacity, simd_ws);
+    ASSERT_EQ(simd, scalar) << "round " << round;
+    EXPECT_EQ(simd_ws.counters.table_cells, scalar_ws.counters.table_cells);
+    ASSERT_LE(total(weights, simd), capacity);
+  }
+}
+
+TEST_F(SimdDpTest, VectorAndBlockedFillsComposeIdentically) {
+  // Past the blocking threshold the SIMD row kernel runs inside the
+  // blocked/parallel fill; all four (simd x parallel) combinations must
+  // agree on the selection.
+  util::Rng rng(808);
+  const int capacity = 8192 + static_cast<int>(rng.uniform_int(0, 4096));
+  std::vector<int> weights;
+  for (int i = 0; i < 24; ++i)
+    weights.push_back(static_cast<int>(rng.uniform_int(0, capacity / 2)));
+  std::vector<std::vector<int>> results;
+  for (const bool simd : {false, true}) {
+    for (const int jobs : {1, 4}) {
+      set_dp_simd_enabled(simd);
+      util::set_global_parallelism(jobs);
+      DpWorkspace ws;
+      results.push_back(detail::basic_dp_table(weights, capacity, ws));
+    }
+  }
+  util::set_global_parallelism(1);
+  for (std::size_t i = 1; i < results.size(); ++i)
+    ASSERT_EQ(results[i], results[0]) << "combination " << i;
+}
+
+TEST_F(SimdDpTest, BoundaryWidthsAgreeAcrossTiers) {
+  // Capacities straddling the vector-width epilogues (multiples of 4, 8
+  // and the 64-column keep words) and the 128-grain SIMD gate itself.
+  for (const int capacity : {126, 127, 128, 129, 191, 192, 255, 256, 320}) {
+    const std::vector<int> weights{1,  2,  63, 64, 65, 127, 128,
+                                   31, 96, 5,  capacity, capacity - 1};
+    set_dp_simd_enabled(false);
+    DpWorkspace scalar_ws;
+    const auto scalar = detail::basic_dp_table(weights, capacity, scalar_ws);
+    set_dp_simd_enabled(true);
+    DpWorkspace simd_ws;
+    ASSERT_EQ(detail::basic_dp_table(weights, capacity, simd_ws), scalar)
+        << "capacity " << capacity;
+  }
+}
+
+TEST(DpSpecCache, WarmedEntryHitsWithIdenticalSelection) {
+  const std::vector<int> weights{20, 14, 16, 13};  // total 63: never fast
+  const int capacity = 40;
+  DpWorkspace fill_ws;
+  const auto selected = detail::basic_dp_table(weights, capacity, fill_ws);
+
+  DpWorkspace ws;
+  warm_basic_dp_cache(weights, capacity, selected, ws);
+  // Warming books no calls and no table runs on the owning workspace.
+  EXPECT_EQ(ws.counters.calls, 0u);
+  EXPECT_EQ(ws.counters.table_runs, 0u);
+  const auto hit = basic_dp(weights, capacity, ws);
+  EXPECT_EQ(hit, selected);
+  // The hit counts as a cache hit AND a speculation hit; no table ran, so
+  // calls == fast_path + cache_hits + table_runs still balances.
+  EXPECT_EQ(ws.counters.calls, 1u);
+  EXPECT_EQ(ws.counters.cache_hits, 1u);
+  EXPECT_EQ(ws.counters.spec_hits, 1u);
+  EXPECT_EQ(ws.counters.table_runs, 0u);
+  // A second probe is an ordinary (non-speculative) hit.
+  basic_dp(weights, capacity, ws);
+  EXPECT_EQ(ws.counters.cache_hits, 2u);
+  EXPECT_EQ(ws.counters.spec_hits, 1u);
+}
+
+TEST(DpSpecCache, WarmingAnAlreadyCachedInstanceIsANoOp) {
+  const std::vector<int> weights{20, 14, 16, 13};
+  DpWorkspace ws;
+  const auto selected = basic_dp(weights, 40, ws);  // table run + store
+  warm_basic_dp_cache(weights, 40, selected, ws);
+  // The entry stays non-speculative: the next hit books no spec_hits.
+  basic_dp(weights, 40, ws);
+  EXPECT_EQ(ws.counters.cache_hits, 1u);
+  EXPECT_EQ(ws.counters.spec_hits, 0u);
+}
+
+TEST(DpSpecCache, EvictedUnprobedEntryCountsAsDiscarded) {
+  DpWorkspace ws;
+  ws.set_cache_slots(2);
+  const std::vector<int> weights{20, 14, 16, 13};
+  DpWorkspace fill_ws;
+  warm_basic_dp_cache(weights, 40,
+                      detail::basic_dp_table(weights, 40, fill_ws), ws);
+  // Two distinct instances wrap the 2-slot round-robin and overwrite the
+  // never-probed speculative entry.
+  basic_dp(weights, 41, ws);
+  basic_dp(weights, 42, ws);
+  EXPECT_EQ(ws.counters.spec_discarded, 1u);
+  EXPECT_EQ(ws.counters.spec_hits, 0u);
+}
+
 TEST(ReservationDp, WorkspaceReuseIsClean) {
   DpWorkspace ws;
   const std::vector<int> big{9, 9, 9};

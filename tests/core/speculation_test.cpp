@@ -1,0 +1,156 @@
+// Speculative cycle pipelining (engine + policy + DpSpeculator), end to
+// end.  The contract under test is the one in sched/scheduler.hpp: a
+// speculation, hit or missed, may never change a scheduling decision — it
+// only moves where a DP table was computed.  So a run with speculation on
+// (and a pool to run it) must reproduce the speculation-off run byte for
+// byte in every deterministic output, while actually launching
+// speculations (spec_launched > 0) on a backlogged workload.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "core/dp_speculator.hpp"
+#include "exp/experiment.hpp"
+#include "testing/helpers.hpp"
+#include "util/thread_pool.hpp"
+#include "workload/generator.hpp"
+
+namespace es::core {
+namespace {
+
+::testing::AssertionResult same_bits(double a, double b) {
+  if (std::memcmp(&a, &b, sizeof(double)) == 0)
+    return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure()
+         << a << " vs " << b << " (bitwise mismatch)";
+}
+
+class SpeculationTest : public ::testing::Test {
+ protected:
+  // Speculation needs a pool; always restore the serial default so other
+  // suites are unaffected.
+  void TearDown() override { util::set_global_parallelism(1); }
+
+  /// A backlogged batch workload: load 1.0 keeps a queue, p_small 0.5
+  /// keeps the DP branch (head fits, queue does not) hot.
+  static workload::Workload backlogged(std::size_t num_jobs = 300) {
+    workload::GeneratorConfig config;
+    config.num_jobs = num_jobs;
+    config.seed = 42;
+    config.p_small = 0.5;
+    config.target_load = 1.0;
+    return workload::generate(config);
+  }
+};
+
+TEST_F(SpeculationTest, LaunchesAndSchedulesIdentically) {
+  const workload::Workload workload = backlogged();
+
+  AlgorithmOptions off;
+  off.engine.speculative_dp = false;
+  util::set_global_parallelism(1);
+  const sched::SimulationResult baseline =
+      exp::run_workload(workload, "Delayed-LOS", off);
+
+  AlgorithmOptions on;
+  on.engine.speculative_dp = true;
+  util::set_global_parallelism(2);
+  const sched::SimulationResult spec =
+      exp::run_workload(workload, "Delayed-LOS", on);
+
+  // Speculation genuinely engaged...
+  EXPECT_GT(spec.perf.dp.spec_launched, 0u);
+  // ...and every launch was either folded in or drained, never lost.
+  EXPECT_LE(spec.perf.dp.spec_hits + spec.perf.dp.spec_discarded,
+            spec.perf.dp.spec_launched);
+
+  // Deterministic outputs are byte-identical.
+  EXPECT_TRUE(same_bits(baseline.utilization, spec.utilization));
+  EXPECT_TRUE(same_bits(baseline.mean_wait, spec.mean_wait));
+  EXPECT_TRUE(same_bits(baseline.slowdown, spec.slowdown));
+  EXPECT_TRUE(same_bits(baseline.makespan, spec.makespan));
+  EXPECT_EQ(baseline.cycles, spec.cycles);
+  EXPECT_EQ(baseline.events, spec.events);
+  EXPECT_EQ(baseline.perf.events.scheduled, spec.perf.events.scheduled);
+  EXPECT_EQ(baseline.perf.events.fired, spec.perf.events.fired);
+  ASSERT_EQ(baseline.jobs.size(), spec.jobs.size());
+  for (std::size_t i = 0; i < baseline.jobs.size(); ++i) {
+    EXPECT_TRUE(same_bits(baseline.jobs[i].started, spec.jobs[i].started))
+        << "job " << i;
+    EXPECT_TRUE(same_bits(baseline.jobs[i].finished, spec.jobs[i].finished))
+        << "job " << i;
+    EXPECT_EQ(baseline.jobs[i].procs, spec.jobs[i].procs) << "job " << i;
+  }
+
+  // DP work accounting: calls and the fast path are decision-driven and
+  // therefore identical; a speculation hit converts a table run into a
+  // cache hit, so only the split may move, never the sum.
+  EXPECT_EQ(baseline.perf.dp.calls, spec.perf.dp.calls);
+  EXPECT_EQ(baseline.perf.dp.fast_path, spec.perf.dp.fast_path);
+  EXPECT_EQ(baseline.perf.dp.cache_hits + baseline.perf.dp.table_runs,
+            spec.perf.dp.cache_hits + spec.perf.dp.table_runs);
+  EXPECT_EQ(spec.perf.dp.calls,
+            spec.perf.dp.fast_path + spec.perf.dp.cache_hits +
+                spec.perf.dp.table_runs);
+}
+
+TEST_F(SpeculationTest, SerialModeNeverLaunches) {
+  // With global parallelism 1 the engine gate stays closed even with the
+  // config flag on (its default).
+  util::set_global_parallelism(1);
+  const sched::SimulationResult result =
+      exp::run_workload(backlogged(120), "Delayed-LOS", {});
+  EXPECT_EQ(result.perf.dp.spec_launched, 0u);
+  EXPECT_EQ(result.perf.dp.spec_hits, 0u);
+  EXPECT_EQ(result.perf.dp.spec_discarded, 0u);
+}
+
+TEST_F(SpeculationTest, HybridLosSpeculatesOnBatchOnlyWorkloads) {
+  // Algorithm 2 degenerates to Delayed-LOS without dedicated jobs, and so
+  // does its speculation path.
+  util::set_global_parallelism(2);
+  AlgorithmOptions on;
+  const sched::SimulationResult spec =
+      exp::run_workload(backlogged(), "Hybrid-LOS", on);
+  EXPECT_GT(spec.perf.dp.spec_launched, 0u);
+
+  util::set_global_parallelism(1);
+  AlgorithmOptions off;
+  off.engine.speculative_dp = false;
+  const sched::SimulationResult baseline =
+      exp::run_workload(backlogged(), "Hybrid-LOS", off);
+  EXPECT_TRUE(same_bits(baseline.mean_wait, spec.mean_wait));
+  EXPECT_EQ(baseline.cycles, spec.cycles);
+}
+
+TEST_F(SpeculationTest, SpeculatorDrainDiscardsUnsettledResult) {
+  util::set_global_parallelism(2);
+  DpWorkspace fill_check;
+  const std::vector<int> weights{20, 14, 16, 13};
+  DpSpeculator speculator;
+  ASSERT_TRUE(speculator.launch(weights, 40));
+  EXPECT_FALSE(speculator.idle());
+  DpWorkspace ws;
+  speculator.drain(ws);
+  EXPECT_TRUE(speculator.idle());
+  EXPECT_EQ(ws.counters.spec_discarded, 1u);
+  // After a drain the speculator is reusable; settle warms the cache.
+  ASSERT_TRUE(speculator.launch(weights, 40));
+  while (!speculator.idle()) {
+    speculator.settle(ws);
+  }
+  const auto expected = detail::basic_dp_table(weights, 40, fill_check);
+  EXPECT_EQ(basic_dp(weights, 40, ws), expected);
+  EXPECT_EQ(ws.counters.spec_hits, 1u);
+}
+
+TEST_F(SpeculationTest, LaunchRefusedWithoutPool) {
+  util::set_global_parallelism(1);
+  DpSpeculator speculator;
+  EXPECT_FALSE(speculator.launch({3, 4, 5}, 6));
+  EXPECT_TRUE(speculator.idle());
+}
+
+}  // namespace
+}  // namespace es::core

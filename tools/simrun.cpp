@@ -106,6 +106,9 @@ int main(int argc, char** argv) {
   bool perf_report = false;
   bool streamed = false;
   bool no_dp_cache = false;
+  bool no_calendar_queue = false;
+  bool no_dp_simd = false;
+  bool no_spec_dp = false;
   unsigned long long seed = 1;
   double p_small = 0.5, p_dedicated = 0.0, p_extend = 0.0, p_reduce = 0.0;
   double load = 0.0;
@@ -159,6 +162,14 @@ int main(int argc, char** argv) {
   cli.add_flag("no-dp-cache", "disable the knapsack memo cache (schedules "
                "are identical either way; for perf comparison)",
                &no_dp_cache);
+  cli.add_flag("no-calendar-queue", "order events through the plain binary "
+               "heap instead of the calendar band (results are identical "
+               "either way; for perf comparison)", &no_calendar_queue);
+  cli.add_flag("no-dp-simd", "force the scalar DP row kernel (selections "
+               "are identical either way; for perf comparison)", &no_dp_simd);
+  cli.add_flag("no-spec-dp", "disable speculative DP precomputation between "
+               "cycles (schedules are identical either way; speculation "
+               "needs --jobs > 1 to engage)", &no_spec_dp);
   cli.add_option("seed", "synthetic: RNG seed", &seed);
   cli.add_option("p-small", "synthetic: P_S", &p_small);
   cli.add_option("p-dedicated", "synthetic: P_D", &p_dedicated);
@@ -397,6 +408,9 @@ int main(int argc, char** argv) {
   options.engine.snapshot.dir = snapshot_dir;
   options.engine.snapshot.keep = static_cast<std::size_t>(snapshot_keep);
   options.dp_cache = !no_dp_cache;
+  options.engine.calendar_event_queue = !no_calendar_queue;
+  options.engine.speculative_dp = !no_spec_dp;
+  es::core::set_dp_simd_enabled(!no_dp_simd);
   if (have_scenario) {
     // The scenario owns the run-shaping knobs; CLI watchdog flags override
     // its budgets when explicitly set (e.g. to re-bound a runaway repro).
@@ -563,9 +577,30 @@ int main(int argc, char** argv) {
     perf_table.cell("events cancelled").cell(static_cast<long long>(perf.events.cancelled)).end_row();
     perf_table.cell("events fired").cell(static_cast<long long>(perf.events.fired)).end_row();
     perf_table.cell("peak pending events").cell(static_cast<long long>(perf.events.peak_pending)).end_row();
+    if (perf.dp.spec_launched > 0) {
+      // Speculative pipeline diagnostics (only meaningful with --jobs > 1).
+      // hits + discarded can trail launched by the racy in-flight tail.
+      perf_table.cell("DP speculations launched").cell(static_cast<long long>(perf.dp.spec_launched)).end_row();
+      perf_table.cell("DP speculation hits").cell(static_cast<long long>(perf.dp.spec_hits)).end_row();
+      perf_table.cell("DP speculations discarded").cell(static_cast<long long>(perf.dp.spec_discarded)).end_row();
+    }
     add_cycle_stats_rows(perf_table, perf.cycle);
     perf_table.cell("cycle wall (s)").cell(perf.cycle_seconds, 4).end_row();
     perf_table.cell("run wall (s)").cell(perf.wall_seconds, 4).end_row();
+    // Derived throughput figures — the tentpole's two headline numbers.
+    if (perf.wall_seconds > 0) {
+      perf_table.cell("events per second")
+          .cell(static_cast<double>(perf.events.fired) / perf.wall_seconds, 0)
+          .end_row();
+    }
+    perf_table.cell("DP table wall (s)").cell(perf.dp.table_seconds, 4).end_row();
+    if (perf.dp.table_runs > 0) {
+      perf_table.cell("DP ns per invocation")
+          .cell(1e9 * perf.dp.table_seconds /
+                    static_cast<double>(perf.dp.table_runs),
+                1)
+          .end_row();
+    }
     if (perf.peak_rss_bytes > 0) {
       perf_table.cell("peak RSS (MiB)")
           .cell(static_cast<double>(perf.peak_rss_bytes) / (1024.0 * 1024.0),
