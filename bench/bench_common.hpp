@@ -16,11 +16,13 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <sstream>
 #include <string>
 #include <sys/stat.h>
 
+#include "core/config_spine.hpp"
 #include "core/factory.hpp"
 #include "exp/experiment.hpp"
 #include "exp/report.hpp"
@@ -41,6 +43,10 @@ struct BenchOptions {
   int parallel_jobs = 1;   ///< worker threads (--jobs); 0 = all cores
   std::string csv_dir = "results";
   bool quick = false;      ///< CI mode: fewer points/seeds
+  /// Optional config file applied through the configuration spine
+  /// (util::ParamRegistry) by algo_options()/apply_config_file(): engine,
+  /// fair-share and tenancy knobs load from here with full validation.
+  std::string config_path;
 };
 
 /// Standard CLI for every bench binary.  Returns false if the program
@@ -63,6 +69,9 @@ inline bool parse_bench_options(int argc, const char* const* argv,
                  &options.parallel_jobs);
   cli.add_option("csv-dir", "directory for CSV output (default results/)",
                  &options.csv_dir);
+  cli.add_option("config", "engine/fair-share/tenancy parameters from this "
+                 "key=value file (the simrun --config format); the bench's "
+                 "own sweep parameters still override it", &options.config_path);
   cli.add_flag("quick", "fast mode: fewer points and seeds", &options.quick);
   bool list_algorithms = false;
   cli.add_flag("list-algorithms", "print every known algorithm name and exit",
@@ -83,6 +92,26 @@ inline bool parse_bench_options(int argc, const char* const* argv,
   return true;
 }
 
+/// Loads `path` (when non-empty) into `algorithm_options` — and, when
+/// given, the generator's tenancy knobs — through the configuration spine,
+/// with the same finalize-time validation and exit code (2) as simrun.
+inline void apply_config_file(const std::string& path,
+                              core::AlgorithmOptions& algorithm_options,
+                              workload::GeneratorConfig* generator = nullptr) {
+  if (path.empty()) return;
+  util::ParamRegistry registry;
+  core::register_run_params(registry, algorithm_options);
+  if (generator != nullptr)
+    core::register_tenancy_params(registry, *generator);
+  try {
+    registry.load_file(path);
+    registry.finalize();
+  } catch (const util::ConfigError& error) {
+    std::fprintf(stderr, "bench: --config: %s\n", error.what());
+    std::exit(2);
+  }
+}
+
 inline workload::GeneratorConfig base_workload(const BenchOptions& options) {
   workload::GeneratorConfig config;
   config.machine_procs = 320;
@@ -91,9 +120,14 @@ inline workload::GeneratorConfig base_workload(const BenchOptions& options) {
   return config;
 }
 
+/// The bench's algorithm options: --config (engine/fair-share knobs) loads
+/// first, then the bench's own sweep parameters override — a bench varies
+/// C_s/lookahead per case, and those cases must not be silently pinned by a
+/// file value.
 inline core::AlgorithmOptions algo_options(const BenchOptions& options,
                                            int max_skip_count = 7) {
   core::AlgorithmOptions algorithm_options;
+  apply_config_file(options.config_path, algorithm_options);
   algorithm_options.lookahead = options.lookahead;
   algorithm_options.max_skip_count = max_skip_count;
   return algorithm_options;

@@ -1,0 +1,25 @@
+// The configuration spine: one ParamRegistry covering AlgorithmOptions (and
+// through it the whole EngineConfig tree) plus the workload-generator
+// tenancy knobs.  simrun, every bench binary, and tests route config files,
+// --dump-config, --list-params, and finalize-time validation through these
+// two calls instead of hand-rolling option plumbing.
+#pragma once
+
+#include "core/factory.hpp"
+#include "util/param_registry.hpp"
+#include "workload/generator.hpp"
+
+namespace es::core {
+
+/// Registers the algorithm.* tunables plus every engine.* / failure.* /
+/// checkpoint.* / watchdog.* / snapshot.* / fairshare.* / pool.* parameter
+/// against `options`'s live storage.  The registry must not outlive
+/// `options`.
+void register_run_params(util::ParamRegistry& registry,
+                         AlgorithmOptions& options);
+
+/// Registers the tenancy.* generator knobs (Zipf users over pools).
+void register_tenancy_params(util::ParamRegistry& registry,
+                             workload::GeneratorConfig& config);
+
+}  // namespace es::core

@@ -9,6 +9,7 @@
 #include "core/selector.hpp"
 #include "sched/conservative.hpp"
 #include "sched/easy.hpp"
+#include "sched/fairshare.hpp"
 #include "sched/fcfs.hpp"
 #include "sched/sorted_queue.hpp"
 
@@ -61,6 +62,8 @@ std::unique_ptr<sched::Scheduler> build_policy(
         sched::QueueOrder::kLargestFirst);
   if (base == "cons" || base == "conservative")
     return std::make_unique<sched::Conservative>();
+  if (base == "fairshare")
+    return std::make_unique<sched::FairShare>(options.engine.fairshare);
   if (base == "adaptive") {
     AdaptiveSelector::Options selector_options;
     selector_options.max_skip_count = options.max_skip_count;
@@ -122,7 +125,7 @@ std::vector<std::string> algorithm_names() {
           "LOS",         "LOS-D",         "LOS-E",         "LOS-DE",
           "Delayed-LOS", "Hybrid-LOS",    "Delayed-LOS-E", "Hybrid-LOS-E",
           "FCFS",        "CONS",          "SJF",           "SMALLEST",
-          "LJF",         "Adaptive"};
+          "LJF",         "Adaptive",      "FairShare",     "FairShare-E"};
 }
 
 }  // namespace es::core

@@ -214,7 +214,7 @@ class EngineObserver {
 /// to kAllHooks), so no-op callbacks are never virtual-dispatched.
 class AttachmentChain {
  public:
-  static constexpr int kCapacity = 8;
+  static constexpr int kCapacity = 12;
   static constexpr int kHookCount = static_cast<int>(Hook::kCount);
 
   void add(EngineObserver* observer, HookMask mask = kAllHooks) {

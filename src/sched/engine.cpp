@@ -7,6 +7,7 @@
 #include <limits>
 #include <optional>
 
+#include "sched/engine_params.hpp"
 #include "snap/ring.hpp"
 #include "snap/snapshot.hpp"
 #include "util/check.hpp"
@@ -28,7 +29,8 @@ Engine::Engine(const EngineConfig& config, Scheduler& policy)
       checkpoint_attach_(config.checkpoint),
       trace_attach_(config.record_trace),
       progress_attach_(config.watchdog, &abort_),
-      cycle_stats_attach_(policy) {
+      cycle_stats_attach_(policy),
+      fairness_attach_(config.fairshare, config.machine_procs) {
   sim_.set_calendar_band(config.calendar_event_queue);
   ecc_processor_.set_running_resize(config.allow_running_resize);
   // Register the enabled attachments in the canonical chain order (see
@@ -40,7 +42,10 @@ Engine::Engine(const EngineConfig& config, Scheduler& policy)
   // it does not override never virtual-dispatch to it.
   if (config.checkpoint.enabled)
     attachments_.add(&checkpoint_attach_, CheckpointObserver::kHookMask);
-  if (config.failure.enabled)
+  // The failure-stats ledger also accounts policy-initiated preemptions
+  // (FairShare starvation relief), so it attaches whenever preemption can
+  // occur — with or without fault injection.
+  if (config.failure.enabled || policy.initiates_preemption())
     attachments_.add(&failure_attach_, FailureStatsObserver::kHookMask);
   if (config.process_eccs)
     attachments_.add(&ecc_audit_attach_, EccAuditObserver::kHookMask);
@@ -50,6 +55,8 @@ Engine::Engine(const EngineConfig& config, Scheduler& policy)
     attachments_.add(&progress_attach_, WatchdogProgressObserver::kHookMask);
   if (config.collect_cycle_stats)
     attachments_.add(&cycle_stats_attach_, CycleStatsObserver::kHookMask);
+  if (config.fairshare.collect_stats)
+    attachments_.add(&fairness_attach_, FairnessObserver::kHookMask);
   // A process-unique epoch tags this engine's SchedulerContexts so policy
   // caches keyed on (epoch, active_version) can never confuse two runs.
   // Only uniqueness matters; the value never influences scheduling, so the
@@ -114,22 +121,18 @@ std::uint64_t run_fingerprint(const EngineConfig& config,
                               const Scheduler& policy,
                               const workload::Workload& workload) {
   Fingerprint fp;
-  fp.i32(config.machine_procs);
-  fp.i32(config.granularity);
-  fp.boolean(config.process_eccs);
-  fp.boolean(config.allow_running_resize);
-  fp.i32(static_cast<std::int32_t>(config.requeue));
-  fp.boolean(config.checkpoint.enabled);
-  fp.f64(config.checkpoint.interval);
-  fp.f64(config.checkpoint.overhead);
-  fp.boolean(config.checkpoint.on_preempt);
-  fp.boolean(config.failure.enabled);
-  fp.u64(config.failure.seed);
-  fp.f64(config.failure.mtbf);
-  fp.f64(config.failure.mttr);
-  fp.i32(config.failure.min_nodes);
-  fp.i32(config.failure.max_nodes);
-  fp.i32(config.failure.max_interruptions);
+  // Registry-driven config portion: every fingerprint-participating
+  // parameter (see sched/engine_params.cpp — watchdog budgets and snapshot
+  // cadence are excluded by their no_fingerprint() marks) renders into a
+  // stable name=value blob, so a knob added to the registry can never be
+  // silently missing from the restore validation.  Registration needs
+  // mutable storage, hence the local copy.
+  EngineConfig bound = config;
+  util::ParamRegistry registry;
+  register_engine_params(registry, bound);
+  std::string blob;
+  registry.fingerprint_into(blob);
+  fp.str(blob);
   fp.u64(config.failure.script.size());
   for (const fault::Outage& outage : config.failure.script) {
     fp.f64(outage.down);
@@ -146,6 +149,8 @@ std::uint64_t run_fingerprint(const EngineConfig& config,
     fp.f64(job.actual);
     fp.i32(static_cast<std::int32_t>(job.type));
     fp.f64(job.start);
+    fp.i32(job.user);
+    fp.i32(job.pool);
   }
   fp.u64(workload.eccs.size());
   for (const workload::Ecc& ecc : workload.eccs) {
@@ -251,6 +256,7 @@ void Engine::run_cycle() {
   ctx.move_dedicated_head_to_batch_head = [this] {
     move_dedicated_head_to_batch_head();
   };
+  ctx.preempt = [this](JobRun* job) { preempt_running(job); };
 
   // Fold any speculative DP result in *before* the policy runs, so a
   // correctly predicted instance hits the cache inside this cycle.
@@ -508,7 +514,22 @@ void Engine::preempt_victim() {
                                  return a->start_time < b->start_time;
                                return a->id < b->id;
                              });
-  JobRun* job = *it;
+  preempt_job(*it, config_.requeue);
+}
+
+void Engine::preempt_running(JobRun* job) {
+  // Policy-initiated (fair-share starvation relief): the policy picked the
+  // victim; the displaced job always re-enters at the batch *tail* — it
+  // lost its turn to a starving pool, so jumping the queue head would undo
+  // the relief.  The shared path still applies the retry cap, so a
+  // thrash-prone job is eventually abandoned rather than looping forever.
+  ES_EXPECTS(in_cycle_);
+  ES_EXPECTS(job != nullptr);
+  ES_EXPECTS(job->status == JobStatus::kRunning);
+  preempt_job(job, fault::RequeuePolicy::kRequeueTail);
+}
+
+void Engine::preempt_job(JobRun* job, fault::RequeuePolicy requeue_policy) {
   remove_active(job);
   const bool cancelled = sim_.cancel(job->finish_event);
   ES_ASSERT(cancelled);
@@ -517,7 +538,7 @@ void Engine::preempt_victim() {
   ++cold.interruptions;
   // Retry budget: past the cap a job is abandoned even under a requeue
   // policy (see FailureModelConfig::max_interruptions).
-  fault::RequeuePolicy policy = config_.requeue;
+  fault::RequeuePolicy policy = requeue_policy;
   if (config_.failure.max_interruptions > 0 &&
       cold.interruptions >= config_.failure.max_interruptions)
     policy = fault::RequeuePolicy::kAbandon;
@@ -665,6 +686,10 @@ JobRun* Engine::build_job(const workload::Job& spec) {
   run->actual_time = spec.actual_runtime();
   run->num = spec.num;
   run->req_start = spec.start;
+  // Pool tags are 8-bit in the hot record; out-of-range tags saturate (the
+  // registry caps configured pools at 255, so this only trims hand-built
+  // workloads).
+  run->pool = static_cast<std::uint8_t>(std::clamp(spec.pool, 0, 255));
   return run;
 }
 
@@ -1122,7 +1147,7 @@ void Engine::snapshot(snap::SnapshotWriter& writer) const {
   writer.end_section();
 
   // Every built-in attachment is a plain member that exists whether or not
-  // it is registered, so all six ledgers serialize unconditionally — the
+  // it is registered, so all seven ledgers serialize unconditionally — the
   // layout never depends on which observers the config enabled.
   writer.begin_section("ATCH");
   checkpoint_attach_.save_state(writer);
@@ -1131,6 +1156,7 @@ void Engine::snapshot(snap::SnapshotWriter& writer) const {
   trace_attach_.save_state(writer);
   progress_attach_.save_state(writer);
   cycle_stats_attach_.save_state(writer);
+  fairness_attach_.save_state(writer);
   writer.end_section();
 
   // Policy cross-cycle state (empty for every memoryless factory policy;
@@ -1375,6 +1401,7 @@ void Engine::restore(const workload::Workload& workload,
   trace_attach_.restore_state(reader);
   progress_attach_.restore_state(reader);
   cycle_stats_attach_.restore_state(reader);
+  fairness_attach_.restore_state(reader);
 
   reader.open_section("POLI");
   // A speculation launched before the snapshot was taken predicted a cycle

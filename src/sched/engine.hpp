@@ -39,6 +39,7 @@
 #include "sched/attach/cycle_stats_observer.hpp"
 #include "sched/attach/ecc_audit_observer.hpp"
 #include "sched/attach/failure_stats_observer.hpp"
+#include "sched/attach/fairness_observer.hpp"
 #include "sched/attach/observer.hpp"
 #include "sched/attach/trace_observer.hpp"
 #include "sched/attach/watchdog_progress_observer.hpp"
@@ -135,6 +136,12 @@ class Engine {
   void on_node_up(int procs);
   void schedule_next_outage(sim::Time from);
   void preempt_victim();
+  /// Policy-initiated preemption (SchedulerContext::preempt): the shared
+  /// preempt sequence with a forced tail requeue.
+  void preempt_running(JobRun* job);
+  /// Shared preempt machinery: cancel, release, retry-cap check, attachment
+  /// hooks, requeue under `policy`.
+  void preempt_job(JobRun* job, fault::RequeuePolicy requeue_policy);
   void start_job(JobRun* job);
   void finish_job(JobRun* job);
   void insert_active(JobRun* job);
@@ -219,6 +226,7 @@ class Engine {
   TraceObserver trace_attach_;
   WatchdogProgressObserver progress_attach_;
   CycleStatsObserver cycle_stats_attach_;
+  FairnessObserver fairness_attach_;
   AttachmentChain attachments_;
 
   JobRunArena arena_;          ///< owns every JobRun (and its cold fields)

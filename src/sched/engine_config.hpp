@@ -10,12 +10,51 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "fault/checkpoint.hpp"
 #include "fault/failure_model.hpp"
 #include "sim/watchdog.hpp"
 
 namespace es::sched {
+
+/// One scheduling pool in the fair-share tree (flat list of siblings under
+/// an implicit root; jobs carry a pool index into this list).  Pools beyond
+/// this list (from job tags) default to weight 1, min_share 0.
+struct FairSharePool {
+  std::string name;
+  /// Relative fair-share weight; entitlement = weight / sum(weights).
+  double weight = 1.0;
+  /// Guaranteed fraction of the machine [0, 1].  A pool running below its
+  /// min share with pending demand starves on the (short) min-share timeout.
+  double min_share = 0.0;
+};
+
+/// Knobs for the FairShare policy family and the FairnessObserver.
+/// Modelled on the ytsaurus fair-share strategy: starvation below min-share
+/// or below tolerance×fair-share triggers preemption of jobs from
+/// over-share pools after the corresponding timeout.
+struct FairShareConfig {
+  /// Master switch for starvation-driven preemption.  Off = FairShare only
+  /// reorders the queue (still fair-share weighted, never interrupts work).
+  bool preemption_enabled = true;
+  /// Seconds a pool may run below its min share (with pending demand)
+  /// before the scheduler preempts on its behalf.
+  double min_share_preemption_timeout = 300.0;
+  /// Seconds a pool may run below tolerance × fair share before preemption.
+  double fair_share_preemption_timeout = 1800.0;
+  /// Fraction of the fair share below which a pool counts as starving.
+  double fair_share_starvation_tolerance = 0.8;
+  /// Per-job ceiling on policy-initiated preemptions (0 = unlimited);
+  /// bounds thrash on jobs that keep getting displaced.
+  int max_preemptions_per_job = 4;
+  /// Attach the FairnessObserver (per-pool wait percentiles + Jain index
+  /// into PerfStats).  Off by default — fairness accounting costs a queue
+  /// walk per lifecycle event.
+  bool collect_stats = false;
+  /// The pool tree (flat).  Empty = single implicit pool 0, weight 1.
+  std::vector<FairSharePool> pools;
+};
 
 /// Crash-consistency: periodic engine snapshots during the run.  Disabled
 /// by default (zero `every_cycles`), which keeps the event pump on the
@@ -89,6 +128,9 @@ struct EngineConfig {
   /// Periodic crash-consistent snapshots (see SnapshotPolicy).  Default:
   /// disabled.
   SnapshotPolicy snapshot;
+  /// Fair-share pools, starvation timeouts and fairness accounting (used by
+  /// the FairShare policy family and the FairnessObserver).
+  FairShareConfig fairshare;
 };
 
 }  // namespace es::sched

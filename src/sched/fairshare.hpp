@@ -1,0 +1,83 @@
+// FairShare: multi-tenant pool-weighted fair-share scheduling with
+// starvation-driven preemption (ROADMAP item 1; modelled on the ytsaurus
+// fair-share strategy).
+//
+// Jobs carry a pool tag (JobRun::pool).  Each pool has a weight and an
+// optional min share; its entitlement is weight / sum(weights) of the
+// in-service machine.  The policy:
+//
+//   1. *Starvation relief* (optional): a pool with pending demand running
+//      below its min share (or below tolerance x fair share) for longer
+//      than the corresponding timeout gets capacity preempted back from
+//      pools running above their entitlement — youngest-started victims
+//      first, through the engine's preempt/requeue machinery (the victim
+//      re-enters the batch queue at the tail, checkpoint banking applies).
+//   2. *Fair-share selection*: waiting jobs are started in pool-ratio order
+//      (pool with the lowest running/weight first, FIFO within a pool) with
+//      EASY-style aggressive backfill: the first job that does not fit
+//      becomes the pivot and gets a shadow reservation; later candidates
+//      start only if they fit and respect it.
+//
+// Work conservation: selection never refuses a fitting job, so a single
+// tenant still drives the machine to the same utilization as EASY.  With
+// one pool (untagged workload) the ratio order degenerates to FIFO and no
+// preemption ever triggers — FairShare behaves as plain EASY backfilling.
+#pragma once
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "sched/engine_config.hpp"
+#include "sched/scheduler.hpp"
+
+namespace es::sched {
+
+class FairShare final : public Scheduler {
+ public:
+  explicit FairShare(const FairShareConfig& config);
+
+  std::string name() const override { return "FairShare"; }
+  bool supports_dedicated() const override { return false; }
+  bool initiates_preemption() const override {
+    return config_.preemption_enabled;
+  }
+  void cycle(SchedulerContext& ctx) override;
+
+  void save_state(snap::SnapshotWriter& writer) const override;
+  void restore_state(snap::SnapshotReader& reader) override;
+
+ private:
+  /// Cross-cycle starvation timer: when the pool first dropped below its
+  /// share with pending demand (-1 = not currently below).
+  struct PoolState {
+    double below_share_since = -1;
+  };
+  /// Per-cycle working view of one pool.
+  struct PoolScratch {
+    double weight = 1;
+    double min_share = 0;
+    double running = 0;  ///< processors held by the pool's running jobs
+    std::vector<JobRun*> waiting;  ///< queue-order snapshot
+    std::size_t next = 0;          ///< selection cursor into `waiting`
+  };
+
+  /// Youngest-started running job of any pool currently above its
+  /// entitlement (excluding `starving_pool`), eligible under the per-job
+  /// preemption cap.  Null when no such victim exists.
+  JobRun* pick_victim(const SchedulerContext& ctx,
+                      const std::vector<PoolScratch>& scratch,
+                      double total_weight, double available,
+                      int starving_pool) const;
+
+  FairShareConfig config_;
+  std::vector<PoolState> pools_;
+  /// Policy-initiated preemptions per job id (serialized; enforces
+  /// max_preemptions_per_job across restores).
+  std::unordered_map<workload::JobId, int> preempt_counts_;
+  /// Jobs preempted in the current cycle: never restarted at the same
+  /// instant they were displaced.
+  std::unordered_set<workload::JobId> preempted_this_cycle_;
+};
+
+}  // namespace es::sched

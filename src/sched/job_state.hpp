@@ -64,7 +64,10 @@ struct alignas(64) JobRun {
   bool forced_priority = false;  ///< set when a due dedicated job is moved to
                                  ///< the batch head (Algorithm 3)
   bool in_batch_queue = false;
-  std::uint8_t pad0_ = 0;
+  /// Fair-share pool tag (from workload::Job::pool, clamped to 8 bits).
+  /// Ignored by every policy except FairShare; fills what used to be
+  /// padding, so the hot-line layout is unchanged.
+  std::uint8_t pool = 0;
 
   // --- second line: linkage and per-arrival constants ----------------------
 

@@ -10,6 +10,8 @@
 
 #include <bit>
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "sim/event_queue.hpp"
 
@@ -114,6 +116,35 @@ struct CycleStats {
   }
 };
 
+/// Per-pool fairness accounting collected by the FairnessObserver
+/// attachment (sched/attach/fairness_observer.hpp) when
+/// EngineConfig::fairshare.collect_stats is set.
+struct PoolFairnessStats {
+  std::string name;
+  double weight = 1.0;
+  double entitlement_share = 0;  ///< weight / sum(weights)
+  std::uint64_t started = 0;     ///< queueing waits recorded (per attempt)
+  double wait_mean = 0;          ///< seconds from (re)queue to start
+  double wait_p50 = 0;
+  double wait_p99 = 0;
+  double wait_max = 0;
+  /// Sim-seconds the pool had at least one batch job waiting.
+  double backlogged_seconds = 0;
+  /// Mean fraction of the machine the pool held while backlogged.
+  double service_share = 0;
+  /// Share satisfaction x_p = min(1, service_share / entitlement_share);
+  /// 1 for pools that were never backlogged (nothing to be starved of).
+  double satisfaction = 1.0;
+};
+
+/// Fairness summary: Jain's index J = (sum x)^2 / (n * sum x^2) over the
+/// satisfaction of pools that experienced backlog (1.0 = perfectly fair).
+struct FairnessStats {
+  bool collected = false;
+  double jain = 1.0;
+  std::vector<PoolFairnessStats> pools;
+};
+
 /// Per-run performance breakdown attached to SimulationResult.  Wall-clock
 /// fields are measurement, not simulation state: they vary run to run and
 /// never feed back into scheduling decisions or metrics CSVs.
@@ -127,6 +158,8 @@ struct PerfStats {
   /// Process-global high-water: attribute to a run only when it is the
   /// first/only run in the process.  0 where the OS lacks the counter.
   std::uint64_t peak_rss_bytes = 0;
+  /// Empty unless EngineConfig::fairshare.collect_stats.
+  FairnessStats fairness;
 
   /// Fraction of kernel calls answered from the result cache.
   double dp_cache_hit_rate() const {

@@ -59,6 +59,15 @@ class SchedulerContext {
   /// started as soon as it fits.
   std::function<void()> move_dedicated_head_to_batch_head;
 
+  /// Policy-initiated preemption (fair-share starvation relief): the engine
+  /// stops the running job, cancels its completion, releases its
+  /// processors, routes the full PreemptInfo through the attachment chain
+  /// (checkpoint banking, failure/waste accounting) and requeues it at the
+  /// batch *tail* — the same machinery node failures use, minus the outage.
+  /// Precondition: job->status == kRunning.  Only policies returning true
+  /// from initiates_preemption() may call this.
+  std::function<void(JobRun*)> preempt;
+
   /// Free (unreserved) processors right now — the paper's `m`.
   int free() const { return machine->free(); }
 
@@ -90,6 +99,11 @@ class Scheduler {
   /// Whether the policy understands the dedicated queue.  The engine rejects
   /// heterogeneous workloads on policies that do not.
   virtual bool supports_dedicated() const { return false; }
+
+  /// Whether the policy may call SchedulerContext::preempt.  The engine
+  /// attaches the failure-stats ledger for such policies even without fault
+  /// injection, so preempted (wasted) work is always accounted.
+  virtual bool initiates_preemption() const { return false; }
 
   /// Cumulative knapsack-kernel counters over this instance's lifetime
   /// (zero for policies without DP kernels).  The engine snapshots them at

@@ -88,6 +88,17 @@ const CliParser::Option* CliParser::find(std::string_view name) const {
   return nullptr;
 }
 
+CliParser::Option* CliParser::find(std::string_view name) {
+  for (auto& opt : options_)
+    if (opt.name == name) return &opt;
+  return nullptr;
+}
+
+bool CliParser::was_set(std::string_view name) const {
+  const Option* opt = find(name);
+  return opt != nullptr && opt->seen;
+}
+
 bool CliParser::parse(int argc, const char* const* argv) {
   for (int i = 1; i < argc; ++i) {
     std::string_view arg = argv[i];
@@ -106,7 +117,7 @@ bool CliParser::parse(int argc, const char* const* argv) {
       name = arg.substr(0, eq);
       inline_value = arg.substr(eq + 1);
     }
-    const Option* opt = find(name);
+    Option* opt = find(name);
     if (!opt) {
       std::fprintf(stderr, "unknown option --%.*s (try --help)\n",
                    static_cast<int>(name.size()), name.data());
@@ -129,6 +140,7 @@ bool CliParser::parse(int argc, const char* const* argv) {
                    opt->name.c_str());
       return false;
     }
+    opt->seen = true;
   }
   return true;
 }

@@ -30,6 +30,11 @@ class CliParser {
 
   const std::vector<std::string>& positional() const { return positional_; }
 
+  /// True when the named option appeared on the command line in the last
+  /// parse().  Lets callers overlay explicit CLI flags over config-file
+  /// values without clobbering file values with untouched defaults.
+  bool was_set(std::string_view name) const;
+
   /// Renders the --help text.
   std::string help(std::string_view program_name) const;
 
@@ -38,10 +43,12 @@ class CliParser {
     std::string name;
     std::string help;
     bool is_boolean = false;
+    bool seen = false;
     std::function<bool(std::string_view)> assign;
   };
 
   const Option* find(std::string_view name) const;
+  Option* find(std::string_view name);
 
   std::string description_;
   std::vector<Option> options_;

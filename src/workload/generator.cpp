@@ -27,6 +27,9 @@ Workload generate(const GeneratorConfig& config) {
   util::Rng type_rng = master.split();
   util::Rng ecc_rng = master.split();
   util::Rng estimate_rng = master.split();
+  // Appended after the original six streams so pre-tenancy traces stay
+  // byte-identical: the user stream only consumes entropy when enabled.
+  util::Rng user_rng = master.split();
 
   Workload workload;
   workload.machine_procs = config.machine_procs;
@@ -102,10 +105,49 @@ Workload generate(const GeneratorConfig& config) {
     }
   }
 
+  // Multi-tenant tagging: Zipf-distributed submitters, pools round-robin
+  // over user rank.  A separate pass over jobs in id order (not draw order)
+  // so the tag stream is insensitive to arrival-time ties.
+  if (config.num_users > 0) {
+    ES_EXPECTS(config.zipf_exponent > 0);
+    ES_EXPECTS(config.num_pools >= 0);
+    const ZipfSampler zipf(config.num_users, config.zipf_exponent);
+    for (Job& job : workload.jobs) {
+      const int user = zipf.sample(user_rng);
+      job.user = user;
+      job.pool = config.num_pools > 0 ? (user - 1) % config.num_pools : 0;
+    }
+  }
+
   workload.normalize();
   if (config.target_load > 0)
     calibrate_load(workload, config.machine_procs, config.target_load);
   return workload;
+}
+
+ZipfSampler::ZipfSampler(int n, double s) {
+  ES_EXPECTS(n >= 1);
+  cdf_.resize(static_cast<std::size_t>(n));
+  double total = 0;
+  for (int k = 1; k <= n; ++k) {
+    total += std::pow(static_cast<double>(k), -s);
+    cdf_[static_cast<std::size_t>(k - 1)] = total;
+  }
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against accumulated rounding
+}
+
+int ZipfSampler::sample(util::Rng& rng) const {
+  const double u = rng.uniform01();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<int>(it - cdf_.begin()) + 1;
+}
+
+double ZipfSampler::probability(int rank) const {
+  ES_EXPECTS(rank >= 1 &&
+             rank <= static_cast<int>(cdf_.size()));
+  const std::size_t i = static_cast<std::size_t>(rank - 1);
+  return i == 0 ? cdf_[0] : cdf_[i] - cdf_[i - 1];
 }
 
 Workload generate_sdsc_like(std::size_t num_jobs, int procs,

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "util/rng.hpp"
 #include "workload/job.hpp"
@@ -72,6 +73,30 @@ struct GeneratorConfig {
   /// If > 0, arrival times are scaled until the offered load matches this
   /// target (see load.hpp).
   double target_load = 0.0;
+
+  /// Multi-tenancy: when > 0, every job is tagged with a submitting user
+  /// drawn from Zipf(zipf_exponent) over ranks 1..num_users (heavy-hitter
+  /// submission rates, the "millions of users" shape) and charged to pool
+  /// `(user - 1) % num_pools`.  0 = untagged single-tenant trace.  The user
+  /// stream draws from its own RNG split, so enabling tenancy leaves sizes /
+  /// runtimes / arrivals / ECCs of the trace byte-identical.
+  int num_users = 0;
+  double zipf_exponent = 1.1;
+  int num_pools = 0;  ///< 0 = every tagged job lands in pool 0
+};
+
+/// Discrete Zipf sampler over ranks 1..n: P(k) proportional to k^-s.
+/// Deterministic CDF inversion (binary search), exposed for tests and the
+/// fairshare bench.
+class ZipfSampler {
+ public:
+  ZipfSampler(int n, double s);
+  /// Draws a rank in [1, n].
+  int sample(util::Rng& rng) const;
+  double probability(int rank) const;
+
+ private:
+  std::vector<double> cdf_;
 };
 
 /// Generates a workload from the model.  Jobs get IDs 1..num_jobs in arrival

@@ -31,6 +31,11 @@ struct Job {
   sim::Time actual = -1;    ///< true runtime; -1 means "equal to dur"
   JobType type = JobType::kBatch;
   sim::Time start = -1;     ///< requested start time; -1 for batch jobs
+  /// Multi-tenancy tags (PR 10): the submitting user (1-based rank from the
+  /// generator's Zipf draw; 0 = untagged) and the fair-share pool index the
+  /// job is charged to.  Policies other than FairShare ignore both.
+  std::int32_t user = 0;
+  std::int32_t pool = 0;
 
   bool dedicated() const { return type == JobType::kDedicated; }
 

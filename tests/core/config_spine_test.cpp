@@ -1,0 +1,186 @@
+// The configuration spine end to end: register_run_params /
+// register_tenancy_params over the real option structs, the file loader,
+// the CLI-overlay precedence contract, and the cross-field rules the
+// engine depends on.
+#include "core/config_spine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace es::core {
+namespace {
+
+TEST(ConfigSpine, EveryParamRoundTripsItsOwnRendering) {
+  // set(name, current_value()) must be the identity for every registered
+  // param: proves each parser accepts each renderer's output, so a dumped
+  // config reproduces the exact configuration.
+  AlgorithmOptions options;
+  workload::GeneratorConfig generator;
+  util::ParamRegistry registry;
+  register_run_params(registry, options);
+  register_tenancy_params(registry, generator);
+  for (const util::ParamRegistry::Param& param : registry.params()) {
+    const std::string before = param.current_value();
+    ASSERT_NO_THROW(registry.set(param.name(), before)) << param.name();
+    EXPECT_EQ(param.current_value(), before) << param.name();
+  }
+  EXPECT_NO_THROW(registry.finalize());
+}
+
+TEST(ConfigSpine, RegistryDefaultsMatchStructDefaults) {
+  // The registry binds live storage, so a freshly registered spine over
+  // default-constructed structs must report default == current everywhere
+  // — any drift means a param was registered after mutation, which would
+  // corrupt --dump-config's "# default:" annotations.
+  AlgorithmOptions options;
+  workload::GeneratorConfig generator;
+  util::ParamRegistry registry;
+  register_run_params(registry, options);
+  register_tenancy_params(registry, generator);
+  for (const util::ParamRegistry::Param& param : registry.params())
+    EXPECT_EQ(param.default_value(), param.current_value()) << param.name();
+
+  // And two independent registrations agree on the whole dump surface.
+  AlgorithmOptions other_options;
+  workload::GeneratorConfig other_generator;
+  util::ParamRegistry other;
+  register_run_params(other, other_options);
+  register_tenancy_params(other, other_generator);
+  EXPECT_EQ(registry.dump_config(), other.dump_config());
+}
+
+TEST(ConfigSpine, DumpLoadDumpIsTheIdentity) {
+  AlgorithmOptions options;
+  workload::GeneratorConfig generator;
+  util::ParamRegistry registry;
+  register_run_params(registry, options);
+  register_tenancy_params(registry, generator);
+  registry.load_text(
+      "[engine]\n"
+      "machine_procs = 640\n"
+      "granularity = 64\n"
+      "[pool]\n"
+      "prod.weight = 4\n"
+      "prod.min_share = 0.25\n"
+      "batch.weight = 1\n"
+      "[tenancy]\n"
+      "users = 16\n"
+      "pools = 2\n",
+      "test");
+  const std::string dump = registry.dump_config();
+
+  AlgorithmOptions options2;
+  workload::GeneratorConfig generator2;
+  util::ParamRegistry second;
+  register_run_params(second, options2);
+  register_tenancy_params(second, generator2);
+  second.load_text(dump, "dump");
+  EXPECT_EQ(second.dump_config(), dump);
+  EXPECT_EQ(options2.engine.machine_procs, 640);
+  ASSERT_EQ(options2.engine.fairshare.pools.size(), 2u);
+  EXPECT_EQ(options2.engine.fairshare.pools[0].name, "prod");
+  EXPECT_DOUBLE_EQ(options2.engine.fairshare.pools[0].weight, 4);
+  EXPECT_DOUBLE_EQ(options2.engine.fairshare.pools[0].min_share, 0.25);
+  EXPECT_EQ(generator2.num_users, 16);
+}
+
+TEST(ConfigSpine, CliOverlayOverridesFileValue) {
+  // The precedence contract every binary follows: defaults, then the file,
+  // then flags the user actually typed (written straight to the structs),
+  // then finalize() validates the merged result.
+  AlgorithmOptions options;
+  util::ParamRegistry registry;
+  register_run_params(registry, options);
+  registry.load_text("engine.machine_procs = 128\nengine.granularity = 32\n",
+                     "file");
+  EXPECT_EQ(options.engine.machine_procs, 128);
+  options.engine.machine_procs = 320;  // --procs 320 on the command line
+  EXPECT_NO_THROW(registry.finalize());
+  EXPECT_EQ(options.engine.machine_procs, 320);
+  EXPECT_EQ(registry.get("engine.machine_procs"), "320");
+}
+
+TEST(ConfigSpine, AllowRunningResizeRequiresProcessEccs) {
+  AlgorithmOptions options;
+  util::ParamRegistry registry;
+  register_run_params(registry, options);
+  registry.set("engine.allow_running_resize", "true");
+  try {
+    registry.finalize();
+    FAIL() << "expected ConfigError";
+  } catch (const util::ConfigError& error) {
+    EXPECT_EQ(error.field(), "engine.allow_running_resize");
+  }
+  registry.set("engine.process_eccs", "true");
+  EXPECT_NO_THROW(registry.finalize());
+}
+
+TEST(ConfigSpine, GranularityMustDivideMachineProcs) {
+  AlgorithmOptions options;
+  util::ParamRegistry registry;
+  register_run_params(registry, options);
+  registry.set("engine.granularity", "48");  // 320 % 48 != 0
+  EXPECT_THROW(registry.finalize(), util::ConfigError);
+  registry.set("engine.granularity", "64");
+  EXPECT_NO_THROW(registry.finalize());
+}
+
+TEST(ConfigSpine, CheckpointOverheadRequiresInterval) {
+  AlgorithmOptions options;
+  util::ParamRegistry registry;
+  register_run_params(registry, options);
+  registry.set("checkpoint.enabled", "true");
+  registry.set("checkpoint.overhead", "10");
+  EXPECT_THROW(registry.finalize(), util::ConfigError);
+  registry.set("checkpoint.interval", "300");
+  EXPECT_NO_THROW(registry.finalize());
+}
+
+TEST(ConfigSpine, FailureNodeRangeValidated) {
+  AlgorithmOptions options;
+  util::ParamRegistry registry;
+  register_run_params(registry, options);
+  registry.set("failure.min_nodes", "4");
+  registry.set("failure.max_nodes", "2");
+  EXPECT_THROW(registry.finalize(), util::ConfigError);
+}
+
+TEST(ConfigSpine, PoolMinSharesMustNotOversubscribe) {
+  AlgorithmOptions options;
+  util::ParamRegistry registry;
+  register_run_params(registry, options);
+  registry.set("pool.a.min_share", "0.7");
+  registry.set("pool.b.min_share", "0.6");
+  try {
+    registry.finalize();
+    FAIL() << "expected ConfigError";
+  } catch (const util::ConfigError& error) {
+    EXPECT_EQ(error.field(), "pool");
+  }
+}
+
+TEST(ConfigSpine, AliasesAcceptedForEngineKeys) {
+  AlgorithmOptions options;
+  util::ParamRegistry registry;
+  register_run_params(registry, options);
+  registry.set("engine.procs", "640");
+  registry.set("engine.gran", "64");
+  registry.set("algorithm.cs", "3");
+  EXPECT_EQ(options.engine.machine_procs, 640);
+  EXPECT_EQ(options.engine.granularity, 64);
+  EXPECT_EQ(options.max_skip_count, 3);
+}
+
+TEST(ConfigSpine, RequeueModeIsAnEnum) {
+  AlgorithmOptions options;
+  util::ParamRegistry registry;
+  register_run_params(registry, options);
+  registry.set("engine.requeue", "abandon");
+  EXPECT_EQ(options.engine.requeue, fault::RequeuePolicy::kAbandon);
+  EXPECT_THROW(registry.set("engine.requeue", "sideways"),
+               util::ConfigError);
+}
+
+}  // namespace
+}  // namespace es::core

@@ -1,0 +1,96 @@
+// FairnessObserver accounting: the per-pool wait/service ledgers and Jain's
+// index deposited into PerfStats::fairness.
+#include "sched/attach/fairness_observer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/factory.hpp"
+#include "exp/experiment.hpp"
+#include "workload/generator.hpp"
+
+namespace es::sched {
+namespace {
+
+workload::GeneratorConfig tenant_config() {
+  workload::GeneratorConfig config;
+  config.num_jobs = 300;
+  config.seed = 23;
+  config.target_load = 0.9;
+  config.num_users = 16;
+  config.num_pools = 3;
+  return config;
+}
+
+core::AlgorithmOptions observed_options() {
+  core::AlgorithmOptions options;
+  options.engine.fairshare.pools = {
+      {"prod", 2.0, 0.0}, {"batch", 1.0, 0.0}, {"dev", 1.0, 0.0}};
+  options.engine.fairshare.collect_stats = true;
+  return options;
+}
+
+TEST(FairnessObserver, NotCollectedUnlessRequested) {
+  workload::GeneratorConfig config = tenant_config();
+  const workload::Workload workload = workload::generate(config);
+  const SimulationResult result =
+      exp::run_workload(workload, "EASY", core::AlgorithmOptions{});
+  EXPECT_FALSE(result.perf.fairness.collected);
+  EXPECT_TRUE(result.perf.fairness.pools.empty());
+}
+
+TEST(FairnessObserver, LedgersAreWellFormed) {
+  const workload::Workload workload = workload::generate(tenant_config());
+  const SimulationResult result =
+      exp::run_workload(workload, "FairShare", observed_options());
+  const FairnessStats& fairness = result.perf.fairness;
+  ASSERT_TRUE(fairness.collected);
+  ASSERT_EQ(fairness.pools.size(), 3u);
+  EXPECT_GT(fairness.jain, 0.0);
+  EXPECT_LE(fairness.jain, 1.0 + 1e-12);
+
+  double entitlement_sum = 0;
+  std::uint64_t started = 0;
+  for (const PoolFairnessStats& pool : fairness.pools) {
+    EXPECT_FALSE(pool.name.empty());
+    EXPECT_GT(pool.weight, 0.0);
+    entitlement_sum += pool.entitlement_share;
+    started += pool.started;
+    EXPECT_LE(pool.wait_p50, pool.wait_p99 + 1e-9) << pool.name;
+    EXPECT_LE(pool.wait_p99, pool.wait_max + 1e-9) << pool.name;
+    EXPECT_GE(pool.wait_mean, 0.0) << pool.name;
+    EXPECT_GE(pool.satisfaction, 0.0) << pool.name;
+    EXPECT_LE(pool.satisfaction, 1.0) << pool.name;
+    EXPECT_GE(pool.backlogged_seconds, 0.0) << pool.name;
+    EXPECT_GE(pool.service_share, 0.0) << pool.name;
+  }
+  EXPECT_NEAR(entitlement_sum, 1.0, 1e-9);
+  // Every non-dedicated start records one wait sample on some pool.
+  EXPECT_GE(started, result.completed);
+}
+
+TEST(FairnessObserver, CollectsUnderNonFairPoliciesToo) {
+  // The observer measures; it does not require the policy to be
+  // pool-aware.  This is exactly how the fairshare study scores the LOS
+  // baselines.
+  const workload::Workload workload = workload::generate(tenant_config());
+  const SimulationResult result =
+      exp::run_workload(workload, "Delayed-LOS", observed_options());
+  ASSERT_TRUE(result.perf.fairness.collected);
+  EXPECT_EQ(result.perf.fairness.pools.size(), 3u);
+}
+
+TEST(FairnessObserver, SinglePoolIsPerfectlyFair) {
+  workload::GeneratorConfig config = tenant_config();
+  config.num_users = 0;  // untagged: everything lands in pool 0
+  config.num_pools = 0;
+  const workload::Workload workload = workload::generate(config);
+  core::AlgorithmOptions options;
+  options.engine.fairshare.collect_stats = true;
+  const SimulationResult result =
+      exp::run_workload(workload, "EASY", options);
+  ASSERT_TRUE(result.perf.fairness.collected);
+  EXPECT_DOUBLE_EQ(result.perf.fairness.jain, 1.0);
+}
+
+}  // namespace
+}  // namespace es::sched

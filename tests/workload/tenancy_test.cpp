@@ -1,0 +1,130 @@
+// Multi-tenant workload tagging: the Zipf user stream, pool assignment, and
+// the guarantee that enabling tenancy does not perturb the base trace.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "workload/generator.hpp"
+
+namespace es::workload {
+namespace {
+
+GeneratorConfig base_config() {
+  GeneratorConfig config;
+  config.num_jobs = 2000;
+  config.seed = 31;
+  return config;
+}
+
+TEST(Tenancy, UntaggedByDefault) {
+  const Workload workload = generate(base_config());
+  for (const Job& job : workload.jobs) {
+    EXPECT_EQ(job.user, 0);
+    EXPECT_EQ(job.pool, 0);
+  }
+}
+
+TEST(Tenancy, TaggingLeavesTheBaseTraceByteIdentical) {
+  // The user stream draws from its own RNG split: flipping tenancy on must
+  // not move a single arrival, size or runtime — otherwise fairness
+  // comparisons against untagged baselines would be comparing different
+  // workloads.
+  const Workload untagged = generate(base_config());
+  GeneratorConfig config = base_config();
+  config.num_users = 64;
+  config.num_pools = 4;
+  const Workload tagged = generate(config);
+  ASSERT_EQ(tagged.jobs.size(), untagged.jobs.size());
+  for (std::size_t i = 0; i < tagged.jobs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(tagged.jobs[i].arr, untagged.jobs[i].arr);
+    EXPECT_EQ(tagged.jobs[i].num, untagged.jobs[i].num);
+    EXPECT_DOUBLE_EQ(tagged.jobs[i].dur, untagged.jobs[i].dur);
+    EXPECT_DOUBLE_EQ(tagged.jobs[i].actual_runtime(),
+                     untagged.jobs[i].actual_runtime());
+  }
+}
+
+TEST(Tenancy, UsersInRangeAndPoolIsRoundRobinOverRank) {
+  GeneratorConfig config = base_config();
+  config.num_users = 16;
+  config.num_pools = 3;
+  const Workload workload = generate(config);
+  for (const Job& job : workload.jobs) {
+    EXPECT_GE(job.user, 1);
+    EXPECT_LE(job.user, 16);
+    EXPECT_EQ(job.pool, (job.user - 1) % 3);
+  }
+}
+
+TEST(Tenancy, ZeroPoolsMeansSinglePool) {
+  GeneratorConfig config = base_config();
+  config.num_users = 16;
+  config.num_pools = 0;
+  const Workload workload = generate(config);
+  for (const Job& job : workload.jobs) {
+    EXPECT_GE(job.user, 1);
+    EXPECT_EQ(job.pool, 0);
+  }
+}
+
+TEST(Tenancy, SubmissionsAreZipfSkewed) {
+  GeneratorConfig config = base_config();
+  config.num_users = 32;
+  config.zipf_exponent = 1.1;
+  const Workload workload = generate(config);
+  std::vector<int> counts(33, 0);
+  for (const Job& job : workload.jobs)
+    ++counts[static_cast<std::size_t>(job.user)];
+  // Rank 1 dominates and the tail is collectively thin: the top rank must
+  // submit several times the median rank's volume.
+  EXPECT_GT(counts[1], counts[16] * 3);
+  int top = 0;
+  for (int user = 1; user <= 32; ++user) top = std::max(top, counts[user]);
+  EXPECT_EQ(top, counts[1]);
+}
+
+TEST(Tenancy, DeterministicPerSeed) {
+  GeneratorConfig config = base_config();
+  config.num_users = 16;
+  config.num_pools = 4;
+  const Workload a = generate(config);
+  const Workload b = generate(config);
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_EQ(a.jobs[i].user, b.jobs[i].user);
+    EXPECT_EQ(a.jobs[i].pool, b.jobs[i].pool);
+  }
+}
+
+TEST(ZipfSampler, MatchesAnalyticProbabilities) {
+  const int n = 10;
+  const double s = 1.2;
+  ZipfSampler sampler(n, s);
+  double total = 0;
+  for (int rank = 1; rank <= n; ++rank)
+    total += sampler.probability(rank);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  // P(k) proportional to k^-s: check a ratio directly.
+  EXPECT_NEAR(sampler.probability(1) / sampler.probability(2),
+              std::pow(2.0, s), 1e-9);
+
+  util::Rng rng(7);
+  std::vector<int> counts(static_cast<std::size_t>(n) + 1, 0);
+  const int draws = 20000;
+  for (int i = 0; i < draws; ++i) {
+    const int rank = sampler.sample(rng);
+    ASSERT_GE(rank, 1);
+    ASSERT_LE(rank, n);
+    ++counts[static_cast<std::size_t>(rank)];
+  }
+  for (int rank = 1; rank <= n; ++rank)
+    EXPECT_NEAR(counts[static_cast<std::size_t>(rank)] /
+                    static_cast<double>(draws),
+                sampler.probability(rank), 0.02)
+        << rank;
+}
+
+}  // namespace
+}  // namespace es::workload

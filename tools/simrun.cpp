@@ -29,6 +29,7 @@
 #include <ostream>
 #include <string>
 
+#include "core/config_spine.hpp"
 #include "core/factory.hpp"
 #include "exp/analysis.hpp"
 #include "exp/experiment.hpp"
@@ -129,9 +130,25 @@ int main(int argc, char** argv) {
   std::string restore_from;
 
   std::string scenario_path;
+  std::string config_path;
+  bool dump_config = false;
+  bool list_params = false;
+  int users = 0;
+  int num_pools = 0;
+  double zipf_exponent = 1.1;
 
   es::util::CliParser cli("Run one scheduling simulation");
   cli.add_option("trace", "SWF/CWF trace to replay", &trace);
+  cli.add_option("config", "load engine/algorithm/tenancy parameters from "
+                 "this key=value config file; explicit CLI flags override "
+                 "file values, which override built-in defaults",
+                 &config_path);
+  cli.add_flag("dump-config", "print the effective configuration (after "
+               "--config and CLI overrides) as a loadable config file and "
+               "exit", &dump_config);
+  cli.add_flag("list-params", "print every registered configuration "
+               "parameter with its type, default, range and doc, then exit",
+               &list_params);
   cli.add_flag("synthetic", "generate a synthetic workload instead",
                &synthetic);
   cli.add_option("scenario", "replay a serialized atlas scenario (*.scn) "
@@ -176,6 +193,12 @@ int main(int argc, char** argv) {
   cli.add_option("p-extend", "synthetic: P_E", &p_extend);
   cli.add_option("p-reduce", "synthetic: P_R", &p_reduce);
   cli.add_option("load", "synthetic: target offered load (0 = off)", &load);
+  cli.add_option("users", "synthetic: Zipf-distributed submitter population "
+                 "(0 = untagged single-tenant workload)", &users);
+  cli.add_option("pools", "synthetic: scheduling pools the users map onto "
+                 "(0 = all jobs in pool 0)", &num_pools);
+  cli.add_option("zipf-exponent", "synthetic: skew of the submitter "
+                 "distribution (default 1.1)", &zipf_exponent);
   cli.add_option("cs", "max skip count C_s (default 7)", &cs);
   cli.add_option("lookahead", "DP lookahead (default 250)", &lookahead);
   cli.add_option("mtbf", "fault injection: mean time between failures in "
@@ -236,6 +259,100 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  // The configuration spine: one registry bound to the live option structs.
+  // Precedence is CLI > config file > built-in defaults — the file loads
+  // first, then every flag the user actually typed writes over it.
+  es::core::AlgorithmOptions options;
+  es::workload::GeneratorConfig generator_config;
+  es::util::ParamRegistry registry;
+  es::core::register_run_params(registry, options);
+  es::core::register_tenancy_params(registry, generator_config);
+
+  if (list_params) {
+    std::fputs(registry.list_params().c_str(), stdout);
+    return 0;
+  }
+  if (!config_path.empty()) {
+    try {
+      registry.load_file(config_path);
+    } catch (const es::util::ConfigError& error) {
+      std::fprintf(stderr, "simrun: --config: %s\n", error.what());
+      return 2;
+    }
+  }
+  if (cli.was_set("procs")) options.engine.machine_procs = procs;
+  if (cli.was_set("granularity")) options.engine.granularity = granularity;
+  if (cli.was_set("cs")) options.max_skip_count = cs;
+  if (cli.was_set("lookahead")) options.lookahead = lookahead;
+  if (no_dp_cache) options.dp_cache = false;
+  if (no_calendar_queue) options.engine.calendar_event_queue = false;
+  if (no_spec_dp) options.engine.speculative_dp = false;
+  if (mtbf > 0) {
+    options.engine.failure.enabled = true;
+    options.engine.failure.mtbf = mtbf;
+  }
+  if (cli.was_set("fail-seed")) options.engine.failure.seed = fail_seed;
+  if (cli.was_set("mttr")) options.engine.failure.mttr = mttr;
+  if (cli.was_set("fail-min-nodes"))
+    options.engine.failure.min_nodes = fail_min_nodes;
+  if (cli.was_set("fail-max-nodes"))
+    options.engine.failure.max_nodes = fail_max_nodes;
+  if (cli.was_set("fail-retry-cap"))
+    options.engine.failure.max_interruptions = fail_retry_cap;
+  if (cli.was_set("requeue") &&
+      !es::fault::parse_requeue_policy(requeue, options.engine.requeue))
+    return flag_error("requeue", "expected head, tail or abandon");
+  if (cli.was_set("ckpt-interval"))
+    options.engine.checkpoint.interval = ckpt_interval;
+  if (cli.was_set("ckpt-overhead"))
+    options.engine.checkpoint.overhead = ckpt_overhead;
+  if (ckpt_on_preempt) options.engine.checkpoint.on_preempt = true;
+  if (options.engine.checkpoint.interval > 0 ||
+      options.engine.checkpoint.on_preempt)
+    options.engine.checkpoint.enabled = true;
+  if (cli.was_set("max-events"))
+    options.engine.watchdog.max_events = max_events;
+  if (cli.was_set("max-sim-time"))
+    options.engine.watchdog.max_sim_time = max_sim_time;
+  if (cli.was_set("wall-budget"))
+    options.engine.watchdog.wall_budget = wall_budget;
+  if (cli.was_set("no-progress-cycles"))
+    options.engine.watchdog.no_progress_cycles = no_progress_cycles;
+  if (cli.was_set("snapshot-every"))
+    options.engine.snapshot.every_cycles = snapshot_every;
+  if (cli.was_set("snapshot-dir")) options.engine.snapshot.dir = snapshot_dir;
+  if (cli.was_set("snapshot-keep"))
+    options.engine.snapshot.keep = static_cast<std::size_t>(snapshot_keep);
+  if (cli.was_set("users")) generator_config.num_users = users;
+  if (cli.was_set("pools")) generator_config.num_pools = num_pools;
+  if (cli.was_set("zipf-exponent"))
+    generator_config.zipf_exponent = zipf_exponent;
+  options.engine.record_trace |= !trace_csv.empty();
+  options.engine.collect_cycle_stats |= perf_report;
+
+  // Finalize-time validation: range re-checks plus the cross-field rules
+  // (granularity divides procs, resize needs ECCs, checkpoint overhead
+  // needs an interval, pool min-shares sum <= 1, ...), each reported with
+  // the offending field name.
+  try {
+    registry.finalize();
+  } catch (const es::util::ConfigError& error) {
+    std::fprintf(stderr, "simrun: config: %s\n", error.what());
+    return 2;
+  }
+
+  if (dump_config) {
+    std::fputs(registry.dump_config().c_str(), stdout);
+    return 0;
+  }
+
+  // Merged values drive everything downstream, including workload shaping.
+  procs = options.engine.machine_procs;
+  granularity = options.engine.granularity;
+  snapshot_every = options.engine.snapshot.every_cycles;
+  snapshot_dir = options.engine.snapshot.dir;
+  snapshot_keep = static_cast<int>(options.engine.snapshot.keep);
+
   // Flag validation (exit 2): catch contradictory or degenerate settings
   // before spending any simulation time on them.
   if (!es::core::is_algorithm_name(algorithm)) {
@@ -255,13 +372,17 @@ int main(int argc, char** argv) {
                       "checkpoints)");
   if (ckpt_overhead < 0)
     return flag_error("ckpt-overhead", "must be >= 0");
-  const bool ckpt_enabled = ckpt_interval > 0 || ckpt_on_preempt;
-  if (ckpt_enabled && mtbf <= 0)
+  // Checkpoints only pay off when something preempts: fault injection or a
+  // policy (FairShare) that claws capacity back on its own.  Only flags the
+  // user typed are checked — a shared config file may carry checkpoint
+  // settings that are simply inert for a non-preempting algorithm.
+  if ((ckpt_interval > 0 || ckpt_on_preempt) &&
+      !options.engine.failure.enabled &&
+      !es::core::make_algorithm(algorithm, options)
+           .policy->initiates_preemption())
     return flag_error("ckpt-interval", "checkpoint recovery only matters "
-                      "under fault injection; set --mtbf > 0 as well");
-  if (ckpt_overhead > 0 && !ckpt_enabled)
-    return flag_error("ckpt-overhead", "has no effect without "
-                      "--ckpt-interval > 0 or --ckpt-on-preempt");
+                      "under fault injection or a preempting policy; set "
+                      "--mtbf > 0 as well");
   if (max_sim_time < 0)
     return flag_error("max-sim-time", "must be >= 0 (0 = unlimited)");
   if (wall_budget < 0)
@@ -314,7 +435,6 @@ int main(int argc, char** argv) {
   if (parallel_jobs == 0) parallel_jobs = es::util::hardware_parallelism();
   es::util::set_global_parallelism(parallel_jobs);
 
-  es::workload::GeneratorConfig generator_config;
   es::workload::Workload workload;
   es::fuzz::Scenario scenario;
   const bool have_scenario = !scenario_path.empty();
@@ -376,40 +496,6 @@ int main(int argc, char** argv) {
                 es::workload::offered_load(workload, procs));
   }
 
-  es::core::AlgorithmOptions options;
-  options.max_skip_count = cs;
-  options.lookahead = lookahead;
-  options.engine.record_trace = !trace_csv.empty();
-  // The per-cycle histograms live behind a switch so the default run keeps
-  // its empty attachment chain; --perf-report is the opt-in.
-  options.engine.collect_cycle_stats = perf_report;
-  if (mtbf > 0) {
-    options.engine.failure.enabled = true;
-    options.engine.failure.seed = fail_seed;
-    options.engine.failure.mtbf = mtbf;
-    options.engine.failure.mttr = mttr;
-    options.engine.failure.min_nodes = fail_min_nodes;
-    options.engine.failure.max_nodes = fail_max_nodes;
-    options.engine.failure.max_interruptions = fail_retry_cap;
-    if (!es::fault::parse_requeue_policy(requeue, options.engine.requeue))
-      return flag_error("requeue", "expected head, tail or abandon");
-  }
-  if (ckpt_enabled) {
-    options.engine.checkpoint.enabled = true;
-    options.engine.checkpoint.interval = ckpt_interval;
-    options.engine.checkpoint.overhead = ckpt_overhead;
-    options.engine.checkpoint.on_preempt = ckpt_on_preempt;
-  }
-  options.engine.watchdog.max_events = max_events;
-  options.engine.watchdog.max_sim_time = max_sim_time;
-  options.engine.watchdog.wall_budget = wall_budget;
-  options.engine.watchdog.no_progress_cycles = no_progress_cycles;
-  options.engine.snapshot.every_cycles = snapshot_every;
-  options.engine.snapshot.dir = snapshot_dir;
-  options.engine.snapshot.keep = static_cast<std::size_t>(snapshot_keep);
-  options.dp_cache = !no_dp_cache;
-  options.engine.calendar_event_queue = !no_calendar_queue;
-  options.engine.speculative_dp = !no_spec_dp;
   es::core::set_dp_simd_enabled(!no_dp_simd);
   if (have_scenario) {
     // The scenario owns the run-shaping knobs; CLI watchdog flags override
@@ -562,6 +648,26 @@ int main(int argc, char** argv) {
   }
   table.render(std::cout);
 
+  if (result.perf.fairness.collected) {
+    const es::sched::FairnessStats& fairness = result.perf.fairness;
+    es::util::AsciiTable fair_table("fairness — per-pool service and wait");
+    fair_table.set_columns({"pool", "weight", "entitled", "got", "started",
+                            "wait mean (s)", "wait p99 (s)", "satisfaction"});
+    for (const es::sched::PoolFairnessStats& pool : fairness.pools) {
+      fair_table.cell(pool.name)
+          .cell(pool.weight, 2)
+          .cell(pool.entitlement_share, 3)
+          .cell(pool.service_share, 3)
+          .cell(static_cast<long long>(pool.started))
+          .cell(pool.wait_mean, 1)
+          .cell(pool.wait_p99, 1)
+          .cell(pool.satisfaction, 3)
+          .end_row();
+    }
+    fair_table.render(std::cout);
+    std::printf("Jain fairness index: %.4f\n", fairness.jain);
+  }
+
   if (perf_report) {
     // Counters are deterministic; the two wall rows are measurement only.
     const es::sched::PerfStats& perf = result.perf;
@@ -587,20 +693,23 @@ int main(int argc, char** argv) {
     add_cycle_stats_rows(perf_table, perf.cycle);
     perf_table.cell("cycle wall (s)").cell(perf.cycle_seconds, 4).end_row();
     perf_table.cell("run wall (s)").cell(perf.wall_seconds, 4).end_row();
-    // Derived throughput figures — the tentpole's two headline numbers.
-    if (perf.wall_seconds > 0) {
-      perf_table.cell("events per second")
-          .cell(static_cast<double>(perf.events.fired) / perf.wall_seconds, 0)
-          .end_row();
-    }
+    // Derived throughput figures.  Always printed so report parsers see a
+    // stable row set; a zero denominator (instant run, no DP invocations)
+    // reports 0 instead of dividing by it.
+    perf_table.cell("events per second")
+        .cell(perf.wall_seconds > 0
+                  ? static_cast<double>(perf.events.fired) / perf.wall_seconds
+                  : 0.0,
+              0)
+        .end_row();
     perf_table.cell("DP table wall (s)").cell(perf.dp.table_seconds, 4).end_row();
-    if (perf.dp.table_runs > 0) {
-      perf_table.cell("DP ns per invocation")
-          .cell(1e9 * perf.dp.table_seconds /
-                    static_cast<double>(perf.dp.table_runs),
-                1)
-          .end_row();
-    }
+    perf_table.cell("DP ns per invocation")
+        .cell(perf.dp.table_runs > 0
+                  ? 1e9 * perf.dp.table_seconds /
+                        static_cast<double>(perf.dp.table_runs)
+                  : 0.0,
+              1)
+        .end_row();
     if (perf.peak_rss_bytes > 0) {
       perf_table.cell("peak RSS (MiB)")
           .cell(static_cast<double>(perf.peak_rss_bytes) / (1024.0 * 1024.0),
